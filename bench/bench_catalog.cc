@@ -1,0 +1,39 @@
+// E1 — Table 1 of the paper: the catalog information every experiment
+// assumes. Prints the table plus the registered indexes and the cost-model
+// constants in effect.
+#include "bench/bench_util.h"
+
+using namespace oodb;
+
+int main() {
+  PaperDb db = MakePaperCatalog();
+
+  bench::Header("Table 1: Catalog Information (paper) — as encoded");
+  std::printf("%s", db.catalog.ToTableString().c_str());
+
+  bench::Header("Registered indexes");
+  for (const IndexInfo& idx : db.catalog.indexes()) {
+    std::string path;
+    TypeId cur = idx.collection.type;
+    for (size_t i = 0; i < idx.path.size(); ++i) {
+      const FieldDef& f = db.catalog.schema().type(cur).field(idx.path[i]);
+      if (i > 0) path += ".";
+      path += f.name;
+      if (f.kind == FieldKind::kRef) cur = f.target_type;
+    }
+    std::printf("  %-22s on %-18s path %-14s distinct keys %ld\n",
+                idx.name.c_str(),
+                idx.collection.Display(db.catalog.schema()).c_str(),
+                path.c_str(), static_cast<long>(idx.distinct_keys));
+  }
+
+  bench::Header("Cost model constants (calibrated, see EXPERIMENTS.md)");
+  CostModelOptions c;
+  std::printf("  page size            %ld B\n", static_cast<long>(c.page_size));
+  std::printf("  random I/O           %.3f s\n", c.random_io_s);
+  std::printf("  sequential I/O       %.3f s\n", c.seq_io_s);
+  std::printf("  assembly window      %d (discount floor %.2f)\n",
+              c.assembly_window, c.assembly_window_discount_floor);
+  std::printf("  default selectivity  %.0f %%\n", kDefaultSelectivity * 100);
+  return 0;
+}

@@ -1,0 +1,132 @@
+// E13 — cost-model validation by execution: optimized plans run on the
+// simulated object store (scaled instance of the paper's database) and the
+// *simulated* execution time — from actual page faults, seek distances, and
+// per-tuple work — is compared with the optimizer's anticipated cost. The
+// reproduction target is that the cost model ranks plans the same way the
+// (simulated) execution does.
+#include "bench/bench_util.h"
+
+using namespace oodb;
+
+namespace {
+
+constexpr double kScale = 0.1;
+
+struct RunResult {
+  double estimated;
+  double simulated;
+  int64_t rows;
+  int64_t pages;
+};
+
+RunResult Run(const PaperDb& db, ObjectStore* store, const std::string& text,
+              OptimizerOptions opts) {
+  QueryContext ctx;
+  ctx.catalog = &db.catalog;
+  auto logical = ParseAndSimplify(text, &ctx);
+  if (!logical.ok()) {
+    std::fprintf(stderr, "%s\n", logical.status().ToString().c_str());
+    std::abort();
+  }
+  Optimizer opt(&db.catalog, std::move(opts));
+  auto planned = opt.Optimize(**logical, &ctx);
+  if (!planned.ok()) {
+    std::fprintf(stderr, "%s\n", planned.status().ToString().c_str());
+    std::abort();
+  }
+  auto stats = ExecutePlan(*planned->plan, store, &ctx);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    std::abort();
+  }
+  return {planned->cost.total(), stats->sim_total_s(), stats->rows,
+          stats->pages_read};
+}
+
+}  // namespace
+
+int main() {
+  PaperDb db = MakePaperCatalog(kScale);
+  // A modest buffer pool (1 MB) and a physically plausible plant population
+  // keep buffer-hit effects realistic: the optimizer does not know the
+  // plant count (no extent) and the buffer cannot hold everything.
+  StoreOptions store_opts;
+  store_opts.buffer_pages = 256;
+  ObjectStore store(&db.catalog, store_opts);
+  GenOptions gen;
+  gen.num_plants = 5000;
+  auto data = GeneratePaperData(db, &store, gen);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Instance: scale %.2f of Table 1 (%lld objects)\n", kScale,
+              static_cast<long long>(store.num_objects()));
+
+  struct Case {
+    const char* label;
+    const char* query;
+    OptimizerOptions opts;
+  };
+  OptimizerOptions all;
+  OptimizerOptions no_idx;
+  no_idx.disabled_rules = {kImplIndexScan};
+  OptimizerOptions no_join;
+  no_join.disabled_rules = {kRuleJoinCommute};
+  OptimizerOptions w1 = no_join;
+  w1.cost.assembly_window = 1;
+
+  // Query 4 uses a completion time that exists at this scale (1..60).
+  const char* q4 =
+      "SELECT t.name FROM Task t IN Tasks, Employee e IN t.team_members "
+      "WHERE e.name == \"Fred\" && t.time == 7;";
+
+  Case cases[] = {
+      {"Q1 optimal (Fig 6)", kQuery1Text, all},
+      {"Q1 w/o commutativity (Fig 7)", kQuery1Text, no_join},
+      {"Q1 w/o window", kQuery1Text, w1},
+      {"Q2 index scan (Fig 8)", kQuery2Text, all},
+      {"Q2 w/o collapse (Fig 9)", kQuery2Text, no_idx},
+      {"Q3 enforcer plan (Fig 10)", kQuery3Text, all},
+      {"Q3 w/o collapse", kQuery3Text, no_idx},
+      {"Q4 optimal (Fig 12)", q4, all},
+  };
+
+  bench::Header("Estimated vs simulated execution (cold buffer pool)");
+  std::printf("%-32s %12s %12s %8s %8s %7s\n", "plan", "estimate[s]",
+              "simulated[s]", "ratio", "rows", "pages");
+  double prev_est = -1, prev_sim = -1;
+  int inversions = 0, comparisons = 0;
+  for (const Case& c : cases) {
+    RunResult r = Run(db, &store, c.query, c.opts);
+    std::printf("%-32s %12.2f %12.2f %8.2f %8lld %7lld\n", c.label,
+                r.estimated, r.simulated, r.simulated / r.estimated,
+                static_cast<long long>(r.rows),
+                static_cast<long long>(r.pages));
+    if (prev_est >= 0) {
+      ++comparisons;
+      bool est_up = r.estimated > prev_est;
+      bool sim_up = r.simulated > prev_sim;
+      if (est_up != sim_up) ++inversions;
+    }
+    prev_est = r.estimated;
+    prev_sim = r.simulated;
+  }
+  std::printf(
+      "\nPlan-ranking agreement between cost model and simulation: %d/%d "
+      "adjacent orderings preserved.\n",
+      comparisons - inversions, comparisons);
+  std::printf(
+      "(The estimate is the paper-style anticipated cost; 'simulated' "
+      "charges every actual page fault\n with the same I/O constants plus "
+      "per-tuple CPU. Buffer-pool hits make real runs cheaper than\n the "
+      "buffer-oblivious estimate — the effect the paper says can \"only be "
+      "studied in the context of\n a real, working system\".)\n"
+      "(The Fig-7 pointer-chasing plan runs better than anticipated: Plant "
+      "has no extent, so the\n optimizer must assume one fault per employee, "
+      "while at runtime the department->plant fan-in\n bounds the distinct "
+      "plants touched — precisely the paper's observation that \"additional\n"
+      " cardinality information should be maintained whether or not the "
+      "objects belong to a set or\n extent\".)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E16 — the paper's §6 "Conclusions and Future Work" items, implemented and
+// evaluated: (1) refined selectivity estimation (min/max range statistics),
+// (2) the Volcano pruning mechanisms the authors "have not evaluated yet",
+// and (3) dynamic plan selection, the ObjectStore capability of §2 rebuilt
+// on cost-based optimization.
+#include "bench/bench_util.h"
+#include "src/dynamic/dynamic_plans.h"
+
+using namespace oodb;
+
+int main() {
+  PaperDb db = MakePaperCatalog();
+
+  bench::Header("(1) Range selectivity from [min, max] statistics");
+  {
+    const char* narrow =
+        "SELECT t.name FROM Task t IN Tasks WHERE t.time >= 595;";
+    const char* wide =
+        "SELECT t.name FROM Task t IN Tasks WHERE t.time >= 100;";
+    for (const char* text : {narrow, wide}) {
+      QueryContext ctx;
+      ctx.catalog = &db.catalog;
+      auto logical = ParseAndSimplify(text, &ctx);
+      Optimizer opt(&db.catalog);
+      auto r = opt.Optimize(**logical, &ctx);
+      std::printf("%s\n%s  -> est. %.2f s\n\n", text,
+                  PrintPlan(*r->plan, ctx).c_str(), r->cost.total());
+    }
+    std::printf("The optimizer switches between the (range-capable) index "
+                "scan and the file scan\nas the estimated match fraction "
+                "crosses the unclustered-fetch break-even point.\n");
+  }
+
+  bench::Header("(2) Branch-and-bound pruning: same plans, less search");
+  {
+    struct Case {
+      const char* label;
+      std::string text;
+    };
+    Case cases[] = {
+        {"Query 1", kQuery1Text},
+        {"Query 4", kQuery4Text},
+        {"4-way join",
+         "SELECT e1.name FROM Employee e1 IN Employees, Employee e2 IN "
+         "Employees, Employee e3 IN Employees, Employee e4 IN Employees "
+         "WHERE e1.name == e2.name && e2.age == e3.age && "
+         "e3.salary == e4.salary;"},
+    };
+    std::printf("%-12s %18s %18s %12s\n", "query", "alts (exhaustive)",
+                "alts (pruned)", "same cost?");
+    for (const Case& c : cases) {
+      auto run = [&](bool prune) {
+        QueryContext ctx;
+        ctx.catalog = &db.catalog;
+        auto logical = ParseAndSimplify(c.text, &ctx);
+        OptimizerOptions opts;
+        opts.enable_pruning = prune;
+        Optimizer opt(&db.catalog, opts);
+        return *opt.Optimize(**logical, &ctx);
+      };
+      OptimizedQuery off = run(false);
+      OptimizedQuery on = run(true);
+      std::printf("%-12s %18d %18d %12s\n", c.label,
+                  off.stats.phys_alternatives, on.stats.phys_alternatives,
+                  on.cost.total() == off.cost.total() ? "yes" : "NO!");
+    }
+  }
+
+  bench::Header("(3) Dynamic plan selection (ObjectStore's capability, "
+                "cost-based)");
+  {
+    QueryContext ctx;
+    auto logical = BuildPaperQuery(4, db, &ctx);
+    auto compiled = DynamicPlan::Compile(**logical, &ctx, &db.catalog);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "%s\n", compiled.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("Query 4 compiled once: %zu variants over indexes {",
+                compiled->variants().size());
+    for (size_t i = 0; i < compiled->relevant_indexes().size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  compiled->relevant_indexes()[i].c_str());
+    }
+    std::printf("}\n\n");
+    for (const PlanVariant& v : compiled->variants()) {
+      std::string label;
+      for (const std::string& idx : v.available) label += idx + " ";
+      if (label.empty()) label = "(no indexes)";
+      std::printf("available: %-44s est. %8.2f s, root: %s\n", label.c_str(),
+                  v.cost.total(), PhysOpKindName(v.plan->op.kind));
+    }
+    std::printf(
+        "\nDropping an index at run time switches plans with no "
+        "re-optimization — but unlike\nObjectStore's greedy version, every "
+        "variant is the cost-based optimum for its\nconfiguration (compare "
+        "Table 3's greedy row).\n");
+  }
+  return 0;
+}

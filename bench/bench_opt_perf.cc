@@ -1,0 +1,106 @@
+// E12 — optimizer performance (google-benchmark): the paper's §1 goal that
+// "moderately complex queries should be optimized on today's workstations
+// in less than 1 sec". Measures full optimization (simplified input ->
+// plan) for each paper query plus a wider 5-range join query, and the
+// parse+simplify front end.
+#include <benchmark/benchmark.h>
+
+#include "src/oodb.h"
+#include "src/workloads/paper_queries.h"
+
+namespace oodb {
+namespace {
+
+const PaperDb& Db() {
+  static PaperDb db = MakePaperCatalog();
+  return db;
+}
+
+void BM_OptimizePaperQuery(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    QueryContext ctx;
+    auto logical = BuildPaperQuery(n, Db(), &ctx);
+    Optimizer opt(&Db().catalog);
+    auto r = opt.Optimize(**logical, &ctx);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_OptimizePaperQuery)->DenseRange(1, 4);
+
+// A "moderately complex" query: three ranges, a set-valued path, and five
+// predicates — a superset of every paper query's features.
+constexpr const char* kComplexQuery =
+    "SELECT e.name, d.name, t.name "
+    "FROM Employee e IN Employees, Department d IN Department, "
+    "     Task t IN Tasks, Employee m IN t.team_members "
+    "WHERE e.dept == d && d.floor == 3 && e.age >= 32 && "
+    "      t.time == 100 && m.name == e.name;";
+
+void BM_OptimizeComplexQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    QueryContext ctx;
+    ctx.catalog = &Db().catalog;
+    auto logical = ParseAndSimplify(kComplexQuery, &ctx);
+    if (!logical.ok()) state.SkipWithError(logical.status().ToString().c_str());
+    Optimizer opt(&Db().catalog);
+    auto r = opt.Optimize(**logical, &ctx);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_OptimizeComplexQuery);
+
+void BM_ParseAndSimplify(benchmark::State& state) {
+  for (auto _ : state) {
+    QueryContext ctx;
+    ctx.catalog = &Db().catalog;
+    auto logical = ParseAndSimplify(kQuery1Text, &ctx);
+    benchmark::DoNotOptimize(logical);
+  }
+}
+BENCHMARK(BM_ParseAndSimplify);
+
+void BM_GreedyPlanQuery4(benchmark::State& state) {
+  for (auto _ : state) {
+    QueryContext ctx;
+    auto logical = BuildPaperQuery(4, Db(), &ctx);
+    GreedyOptimizer greedy(&Db().catalog);
+    auto r = greedy.Optimize(**logical, &ctx);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GreedyPlanQuery4);
+
+// Exploration growth: join chains of increasing width (stress of the memo
+// and the join reordering rules).
+void BM_OptimizeJoinChain(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  std::string text = "SELECT e1.name FROM Employee e1 IN Employees";
+  for (int i = 2; i <= width; ++i) {
+    text += ", Employee e" + std::to_string(i) + " IN Employees";
+  }
+  text += " WHERE ";
+  for (int i = 2; i <= width; ++i) {
+    if (i > 2) text += " && ";
+    text += "e1.name == e" + std::to_string(i) + ".name";
+  }
+  text += ";";
+  for (auto _ : state) {
+    QueryContext ctx;
+    ctx.catalog = &Db().catalog;
+    auto logical = ParseAndSimplify(text, &ctx);
+    if (!logical.ok()) state.SkipWithError(logical.status().ToString().c_str());
+    Optimizer opt(&Db().catalog);
+    auto r = opt.Optimize(**logical, &ctx);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_OptimizeJoinChain)->DenseRange(2, 5);
+
+}  // namespace
+}  // namespace oodb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// E9-E11 — Query 4 (Figures 12, 13) and Table 3: cost-based optimization vs
+// the greedy, ObjectStore-style use-every-index strategy, across four index
+// availability configurations.
+#include "bench/bench_util.h"
+
+using namespace oodb;
+
+namespace {
+
+double GreedyCost(const PaperDb& db, bool print = false) {
+  QueryContext ctx;
+  auto logical = BuildPaperQuery(4, db, &ctx);
+  GreedyOptimizer greedy(&db.catalog);
+  auto r = greedy.Optimize(**logical, &ctx);
+  if (!r.ok()) {
+    std::fprintf(stderr, "greedy: %s\n", r.status().ToString().c_str());
+    std::abort();
+  }
+  if (print) std::printf("%s", PrintPlan(*r->plan, ctx, true).c_str());
+  return r->cost.total();
+}
+
+}  // namespace
+
+int main() {
+  PaperDb db = MakePaperCatalog();
+
+  bench::Header("Query 4 (ZQL) — from the ObjectStore paper, slightly modified");
+  std::printf("%s\n", kQuery4Text);
+
+  bench::Header("Query 4 after simplification (paper Figure 12, top)");
+  {
+    QueryContext ctx;
+    auto logical = BuildPaperQuery(4, db, &ctx);
+    std::printf("%s", PrintLogicalTree(**logical, ctx).c_str());
+  }
+
+  bench::Header("Figure 12: optimal plan (only the time index!)");
+  {
+    QueryContext ctx;
+    OptimizedQuery q = bench::Optimize(4, db, &ctx);
+    std::printf("%s", PrintPlan(*q.plan, ctx, true).c_str());
+  }
+
+  bench::Header("Figure 13: greedy plan (uses both indexes)");
+  GreedyCost(db, /*print=*/true);
+
+  bench::Header("Table 3: Anticipated Execution Times for Query 4 [s]");
+  struct Col {
+    const char* label;
+    bool time_idx, name_idx;
+    double paper_all, paper_greedy;
+  };
+  Col cols[] = {
+      {"None", false, false, 108, 108},
+      {"Time only", true, false, 1.73, 1.73},
+      {"Name only", false, true, 28.4, 28.4},
+      {"Both", true, true, 1.73, 10.1},
+  };
+  std::printf("%-12s  %10s  %10s   |  paper: %10s %10s\n", "Indices",
+              "All rules", "Greedy use", "All rules", "Greedy");
+  for (const Col& col : cols) {
+    (void)db.catalog.SetIndexEnabled(kIdxTasksTime, col.time_idx);
+    (void)db.catalog.SetIndexEnabled(kIdxEmployeesName, col.name_idx);
+    QueryContext ctx;
+    OptimizedQuery all = bench::Optimize(4, db, &ctx);
+    double greedy = GreedyCost(db);
+    std::printf("%-12s  %10.2f  %10.2f   |  %16.2f %10.2f\n", col.label,
+                all.cost.total(), greedy, col.paper_all, col.paper_greedy);
+  }
+  (void)db.catalog.SetIndexEnabled(kIdxTasksTime, true);
+  (void)db.catalog.SetIndexEnabled(kIdxEmployeesName, true);
+
+  std::printf(
+      "\nAs in the paper: the greedy strategy matches cost-based choice "
+      "until BOTH indexes exist,\nwhere greedily using the name index makes "
+      "it >5x slower than the optimal single-index plan.\n");
+  return 0;
+}

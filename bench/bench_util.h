@@ -1,0 +1,60 @@
+// Shared helpers for the benchmark/reproduction binaries.
+#ifndef OODB_BENCH_BENCH_UTIL_H_
+#define OODB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/cost/selectivity.h"
+#include "src/oodb.h"
+#include "src/workloads/paper_queries.h"
+
+namespace oodb {
+namespace bench {
+
+inline void Header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/// Optimizes paper query `n` under `opts`; aborts on failure (benchmarks
+/// reproduce known-good configurations).
+inline OptimizedQuery Optimize(int n, const PaperDb& db, QueryContext* ctx,
+                               OptimizerOptions opts = {}) {
+  auto logical = BuildPaperQuery(n, db, ctx);
+  if (!logical.ok()) {
+    std::fprintf(stderr, "build query %d: %s\n", n,
+                 logical.status().ToString().c_str());
+    std::abort();
+  }
+  Optimizer opt(&db.catalog, std::move(opts));
+  auto r = opt.Optimize(**logical, ctx);
+  if (!r.ok()) {
+    std::fprintf(stderr, "optimize query %d: %s\n", n,
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(r);
+}
+
+/// Re-optimizes `runs` times and returns the best wall-clock seconds (the
+/// paper's "Optim. Time" column measured on our hardware).
+inline double OptimizeTime(int n, const PaperDb& db, OptimizerOptions opts,
+                           int runs = 20) {
+  double best = 1e30;
+  for (int i = 0; i < runs; ++i) {
+    QueryContext ctx;
+    SearchStats stats;
+    auto logical = BuildPaperQuery(n, db, &ctx);
+    Optimizer opt(&db.catalog, opts);
+    auto r = opt.Optimize(**logical, &ctx);
+    if (r.ok() && r->stats.optimize_seconds < best) {
+      best = r->stats.optimize_seconds;
+    }
+  }
+  return best;
+}
+
+}  // namespace bench
+}  // namespace oodb
+
+#endif  // OODB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,79 @@
+// DBA workflow: run queries through the Session facade, inspect plans with
+// Explain, refresh statistics with Analyze, and keep applications running
+// across index changes with dynamic plan selection.
+#include <cstdio>
+
+#include "src/oodb.h"
+
+using namespace oodb;
+
+int main() {
+  PaperDb db = MakePaperCatalog(/*scale=*/0.05);
+  Session session(&db.catalog);
+  GenOptions gen;
+  gen.num_plants = 30;
+  if (auto r = GeneratePaperData(db, &session.store(), gen); !r.ok()) {
+    std::fprintf(stderr, "datagen: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+
+  const char* query =
+      "SELECT t.name FROM Task t IN Tasks, Employee e IN t.team_members "
+      "WHERE e.name == \"Fred\" && t.time == 5;";
+
+  std::printf("==== EXPLAIN before statistics refresh ====\n");
+  if (auto plan = session.Explain(query); plan.ok()) {
+    std::printf("%s", plan->c_str());
+  }
+
+  // The catalog's statistics were estimates; measure the real population.
+  std::printf("\n==== ANALYZE ====\n");
+  if (Status s = session.Analyze(); !s.ok()) {
+    std::fprintf(stderr, "analyze: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const FieldDef& time = db.catalog.schema().type(db.task).field(db.task_time);
+  std::printf("measured: task.time has %lld distinct values in [%lld, %lld]\n",
+              static_cast<long long>(time.distinct_values),
+              static_cast<long long>(time.min_value),
+              static_cast<long long>(time.max_value));
+
+  std::printf("\n==== Run the query ====\n");
+  auto result = session.Query(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s-> %lld rows, simulated %.3f s\n",
+              result->PlanText(true).c_str(),
+              static_cast<long long>(result->exec.rows),
+              result->exec.sim_total_s());
+
+  // Compile once, survive index drops at run time (ObjectStore-style
+  // dynamic plans, but each variant is the cost-based optimum).
+  std::printf("\n==== Dynamic plans across index availability ====\n");
+  QueryContext ctx;
+  ctx.catalog = &db.catalog;
+  auto logical = ParseAndSimplify(query, &ctx);
+  auto compiled = DynamicPlan::Compile(**logical, &ctx, &db.catalog);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile: %s\n",
+                 compiled.status().ToString().c_str());
+    return 1;
+  }
+  for (bool drop_time_index : {false, true}) {
+    (void)db.catalog.SetIndexEnabled(kIdxTasksTime, !drop_time_index);
+    auto variant = compiled->Select(db.catalog);
+    if (!variant.ok()) continue;
+    auto stats = ExecutePlan(*(*variant)->plan, &session.store(), &ctx);
+    std::printf("time index %s: root %-12s est %.2f s, simulated %.3f s, "
+                "%lld rows\n",
+                drop_time_index ? "DROPPED" : "present",
+                PhysOpKindName((*variant)->plan->op.kind),
+                (*variant)->cost.total(),
+                stats.ok() ? stats->sim_total_s() : -1.0,
+                stats.ok() ? static_cast<long long>(stats->rows) : -1);
+  }
+  (void)db.catalog.SetIndexEnabled(kIdxTasksTime, true);
+  return 0;
+}

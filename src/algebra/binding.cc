@@ -1,0 +1,60 @@
+#include "src/algebra/binding.h"
+
+namespace oodb {
+
+std::vector<BindingId> BindingSet::ToVector() const {
+  std::vector<BindingId> out;
+  uint64_t bits = bits_;
+  while (bits != 0) {
+    int b = __builtin_ctzll(bits);
+    out.push_back(b);
+    bits &= bits - 1;
+  }
+  return out;
+}
+
+BindingId BindingTable::Add(BindingDef def) {
+  def.id = static_cast<BindingId>(defs_.size());
+  defs_.push_back(std::move(def));
+  return defs_.back().id;
+}
+
+BindingId BindingTable::AddGet(std::string name, TypeId type) {
+  BindingDef d;
+  d.name = std::move(name);
+  d.type = type;
+  d.origin = BindingOrigin::kGet;
+  return Add(std::move(d));
+}
+
+BindingId BindingTable::AddMat(std::string name, TypeId type, BindingId parent,
+                               FieldId field) {
+  BindingDef d;
+  d.name = std::move(name);
+  d.type = type;
+  d.origin = BindingOrigin::kMat;
+  d.parent = parent;
+  d.via_field = field;
+  return Add(std::move(d));
+}
+
+BindingId BindingTable::AddUnnest(std::string name, TypeId type,
+                                  BindingId parent, FieldId set_field) {
+  BindingDef d;
+  d.name = std::move(name);
+  d.type = type;
+  d.origin = BindingOrigin::kUnnest;
+  d.parent = parent;
+  d.via_field = set_field;
+  d.is_ref = true;
+  return Add(std::move(d));
+}
+
+Result<BindingId> BindingTable::ByName(const std::string& name) const {
+  for (const BindingDef& d : defs_) {
+    if (d.name == name) return d.id;
+  }
+  return Status::NotFound("no binding named '" + name + "'");
+}
+
+}  // namespace oodb

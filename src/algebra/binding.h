@@ -1,0 +1,110 @@
+// Bindings and scopes. A query's scope is a set of *bindings*: `Get S:c`
+// binds c, `Mat c.mayor:m` binds m, `Unnest t.members:r` binds r. The paper's
+// scoping rule (§3, "Logical Algebra"): a component gets into scope by being
+// scanned (Get) or referenced (Mat); components remain in scope until a
+// projection discards them. Tuples at runtime carry one slot per binding.
+#ifndef OODB_ALGEBRA_BINDING_H_
+#define OODB_ALGEBRA_BINDING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/common/result.h"
+
+namespace oodb {
+
+using BindingId = int32_t;
+inline constexpr BindingId kInvalidBinding = -1;
+
+/// A set of bindings, as a bitmask. Queries are limited to 64 bindings,
+/// far beyond the paper's examples.
+class BindingSet {
+ public:
+  BindingSet() = default;
+  static BindingSet Of(BindingId b) { return BindingSet(1ull << b); }
+
+  bool Contains(BindingId b) const { return (bits_ >> b) & 1; }
+  bool ContainsAll(BindingSet s) const { return (bits_ & s.bits_) == s.bits_; }
+  bool Intersects(BindingSet s) const { return (bits_ & s.bits_) != 0; }
+  bool Empty() const { return bits_ == 0; }
+  int Count() const { return __builtin_popcountll(bits_); }
+
+  void Add(BindingId b) { bits_ |= (1ull << b); }
+  void Remove(BindingId b) { bits_ &= ~(1ull << b); }
+
+  BindingSet Union(BindingSet s) const { return BindingSet(bits_ | s.bits_); }
+  BindingSet Intersect(BindingSet s) const { return BindingSet(bits_ & s.bits_); }
+  BindingSet Minus(BindingSet s) const { return BindingSet(bits_ & ~s.bits_); }
+
+  bool operator==(const BindingSet& o) const { return bits_ == o.bits_; }
+  bool operator!=(const BindingSet& o) const { return bits_ != o.bits_; }
+  bool operator<(const BindingSet& o) const { return bits_ < o.bits_; }
+
+  uint64_t bits() const { return bits_; }
+
+  /// Iterates set members in increasing id order.
+  std::vector<BindingId> ToVector() const;
+
+ private:
+  explicit BindingSet(uint64_t bits) : bits_(bits) {}
+  uint64_t bits_ = 0;
+};
+
+/// How a binding entered scope.
+enum class BindingOrigin {
+  kGet,     ///< scanned from a collection
+  kMat,     ///< materialized via an inter-object reference
+  kUnnest,  ///< revealed from a set-valued field (holds a bare reference)
+};
+
+/// One binding definition.
+struct BindingDef {
+  BindingId id = kInvalidBinding;
+  std::string name;  ///< display name, e.g. "c" or "c.mayor"
+  TypeId type = kInvalidType;
+  BindingOrigin origin = BindingOrigin::kGet;
+  /// For kMat/kUnnest: the binding this one was derived from.
+  BindingId parent = kInvalidBinding;
+  /// For kMat (from a field) / kUnnest: the traversed field of `parent`.
+  /// kInvalidField for a Mat that resolves an unnested bare reference.
+  FieldId via_field = kInvalidField;
+  /// True for kUnnest bindings: the slot holds a reference value only; the
+  /// referenced object is not (yet) an independent in-memory component.
+  bool is_ref = false;
+};
+
+/// Per-query table of bindings. Owned by the QueryContext; all algebra
+/// expressions for one query share it.
+class BindingTable {
+ public:
+  /// Binds the result of scanning a collection of `type`.
+  BindingId AddGet(std::string name, TypeId type);
+
+  /// Binds the object materialized from `parent`.`field` (field must be a
+  /// kRef field of parent's type) or from a bare-reference binding when
+  /// `field` == kInvalidField.
+  BindingId AddMat(std::string name, TypeId type, BindingId parent,
+                   FieldId field);
+
+  /// Binds the references revealed by unnesting `parent`.`set_field`.
+  BindingId AddUnnest(std::string name, TypeId type, BindingId parent,
+                      FieldId set_field);
+
+  const BindingDef& def(BindingId id) const { return defs_[id]; }
+  int size() const { return static_cast<int>(defs_.size()); }
+  bool has(BindingId id) const {
+    return id >= 0 && id < static_cast<BindingId>(defs_.size());
+  }
+
+  Result<BindingId> ByName(const std::string& name) const;
+
+ private:
+  BindingId Add(BindingDef def);
+  std::vector<BindingDef> defs_;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_ALGEBRA_BINDING_H_

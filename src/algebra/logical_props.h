@@ -1,0 +1,32 @@
+// Logical properties of an algebra expression: the scope (binding set), the
+// estimated cardinality, and the estimated bytes of a fully-materialized
+// tuple. Logical properties are determined by the logical operators alone,
+// before execution algorithms are chosen (paper §3 "Properties").
+#ifndef OODB_ALGEBRA_LOGICAL_PROPS_H_
+#define OODB_ALGEBRA_LOGICAL_PROPS_H_
+
+#include "src/algebra/logical_op.h"
+
+namespace oodb {
+
+struct LogicalProps {
+  BindingSet scope;
+  double card = 0.0;
+  /// Estimated bytes of one output tuple with every scoped component loaded
+  /// (used for hash-table sizing).
+  double tuple_bytes = 0.0;
+};
+
+/// Derives the logical properties of `op` applied to children with
+/// `child_props`. Uses the catalog statistics and the selectivity estimator.
+Result<LogicalProps> DeriveLogicalProps(
+    const LogicalOp& op, const std::vector<LogicalProps>& child_props,
+    const QueryContext& ctx);
+
+/// Derives properties for a whole standalone tree (convenience for tests).
+Result<LogicalProps> DeriveTreeProps(const LogicalExpr& expr,
+                                     const QueryContext& ctx);
+
+}  // namespace oodb
+
+#endif  // OODB_ALGEBRA_LOGICAL_PROPS_H_

@@ -1,0 +1,283 @@
+#include "src/baseline/greedy.h"
+
+#include <algorithm>
+
+#include "src/cost/selectivity.h"
+#include "src/physical/algorithms.h"
+
+namespace oodb {
+
+namespace {
+
+/// The flattened linear query.
+struct ChainQuery {
+  LogicalOp get;
+  std::vector<LogicalOp> steps;  // Unnest / Mat in bottom-up order
+  std::vector<ScalarExprPtr> conjuncts;
+  std::vector<ScalarExprPtr> emit;
+  bool has_project = false;
+};
+
+Result<ChainQuery> Flatten(const LogicalExpr& expr) {
+  ChainQuery q;
+  const LogicalExpr* cur = &expr;
+  if (cur->op.kind == LogicalOpKind::kProject) {
+    q.has_project = true;
+    q.emit = cur->op.emit;
+    cur = cur->children[0].get();
+  }
+  std::vector<LogicalOp> steps_top_down;
+  while (cur->op.kind != LogicalOpKind::kGet) {
+    switch (cur->op.kind) {
+      case LogicalOpKind::kSelect: {
+        for (const ScalarExprPtr& c :
+             ScalarExpr::SplitConjuncts(cur->op.pred)) {
+          q.conjuncts.push_back(c);
+        }
+        break;
+      }
+      case LogicalOpKind::kMat:
+      case LogicalOpKind::kUnnest:
+        steps_top_down.push_back(cur->op);
+        break;
+      default:
+        return Status::Unimplemented(
+            "greedy planner supports single-collection chain queries only");
+    }
+    cur = cur->children[0].get();
+  }
+  q.get = cur->op;
+  q.steps.assign(steps_top_down.rbegin(), steps_top_down.rend());
+  return q;
+}
+
+/// Returns the equality conjunct on `binding`.`field`, if any.
+const ScalarExprPtr* FindEqConjunct(const std::vector<ScalarExprPtr>& conjuncts,
+                                    BindingId binding, FieldId field) {
+  for (const ScalarExprPtr& c : conjuncts) {
+    if (c->kind() != ScalarExpr::Kind::kCmp || c->cmp_op() != CmpOp::kEq) {
+      continue;
+    }
+    for (int i = 0; i < 2; ++i) {
+      const ScalarExprPtr& a = c->children()[i];
+      const ScalarExprPtr& b = c->children()[1 - i];
+      if (a->kind() == ScalarExpr::Kind::kAttr && a->binding() == binding &&
+          a->field() == field && b->kind() == ScalarExpr::Kind::kConst) {
+        return &c;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void Erase(std::vector<ScalarExprPtr>* conjuncts, const ScalarExprPtr& c) {
+  conjuncts->erase(std::find(conjuncts->begin(), conjuncts->end(), c));
+}
+
+}  // namespace
+
+Result<OptimizedQuery> GreedyOptimizer::Optimize(const LogicalExpr& input,
+                                                 QueryContext* ctx) const {
+  OODB_RETURN_IF_ERROR(ValidateLogicalTree(input, *ctx).status());
+  OODB_ASSIGN_OR_RETURN(ChainQuery q, Flatten(input));
+  SelectivityEstimator sel(ctx);
+  const Catalog& catalog = *catalog_;
+
+  // --- Root access path: take the first enabled index whose (path-)key has
+  // an equality conjunct, without comparing costs. ---
+  OODB_ASSIGN_OR_RETURN(const CollectionInfo* coll,
+                        catalog.FindCollection(q.get.coll));
+  PlanNodePtr plan;
+  LogicalProps props;
+  props.scope = BindingSet::Of(q.get.binding);
+  props.card = static_cast<double>(coll->cardinality);
+  props.tuple_bytes = ctx->schema().type(q.get.coll.type).object_size();
+
+  for (const IndexInfo* idx : catalog.IndexesOn(q.get.coll)) {
+    // Only single-field indexes can be used before the mats run; path
+    // indexes would need the exact mat chain, which greedy does not analyze.
+    if (idx->path.size() != 1) continue;
+    const ScalarExprPtr* key =
+        FindEqConjunct(q.conjuncts, q.get.binding, idx->path[0]);
+    if (key == nullptr) continue;
+    PhysicalOp op;
+    op.kind = PhysOpKind::kIndexScan;
+    op.coll = q.get.coll;
+    op.binding = q.get.binding;
+    op.index_name = idx->name;
+    op.index_pred = *key;
+    double matches = props.card / std::max<double>(1.0, idx->distinct_keys);
+    props.card = matches;
+    Cost cost = IndexScanCost(cost_model_, matches, idx->clustered, 0.0,
+                              catalog, q.get.coll.type);
+    PhysProps delivered;
+    delivered.in_memory = BindingSet::Of(q.get.binding);
+    Erase(&q.conjuncts, *key);
+    plan = PlanNode::Make(std::move(op), {}, props, delivered, cost);
+    break;
+  }
+  if (!plan) {
+    PhysicalOp op;
+    op.kind = PhysOpKind::kFileScan;
+    op.coll = q.get.coll;
+    op.binding = q.get.binding;
+    PhysProps delivered;
+    delivered.in_memory = BindingSet::Of(q.get.binding);
+    plan = PlanNode::Make(std::move(op), {}, props,
+                          delivered, FileScanCost(cost_model_, catalog, *coll));
+  }
+
+  // --- Steps: unnest as encountered; for each Mat, use an index + hash join
+  // when an index serves an equality on the target, else assembly. Apply
+  // each remaining conjunct as a filter as soon as its bindings are loaded.
+  auto apply_ready_filters = [&]() {
+    while (true) {
+      bool applied = false;
+      for (const ScalarExprPtr& c : q.conjuncts) {
+        BindingSet needs = LoadRequirements(c, *ctx);
+        if (!plan->delivered.in_memory.ContainsAll(needs) ||
+            !props.scope.ContainsAll(c->ReferencedBindings())) {
+          continue;
+        }
+        PhysicalOp op;
+        op.kind = PhysOpKind::kFilter;
+        op.pred = c;
+        props.card *= sel.Estimate(c);
+        Cost cost = FilterCost(cost_model_, plan->logical.card, 1.0);
+        plan = PlanNode::Make(std::move(op), {plan}, props, plan->delivered,
+                              cost);
+        Erase(&q.conjuncts, c);
+        applied = true;
+        break;
+      }
+      if (!applied) break;
+    }
+  };
+  apply_ready_filters();
+
+  for (const LogicalOp& step : q.steps) {
+    if (step.kind == LogicalOpKind::kUnnest) {
+      const BindingDef& src = ctx->bindings.def(step.source);
+      const FieldDef& f = ctx->schema().type(src.type).field(step.field);
+      PhysicalOp op;
+      op.kind = PhysOpKind::kAlgUnnest;
+      op.source = step.source;
+      op.field = step.field;
+      op.target = step.target;
+      props.scope.Add(step.target);
+      props.card *= f.avg_set_card > 0 ? f.avg_set_card : 1.0;
+      props.tuple_bytes += 8.0;
+      Cost cost = AlgUnnestCost(cost_model_, props.card);
+      plan = PlanNode::Make(std::move(op), {plan}, props, plan->delivered, cost);
+      continue;
+    }
+
+    // Mat step.
+    TypeId target_type = ctx->bindings.def(step.target).type;
+    props.scope.Add(step.target);
+    props.tuple_bytes += ctx->schema().type(target_type).object_size();
+
+    const IndexInfo* join_idx = nullptr;
+    const ScalarExprPtr* key = nullptr;
+    if (catalog.HasExtent(target_type)) {
+      for (const IndexInfo* idx :
+           catalog.IndexesOn(CollectionId::Extent(target_type))) {
+        if (idx->path.size() != 1) continue;
+        key = FindEqConjunct(q.conjuncts, step.target, idx->path[0]);
+        if (key != nullptr) {
+          join_idx = idx;
+          break;
+        }
+      }
+    }
+    if (join_idx != nullptr) {
+      // Index scan of the referenced population + hybrid hash join
+      // (Figure 13's greedy shape). The index scan is the build side.
+      double population =
+          static_cast<double>(*catalog.TypeCardinality(target_type));
+      double matches =
+          population / std::max<double>(1.0, join_idx->distinct_keys);
+      PhysicalOp scan;
+      scan.kind = PhysOpKind::kIndexScan;
+      scan.coll = CollectionId::Extent(target_type);
+      scan.binding = step.target;
+      scan.index_name = join_idx->name;
+      scan.index_pred = *key;
+      LogicalProps scan_props;
+      scan_props.scope = BindingSet::Of(step.target);
+      scan_props.card = matches;
+      scan_props.tuple_bytes = ctx->schema().type(target_type).object_size();
+      PhysProps scan_delivered;
+      scan_delivered.in_memory = BindingSet::Of(step.target);
+      PlanNodePtr scan_node = PlanNode::Make(
+          std::move(scan), {}, scan_props, scan_delivered,
+          IndexScanCost(cost_model_, matches, join_idx->clustered, 0.0,
+                        catalog, target_type));
+
+      PhysicalOp join;
+      join.kind = PhysOpKind::kHybridHashJoin;
+      join.pred =
+          step.field == kInvalidField
+              ? ScalarExpr::Cmp(CmpOp::kEq, ScalarExpr::Self(step.target),
+                                ScalarExpr::Self(step.source))
+              : ScalarExpr::RefEq(step.source, step.field, step.target);
+      props.card *= matches / population;
+      PhysProps delivered = plan->delivered;
+      delivered.in_memory.Add(step.target);
+      Cost cost = HybridHashJoinCost(cost_model_, matches,
+                                     scan_props.tuple_bytes,
+                                     plan->logical.card, plan->logical.tuple_bytes);
+      Erase(&q.conjuncts, *key);
+      plan = PlanNode::Make(std::move(join), {scan_node, plan}, props,
+                            delivered, cost);
+    } else {
+      PhysicalOp op;
+      op.kind = PhysOpKind::kAssembly;
+      op.mats = {MatStep{step.source, step.field, step.target}};
+      PhysProps delivered = plan->delivered;
+      delivered.in_memory.Add(step.target);
+      Cost cost = AssemblyCost(cost_model_, catalog, ctx->bindings,
+                               plan->logical.card, op.mats, /*window=*/0,
+                               /*warm_start=*/false);
+      plan = PlanNode::Make(std::move(op), {plan}, props, delivered, cost);
+    }
+    apply_ready_filters();
+  }
+
+  if (!q.conjuncts.empty()) {
+    return Status::PlanError(
+        "greedy planner could not place all predicates (unloaded components)");
+  }
+
+  if (q.has_project) {
+    PhysicalOp op;
+    op.kind = PhysOpKind::kAlgProject;
+    op.emit = q.emit;
+    BindingSet needs = LoadRequirements(q.emit, *ctx);
+    if (!plan->delivered.in_memory.ContainsAll(needs)) {
+      // Load whatever the projection still needs with one final assembly.
+      BindingSet missing = needs.Minus(plan->delivered.in_memory);
+      PhysicalOp assemble;
+      assemble.kind = PhysOpKind::kAssembly;
+      for (BindingId b : missing.ToVector()) {
+        const BindingDef& d = ctx->bindings.def(b);
+        assemble.mats.push_back(MatStep{d.parent, d.via_field, b});
+      }
+      PhysProps delivered = plan->delivered;
+      delivered.in_memory = delivered.in_memory.Union(missing);
+      Cost cost = AssemblyCost(cost_model_, catalog, ctx->bindings,
+                               plan->logical.card, assemble.mats, 0, false);
+      plan = PlanNode::Make(std::move(assemble), {plan}, props, delivered,
+                            cost);
+    }
+    Cost cost = AlgProjectCost(cost_model_, props.card, props.tuple_bytes);
+    plan = PlanNode::Make(std::move(op), {plan}, props, plan->delivered, cost);
+  }
+
+  OptimizedQuery out;
+  out.plan = plan;
+  out.cost = plan->total_cost;
+  return out;
+}
+
+}  // namespace oodb

@@ -1,0 +1,35 @@
+// The greedy, ObjectStore-style baseline planner (paper §4 "Heuristic- vs
+// Cost-Based Optimization"): a fixed strategy that exploits *every*
+// available index without cost comparison — an index scan for the root
+// collection when any predicate matches an index, and an index-scan + hash
+// join for any materialize whose target has a usable index; everything else
+// is pointer-chased with assembly. Plans are costed with the same cost
+// formulas as the cost-based optimizer so anticipated times are comparable,
+// but no alternatives are ever weighed (Figure 13 / Table 3).
+#ifndef OODB_BASELINE_GREEDY_H_
+#define OODB_BASELINE_GREEDY_H_
+
+#include "src/optimizer.h"
+
+namespace oodb {
+
+/// The greedy planner. Supports the linear query shapes of the paper's
+/// experiments: a single Get under any interleaving of Unnest / Mat /
+/// Select, optionally topped by a Project. Queries with explicit joins are
+/// rejected (the strategy it models had no general join planning).
+class GreedyOptimizer {
+ public:
+  explicit GreedyOptimizer(const Catalog* catalog, CostModelOptions cost = {})
+      : catalog_(catalog), cost_model_(cost) {}
+
+  Result<OptimizedQuery> Optimize(const LogicalExpr& input,
+                                  QueryContext* ctx) const;
+
+ private:
+  const Catalog* catalog_;
+  CostModel cost_model_;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_BASELINE_GREEDY_H_

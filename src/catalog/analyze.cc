@@ -1,0 +1,114 @@
+#include "src/catalog/analyze.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace oodb {
+
+namespace {
+
+struct FieldStats {
+  std::set<std::string> distinct;
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  bool any_int = false;
+  double set_elements = 0;
+  int64_t rows = 0;
+};
+
+}  // namespace
+
+Status AnalyzeStore(const ObjectStore& store, Catalog* catalog,
+                    AnalyzeOptions options) {
+  const Schema& schema = catalog->schema();
+
+  if (options.cardinalities) {
+    // Collection cardinalities are exact counts of the stored members.
+    std::vector<CollectionInfo> collections = catalog->collections();
+    for (const CollectionInfo& c : collections) {
+      Result<const std::vector<Oid>*> members = store.CollectionMembers(c.id);
+      if (!members.ok()) continue;  // not populated in this store
+      OODB_RETURN_IF_ERROR(catalog->SetCardinality(
+          c.id, static_cast<int64_t>((*members)->size())));
+    }
+  }
+
+  if (options.field_statistics) {
+    // One pass over every stored object, accumulating per (type, field).
+    std::vector<std::vector<FieldStats>> stats(schema.num_types());
+    for (TypeId t = 0; t < schema.num_types(); ++t) {
+      stats[t].resize(schema.type(t).fields().size());
+    }
+    for (Oid oid = 0; oid < store.num_objects(); ++oid) {
+      const ObjectData& obj = store.Peek(oid);
+      const TypeDef& td = schema.type(obj.type);
+      int ref_set_slot = 0;
+      for (FieldId f = 0; f < static_cast<FieldId>(td.fields().size()); ++f) {
+        const FieldDef& def = td.field(f);
+        FieldStats& fs = stats[obj.type][f];
+        ++fs.rows;
+        switch (def.kind) {
+          case FieldKind::kInt: {
+            int64_t v = obj.value(f).i;
+            if (!fs.any_int || v < fs.min_value) fs.min_value = v;
+            if (!fs.any_int || v > fs.max_value) fs.max_value = v;
+            fs.any_int = true;
+            fs.distinct.insert(std::to_string(v));
+            break;
+          }
+          case FieldKind::kDouble:
+          case FieldKind::kString:
+            fs.distinct.insert(obj.value(f).ToString());
+            break;
+          case FieldKind::kRef:
+            break;
+          case FieldKind::kRefSet:
+            fs.set_elements +=
+                static_cast<double>(obj.ref_sets[ref_set_slot].size());
+            ++ref_set_slot;
+            break;
+        }
+      }
+    }
+    for (TypeId t = 0; t < schema.num_types(); ++t) {
+      TypeDef& td = catalog->schema().mutable_type(t);
+      for (FieldId f = 0; f < static_cast<FieldId>(td.fields().size()); ++f) {
+        const FieldStats& fs = stats[t][f];
+        if (fs.rows == 0) continue;
+        FieldDef& def = td.mutable_field(f);
+        switch (def.kind) {
+          case FieldKind::kInt:
+            def.distinct_values = static_cast<int64_t>(fs.distinct.size());
+            def.min_value = fs.min_value;
+            def.max_value = fs.max_value;
+            break;
+          case FieldKind::kDouble:
+          case FieldKind::kString:
+            def.distinct_values = static_cast<int64_t>(fs.distinct.size());
+            break;
+          case FieldKind::kRef:
+            break;
+          case FieldKind::kRefSet:
+            def.avg_set_card =
+                fs.set_elements / static_cast<double>(fs.rows);
+            break;
+        }
+      }
+    }
+  }
+
+  if (options.index_statistics) {
+    for (const IndexInfo& info : catalog->indexes()) {
+      Result<const StoredIndex*> idx = store.FindIndex(info.name);
+      if (!idx.ok()) continue;  // not built in this store
+      Result<IndexInfo*> mutable_info = catalog->FindIndex(info.name);
+      if (mutable_info.ok()) {
+        (*mutable_info)->distinct_keys = (*idx)->num_keys();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace oodb

@@ -1,0 +1,31 @@
+// ANALYZE: recompute catalog statistics from stored data. The paper calls
+// its selectivity estimation "naive" and promises "a more accurate
+// selectivity estimation method"; this closes that loop — collection
+// cardinalities, per-field distinct counts, numeric [min, max] ranges,
+// set-field fanouts, and index distinct-key counts are all measured from
+// the actual population instead of assumed.
+#ifndef OODB_CATALOG_ANALYZE_H_
+#define OODB_CATALOG_ANALYZE_H_
+
+#include "src/storage/object_store.h"
+
+namespace oodb {
+
+struct AnalyzeOptions {
+  /// Update per-field distinct counts / ranges / fanouts.
+  bool field_statistics = true;
+  /// Update collection cardinalities.
+  bool cardinalities = true;
+  /// Update index distinct-key counts from the built indexes.
+  bool index_statistics = true;
+};
+
+/// Scans `store` (without simulation accounting) and updates `catalog`'s
+/// statistics in place. Field statistics for a type are computed over the
+/// type's extent if it has one, else over all stored objects of the type.
+Status AnalyzeStore(const ObjectStore& store, Catalog* catalog,
+                    AnalyzeOptions options = {});
+
+}  // namespace oodb
+
+#endif  // OODB_CATALOG_ANALYZE_H_

@@ -1,0 +1,183 @@
+#include "src/catalog/catalog.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace oodb {
+
+std::string CollectionId::Display(const Schema& schema) const {
+  if (kind == Kind::kNamedSet) return name;
+  return "extent(" + schema.type(type).name() + ")";
+}
+
+Status Catalog::AddSet(const std::string& name, TypeId elem_type,
+                       int64_t cardinality) {
+  if (!schema_.has_type(elem_type)) {
+    return Status::InvalidArgument("AddSet: unknown element type");
+  }
+  for (const CollectionInfo& c : collections_) {
+    if (c.id.kind == CollectionId::Kind::kNamedSet && c.id.name == name) {
+      return Status::AlreadyExists("set '" + name + "' already registered");
+    }
+  }
+  collections_.push_back({CollectionId::Set(name, elem_type), cardinality});
+  return Status::OK();
+}
+
+Status Catalog::AddExtent(TypeId type, int64_t cardinality) {
+  if (!schema_.has_type(type)) {
+    return Status::InvalidArgument("AddExtent: unknown type");
+  }
+  if (HasExtent(type)) {
+    return Status::AlreadyExists("extent for type '" + schema_.type(type).name() +
+                                 "' already registered");
+  }
+  collections_.push_back({CollectionId::Extent(type), cardinality});
+  return Status::OK();
+}
+
+Status Catalog::AddIndex(IndexInfo info) {
+  if (info.path.empty()) {
+    return Status::InvalidArgument("index path must be non-empty");
+  }
+  // Validate the path against the schema.
+  TypeId cur = info.collection.type;
+  for (size_t i = 0; i < info.path.size(); ++i) {
+    if (!schema_.has_type(cur) || !schema_.type(cur).has_field(info.path[i])) {
+      return Status::InvalidArgument("index '" + info.name + "': bad path step");
+    }
+    const FieldDef& f = schema_.type(cur).field(info.path[i]);
+    bool last = (i + 1 == info.path.size());
+    if (last) {
+      if (f.kind == FieldKind::kRef || f.kind == FieldKind::kRefSet) {
+        return Status::InvalidArgument("index '" + info.name +
+                                       "': key field must be scalar");
+      }
+    } else {
+      if (f.kind != FieldKind::kRef) {
+        return Status::InvalidArgument("index '" + info.name +
+                                       "': interior path steps must be refs");
+      }
+      cur = f.target_type;
+    }
+  }
+  for (const IndexInfo& idx : indexes_) {
+    if (idx.name == info.name) {
+      return Status::AlreadyExists("index '" + info.name + "' already exists");
+    }
+  }
+  indexes_.push_back(std::move(info));
+  return Status::OK();
+}
+
+Result<const CollectionInfo*> Catalog::FindSet(const std::string& name) const {
+  for (const CollectionInfo& c : collections_) {
+    if (c.id.kind == CollectionId::Kind::kNamedSet && c.id.name == name) {
+      return &c;
+    }
+  }
+  return Status::NotFound("no set named '" + name + "'");
+}
+
+bool Catalog::HasExtent(TypeId type) const {
+  for (const CollectionInfo& c : collections_) {
+    if (c.id.kind == CollectionId::Kind::kExtent && c.id.type == type) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<const CollectionInfo*> Catalog::FindCollection(
+    const CollectionId& id) const {
+  for (const CollectionInfo& c : collections_) {
+    if (c.id == id) return &c;
+  }
+  return Status::NotFound("collection not found: " + id.Display(schema_));
+}
+
+std::optional<int64_t> Catalog::TypeCardinality(TypeId type) const {
+  for (const CollectionInfo& c : collections_) {
+    if (c.id.kind == CollectionId::Kind::kExtent && c.id.type == type) {
+      return c.cardinality;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<const IndexInfo*> Catalog::IndexesOn(const CollectionId& coll) const {
+  std::vector<const IndexInfo*> out;
+  for (const IndexInfo& idx : indexes_) {
+    if (idx.enabled && idx.collection == coll) out.push_back(&idx);
+  }
+  return out;
+}
+
+Result<IndexInfo*> Catalog::FindIndex(const std::string& name) {
+  for (IndexInfo& idx : indexes_) {
+    if (idx.name == name) return &idx;
+  }
+  return Status::NotFound("no index named '" + name + "'");
+}
+
+Result<const IndexInfo*> Catalog::FindIndex(const std::string& name) const {
+  for (const IndexInfo& idx : indexes_) {
+    if (idx.name == name) return &idx;
+  }
+  return Status::NotFound("no index named '" + name + "'");
+}
+
+Status Catalog::SetIndexEnabled(const std::string& name, bool enabled) {
+  OODB_ASSIGN_OR_RETURN(IndexInfo * idx, FindIndex(name));
+  idx->enabled = enabled;
+  return Status::OK();
+}
+
+Status Catalog::SetCardinality(const CollectionId& id, int64_t cardinality) {
+  for (CollectionInfo& c : collections_) {
+    if (c.id == id) {
+      c.cardinality = cardinality;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("collection not found: " + id.Display(schema_));
+}
+
+int64_t Catalog::PagesFor(TypeId type, int64_t card, int64_t page_size) const {
+  int64_t obj_size = schema_.type(type).object_size();
+  int64_t per_page = std::max<int64_t>(1, page_size / std::max(1, (int)obj_size));
+  return (card + per_page - 1) / per_page;
+}
+
+std::string Catalog::ToTableString() const {
+  std::ostringstream os;
+  os << "Type           Set Name    Set Card.  Obj.Size  Extent?  Extent Card.\n";
+  for (TypeId t = 0; t < schema_.num_types(); ++t) {
+    const TypeDef& td = schema_.type(t);
+    std::string set_name = "-";
+    int64_t set_card = -1;
+    bool extent = false;
+    int64_t extent_card = -1;
+    for (const CollectionInfo& c : collections_) {
+      if (c.id.type != t) continue;
+      if (c.id.kind == CollectionId::Kind::kNamedSet) {
+        set_name = c.id.name;
+        set_card = c.cardinality;
+      } else {
+        extent = true;
+        extent_card = c.cardinality;
+      }
+    }
+    os << td.name();
+    os << std::string(td.name().size() < 15 ? 15 - td.name().size() : 1, ' ');
+    os << set_name << std::string(set_name.size() < 12 ? 12 - set_name.size() : 1, ' ');
+    os << (set_card >= 0 ? std::to_string(set_card) : std::string("-"));
+    os << "  " << td.object_size();
+    os << "  " << (extent ? "Yes" : "No");
+    os << "  " << (extent ? std::to_string(extent_card) : std::string("-"));
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace oodb

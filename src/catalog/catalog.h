@@ -1,0 +1,121 @@
+// Catalog: scannable collections (named sets and type extents), indexes, and
+// the statistics the optimizer consults. Mirrors the paper's Table 1: a set
+// and/or a type extent per type, cardinality kept *only* with extents and set
+// instances (types without either — e.g. Plant — have unknown cardinality,
+// which is what makes the paper's "w/o commutativity" plan so expensive).
+#ifndef OODB_CATALOG_CATALOG_H_
+#define OODB_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/common/result.h"
+
+namespace oodb {
+
+/// Identifies a scannable collection: either a user-defined named set or a
+/// type extent.
+struct CollectionId {
+  enum class Kind { kNamedSet, kExtent };
+  Kind kind = Kind::kNamedSet;
+  std::string name;           ///< set name for kNamedSet, empty for kExtent
+  TypeId type = kInvalidType; ///< element type
+
+  static CollectionId Set(std::string set_name, TypeId elem_type) {
+    return CollectionId{Kind::kNamedSet, std::move(set_name), elem_type};
+  }
+  static CollectionId Extent(TypeId elem_type) {
+    return CollectionId{Kind::kExtent, "", elem_type};
+  }
+
+  bool operator==(const CollectionId& o) const {
+    return kind == o.kind && name == o.name && type == o.type;
+  }
+
+  /// "Employees" or "extent(Job)"; needs the schema for extent type names.
+  std::string Display(const Schema& schema) const;
+};
+
+/// A scannable collection plus its statistics.
+struct CollectionInfo {
+  CollectionId id;
+  int64_t cardinality = 0;
+};
+
+/// An index over a collection. `path` is a chain of FieldIds starting at the
+/// element type; a chain of length > 1 is a *path index* (e.g. the paper's
+/// index on Cities over mayor.name). The final field must be scalar.
+struct IndexInfo {
+  std::string name;
+  CollectionId collection;
+  std::vector<FieldId> path;
+  int64_t distinct_keys = 0;
+  bool clustered = false;
+  /// Benchmarks flip availability to model the paper's Table 3 columns.
+  bool enabled = true;
+};
+
+/// The catalog: schema + collections + indexes.
+class Catalog {
+ public:
+  Schema& schema() { return schema_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Registers a named set of `elem_type` with `cardinality` elements.
+  Status AddSet(const std::string& name, TypeId elem_type, int64_t cardinality);
+
+  /// Declares that `type` maintains an extent with `cardinality` objects.
+  Status AddExtent(TypeId type, int64_t cardinality);
+
+  /// Registers an index; the path is validated against the schema.
+  Status AddIndex(IndexInfo info);
+
+  /// Looks up a named set.
+  Result<const CollectionInfo*> FindSet(const std::string& name) const;
+
+  /// True if `type` has an extent.
+  bool HasExtent(TypeId type) const;
+
+  /// Statistics for a collection (set or extent).
+  Result<const CollectionInfo*> FindCollection(const CollectionId& id) const;
+
+  /// Cardinality of `type`'s population if the catalog knows it: the extent
+  /// cardinality if an extent exists, otherwise nullopt (paper: cardinality
+  /// is kept only with extents and set instances).
+  std::optional<int64_t> TypeCardinality(TypeId type) const;
+
+  /// All *enabled* indexes over `coll`.
+  std::vector<const IndexInfo*> IndexesOn(const CollectionId& coll) const;
+
+  /// Finds an index by name (enabled or not).
+  Result<IndexInfo*> FindIndex(const std::string& name);
+  Result<const IndexInfo*> FindIndex(const std::string& name) const;
+
+  /// Enables/disables an index (models dropping/creating it for Table 3).
+  Status SetIndexEnabled(const std::string& name, bool enabled);
+
+  /// Updates a collection's cardinality statistic (used by AnalyzeStore).
+  Status SetCardinality(const CollectionId& id, int64_t cardinality);
+
+  const std::vector<CollectionInfo>& collections() const { return collections_; }
+  const std::vector<IndexInfo>& indexes() const { return indexes_; }
+
+  /// Number of pages `card` densely packed objects of `type` occupy given
+  /// `page_size` (paper: "objects ... are assumed to be densely packed").
+  int64_t PagesFor(TypeId type, int64_t card, int64_t page_size) const;
+
+  /// Renders the catalog as a table (used by benches to echo Table 1).
+  std::string ToTableString() const;
+
+ private:
+  Schema schema_;
+  std::vector<CollectionInfo> collections_;
+  std::vector<IndexInfo> indexes_;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_CATALOG_CATALOG_H_

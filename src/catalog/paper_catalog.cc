@@ -1,0 +1,178 @@
+#include "src/catalog/paper_catalog.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace oodb {
+
+namespace {
+
+void Check(const Status& s) {
+  assert(s.ok());
+  (void)s;
+}
+
+FieldDef Scalar(std::string name, FieldKind kind, int32_t size,
+                int64_t distinct, int64_t min_value = 0,
+                int64_t max_value = 0) {
+  FieldDef f;
+  f.name = std::move(name);
+  f.kind = kind;
+  f.avg_size = size;
+  f.distinct_values = distinct;
+  f.min_value = min_value;
+  f.max_value = max_value;
+  return f;
+}
+
+FieldDef Ref(std::string name, TypeId target) {
+  FieldDef f;
+  f.name = std::move(name);
+  f.kind = FieldKind::kRef;
+  f.target_type = target;
+  f.avg_size = 8;
+  return f;
+}
+
+FieldDef RefSet(std::string name, TypeId target, double avg_card) {
+  FieldDef f;
+  f.name = std::move(name);
+  f.kind = FieldKind::kRefSet;
+  f.target_type = target;
+  f.avg_size = static_cast<int32_t>(8 * avg_card);
+  f.avg_set_card = avg_card;
+  return f;
+}
+
+}  // namespace
+
+PaperDb MakePaperCatalog(double scale) {
+  assert(scale > 0);
+  auto n = [scale](int64_t full) {
+    return std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(full * scale)));
+  };
+
+  PaperDb db;
+  Schema& s = db.catalog.schema();
+
+  // --- Types, with object sizes from Table 1. ---
+  db.person = s.AddType("Person", 100);
+  db.country = s.AddType("Country", 300);
+  db.city = s.AddType("City", 200);
+  db.capital = s.AddType("Capital", 400);
+  db.plant = s.AddType("Plant", 1000);
+  db.department = s.AddType("Department", 400);
+  db.job = s.AddType("Job", 250);
+  db.employee = s.AddType("Employee", 250);
+  db.information = s.AddType("Information", 400);
+  db.task = s.AddType("Task", 100);
+
+  // --- Fields. Distinct counts drive index-assisted selectivity:
+  // 10000 Cities / 5000 distinct mayor names -> the paper's "only 2 cities
+  // have mayors named Joe"; 12000 Tasks / 600 distinct completion times ->
+  // 20 tasks with time == 100.
+  TypeDef& person = s.mutable_type(db.person);
+  db.person_name =
+      person.AddField(Scalar("name", FieldKind::kString, 24, n(5000)));
+  db.person_age = person.AddField(Scalar("age", FieldKind::kInt, 8, 70, 20, 90));
+
+  TypeDef& country = s.mutable_type(db.country);
+  db.country_name =
+      country.AddField(Scalar("name", FieldKind::kString, 24, n(160)));
+  db.country_president = country.AddField(Ref("president", db.person));
+
+  TypeDef& city = s.mutable_type(db.city);
+  db.city_name = city.AddField(Scalar("name", FieldKind::kString, 24, n(9000)));
+  db.city_mayor = city.AddField(Ref("mayor", db.person));
+  db.city_country = city.AddField(Ref("country", db.country));
+  db.city_population =
+      city.AddField(
+      Scalar("population", FieldKind::kInt, 8, n(8000), 10000, 1010000));
+
+  Check(s.InheritFields(db.capital, db.city));
+
+  TypeDef& plant = s.mutable_type(db.plant);
+  db.plant_name = plant.AddField(Scalar("name", FieldKind::kString, 24, n(100)));
+  db.plant_location =
+      plant.AddField(Scalar("location", FieldKind::kString, 16, 50));
+  db.plant_products =
+      plant.AddField(Scalar("products", FieldKind::kString, 900, 0));
+
+  TypeDef& dept = s.mutable_type(db.department);
+  db.dept_name = dept.AddField(Scalar("name", FieldKind::kString, 24, n(1000)));
+  db.dept_plant = dept.AddField(Ref("plant", db.plant));
+  db.dept_floor = dept.AddField(Scalar("floor", FieldKind::kInt, 8, 10, 1, 10));
+
+  TypeDef& job = s.mutable_type(db.job);
+  db.job_name = job.AddField(Scalar("name", FieldKind::kString, 24, n(5000)));
+
+  TypeDef& emp = s.mutable_type(db.employee);
+  db.emp_name = emp.AddField(Scalar("name", FieldKind::kString, 24, n(475)));
+  db.emp_age = emp.AddField(Scalar("age", FieldKind::kInt, 8, 50, 20, 70));
+  db.emp_salary =
+      emp.AddField(Scalar("salary", FieldKind::kDouble, 8, n(2000)));
+  db.emp_last_raise =
+      emp.AddField(Scalar("last_raise", FieldKind::kInt, 8, n(1500), 0, 1500));
+  db.emp_dept = emp.AddField(Ref("dept", db.department));
+  db.emp_job = emp.AddField(Ref("job", db.job));
+
+  TypeDef& info = s.mutable_type(db.information);
+  db.info_text = info.AddField(Scalar("text", FieldKind::kString, 380, 0));
+
+  TypeDef& task = s.mutable_type(db.task);
+  db.task_name = task.AddField(Scalar("name", FieldKind::kString, 24, n(12000)));
+  db.task_time = task.AddField(Scalar("time", FieldKind::kInt, 8, n(600), 1, n(600)));
+  db.task_team_members =
+      task.AddField(RefSet("team_members", db.employee, 5.0));
+
+  // --- Collections (Table 1). ---
+  Check(db.catalog.AddSet("Capitals", db.capital, n(160)));
+  Check(db.catalog.AddSet("Cities", db.city, n(10000)));
+  Check(db.catalog.AddExtent(db.country, n(160)));
+  Check(db.catalog.AddExtent(db.department, n(1000)));
+  Check(db.catalog.AddSet("Employees", db.employee, n(50000)));
+  Check(db.catalog.AddExtent(db.employee, n(200000)));
+  Check(db.catalog.AddExtent(db.information, n(1000)));
+  Check(db.catalog.AddExtent(db.job, n(5000)));
+  Check(db.catalog.AddExtent(db.person, n(100000)));
+  // Plant: no set, no extent -> TypeCardinality(plant) is unknown, exactly
+  // the situation that blows up the naive Query 1 plan in the paper.
+  Check(db.catalog.AddSet("Tasks", db.task, n(12000)));
+  Check(db.catalog.AddExtent(db.task, n(100000)));
+
+  // --- Indexes used by the Section 4 experiments. ---
+  {
+    IndexInfo idx;
+    idx.name = kIdxCitiesMayorName;
+    idx.collection = CollectionId::Set("Cities", db.city);
+    idx.path = {db.city_mayor, db.person_name};
+    idx.distinct_keys = n(5000);
+    Check(db.catalog.AddIndex(idx));
+  }
+  {
+    IndexInfo idx;
+    idx.name = kIdxTasksTime;
+    idx.collection = CollectionId::Set("Tasks", db.task);
+    idx.path = {db.task_time};
+    idx.distinct_keys = n(600);
+    Check(db.catalog.AddIndex(idx));
+  }
+  {
+    // Registered over the Employee extent: references revealed by unnesting
+    // task.team_members resolve against the type's whole population, so the
+    // Mat -> Join rewrite joins the extent and this is the index that can
+    // serve it (paper Figure 13's "Index Scan Employees").
+    IndexInfo idx;
+    idx.name = kIdxEmployeesName;
+    idx.collection = CollectionId::Extent(db.employee);
+    idx.path = {db.emp_name};
+    idx.distinct_keys = n(475);
+    Check(db.catalog.AddIndex(idx));
+  }
+
+  return db;
+}
+
+}  // namespace oodb

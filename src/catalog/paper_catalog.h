@@ -1,0 +1,56 @@
+// Constructs the paper's test database description (Table 1 of the paper)
+// with every type, set, extent, field statistic, and index the experiments
+// in Section 4 rely on. Field ids are exposed so tests and benches can build
+// algebra expressions without string lookups.
+#ifndef OODB_CATALOG_PAPER_CATALOG_H_
+#define OODB_CATALOG_PAPER_CATALOG_H_
+
+#include "src/catalog/catalog.h"
+
+namespace oodb {
+
+/// Names of the indexes registered by MakePaperCatalog (used by benches to
+/// model Table 3's index-availability columns).
+inline constexpr const char* kIdxCitiesMayorName = "cities_mayor_name";
+inline constexpr const char* kIdxTasksTime = "tasks_time";
+inline constexpr const char* kIdxEmployeesName = "employees_name";
+
+/// The paper's catalog plus direct handles to every type and field.
+struct PaperDb {
+  Catalog catalog;
+
+  TypeId person, city, capital, country, plant, department, job, employee,
+      information, task;
+
+  // Person
+  FieldId person_name, person_age;
+  // City (Capital inherits these at the same ids)
+  FieldId city_name, city_mayor, city_country, city_population;
+  // Country
+  FieldId country_name, country_president;
+  // Plant
+  FieldId plant_name, plant_location, plant_products;
+  // Department
+  FieldId dept_name, dept_plant, dept_floor;
+  // Job
+  FieldId job_name;
+  // Employee
+  FieldId emp_name, emp_age, emp_salary, emp_last_raise, emp_dept, emp_job;
+  // Information
+  FieldId info_text;
+  // Task
+  FieldId task_name, task_time, task_team_members;
+};
+
+/// Builds the Table-1 database description. Infallible by construction
+/// (all registrations are internally consistent); asserts on failure.
+///
+/// `scale` proportionally shrinks every cardinality, distinct count, and
+/// index key count (minimum 1), keeping selectivities — and therefore plan
+/// choices — unchanged. Tests and the execution-validation benchmark use
+/// scaled-down instances; the paper's Table 1 is scale 1.
+PaperDb MakePaperCatalog(double scale = 1.0);
+
+}  // namespace oodb
+
+#endif  // OODB_CATALOG_PAPER_CATALOG_H_

@@ -1,0 +1,76 @@
+#include "src/catalog/schema.h"
+
+namespace oodb {
+
+const char* FieldKindName(FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kInt:
+      return "int";
+    case FieldKind::kDouble:
+      return "double";
+    case FieldKind::kString:
+      return "string";
+    case FieldKind::kRef:
+      return "ref";
+    case FieldKind::kRefSet:
+      return "set<ref>";
+  }
+  return "?";
+}
+
+FieldId TypeDef::AddField(FieldDef field) {
+  fields_.push_back(std::move(field));
+  return static_cast<FieldId>(fields_.size() - 1);
+}
+
+Result<FieldId> TypeDef::FieldByName(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<FieldId>(i);
+  }
+  return Status::NotFound("no field '" + name + "' in type '" + name_ + "'");
+}
+
+TypeId Schema::AddType(std::string name, int32_t object_size) {
+  TypeId id = static_cast<TypeId>(types_.size());
+  types_.emplace_back(id, std::move(name), object_size);
+  return id;
+}
+
+Result<TypeId> Schema::TypeByName(const std::string& name) const {
+  for (const TypeDef& t : types_) {
+    if (t.name() == name) return t.id();
+  }
+  return Status::NotFound("no type named '" + name + "'");
+}
+
+Result<FieldId> Schema::ResolveField(TypeId type, const std::string& field) const {
+  if (!has_type(type)) {
+    return Status::InvalidArgument("invalid type id in ResolveField");
+  }
+  return types_[type].FieldByName(field);
+}
+
+Status Schema::InheritFields(TypeId subtype, TypeId supertype) {
+  if (!has_type(subtype) || !has_type(supertype)) {
+    return Status::InvalidArgument("invalid type id in InheritFields");
+  }
+  if (!types_[subtype].fields().empty()) {
+    return Status::InvalidArgument(
+        "InheritFields must be called before adding fields to the subtype");
+  }
+  types_[subtype].set_supertype(supertype);
+  for (const FieldDef& f : types_[supertype].fields()) {
+    types_[subtype].AddField(f);
+  }
+  return Status::OK();
+}
+
+bool Schema::IsSubtypeOf(TypeId sub, TypeId super) const {
+  while (sub != kInvalidType) {
+    if (sub == super) return true;
+    sub = types_[sub].supertype();
+  }
+  return false;
+}
+
+}  // namespace oodb

@@ -1,0 +1,123 @@
+// Object schema: types, fields, and per-field statistics. The Open OODB data
+// model here is the C++ type system as seen through ZQL[C++] (paper §3): an
+// object has scalar fields, single references, and sets of references.
+#ifndef OODB_CATALOG_SCHEMA_H_
+#define OODB_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace oodb {
+
+using TypeId = int32_t;
+using FieldId = int32_t;
+
+inline constexpr TypeId kInvalidType = -1;
+inline constexpr FieldId kInvalidField = -1;
+
+/// The storage kind of a field.
+enum class FieldKind {
+  kInt,     ///< 64-bit integer (also dates, encoded as days)
+  kDouble,  ///< floating point
+  kString,  ///< variable-length string
+  kRef,     ///< single reference (OID) to an object of `target_type`
+  kRefSet,  ///< set of references to objects of `target_type`
+};
+
+const char* FieldKindName(FieldKind kind);
+
+/// One field of an object type, with the statistics the optimizer's
+/// selectivity estimation consults.
+struct FieldDef {
+  std::string name;
+  FieldKind kind = FieldKind::kInt;
+  TypeId target_type = kInvalidType;  ///< for kRef / kRefSet
+  /// Average bytes this field contributes to the stored object.
+  int32_t avg_size = 8;
+  /// Number of distinct values (0 = unknown -> default selectivity applies).
+  int64_t distinct_values = 0;
+  /// Average cardinality of the set, for kRefSet fields.
+  double avg_set_card = 0.0;
+  /// Value range statistics for numeric fields (min == max means unknown);
+  /// used for range-predicate selectivity.
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+
+  bool has_range_stats() const { return max_value > min_value; }
+};
+
+/// An object type. Object sizes come from the catalog (paper Table 1), not
+/// from summing fields, mirroring the paper's use of measured sizes.
+class TypeDef {
+ public:
+  TypeDef(TypeId id, std::string name, int32_t object_size)
+      : id_(id), name_(std::move(name)), object_size_(object_size) {}
+
+  TypeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  /// Average stored size of one object of this type, in bytes.
+  int32_t object_size() const { return object_size_; }
+  TypeId supertype() const { return supertype_; }
+  void set_supertype(TypeId t) { supertype_ = t; }
+
+  /// Adds a field; returns its FieldId within this type.
+  FieldId AddField(FieldDef field);
+
+  const std::vector<FieldDef>& fields() const { return fields_; }
+  const FieldDef& field(FieldId id) const { return fields_[id]; }
+  FieldDef& mutable_field(FieldId id) { return fields_[id]; }
+  bool has_field(FieldId id) const {
+    return id >= 0 && id < static_cast<FieldId>(fields_.size());
+  }
+
+  /// Looks up a field by name (this type only; inheritance is resolved by
+  /// Schema::ResolveField).
+  Result<FieldId> FieldByName(const std::string& name) const;
+
+ private:
+  TypeId id_;
+  std::string name_;
+  int32_t object_size_;
+  TypeId supertype_ = kInvalidType;
+  std::vector<FieldDef> fields_;
+};
+
+/// The collection of all object types.
+class Schema {
+ public:
+  /// Registers a type; returns its TypeId.
+  TypeId AddType(std::string name, int32_t object_size);
+
+  const TypeDef& type(TypeId id) const { return types_[id]; }
+  TypeDef& mutable_type(TypeId id) { return types_[id]; }
+  bool has_type(TypeId id) const {
+    return id >= 0 && id < static_cast<TypeId>(types_.size());
+  }
+  int num_types() const { return static_cast<int>(types_.size()); }
+
+  Result<TypeId> TypeByName(const std::string& name) const;
+
+  /// Resolves a field by name on `type`, walking up the supertype chain.
+  /// Returns the (owning type, field id) pair flattened to the FieldId in the
+  /// queried type's field table (fields of supertypes are copied into
+  /// subtypes at AddType time via InheritFields, so lookup is direct).
+  Result<FieldId> ResolveField(TypeId type, const std::string& field) const;
+
+  /// Copies all fields of `supertype` into `subtype` and records the
+  /// supertype link. Must be called before adding subtype-specific fields.
+  Status InheritFields(TypeId subtype, TypeId supertype);
+
+  /// True if `sub` equals `super` or inherits from it transitively.
+  bool IsSubtypeOf(TypeId sub, TypeId super) const;
+
+ private:
+  std::vector<TypeDef> types_;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_CATALOG_SCHEMA_H_

@@ -1,0 +1,70 @@
+// Result<T>: a value-or-Status holder, the return type of fallible functions
+// that produce a value (Arrow idiom).
+#ifndef OODB_COMMON_RESULT_H_
+#define OODB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace oodb {
+
+/// Holds either a T or a non-OK Status. Construct from either implicitly.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit
+  Result(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok(). Accessors for the contained value.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+}  // namespace oodb
+
+/// Evaluates `expr` (a Result<T>); on error returns the Status, otherwise
+/// assigns the value to `lhs`. `lhs` may include a declaration.
+#define OODB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#define OODB_ASSIGN_OR_RETURN_CONCAT_(a, b) a##b
+#define OODB_ASSIGN_OR_RETURN_CONCAT(a, b) OODB_ASSIGN_OR_RETURN_CONCAT_(a, b)
+#define OODB_ASSIGN_OR_RETURN(lhs, expr) \
+  OODB_ASSIGN_OR_RETURN_IMPL(            \
+      OODB_ASSIGN_OR_RETURN_CONCAT(_oodb_result_, __LINE__), lhs, expr)
+
+#endif  // OODB_COMMON_RESULT_H_

@@ -1,0 +1,51 @@
+#include "src/common/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace oodb {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string FormatDouble(double v, int max_decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", max_decimals, v);
+  std::string out = buf;
+  if (out.find('.') != std::string::npos) {
+    while (!out.empty() && out.back() == '0') out.pop_back();
+    if (!out.empty() && out.back() == '.') out.pop_back();
+  }
+  return out;
+}
+
+std::string Repeat(std::string_view s, int n) {
+  std::string out;
+  out.reserve(s.size() * static_cast<size_t>(n > 0 ? n : 0));
+  for (int i = 0; i < n; ++i) out += s;
+  return out;
+}
+
+}  // namespace oodb

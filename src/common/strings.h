@@ -1,0 +1,28 @@
+// Small string helpers shared across modules.
+#ifndef OODB_COMMON_STRINGS_H_
+#define OODB_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oodb {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` at every occurrence of `sep`; never returns empty vector.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double trimming trailing zeros ("1.5", "120", "0.08").
+std::string FormatDouble(double v, int max_decimals = 4);
+
+/// Repeats `s` `n` times.
+std::string Repeat(std::string_view s, int n);
+
+}  // namespace oodb
+
+#endif  // OODB_COMMON_STRINGS_H_

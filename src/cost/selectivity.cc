@@ -1,0 +1,160 @@
+#include "src/cost/selectivity.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace oodb {
+
+double SelectivityEstimator::Estimate(const ScalarExprPtr& pred) const {
+  if (!pred) return 1.0;
+  switch (pred->kind()) {
+    case ScalarExpr::Kind::kAnd: {
+      double s = 1.0;
+      for (const ScalarExprPtr& c : pred->children()) s *= Estimate(c);
+      return s;
+    }
+    case ScalarExpr::Kind::kOr: {
+      double keep = 1.0;
+      for (const ScalarExprPtr& c : pred->children()) keep *= 1.0 - Estimate(c);
+      return 1.0 - keep;
+    }
+    case ScalarExpr::Kind::kNot:
+      return 1.0 - Estimate(pred->children()[0]);
+    default:
+      return EstimateConjunct(pred);
+  }
+}
+
+double SelectivityEstimator::EstimateConjunct(const ScalarExprPtr& e) const {
+  if (e->kind() != ScalarExpr::Kind::kCmp) return kDefaultSelectivity;
+  const ScalarExprPtr& l = e->children()[0];
+  const ScalarExprPtr& r = e->children()[1];
+  // Normalize to attr-vs-const if possible.
+  const ScalarExpr* attr = nullptr;
+  if (l->kind() == ScalarExpr::Kind::kAttr &&
+      r->kind() == ScalarExpr::Kind::kConst) {
+    attr = l.get();
+  } else if (r->kind() == ScalarExpr::Kind::kAttr &&
+             l->kind() == ScalarExpr::Kind::kConst) {
+    attr = r.get();
+  }
+  switch (e->cmp_op()) {
+    case CmpOp::kEq: {
+      if (attr != nullptr) {
+        const IndexInfo* idx = FindAssistingIndex(attr->binding(), attr->field());
+        if (idx != nullptr && idx->distinct_keys > 0) {
+          return 1.0 / static_cast<double>(idx->distinct_keys);
+        }
+      }
+      return kDefaultSelectivity;
+    }
+    case CmpOp::kNe:
+      return 1.0 - kDefaultSelectivity;
+    case CmpOp::kLt:
+    case CmpOp::kLe:
+    case CmpOp::kGt:
+    case CmpOp::kGe: {
+      // Interpolate within the field's [min, max] statistics if the catalog
+      // has them (uniform-distribution assumption); else the naive third.
+      if (attr == nullptr) return kDefaultRangeSelectivity;
+      const ScalarExpr* lit = attr == l.get() ? r.get() : l.get();
+      if (lit->value().kind != Value::Kind::kInt) {
+        return kDefaultRangeSelectivity;
+      }
+      const BindingDef& b = ctx_->bindings.def(attr->binding());
+      const FieldDef& f = ctx_->schema().type(b.type).field(attr->field());
+      if (!f.has_range_stats()) return kDefaultRangeSelectivity;
+      // Normalize to attr-op-literal orientation.
+      CmpOp op = e->cmp_op();
+      if (attr == r.get()) op = ReverseCmp(op);
+      double v = static_cast<double>(lit->value().i);
+      double lo = static_cast<double>(f.min_value);
+      double hi = static_cast<double>(f.max_value);
+      double below = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+      double sel = (op == CmpOp::kLt || op == CmpOp::kLe) ? below : 1.0 - below;
+      return std::clamp(sel, 0.001, 1.0);
+    }
+  }
+  return kDefaultSelectivity;
+}
+
+double SelectivityEstimator::JoinSelectivity(const ScalarExprPtr& pred,
+                                             double left_card,
+                                             double right_card) const {
+  if (!pred) return 1.0;
+  std::vector<ScalarExprPtr> conjuncts = ScalarExpr::SplitConjuncts(pred);
+  double sel = 1.0;
+  for (const ScalarExprPtr& c : conjuncts) {
+    if (c->kind() != ScalarExpr::Kind::kCmp || c->cmp_op() != CmpOp::kEq) {
+      sel *= kDefaultSelectivity;
+      continue;
+    }
+    const ScalarExprPtr& l = c->children()[0];
+    const ScalarExprPtr& r = c->children()[1];
+    // ref == self: each referencing tuple matches exactly one object of the
+    // referenced population.
+    const ScalarExpr* self = nullptr;
+    if (l->kind() == ScalarExpr::Kind::kSelf) self = l.get();
+    if (r->kind() == ScalarExpr::Kind::kSelf) self = r.get();
+    if (self != nullptr) {
+      TypeId t = ctx_->bindings.def(self->binding()).type;
+      if (std::optional<int64_t> population = ctx_->catalog->TypeCardinality(t)) {
+        sel *= 1.0 / std::max<double>(1.0, static_cast<double>(*population));
+        continue;
+      }
+      sel *= 1.0 / std::max(1.0, std::max(left_card, right_card));
+      continue;
+    }
+    // Value equality between two attributes: 1 / max(distinct).
+    if (l->kind() == ScalarExpr::Kind::kAttr &&
+        r->kind() == ScalarExpr::Kind::kAttr) {
+      auto distinct = [&](const ScalarExpr* a) -> double {
+        const BindingDef& b = ctx_->bindings.def(a->binding());
+        const FieldDef& f = ctx_->schema().type(b.type).field(a->field());
+        return f.distinct_values > 0 ? static_cast<double>(f.distinct_values)
+                                     : 10.0;
+      };
+      sel *= 1.0 / std::max(distinct(l.get()), distinct(r.get()));
+      continue;
+    }
+    sel *= kDefaultSelectivity;
+  }
+  return sel;
+}
+
+const IndexInfo* SelectivityEstimator::FindAssistingIndex(BindingId binding,
+                                                          FieldId field) const {
+  if (field == kInvalidField) return nullptr;
+  // Reconstruct the reference path from the binding's derivation chain back
+  // to a scanned (Get) binding: b = root.f1.f2...; key field appended.
+  std::vector<FieldId> chain = {field};
+  BindingId cur = binding;
+  const BindingTable& bt = ctx_->bindings;
+  bool extent_only = false;
+  while (bt.def(cur).origin == BindingOrigin::kMat) {
+    const BindingDef& d = bt.def(cur);
+    if (d.via_field == kInvalidField) {
+      // Materialized from a bare reference (unnest output): the binding
+      // ranges over the type's whole population, so only an index on the
+      // type's extent can assist.
+      extent_only = true;
+      break;
+    }
+    chain.push_back(d.via_field);
+    cur = d.parent;
+  }
+  if (!extent_only && bt.def(cur).origin != BindingOrigin::kGet) return nullptr;
+  std::reverse(chain.begin(), chain.end());
+  TypeId root_type = bt.def(cur).type;
+  for (const IndexInfo& idx : ctx_->catalog->indexes()) {
+    if (!idx.enabled) continue;
+    if (idx.collection.type != root_type) continue;
+    if (extent_only && idx.collection.kind != CollectionId::Kind::kExtent) {
+      continue;
+    }
+    if (idx.path == chain) return &idx;
+  }
+  return nullptr;
+}
+
+}  // namespace oodb

@@ -1,0 +1,46 @@
+// Selectivity estimation (paper §4): "If no index can be used to assist in
+// selectivity estimation, selectivity of selection predicates is assumed to
+// be 10%". An equality predicate whose attribute is reachable through an
+// enabled (possibly path-) index is estimated as 1/distinct-keys.
+#ifndef OODB_COST_SELECTIVITY_H_
+#define OODB_COST_SELECTIVITY_H_
+
+#include <optional>
+
+#include "src/algebra/expr.h"
+#include "src/algebra/logical_op.h"
+
+namespace oodb {
+
+inline constexpr double kDefaultSelectivity = 0.10;
+inline constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+
+/// Estimates predicate and join selectivities against a catalog.
+class SelectivityEstimator {
+ public:
+  explicit SelectivityEstimator(const QueryContext* ctx) : ctx_(ctx) {}
+
+  /// Selectivity of an arbitrary (possibly conjunctive) predicate:
+  /// conjuncts multiply, disjuncts combine by inclusion-exclusion.
+  double Estimate(const ScalarExprPtr& pred) const;
+
+  /// Selectivity of a join predicate relating the two sides. `left_card`
+  /// and `right_card` are the input cardinalities. Reference-equality
+  /// predicates (ref == self) use the referenced population's size.
+  double JoinSelectivity(const ScalarExprPtr& pred, double left_card,
+                         double right_card) const;
+
+  /// If an enabled index assists `binding`.`field` (directly, or as the key
+  /// of a path index whose path matches the binding's Mat-derivation chain
+  /// back to a scanned collection), returns it.
+  const IndexInfo* FindAssistingIndex(BindingId binding, FieldId field) const;
+
+ private:
+  double EstimateConjunct(const ScalarExprPtr& e) const;
+
+  const QueryContext* ctx_;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_COST_SELECTIVITY_H_

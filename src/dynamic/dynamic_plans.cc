@@ -1,0 +1,90 @@
+#include "src/dynamic/dynamic_plans.h"
+
+#include <algorithm>
+
+namespace oodb {
+
+namespace {
+
+/// Types referenced anywhere in the query's bindings.
+std::vector<TypeId> QueryTypes(const QueryContext& ctx) {
+  std::vector<TypeId> out;
+  for (int b = 0; b < ctx.bindings.size(); ++b) {
+    TypeId t = ctx.bindings.def(b).type;
+    if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DynamicPlan> DynamicPlan::Compile(const LogicalExpr& input,
+                                         QueryContext* ctx, Catalog* catalog,
+                                         OptimizerOptions opts) {
+  if (ctx->catalog != catalog) {
+    return Status::InvalidArgument("context/catalog mismatch");
+  }
+  DynamicPlan out;
+
+  // Relevant indexes: those over collections of types the query binds.
+  std::vector<TypeId> types = QueryTypes(*ctx);
+  for (const IndexInfo& idx : catalog->indexes()) {
+    if (std::find(types.begin(), types.end(), idx.collection.type) !=
+        types.end()) {
+      out.relevant_.push_back(idx.name);
+    }
+  }
+  if (static_cast<int>(out.relevant_.size()) > kMaxRelevantIndexes) {
+    return Status::OutOfRange("too many relevant indexes for dynamic plans");
+  }
+
+  // Remember current enablement to restore afterwards.
+  std::vector<bool> saved;
+  for (const std::string& name : out.relevant_) {
+    OODB_ASSIGN_OR_RETURN(const IndexInfo* idx, catalog->FindIndex(name));
+    saved.push_back(idx->enabled);
+  }
+
+  Status failure;
+  int n = static_cast<int>(out.relevant_.size());
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    for (int i = 0; i < n; ++i) {
+      OODB_RETURN_IF_ERROR(
+          catalog->SetIndexEnabled(out.relevant_[i], (mask >> i) & 1));
+    }
+    Optimizer optimizer(catalog, opts);
+    Result<OptimizedQuery> planned = optimizer.Optimize(input, ctx);
+    if (!planned.ok()) {
+      failure = planned.status();
+      break;
+    }
+    PlanVariant variant;
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) variant.available.push_back(out.relevant_[i]);
+    }
+    variant.plan = planned->plan;
+    variant.cost = planned->cost;
+    out.variants_.push_back(std::move(variant));
+  }
+
+  for (int i = 0; i < n; ++i) {
+    OODB_RETURN_IF_ERROR(catalog->SetIndexEnabled(out.relevant_[i], saved[i]));
+  }
+  if (!failure.ok()) return failure;
+  return out;
+}
+
+Result<const PlanVariant*> DynamicPlan::Select(const Catalog& catalog) const {
+  int mask = 0;
+  for (size_t i = 0; i < relevant_.size(); ++i) {
+    OODB_ASSIGN_OR_RETURN(const IndexInfo* idx,
+                          catalog.FindIndex(relevant_[i]));
+    if (idx->enabled) mask |= 1 << i;
+  }
+  if (mask >= static_cast<int>(variants_.size())) {
+    return Status::Internal("no compiled variant for index configuration");
+  }
+  return &variants_[mask];
+}
+
+}  // namespace oodb

@@ -1,0 +1,50 @@
+// Dynamic plan selection, the ObjectStore capability the paper compares
+// against (§2): "the optimizer generates multiple execution strategies at
+// compile time and makes a final plan selection at run-time based on the
+// availability of indices", letting users add and drop indexes without
+// recompiling applications. Here it is rebuilt *on top of* the cost-based
+// optimizer: one truly optimal plan per index-availability configuration,
+// selected at run time — cost-based where ObjectStore's was greedy.
+#ifndef OODB_DYNAMIC_DYNAMIC_PLANS_H_
+#define OODB_DYNAMIC_DYNAMIC_PLANS_H_
+
+#include "src/optimizer.h"
+
+namespace oodb {
+
+/// One compiled strategy: the optimal plan when exactly `available` (a
+/// subset of the relevant indexes) is enabled.
+struct PlanVariant {
+  std::vector<std::string> available;  ///< enabled relevant indexes, sorted
+  PlanNodePtr plan;
+  Cost cost;
+};
+
+/// A compiled query with one plan per index configuration.
+class DynamicPlan {
+ public:
+  /// Compiles `input` once per subset of the catalog's indexes over
+  /// collections the query touches. The catalog is temporarily mutated
+  /// during compilation and restored before returning. At most
+  /// `kMaxRelevantIndexes` indexes are considered.
+  static constexpr int kMaxRelevantIndexes = 6;
+  static Result<DynamicPlan> Compile(const LogicalExpr& input,
+                                     QueryContext* ctx, Catalog* catalog,
+                                     OptimizerOptions opts = {});
+
+  /// Picks the variant matching the catalog's *currently* enabled indexes.
+  Result<const PlanVariant*> Select(const Catalog& catalog) const;
+
+  const std::vector<PlanVariant>& variants() const { return variants_; }
+  const std::vector<std::string>& relevant_indexes() const {
+    return relevant_;
+  }
+
+ private:
+  std::vector<std::string> relevant_;
+  std::vector<PlanVariant> variants_;  // indexed by availability bitmask
+};
+
+}  // namespace oodb
+
+#endif  // OODB_DYNAMIC_DYNAMIC_PLANS_H_

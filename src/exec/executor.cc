@@ -1,0 +1,56 @@
+#include "src/exec/executor.h"
+
+namespace oodb {
+
+namespace {
+
+/// Finds the topmost Alg-Project in the plan (property enforcers — e.g. a
+/// Sort satisfying an ORDER BY — may sit above it). Output rows are its
+/// emit list evaluated against each final tuple, whose slots survive every
+/// order-preserving or -enforcing operator above the projection.
+const PhysicalOp* FindProject(const PlanNode& node) {
+  if (node.op.kind == PhysOpKind::kAlgProject) return &node.op;
+  for (const PlanNodePtr& c : node.children) {
+    if (const PhysicalOp* p = FindProject(*c)) return p;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
+                              QueryContext* ctx, ExecOptions options) {
+  if (options.cold_start) store->ResetSimulation();
+  OODB_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> root,
+                        BuildExecTree(plan, store, ctx));
+  OODB_RETURN_IF_ERROR(root->Open());
+  const PhysicalOp* project = FindProject(plan);
+
+  ExecStats stats;
+  Tuple t;
+  while (true) {
+    OODB_ASSIGN_OR_RETURN(bool more, root->Next(&t));
+    if (!more) break;
+    ++stats.rows;
+    if (project != nullptr &&
+        static_cast<int>(stats.sample_rows.size()) < options.sample_limit) {
+      std::vector<Value> row;
+      for (const ScalarExprPtr& e : project->emit) {
+        OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, t, *ctx));
+        row.push_back(std::move(v));
+      }
+      stats.sample_rows.push_back(std::move(row));
+    }
+  }
+  root->Close();
+
+  stats.sim_io_s = store->clock().io_s;
+  stats.sim_cpu_s = store->clock().cpu_s;
+  stats.pages_read = store->disk().reads();
+  stats.seq_reads = store->disk().seq_reads();
+  stats.random_reads = store->disk().random_reads();
+  stats.buffer_hits = store->buffer().hits();
+  return stats;
+}
+
+}  // namespace oodb

@@ -1,0 +1,39 @@
+// Plan executor: runs a physical plan against the simulated store and
+// reports simulated time and I/O statistics, enabling end-to-end validation
+// of the optimizer's anticipated costs.
+#ifndef OODB_EXEC_EXECUTOR_H_
+#define OODB_EXEC_EXECUTOR_H_
+
+#include "src/exec/operators.h"
+
+namespace oodb {
+
+struct ExecStats {
+  int64_t rows = 0;
+  double sim_io_s = 0.0;
+  double sim_cpu_s = 0.0;
+  int64_t pages_read = 0;
+  int64_t seq_reads = 0;
+  int64_t random_reads = 0;
+  int64_t buffer_hits = 0;
+
+  double sim_total_s() const { return sim_io_s + sim_cpu_s; }
+
+  /// Projected output rows (first `sample_limit` only).
+  std::vector<std::vector<Value>> sample_rows;
+};
+
+struct ExecOptions {
+  /// Reset buffer pool / clock before running (cold start).
+  bool cold_start = true;
+  /// How many projected rows to retain in the stats.
+  int sample_limit = 10;
+};
+
+/// Executes `plan` to completion.
+Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
+                              QueryContext* ctx, ExecOptions options = {});
+
+}  // namespace oodb
+
+#endif  // OODB_EXEC_EXECUTOR_H_

@@ -1,0 +1,797 @@
+#include "src/exec/operators.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+namespace oodb {
+
+namespace {
+
+/// Shared state for all nodes of one executing plan.
+struct ExecEnv {
+  ObjectStore* store;
+  QueryContext* ctx;
+
+  SimClock& clock() { return store->clock(); }
+  const CostModelOptions& timing() { return store->timing(); }
+  int num_bindings() const { return ctx->bindings.size(); }
+};
+
+// ---------------------------------------------------------------------------
+// File Scan
+// ---------------------------------------------------------------------------
+class FileScanExec : public ExecNode {
+ public:
+  FileScanExec(ExecEnv env, const PhysicalOp& op) : env_(env), op_(op) {}
+
+  Status Open() override {
+    OODB_ASSIGN_OR_RETURN(members_, env_.store->CollectionMembers(op_.coll));
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    if (pos_ >= members_->size()) return false;
+    Oid oid = (*members_)[pos_++];
+    const ObjectData& obj = env_.store->Read(oid);
+    env_.clock().cpu_s += env_.timing().cpu_scan_tuple_s;
+    *out = Tuple(env_.num_bindings());
+    out->slot(op_.binding) = {oid, &obj};
+    return true;
+  }
+
+  void Close() override {}
+
+ private:
+  ExecEnv env_;
+  PhysicalOp op_;
+  const std::vector<Oid>* members_ = nullptr;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Index Scan
+// ---------------------------------------------------------------------------
+class IndexScanExec : public ExecNode {
+ public:
+  IndexScanExec(ExecEnv env, const PhysicalOp& op) : env_(env), op_(op) {}
+
+  Status Open() override {
+    OODB_ASSIGN_OR_RETURN(const StoredIndex* idx,
+                          env_.store->FindIndex(op_.index_name));
+    // Extract the comparison and key constant from the key conjunct,
+    // normalizing to attr-op-constant orientation.
+    const ScalarExpr& key = *op_.index_pred;
+    const ScalarExprPtr& l = key.children()[0];
+    const ScalarExprPtr& r = key.children()[1];
+    bool const_on_left = l->kind() == ScalarExpr::Kind::kConst;
+    const Value& v = const_on_left ? l->value() : r->value();
+    CmpOp cmp = const_on_left ? ReverseCmp(key.cmp_op()) : key.cmp_op();
+    matches_ = idx->Scan(cmp, v);
+    pos_ = 0;
+    env_.clock().cpu_s += env_.timing().index_probe_s +
+                          static_cast<double>(matches_.size()) *
+                              env_.timing().index_leaf_s;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    while (pos_ < matches_.size()) {
+      Oid oid = matches_[pos_++];
+      const ObjectData& obj = env_.store->Read(oid);
+      *out = Tuple(env_.num_bindings());
+      out->slot(op_.binding) = {oid, &obj};
+      if (op_.pred) {
+        env_.clock().cpu_s += env_.timing().cpu_pred_s;
+        OODB_ASSIGN_OR_RETURN(bool pass, EvalPredicate(op_.pred, *out, *env_.ctx));
+        if (!pass) continue;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void Close() override {}
+
+ private:
+  ExecEnv env_;
+  PhysicalOp op_;
+  std::vector<Oid> matches_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+class FilterExec : public ExecNode {
+ public:
+  FilterExec(ExecEnv env, const PhysicalOp& op, std::unique_ptr<ExecNode> child)
+      : env_(env), op_(op), child_(std::move(child)),
+        conjuncts_(static_cast<double>(
+            ScalarExpr::SplitConjuncts(op_.pred).size())) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(Tuple* out) override {
+    while (true) {
+      OODB_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+      if (!more) return false;
+      env_.clock().cpu_s += conjuncts_ * env_.timing().cpu_pred_s;
+      OODB_ASSIGN_OR_RETURN(bool pass, EvalPredicate(op_.pred, *out, *env_.ctx));
+      if (pass) return true;
+    }
+  }
+
+  void Close() override { child_->Close(); }
+
+ private:
+  ExecEnv env_;
+  PhysicalOp op_;
+  std::unique_ptr<ExecNode> child_;
+  double conjuncts_;
+};
+
+// ---------------------------------------------------------------------------
+// Hybrid Hash Join (build on the left input)
+// ---------------------------------------------------------------------------
+class HashJoinExec : public ExecNode {
+ public:
+  HashJoinExec(ExecEnv env, const PhysicalOp& op, BindingSet left_scope,
+               std::unique_ptr<ExecNode> left, std::unique_ptr<ExecNode> right)
+      : env_(env), op_(op), left_scope_(left_scope), left_(std::move(left)),
+        right_(std::move(right)) {
+    // Split each equality conjunct into (build-side expr, probe-side expr).
+    for (const ScalarExprPtr& c : ScalarExpr::SplitConjuncts(op_.pred)) {
+      const ScalarExprPtr& l = c->children()[0];
+      const ScalarExprPtr& r = c->children()[1];
+      if (left_scope_.ContainsAll(l->ReferencedBindings())) {
+        build_keys_.push_back(l);
+        probe_keys_.push_back(r);
+      } else {
+        build_keys_.push_back(r);
+        probe_keys_.push_back(l);
+      }
+    }
+  }
+
+  Status Open() override {
+    OODB_RETURN_IF_ERROR(left_->Open());
+    Tuple t;
+    while (true) {
+      OODB_ASSIGN_OR_RETURN(bool more, left_->Next(&t));
+      if (!more) break;
+      OODB_ASSIGN_OR_RETURN(std::string key, KeyOf(build_keys_, t));
+      env_.clock().cpu_s += env_.timing().cpu_hash_build_s;
+      table_[key].push_back(t);
+    }
+    left_->Close();
+    return right_->Open();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    while (true) {
+      if (bucket_ != nullptr && bucket_pos_ < bucket_->size()) {
+        *out = (*bucket_)[bucket_pos_++];
+        out->MergeFrom(probe_tuple_);
+        return true;
+      }
+      OODB_ASSIGN_OR_RETURN(bool more, right_->Next(&probe_tuple_));
+      if (!more) return false;
+      env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
+      OODB_ASSIGN_OR_RETURN(std::string key, KeyOf(probe_keys_, probe_tuple_));
+      auto it = table_.find(key);
+      bucket_ = it == table_.end() ? nullptr : &it->second;
+      bucket_pos_ = 0;
+    }
+  }
+
+  void Close() override { right_->Close(); }
+
+ private:
+  Result<std::string> KeyOf(const std::vector<ScalarExprPtr>& exprs,
+                            const Tuple& t) {
+    std::string key;
+    for (const ScalarExprPtr& e : exprs) {
+      OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, t, *env_.ctx));
+      key += v.KeyString();
+      key += '|';
+    }
+    return key;
+  }
+
+  ExecEnv env_;
+  PhysicalOp op_;
+  BindingSet left_scope_;
+  std::unique_ptr<ExecNode> left_, right_;
+  std::vector<ScalarExprPtr> build_keys_, probe_keys_;
+  std::unordered_map<std::string, std::vector<Tuple>> table_;
+  Tuple probe_tuple_;
+  const std::vector<Tuple>* bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Assembly: windowed complex-object assembly. Pulls up to `window` input
+// tuples, gathers their unresolved references, sorts them by physical page
+// (the elevator pattern), fetches, and emits — step by step for
+// multi-component assemblies.
+// ---------------------------------------------------------------------------
+class AssemblyExec : public ExecNode {
+ public:
+  AssemblyExec(ExecEnv env, const PhysicalOp& op,
+               std::unique_ptr<ExecNode> child)
+      : env_(env), op_(op), child_(std::move(child)) {
+    window_ = op_.window > 0 ? op_.window : env_.timing().assembly_window;
+  }
+
+  Status Open() override {
+    OODB_RETURN_IF_ERROR(child_->Open());
+    if (op_.warm_start) OODB_RETURN_IF_ERROR(WarmStart());
+    return Status::OK();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    while (true) {
+      if (pos_ >= batch_.size()) {
+        OODB_RETURN_IF_ERROR(FillBatch());
+        if (batch_.empty()) return false;
+      }
+      size_t i = pos_++;
+      if (dropped_[i]) continue;  // dangling reference: no match
+      *out = std::move(batch_[i]);
+      return true;
+    }
+  }
+
+  void Close() override { child_->Close(); }
+
+ private:
+  Status WarmStart() {
+    for (const MatStep& step : op_.mats) {
+      TypeId t = env_.ctx->bindings.def(step.target).type;
+      if (!env_.store->catalog().HasExtent(t)) continue;
+      OODB_ASSIGN_OR_RETURN(
+          const std::vector<Oid>* members,
+          env_.store->CollectionMembers(CollectionId::Extent(t)));
+      for (Oid oid : *members) {
+        pinned_[oid] = &env_.store->Read(oid);  // sequential scan
+        env_.clock().cpu_s += env_.timing().cpu_hash_build_s;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status FillBatch() {
+    batch_.clear();
+    pos_ = 0;
+    Tuple t;
+    while (static_cast<int>(batch_.size()) < window_) {
+      OODB_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
+      if (!more) break;
+      batch_.push_back(std::move(t));
+    }
+    dropped_.assign(batch_.size(), false);
+    if (batch_.empty()) return Status::OK();
+
+    for (const MatStep& step : op_.mats) {
+      // Gather the references of this step across the batch.
+      std::vector<std::pair<PageId, std::pair<size_t, Oid>>> pending;
+      for (size_t i = 0; i < batch_.size(); ++i) {
+        if (dropped_[i]) continue;
+        Oid target;
+        if (step.field == kInvalidField) {
+          target = batch_[i].slot(step.source).ref;
+        } else {
+          const Slot& src = batch_[i].slot(step.source);
+          if (!src.loaded()) {
+            return Status::Internal(
+                "assembly source not present in memory: " +
+                env_.ctx->bindings.def(step.source).name);
+          }
+          target = src.obj->ref(step.field);
+        }
+        env_.clock().cpu_s += env_.timing().cpu_deref_s;
+        if (target == kInvalidOid || !env_.store->Exists(target)) {
+          dropped_[i] = true;  // dangling reference: no match
+          continue;
+        }
+        pending.push_back({env_.store->PageOf(target), {i, target}});
+      }
+      // Elevator: resolve in page order.
+      std::sort(pending.begin(), pending.end());
+      for (const auto& [page, work] : pending) {
+        (void)page;
+        auto [i, target] = work;
+        auto pin = pinned_.find(target);
+        const ObjectData* obj = pin != pinned_.end()
+                                    ? pin->second
+                                    : &env_.store->Read(target);
+        batch_[i].slot(step.target) = {target, obj};
+      }
+    }
+    return Status::OK();
+  }
+
+  ExecEnv env_;
+  PhysicalOp op_;
+  std::unique_ptr<ExecNode> child_;
+  int window_;
+  std::vector<Tuple> batch_;
+  std::vector<bool> dropped_;
+  size_t pos_ = 0;
+  std::unordered_map<Oid, const ObjectData*> pinned_;
+};
+
+// ---------------------------------------------------------------------------
+// Pointer Join: per-tuple dereference, no batching.
+// ---------------------------------------------------------------------------
+class PointerJoinExec : public ExecNode {
+ public:
+  PointerJoinExec(ExecEnv env, const PhysicalOp& op,
+                  std::unique_ptr<ExecNode> child)
+      : env_(env), op_(op), child_(std::move(child)) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(Tuple* out) override {
+    while (true) {
+      OODB_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+      if (!more) return false;
+      const MatStep& step = op_.mats[0];
+      Oid target;
+      if (step.field == kInvalidField) {
+        target = out->slot(step.source).ref;
+      } else {
+        const Slot& src = out->slot(step.source);
+        if (!src.loaded()) {
+          return Status::Internal("pointer join source not in memory");
+        }
+        target = src.obj->ref(step.field);
+      }
+      env_.clock().cpu_s += env_.timing().cpu_deref_s;
+      if (target == kInvalidOid) continue;  // dangling ref: no match
+      out->slot(step.target) = {target, &env_.store->Read(target)};
+      return true;
+    }
+  }
+
+  void Close() override { child_->Close(); }
+
+ private:
+  ExecEnv env_;
+  PhysicalOp op_;
+  std::unique_ptr<ExecNode> child_;
+};
+
+// ---------------------------------------------------------------------------
+// Nested Loops: buffers the left input, loops it per right tuple.
+// ---------------------------------------------------------------------------
+class NestedLoopsExec : public ExecNode {
+ public:
+  NestedLoopsExec(ExecEnv env, const PhysicalOp& op,
+                  std::unique_ptr<ExecNode> left,
+                  std::unique_ptr<ExecNode> right)
+      : env_(env), op_(op), left_(std::move(left)), right_(std::move(right)) {}
+
+  Status Open() override {
+    OODB_RETURN_IF_ERROR(left_->Open());
+    Tuple t;
+    while (true) {
+      OODB_ASSIGN_OR_RETURN(bool more, left_->Next(&t));
+      if (!more) break;
+      env_.clock().cpu_s += env_.timing().cpu_scan_tuple_s;
+      buffered_.push_back(std::move(t));
+    }
+    left_->Close();
+    pos_ = buffered_.size();  // no right tuple yet
+    return right_->Open();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    while (true) {
+      while (pos_ < buffered_.size()) {
+        *out = buffered_[pos_++];
+        out->MergeFrom(right_tuple_);
+        env_.clock().cpu_s += env_.timing().cpu_pred_s;
+        OODB_ASSIGN_OR_RETURN(bool pass,
+                              EvalPredicate(op_.pred, *out, *env_.ctx));
+        if (pass) return true;
+      }
+      OODB_ASSIGN_OR_RETURN(bool more, right_->Next(&right_tuple_));
+      if (!more) return false;
+      pos_ = 0;
+    }
+  }
+
+  void Close() override { right_->Close(); }
+
+ private:
+  ExecEnv env_;
+  PhysicalOp op_;
+  std::unique_ptr<ExecNode> left_, right_;
+  std::vector<Tuple> buffered_;
+  size_t pos_ = 0;
+  Tuple right_tuple_;
+};
+
+// ---------------------------------------------------------------------------
+// Alg-Unnest
+// ---------------------------------------------------------------------------
+class UnnestExec : public ExecNode {
+ public:
+  UnnestExec(ExecEnv env, const PhysicalOp& op, std::unique_ptr<ExecNode> child)
+      : env_(env), op_(op), child_(std::move(child)) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(Tuple* out) override {
+    while (true) {
+      if (members_ != nullptr && member_pos_ < members_->size()) {
+        *out = current_;
+        out->slot(op_.target) = {(*members_)[member_pos_++], nullptr};
+        env_.clock().cpu_s += env_.timing().cpu_unnest_s;
+        return true;
+      }
+      OODB_ASSIGN_OR_RETURN(bool more, child_->Next(&current_));
+      if (!more) return false;
+      const Slot& src = current_.slot(op_.source);
+      if (!src.loaded()) {
+        return Status::Internal("unnest source not present in memory");
+      }
+      const TypeDef& td = env_.ctx->schema().type(src.obj->type);
+      int slot = 0;
+      for (FieldId f = 0; f < op_.field; ++f) {
+        if (td.field(f).kind == FieldKind::kRefSet) ++slot;
+      }
+      members_ = &src.obj->ref_sets[slot];
+      member_pos_ = 0;
+    }
+  }
+
+  void Close() override { child_->Close(); }
+
+ private:
+  ExecEnv env_;
+  PhysicalOp op_;
+  std::unique_ptr<ExecNode> child_;
+  Tuple current_;
+  const std::vector<Oid>* members_ = nullptr;
+  size_t member_pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Alg-Project
+// ---------------------------------------------------------------------------
+class ProjectExec : public ExecNode {
+ public:
+  ProjectExec(ExecEnv env, const PhysicalOp& op,
+              std::unique_ptr<ExecNode> child)
+      : env_(env), op_(op), child_(std::move(child)) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(Tuple* out) override {
+    OODB_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    env_.clock().cpu_s += env_.timing().cpu_scan_tuple_s;
+    // Validate that every emitted attribute's component is loaded — the
+    // executor evaluates the emit list from the final tuples (a Sort
+    // enforcer may sit above), but the property violation should surface
+    // here, at the operator that required the loads.
+    for (const ScalarExprPtr& e : op_.emit) {
+      OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, *out, *env_.ctx));
+      (void)v;
+    }
+    return true;
+  }
+
+  void Close() override { child_->Close(); }
+
+ private:
+  ExecEnv env_;
+  PhysicalOp op_;
+  std::unique_ptr<ExecNode> child_;
+};
+
+// ---------------------------------------------------------------------------
+// Hash-based set operations over whole-tuple identity (the slot refs).
+// ---------------------------------------------------------------------------
+class HashSetOpExec : public ExecNode {
+ public:
+  HashSetOpExec(ExecEnv env, const PhysicalOp& op, BindingSet scope,
+                std::unique_ptr<ExecNode> left, std::unique_ptr<ExecNode> right)
+      : env_(env), op_(op), scope_(scope), left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  Status Open() override {
+    OODB_RETURN_IF_ERROR(left_->Open());
+    OODB_RETURN_IF_ERROR(right_->Open());
+    Tuple t;
+    // Materialize the left side keyed by identity.
+    while (true) {
+      OODB_ASSIGN_OR_RETURN(bool more, left_->Next(&t));
+      if (!more) break;
+      env_.clock().cpu_s += env_.timing().cpu_hash_build_s;
+      left_table_.emplace(KeyOf(t), t);
+    }
+    left_->Close();
+
+    switch (op_.kind) {
+      case PhysOpKind::kHashUnion: {
+        for (auto& [key, tuple] : left_table_) {
+          (void)key;
+          out_.push_back(tuple);
+        }
+        std::map<std::string, Tuple> seen;
+        while (true) {
+          OODB_ASSIGN_OR_RETURN(bool more, right_->Next(&t));
+          if (!more) break;
+          env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
+          std::string k = KeyOf(t);
+          if (left_table_.count(k) == 0 && seen.count(k) == 0) {
+            seen.emplace(k, t);
+            out_.push_back(t);
+          }
+        }
+        break;
+      }
+      case PhysOpKind::kHashIntersect: {
+        std::map<std::string, Tuple> seen;
+        while (true) {
+          OODB_ASSIGN_OR_RETURN(bool more, right_->Next(&t));
+          if (!more) break;
+          env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
+          std::string k = KeyOf(t);
+          if (left_table_.count(k) != 0 && seen.count(k) == 0) {
+            seen.emplace(k, t);
+            out_.push_back(t);
+          }
+        }
+        break;
+      }
+      default: {  // difference
+        while (true) {
+          OODB_ASSIGN_OR_RETURN(bool more, right_->Next(&t));
+          if (!more) break;
+          env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
+          left_table_.erase(KeyOf(t));
+        }
+        for (auto& [key, tuple] : left_table_) {
+          (void)key;
+          out_.push_back(tuple);
+        }
+        break;
+      }
+    }
+    right_->Close();
+    return Status::OK();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    if (pos_ >= out_.size()) return false;
+    *out = out_[pos_++];
+    return true;
+  }
+
+  void Close() override {}
+
+ private:
+  std::string KeyOf(const Tuple& t) {
+    std::string key;
+    for (BindingId b : scope_.ToVector()) {
+      key += std::to_string(t.slot(b).ref);
+      key += '|';
+    }
+    return key;
+  }
+
+  ExecEnv env_;
+  PhysicalOp op_;
+  BindingSet scope_;
+  std::unique_ptr<ExecNode> left_, right_;
+  std::map<std::string, Tuple> left_table_;
+  std::vector<Tuple> out_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Sort (enforcer, extension)
+// ---------------------------------------------------------------------------
+class SortExec : public ExecNode {
+ public:
+  SortExec(ExecEnv env, const PhysicalOp& op, std::unique_ptr<ExecNode> child)
+      : env_(env), op_(op), child_(std::move(child)) {}
+
+  Status Open() override {
+    OODB_RETURN_IF_ERROR(child_->Open());
+    Tuple t;
+    std::vector<std::pair<Value, Tuple>> keyed;
+    while (true) {
+      OODB_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
+      if (!more) break;
+      OODB_ASSIGN_OR_RETURN(
+          Value v, EvalExpr(*ScalarExpr::Attr(op_.sort.binding, op_.sort.field),
+                            t, *env_.ctx));
+      env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
+      keyed.emplace_back(std::move(v), std::move(t));
+    }
+    child_->Close();
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first.Compare(b.first) < 0;
+                     });
+    env_.clock().cpu_s += static_cast<double>(keyed.size()) *
+                          env_.timing().cpu_hash_probe_s;
+    out_.reserve(keyed.size());
+    for (auto& [v, tuple] : keyed) {
+      (void)v;
+      out_.push_back(std::move(tuple));
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    if (pos_ >= out_.size()) return false;
+    *out = std::move(out_[pos_++]);
+    return true;
+  }
+
+  void Close() override {}
+
+ private:
+  ExecEnv env_;
+  PhysicalOp op_;
+  std::unique_ptr<ExecNode> child_;
+  std::vector<Tuple> out_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Merge Join (extension): inputs sorted on the join attributes.
+// ---------------------------------------------------------------------------
+class MergeJoinExec : public ExecNode {
+ public:
+  MergeJoinExec(ExecEnv env, const PhysicalOp& op, BindingSet left_scope,
+                std::unique_ptr<ExecNode> left, std::unique_ptr<ExecNode> right)
+      : env_(env), op_(op), left_(std::move(left)), right_(std::move(right)) {
+    ScalarExprPtr c = ScalarExpr::SplitConjuncts(op_.pred)[0];
+    ScalarExprPtr l = c->children()[0];
+    ScalarExprPtr r = c->children()[1];
+    if (left_scope.ContainsAll(l->ReferencedBindings())) {
+      left_key_ = l;
+      right_key_ = r;
+    } else {
+      left_key_ = r;
+      right_key_ = l;
+    }
+  }
+
+  Status Open() override {
+    OODB_RETURN_IF_ERROR(left_->Open());
+    OODB_RETURN_IF_ERROR(right_->Open());
+    OODB_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_tuple_));
+    OODB_ASSIGN_OR_RETURN(right_valid_, right_->Next(&right_tuple_));
+    return Status::OK();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    while (true) {
+      if (run_pos_ < run_.size()) {
+        *out = run_[run_pos_++];
+        out->MergeFrom(left_tuple_for_run_);
+        if (run_pos_ >= run_.size()) {
+          // Advance left; if its key equals the run key, replay the run.
+          OODB_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_tuple_));
+          if (left_valid_) {
+            OODB_ASSIGN_OR_RETURN(Value lk,
+                                  EvalExpr(*left_key_, left_tuple_, *env_.ctx));
+            if (lk == run_key_) {
+              left_tuple_for_run_ = left_tuple_;
+              run_pos_ = 0;
+            }
+          }
+        }
+        return true;
+      }
+      if (!left_valid_ || !right_valid_) return false;
+      OODB_ASSIGN_OR_RETURN(Value lk, EvalExpr(*left_key_, left_tuple_, *env_.ctx));
+      OODB_ASSIGN_OR_RETURN(Value rk, EvalExpr(*right_key_, right_tuple_, *env_.ctx));
+      env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
+      int cmp = lk.Compare(rk);
+      if (cmp < 0) {
+        OODB_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_tuple_));
+      } else if (cmp > 0) {
+        OODB_ASSIGN_OR_RETURN(right_valid_, right_->Next(&right_tuple_));
+      } else {
+        // Collect the right-side run with this key.
+        run_.clear();
+        run_pos_ = 0;
+        run_key_ = rk;
+        left_tuple_for_run_ = left_tuple_;
+        while (right_valid_) {
+          OODB_ASSIGN_OR_RETURN(Value k,
+                                EvalExpr(*right_key_, right_tuple_, *env_.ctx));
+          if (!(k == run_key_)) break;
+          run_.push_back(right_tuple_);
+          OODB_ASSIGN_OR_RETURN(right_valid_, right_->Next(&right_tuple_));
+        }
+      }
+    }
+  }
+
+  void Close() override {
+    left_->Close();
+    right_->Close();
+  }
+
+ private:
+  ExecEnv env_;
+  PhysicalOp op_;
+  std::unique_ptr<ExecNode> left_, right_;
+  ScalarExprPtr left_key_, right_key_;
+  Tuple left_tuple_, right_tuple_, left_tuple_for_run_;
+  bool left_valid_ = false, right_valid_ = false;
+  std::vector<Tuple> run_;
+  size_t run_pos_ = 0;
+  Value run_key_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ExecNode>> BuildExecTree(const PlanNode& plan,
+                                                ObjectStore* store,
+                                                QueryContext* ctx) {
+  ExecEnv env{store, ctx};
+  std::vector<std::unique_ptr<ExecNode>> children;
+  for (const PlanNodePtr& c : plan.children) {
+    OODB_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> node,
+                          BuildExecTree(*c, store, ctx));
+    children.push_back(std::move(node));
+  }
+  switch (plan.op.kind) {
+    case PhysOpKind::kFileScan:
+      return std::unique_ptr<ExecNode>(new FileScanExec(env, plan.op));
+    case PhysOpKind::kIndexScan:
+      return std::unique_ptr<ExecNode>(new IndexScanExec(env, plan.op));
+    case PhysOpKind::kFilter:
+      return std::unique_ptr<ExecNode>(
+          new FilterExec(env, plan.op, std::move(children[0])));
+    case PhysOpKind::kHybridHashJoin:
+      return std::unique_ptr<ExecNode>(new HashJoinExec(
+          env, plan.op, plan.children[0]->logical.scope, std::move(children[0]),
+          std::move(children[1])));
+    case PhysOpKind::kPointerJoin:
+      return std::unique_ptr<ExecNode>(
+          new PointerJoinExec(env, plan.op, std::move(children[0])));
+    case PhysOpKind::kAssembly:
+      return std::unique_ptr<ExecNode>(
+          new AssemblyExec(env, plan.op, std::move(children[0])));
+    case PhysOpKind::kAlgProject:
+      return std::unique_ptr<ExecNode>(
+          new ProjectExec(env, plan.op, std::move(children[0])));
+    case PhysOpKind::kAlgUnnest:
+      return std::unique_ptr<ExecNode>(
+          new UnnestExec(env, plan.op, std::move(children[0])));
+    case PhysOpKind::kHashUnion:
+    case PhysOpKind::kHashIntersect:
+    case PhysOpKind::kHashDifference:
+      return std::unique_ptr<ExecNode>(new HashSetOpExec(
+          env, plan.op, plan.logical.scope, std::move(children[0]),
+          std::move(children[1])));
+    case PhysOpKind::kSort:
+      return std::unique_ptr<ExecNode>(
+          new SortExec(env, plan.op, std::move(children[0])));
+    case PhysOpKind::kMergeJoin:
+      return std::unique_ptr<ExecNode>(new MergeJoinExec(
+          env, plan.op, plan.children[0]->logical.scope, std::move(children[0]),
+          std::move(children[1])));
+    case PhysOpKind::kNestedLoops:
+      return std::unique_ptr<ExecNode>(new NestedLoopsExec(
+          env, plan.op, std::move(children[0]), std::move(children[1])));
+  }
+  return Status::Unimplemented("no executor for operator");
+}
+
+}  // namespace oodb

@@ -1,0 +1,34 @@
+// Iterator-model (open/next/close) execution operators over the simulated
+// object store — one per physical algebra operator. The module transfers
+// "query execution concepts and algorithms from the Volcano query execution
+// module" (the paper's future-work item 5), closing the loop so optimized
+// plans can actually run.
+#ifndef OODB_EXEC_OPERATORS_H_
+#define OODB_EXEC_OPERATORS_H_
+
+#include <memory>
+
+#include "src/exec/tuple.h"
+#include "src/storage/object_store.h"
+#include "src/volcano/plan.h"
+
+namespace oodb {
+
+/// The iterator interface.
+class ExecNode {
+ public:
+  virtual ~ExecNode() = default;
+  virtual Status Open() = 0;
+  /// Produces the next tuple; returns false at end of stream.
+  virtual Result<bool> Next(Tuple* out) = 0;
+  virtual void Close() = 0;
+};
+
+/// Builds an executable iterator tree from a physical plan.
+Result<std::unique_ptr<ExecNode>> BuildExecTree(const PlanNode& plan,
+                                                ObjectStore* store,
+                                                QueryContext* ctx);
+
+}  // namespace oodb
+
+#endif  // OODB_EXEC_OPERATORS_H_

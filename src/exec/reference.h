@@ -1,0 +1,30 @@
+// Reference evaluator: executes a *logical* algebra expression directly,
+// by its naive denotational semantics, with no optimization, no properties,
+// and no I/O accounting. Used as the ground truth for differential testing:
+// every optimized physical plan must produce exactly the same multiset of
+// results as the reference evaluation of its logical input.
+#ifndef OODB_EXEC_REFERENCE_H_
+#define OODB_EXEC_REFERENCE_H_
+
+#include "src/exec/tuple.h"
+#include "src/storage/object_store.h"
+
+namespace oodb {
+
+/// Result of a reference evaluation: the output tuples (for Project roots,
+/// the projected rows).
+struct ReferenceResult {
+  std::vector<Tuple> tuples;
+  /// Rows evaluated from a root Project's emit list (empty otherwise).
+  std::vector<std::vector<Value>> rows;
+};
+
+/// Evaluates `expr` against `store` by direct interpretation. Reads do not
+/// charge the simulated clock.
+Result<ReferenceResult> EvaluateReference(const LogicalExpr& expr,
+                                          ObjectStore* store,
+                                          const QueryContext& ctx);
+
+}  // namespace oodb
+
+#endif  // OODB_EXEC_REFERENCE_H_

@@ -1,0 +1,67 @@
+#include "src/exec/tuple.h"
+
+namespace oodb {
+
+void Tuple::MergeFrom(const Tuple& other) {
+  if (slots.size() < other.slots.size()) slots.resize(other.slots.size());
+  for (size_t i = 0; i < other.slots.size(); ++i) {
+    if (other.slots[i].present()) slots[i] = other.slots[i];
+  }
+}
+
+Result<Value> EvalExpr(const ScalarExpr& expr, const Tuple& tuple,
+                       const QueryContext& ctx) {
+  switch (expr.kind()) {
+    case ScalarExpr::Kind::kAttr: {
+      const Slot& s = tuple.slot(expr.binding());
+      if (!s.loaded()) {
+        return Status::Internal(
+            "attribute read on component not present in memory: " +
+            ctx.bindings.def(expr.binding()).name);
+      }
+      return s.obj->value(expr.field());
+    }
+    case ScalarExpr::Kind::kSelf:
+      return Value::Int(tuple.slot(expr.binding()).ref);
+    case ScalarExpr::Kind::kConst:
+      return expr.value();
+    case ScalarExpr::Kind::kCmp: {
+      OODB_ASSIGN_OR_RETURN(Value l,
+                            EvalExpr(*expr.children()[0], tuple, ctx));
+      OODB_ASSIGN_OR_RETURN(Value r,
+                            EvalExpr(*expr.children()[1], tuple, ctx));
+      if (expr.cmp_op() == CmpOp::kEq) return Value::Int(l == r ? 1 : 0);
+      if (expr.cmp_op() == CmpOp::kNe) return Value::Int(l == r ? 0 : 1);
+      return Value::Int(EvalCmp(expr.cmp_op(), l.Compare(r)) ? 1 : 0);
+    }
+    case ScalarExpr::Kind::kAnd: {
+      for (const ScalarExprPtr& c : expr.children()) {
+        OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*c, tuple, ctx));
+        if (v.i == 0) return Value::Int(0);
+      }
+      return Value::Int(1);
+    }
+    case ScalarExpr::Kind::kOr: {
+      for (const ScalarExprPtr& c : expr.children()) {
+        OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*c, tuple, ctx));
+        if (v.i != 0) return Value::Int(1);
+      }
+      return Value::Int(0);
+    }
+    case ScalarExpr::Kind::kNot: {
+      OODB_ASSIGN_OR_RETURN(Value v,
+                            EvalExpr(*expr.children()[0], tuple, ctx));
+      return Value::Int(v.i == 0 ? 1 : 0);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<bool> EvalPredicate(const ScalarExprPtr& pred, const Tuple& tuple,
+                           const QueryContext& ctx) {
+  if (!pred) return true;
+  OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*pred, tuple, ctx));
+  return v.i != 0;
+}
+
+}  // namespace oodb

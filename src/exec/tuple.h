@@ -1,0 +1,50 @@
+// Runtime tuples: one slot per binding, each holding a reference (OID) and,
+// when the component is *present in memory*, a pointer to the loaded object.
+// The gap between "slot has a ref" and "slot has a loaded object" is the
+// physical present-in-memory property at runtime; expression evaluation
+// fails loudly if a plan tries to read a field of an unloaded component,
+// which makes execution an end-to-end check of the optimizer's property
+// machinery.
+#ifndef OODB_EXEC_TUPLE_H_
+#define OODB_EXEC_TUPLE_H_
+
+#include <vector>
+
+#include "src/algebra/expr.h"
+#include "src/algebra/logical_op.h"
+#include "src/storage/object.h"
+
+namespace oodb {
+
+struct Slot {
+  Oid ref = kInvalidOid;
+  const ObjectData* obj = nullptr;
+
+  bool present() const { return ref != kInvalidOid; }
+  bool loaded() const { return obj != nullptr; }
+};
+
+struct Tuple {
+  std::vector<Slot> slots;
+
+  explicit Tuple(int num_bindings = 0) : slots(num_bindings) {}
+  Slot& slot(BindingId b) { return slots[b]; }
+  const Slot& slot(BindingId b) const { return slots[b]; }
+
+  /// Merges the occupied slots of `other` into this tuple.
+  void MergeFrom(const Tuple& other);
+};
+
+/// Evaluates a scalar expression against a tuple. Booleans are encoded as
+/// Value::Int(0/1). Returns Internal if an attribute's component is not
+/// loaded (a plan/property bug).
+Result<Value> EvalExpr(const ScalarExpr& expr, const Tuple& tuple,
+                       const QueryContext& ctx);
+
+/// Evaluates a predicate to a boolean.
+Result<bool> EvalPredicate(const ScalarExprPtr& pred, const Tuple& tuple,
+                           const QueryContext& ctx);
+
+}  // namespace oodb
+
+#endif  // OODB_EXEC_TUPLE_H_

@@ -1,0 +1,28 @@
+// Umbrella header: the public API of the Open OODB query optimizer library.
+//
+// Typical usage:
+//
+//   PaperDb db = MakePaperCatalog();
+//   QueryContext ctx;  ctx.catalog = &db.catalog;
+//   auto logical = ParseAndSimplify(
+//       "SELECT c FROM City c IN Cities WHERE c.mayor.name == 'Joe'", &ctx);
+//   Optimizer opt(&db.catalog);
+//   auto result = opt.Optimize(**logical, &ctx);
+//   std::cout << PrintPlan(*result->plan, ctx);
+//
+// See README.md for the architecture overview and examples/ for runnable
+// programs.
+#ifndef OODB_OODB_H_
+#define OODB_OODB_H_
+
+#include "src/baseline/greedy.h"
+#include "src/dynamic/dynamic_plans.h"
+#include "src/catalog/paper_catalog.h"
+#include "src/exec/executor.h"
+#include "src/optimizer.h"
+#include "src/query/builder.h"
+#include "src/query/simplify.h"
+#include "src/session.h"
+#include "src/storage/datagen.h"
+
+#endif  // OODB_OODB_H_

@@ -1,0 +1,37 @@
+#include "src/optimizer.h"
+
+#include "src/physical/enforcers.h"
+#include "src/physical/impl_rules.h"
+#include "src/rules/transformations.h"
+
+namespace oodb {
+
+Result<OptimizedQuery> Optimizer::Optimize(const LogicalExpr& input,
+                                           QueryContext* ctx,
+                                           PhysProps required) const {
+  if (ctx->catalog != catalog_) {
+    return Status::InvalidArgument(
+        "query context was built against a different catalog");
+  }
+  OODB_RETURN_IF_ERROR(ValidateLogicalTree(input, *ctx).status());
+
+  CostModel cost_model(options_.cost);
+  SearchEngine engine(ctx, &cost_model, &options_);
+  for (auto& rule : MakeDefaultTransformations()) {
+    engine.AddTransformation(std::move(rule));
+  }
+  for (auto& rule : MakeDefaultImplRules()) {
+    engine.AddImplRule(std::move(rule));
+  }
+  for (auto& enf : MakeDefaultEnforcers()) {
+    engine.AddEnforcer(std::move(enf));
+  }
+
+  OptimizedQuery out;
+  OODB_ASSIGN_OR_RETURN(out.plan,
+                        engine.Optimize(input, required, &out.stats));
+  out.cost = out.plan->total_cost;
+  return out;
+}
+
+}  // namespace oodb

@@ -1,0 +1,44 @@
+// Top-level facade: the Open OODB query optimizer. Wires the default rule
+// sets (transformations, implementation rules, enforcers) into the Volcano
+// search engine and optimizes logical algebra expressions into physical
+// plans with anticipated costs.
+#ifndef OODB_OPTIMIZER_H_
+#define OODB_OPTIMIZER_H_
+
+#include "src/volcano/search.h"
+
+namespace oodb {
+
+/// Result of one optimization.
+struct OptimizedQuery {
+  PlanNodePtr plan;
+  Cost cost;          ///< anticipated execution cost of the plan
+  SearchStats stats;  ///< search effort (Table 2's columns)
+};
+
+/// The query optimizer. Thread-compatible: one instance may optimize many
+/// queries sequentially; options may be adjusted between optimizations.
+class Optimizer {
+ public:
+  explicit Optimizer(const Catalog* catalog, OptimizerOptions options = {})
+      : catalog_(catalog), options_(std::move(options)) {}
+
+  /// Optimizes `input` (a simplified logical algebra expression built
+  /// against `ctx`, which must reference the same catalog). The root is
+  /// optimized under `required` — empty by default; an ORDER BY clause
+  /// arrives here as a required sort order.
+  Result<OptimizedQuery> Optimize(const LogicalExpr& input, QueryContext* ctx,
+                                  PhysProps required = {}) const;
+
+  const OptimizerOptions& options() const { return options_; }
+  OptimizerOptions& mutable_options() { return options_; }
+  const Catalog* catalog() const { return catalog_; }
+
+ private:
+  const Catalog* catalog_;
+  OptimizerOptions options_;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_OPTIMIZER_H_

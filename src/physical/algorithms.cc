@@ -1,0 +1,123 @@
+#include "src/physical/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oodb {
+
+Cost FileScanCost(const CostModel& cm, const Catalog& catalog,
+                  const CollectionInfo& coll) {
+  double card = static_cast<double>(coll.cardinality);
+  double pages = cm.PagesFor(catalog, coll.id.type, card);
+  Cost c = cm.SeqRead(pages);
+  c += Cost::Cpu(card * cm.opts().cpu_scan_tuple_s);
+  return c;
+}
+
+Cost IndexScanCost(const CostModel& cm, double matches, bool clustered,
+                   double residual_conjuncts, const Catalog& catalog,
+                   TypeId root_type) {
+  Cost c = Cost::Cpu(cm.opts().index_probe_s);
+  c += Cost::Cpu(matches * cm.opts().index_leaf_s);
+  if (clustered) {
+    c += cm.SeqRead(cm.PagesFor(catalog, root_type, matches));
+  } else {
+    c += cm.RandomRead(matches);
+  }
+  c += Cost::Cpu(matches * residual_conjuncts * cm.opts().cpu_pred_s);
+  return c;
+}
+
+Cost FilterCost(const CostModel& cm, double in_card, double conjuncts) {
+  return Cost::Cpu(in_card * std::max(1.0, conjuncts) * cm.opts().cpu_pred_s);
+}
+
+Cost HybridHashJoinCost(const CostModel& cm, double build_card,
+                        double build_bytes, double probe_card,
+                        double probe_bytes) {
+  Cost c = cm.HashJoinCpu(build_card, probe_card);
+  c += cm.HashJoinOverflowIo(build_card * build_bytes, probe_card * probe_bytes);
+  return c;
+}
+
+Cost AssemblyCost(const CostModel& cm, const Catalog& catalog,
+                  const BindingTable& bindings, double in_card,
+                  const std::vector<MatStep>& steps, int window,
+                  bool warm_start) {
+  if (window <= 0) window = cm.opts().assembly_window;
+  Cost c;
+  for (const MatStep& step : steps) {
+    TypeId t = bindings.def(step.target).type;
+    c += Cost::Cpu(in_card * cm.opts().cpu_deref_s);
+    if (warm_start && catalog.TypeCardinality(t).has_value()) {
+      // Warm-start: sequentially pre-scan the referenced population into
+      // memory, then resolve references as hash lookups.
+      // References then resolve through an in-memory OID map; the per-
+      // reference lookup is covered by the cpu_deref charge above.
+      double population = static_cast<double>(*catalog.TypeCardinality(t));
+      c += cm.SeqRead(cm.PagesFor(catalog, t, population));
+      c += Cost::Cpu(population * cm.opts().cpu_hash_build_s);
+    } else {
+      c += cm.AssemblyIo(catalog, t, in_card, window);
+    }
+  }
+  return c;
+}
+
+Cost PointerJoinCost(const CostModel& cm, const Catalog& catalog,
+                     double left_card, TypeId target_type) {
+  double faults = left_card;
+  if (std::optional<int64_t> population = catalog.TypeCardinality(target_type)) {
+    faults = std::min(faults, static_cast<double>(*population));
+  }
+  Cost c = cm.RandomRead(faults);
+  c += Cost::Cpu(left_card * cm.opts().cpu_deref_s);
+  return c;
+}
+
+Cost AlgProjectCost(const CostModel& cm, double card, double out_bytes) {
+  return Cost::Cpu(card * (cm.opts().cpu_scan_tuple_s +
+                           out_bytes * cm.opts().cpu_copy_byte_s));
+}
+
+Cost AlgUnnestCost(const CostModel& cm, double out_card) {
+  return Cost::Cpu(out_card * cm.opts().cpu_unnest_s);
+}
+
+Cost HashSetOpCost(const CostModel& cm, double left_card, double left_bytes,
+                   double right_card, double right_bytes) {
+  Cost c = cm.HashJoinCpu(left_card, right_card);
+  c += cm.HashJoinOverflowIo(left_card * left_bytes, right_card * right_bytes);
+  return c;
+}
+
+Cost SortCost(const CostModel& cm, double card, double bytes) {
+  double n = std::max(card, 2.0);
+  Cost c = Cost::Cpu(n * std::log2(n) * cm.opts().cpu_hash_probe_s);
+  double total_bytes = card * bytes;
+  if (total_bytes > cm.opts().memory_bytes) {
+    c += cm.SeqRead(2.0 * total_bytes / cm.opts().page_size);
+  }
+  return c;
+}
+
+Cost NestedLoopsCost(const CostModel& cm, double left_card, double left_bytes,
+                     double right_card) {
+  Cost c = Cost::Cpu(left_card * cm.opts().cpu_scan_tuple_s);
+  c += Cost::Cpu(left_card * right_card * cm.opts().cpu_pred_s);
+  double bytes = left_card * left_bytes;
+  if (bytes > cm.opts().memory_bytes) {
+    // Spilled fraction re-read once per probe pass (block nested loops).
+    double passes = right_card > 0 ? 1.0 : 0.0;
+    c += cm.SeqRead(passes * (bytes - cm.opts().memory_bytes) /
+                    cm.opts().page_size);
+  }
+  return c;
+}
+
+Cost MergeJoinCost(const CostModel& cm, double left_card, double right_card) {
+  // Merging sorted streams is cheaper per tuple than hashing.
+  return Cost::Cpu((left_card + right_card) * cm.opts().cpu_pred_s);
+}
+
+}  // namespace oodb

@@ -1,0 +1,69 @@
+// Anticipated-cost formulas for every execution algorithm. Shared by the
+// implementation rules, the enforcers, and the baseline (greedy) planner so
+// that all planners cost plans identically.
+#ifndef OODB_PHYSICAL_ALGORITHMS_H_
+#define OODB_PHYSICAL_ALGORITHMS_H_
+
+#include "src/algebra/logical_props.h"
+#include "src/cost/cost_model.h"
+#include "src/physical/physical_op.h"
+
+namespace oodb {
+
+/// Sequential scan of a collection: sequential page reads + per-tuple CPU.
+Cost FileScanCost(const CostModel& cm, const Catalog& catalog,
+                  const CollectionInfo& coll);
+
+/// (Path-)index scan: B-tree descent, per-match leaf entries, per-match
+/// random fetch of the (unclustered) root objects, and residual predicate
+/// CPU over the fetched matches.
+Cost IndexScanCost(const CostModel& cm, double matches, bool clustered,
+                   double residual_conjuncts, const Catalog& catalog,
+                   TypeId root_type);
+
+/// Filter: predicate CPU over the input.
+Cost FilterCost(const CostModel& cm, double in_card, double conjuncts);
+
+/// Hybrid hash join: build + probe CPU, overflow I/O beyond memory.
+Cost HybridHashJoinCost(const CostModel& cm, double build_card,
+                        double build_bytes, double probe_card,
+                        double probe_bytes);
+
+/// Assembly of `steps` components over `in_card` input tuples. Fault counts
+/// are bounded per component type when the catalog knows the population.
+/// `warm_start` pre-scans extent-resident referenced populations
+/// sequentially instead of faulting (paper Lesson 7 extension).
+Cost AssemblyCost(const CostModel& cm, const Catalog& catalog,
+                  const BindingTable& bindings, double in_card,
+                  const std::vector<MatStep>& steps, int window,
+                  bool warm_start);
+
+/// Naive pointer join: per-left-tuple dereference with no elevator batching.
+Cost PointerJoinCost(const CostModel& cm, const Catalog& catalog,
+                     double left_card, TypeId target_type);
+
+/// Output construction: per-tuple CPU + per-byte copy.
+Cost AlgProjectCost(const CostModel& cm, double card, double out_bytes);
+
+/// Set-valued field expansion: per-output-element CPU.
+Cost AlgUnnestCost(const CostModel& cm, double out_card);
+
+/// Hash-based set operations: build smaller side, probe larger.
+Cost HashSetOpCost(const CostModel& cm, double left_card, double left_bytes,
+                   double right_card, double right_bytes);
+
+/// Sort enforcer: n log n CPU plus external-merge I/O beyond memory.
+Cost SortCost(const CostModel& cm, double card, double bytes);
+
+/// Merge join over sorted inputs: linear CPU.
+Cost MergeJoinCost(const CostModel& cm, double left_card, double right_card);
+
+/// Nested-loops join: the cartesian-capable fallback. Buffers the left
+/// input in memory (spilling beyond memory) and evaluates the predicate on
+/// every pair.
+Cost NestedLoopsCost(const CostModel& cm, double left_card, double left_bytes,
+                     double right_card);
+
+}  // namespace oodb
+
+#endif  // OODB_PHYSICAL_ALGORITHMS_H_

@@ -1,0 +1,153 @@
+#include "src/physical/enforcers.h"
+
+#include <algorithm>
+
+#include "src/physical/algorithms.h"
+
+namespace oodb {
+
+std::vector<MatStep> PlanAssemblySteps(BindingSet missing,
+                                       const QueryContext& ctx,
+                                       BindingSet* below) {
+  // Order steps so that a step's source, if itself being assembled, comes
+  // first; sources not being assembled are required of the input.
+  std::vector<BindingId> ids = missing.ToVector();
+  auto depth = [&](BindingId b) {
+    int d = 0;
+    while (ctx.bindings.def(b).parent != kInvalidBinding) {
+      b = ctx.bindings.def(b).parent;
+      ++d;
+    }
+    return d;
+  };
+  std::sort(ids.begin(), ids.end(),
+            [&](BindingId a, BindingId b) { return depth(a) < depth(b); });
+  std::vector<MatStep> steps;
+  BindingSet need_below;
+  for (BindingId b : ids) {
+    const BindingDef& def = ctx.bindings.def(b);
+    MatStep step;
+    step.target = b;
+    if (def.origin == BindingOrigin::kMat && def.via_field != kInvalidField) {
+      step.source = def.parent;
+      step.field = def.via_field;
+      if (!missing.Contains(def.parent) && !ctx.bindings.def(def.parent).is_ref) {
+        need_below.Add(def.parent);
+      }
+    } else if (def.origin == BindingOrigin::kMat) {
+      step.source = def.parent;  // bare-reference materialization
+      step.field = kInvalidField;
+    } else {
+      // Get/Unnest-origin bindings cannot be assembled from references.
+      return {};
+    }
+    steps.push_back(step);
+  }
+  if (below != nullptr) *below = need_below;
+  return steps;
+}
+
+namespace {
+
+/// Assembly as the enforcer of the present-in-memory property.
+class AssemblyEnforcer : public Enforcer {
+ public:
+  const char* name() const override { return kEnforcerAssembly; }
+
+  Status Apply(OptContext& ctx, GroupId group, const PhysProps& required,
+               std::vector<EnforcerAlt>* out) const override {
+    // Enforce the Mat-derived bindings among the requirements.
+    BindingSet enforceable;
+    for (BindingId b : required.in_memory.ToVector()) {
+      if (ctx.qctx->bindings.def(b).origin == BindingOrigin::kMat) {
+        enforceable.Add(b);
+      }
+    }
+    if (enforceable.Empty()) return Status::OK();
+    if (required.sort.IsSorted()) return Status::OK();  // assembly reorders
+
+    BindingSet below;
+    std::vector<MatStep> steps =
+        PlanAssemblySteps(enforceable, *ctx.qctx, &below);
+    if (steps.empty()) return Status::OK();
+
+    PhysProps child_req;
+    child_req.in_memory =
+        required.in_memory.Minus(enforceable).Union(below);
+    child_req.in_memory = LoadableBindings(
+        child_req.in_memory.Intersect(ctx.memo->group(group).props.scope),
+        *ctx.qctx);
+
+    double in_card = ctx.memo->group(group).props.card;
+    auto emit = [&](bool warm) {
+      EnforcerAlt alt;
+      alt.op.kind = PhysOpKind::kAssembly;
+      alt.op.mats = steps;
+      alt.op.window = ctx.cost_model->opts().assembly_window;
+      alt.op.warm_start = warm;
+      alt.child_required = child_req;
+      alt.delivered = child_req;
+      alt.delivered.in_memory = alt.delivered.in_memory.Union(enforceable);
+      alt.local_cost =
+          AssemblyCost(*ctx.cost_model, *ctx.qctx->catalog, ctx.qctx->bindings,
+                       in_card, steps, /*window=*/0, warm);
+      out->push_back(std::move(alt));
+    };
+    emit(false);
+    if (ctx.opts->enable_warm_start_assembly) {
+      bool any_extent = false;
+      for (const MatStep& s : steps) {
+        if (ctx.qctx->catalog
+                ->TypeCardinality(ctx.qctx->bindings.def(s.target).type)
+                .has_value()) {
+          any_extent = true;
+        }
+      }
+      if (any_extent) emit(true);
+    }
+    return Status::OK();
+  }
+};
+
+/// Sort as the enforcer of the sort-order property (extension).
+class SortEnforcer : public Enforcer {
+ public:
+  const char* name() const override { return kEnforcerSort; }
+
+  Status Apply(OptContext& ctx, GroupId group, const PhysProps& required,
+               std::vector<EnforcerAlt>* out) const override {
+    if (!required.sort.IsSorted()) return Status::OK();
+    // The sort key must be readable in this group's scope.
+    if (!ctx.memo->group(group).props.scope.Contains(required.sort.binding)) {
+      return Status::OK();
+    }
+    EnforcerAlt alt;
+    alt.op.kind = PhysOpKind::kSort;
+    alt.op.sort = required.sort;
+    alt.child_required = required;
+    alt.child_required.sort = SortSpec{};
+    // Sorting on an attribute requires that attribute's binding loaded.
+    alt.child_required.in_memory.Add(required.sort.binding);
+    alt.child_required.in_memory = LoadableBindings(
+        alt.child_required.in_memory.Intersect(
+            ctx.memo->group(group).props.scope),
+        *ctx.qctx);
+    alt.delivered = alt.child_required;
+    alt.delivered.sort = required.sort;
+    const LogicalProps& props = ctx.memo->group(group).props;
+    alt.local_cost = SortCost(*ctx.cost_model, props.card, props.tuple_bytes);
+    out->push_back(std::move(alt));
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Enforcer>> MakeDefaultEnforcers() {
+  std::vector<std::unique_ptr<Enforcer>> enforcers;
+  enforcers.push_back(std::make_unique<AssemblyEnforcer>());
+  enforcers.push_back(std::make_unique<SortEnforcer>());
+  return enforcers;
+}
+
+}  // namespace oodb

@@ -1,0 +1,28 @@
+// Property enforcers (paper §3/§4): the assembly operator as the enforcer
+// of presence-in-memory — the mechanism behind the paper's Query 3 plan
+// (index scan + assembly enforcer) — and the Sort enforcer for the
+// sort-order extension property.
+#ifndef OODB_PHYSICAL_ENFORCERS_H_
+#define OODB_PHYSICAL_ENFORCERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/volcano/rule.h"
+
+namespace oodb {
+
+/// Builds the default enforcer set: assembly (present-in-memory) and sort.
+std::vector<std::unique_ptr<Enforcer>> MakeDefaultEnforcers();
+
+/// Computes the assembly steps needed to load `missing` on top of a scope
+/// where their derivation sources may themselves need loading. Returns the
+/// steps in dependency order and the bindings that must already be loaded
+/// below (written to `below`). Shared with the baseline greedy planner.
+std::vector<MatStep> PlanAssemblySteps(BindingSet missing,
+                                       const QueryContext& ctx,
+                                       BindingSet* below);
+
+}  // namespace oodb
+
+#endif  // OODB_PHYSICAL_ENFORCERS_H_

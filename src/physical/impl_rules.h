@@ -1,0 +1,21 @@
+// Implementation rules: the correspondence between logical algebra
+// expressions and execution algorithms (paper §3 "Implementation Rules").
+// Includes the multi-operator collapse-to-index-scan rule that folds a
+// Select over a Mat chain over a Get into a single (path-)index scan.
+#ifndef OODB_PHYSICAL_IMPL_RULES_H_
+#define OODB_PHYSICAL_IMPL_RULES_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/volcano/rule.h"
+
+namespace oodb {
+
+/// Builds the full default implementation rule set. Extension rules
+/// (merge join) are included but no-op unless enabled in the options.
+std::vector<std::unique_ptr<ImplRule>> MakeDefaultImplRules();
+
+}  // namespace oodb
+
+#endif  // OODB_PHYSICAL_IMPL_RULES_H_

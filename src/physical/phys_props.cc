@@ -1,0 +1,62 @@
+#include "src/physical/phys_props.h"
+
+#include "src/common/strings.h"
+
+namespace oodb {
+
+std::string PhysProps::ToString(const QueryContext& ctx) const {
+  std::vector<std::string> parts;
+  for (BindingId b : in_memory.ToVector()) {
+    parts.push_back(ctx.bindings.def(b).name);
+  }
+  std::string out = "mem{" + Join(parts, ", ") + "}";
+  if (sort.IsSorted()) {
+    const BindingDef& b = ctx.bindings.def(sort.binding);
+    out += " sorted(" + b.name + "." +
+           ctx.schema().type(b.type).field(sort.field).name + ")";
+  }
+  return out;
+}
+
+BindingSet LoadableBindings(BindingSet s, const QueryContext& ctx) {
+  BindingSet out;
+  for (BindingId b : s.ToVector()) {
+    if (!ctx.bindings.def(b).is_ref) out.Add(b);
+  }
+  return out;
+}
+
+namespace {
+void CollectLoadRequirements(const ScalarExpr& e, const QueryContext& ctx,
+                             BindingSet* out) {
+  switch (e.kind()) {
+    case ScalarExpr::Kind::kAttr:
+      if (!ctx.bindings.def(e.binding()).is_ref) out->Add(e.binding());
+      break;
+    case ScalarExpr::Kind::kSelf:
+    case ScalarExpr::Kind::kConst:
+      break;
+    default:
+      for (const ScalarExprPtr& c : e.children()) {
+        CollectLoadRequirements(*c, ctx, out);
+      }
+  }
+}
+}  // namespace
+
+BindingSet LoadRequirements(const ScalarExprPtr& expr, const QueryContext& ctx) {
+  BindingSet out;
+  if (expr) CollectLoadRequirements(*expr, ctx, &out);
+  return out;
+}
+
+BindingSet LoadRequirements(const std::vector<ScalarExprPtr>& exprs,
+                            const QueryContext& ctx) {
+  BindingSet out;
+  for (const ScalarExprPtr& e : exprs) {
+    out = out.Union(LoadRequirements(e, ctx));
+  }
+  return out;
+}
+
+}  // namespace oodb

@@ -1,0 +1,73 @@
+// Physical properties (paper §3 "Properties and Property Enforcement").
+// The key object-query property is *presence in memory*: which bindings'
+// objects an operator's output delivers as loaded objects (vs. bare
+// references carried in the tuple). The extension property *sort order*
+// demonstrates the framework's extensibility (the paper's relational
+// example, §3; merge-join + sort enforcer live in the extension modules).
+#ifndef OODB_PHYSICAL_PHYS_PROPS_H_
+#define OODB_PHYSICAL_PHYS_PROPS_H_
+
+#include <string>
+
+#include "src/algebra/logical_op.h"
+
+namespace oodb {
+
+/// A sort order on one attribute of one binding (ascending).
+struct SortSpec {
+  BindingId binding = kInvalidBinding;
+  FieldId field = kInvalidField;
+
+  bool IsSorted() const { return binding != kInvalidBinding; }
+  bool operator==(const SortSpec& o) const {
+    return binding == o.binding && field == o.field;
+  }
+  bool operator<(const SortSpec& o) const {
+    return binding != o.binding ? binding < o.binding : field < o.field;
+  }
+};
+
+/// A physical property vector: which bindings are present in memory, and
+/// (optionally) a delivered sort order.
+struct PhysProps {
+  BindingSet in_memory;
+  SortSpec sort;
+
+  /// Does a delivery of `*this` satisfy a requirement of `required`?
+  bool Satisfies(const PhysProps& required) const {
+    if (!in_memory.ContainsAll(required.in_memory)) return false;
+    if (required.sort.IsSorted() && !(sort == required.sort)) return false;
+    return true;
+  }
+
+  bool operator==(const PhysProps& o) const {
+    return in_memory == o.in_memory && sort == o.sort;
+  }
+  bool operator<(const PhysProps& o) const {
+    if (!(in_memory == o.in_memory)) return in_memory < o.in_memory;
+    return sort < o.sort;
+  }
+
+  PhysProps WithMemory(BindingSet mem) const {
+    PhysProps p = *this;
+    p.in_memory = mem;
+    return p;
+  }
+
+  std::string ToString(const QueryContext& ctx) const;
+};
+
+/// Bindings in `s` that are *loadable objects* — i.e. excluding bare-
+/// reference bindings (Unnest targets), which are always carried by value
+/// and can never be an in-memory requirement.
+BindingSet LoadableBindings(BindingSet s, const QueryContext& ctx);
+
+/// Bindings a predicate/emit-list needs loaded to evaluate: kAttr references
+/// (field reads) but not kSelf references (the OID is in the tuple slot).
+BindingSet LoadRequirements(const ScalarExprPtr& expr, const QueryContext& ctx);
+BindingSet LoadRequirements(const std::vector<ScalarExprPtr>& exprs,
+                            const QueryContext& ctx);
+
+}  // namespace oodb
+
+#endif  // OODB_PHYSICAL_PHYS_PROPS_H_

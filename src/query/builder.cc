@@ -1,0 +1,93 @@
+#include "src/query/builder.h"
+
+#include "src/common/strings.h"
+
+namespace oodb {
+namespace zql {
+
+ZqlExprPtr Path(const std::string& dotted) {
+  return ZqlExpr::MakePathDotted(dotted);
+}
+ZqlExprPtr Lit(int64_t v) { return ZqlExpr::MakeLiteral(Value::Int(v)); }
+ZqlExprPtr Lit(double v) { return ZqlExpr::MakeLiteral(Value::Double(v)); }
+ZqlExprPtr Lit(const char* v) {
+  return ZqlExpr::MakeLiteral(Value::Str(std::string(v)));
+}
+ZqlExprPtr Lit(std::string v) {
+  return ZqlExpr::MakeLiteral(Value::Str(std::move(v)));
+}
+ZqlExprPtr Cmp(CmpOp op, ZqlExprPtr l, ZqlExprPtr r) {
+  return ZqlExpr::MakeCmp(op, std::move(l), std::move(r));
+}
+ZqlExprPtr Eq(ZqlExprPtr l, ZqlExprPtr r) {
+  return Cmp(CmpOp::kEq, std::move(l), std::move(r));
+}
+ZqlExprPtr Ne(ZqlExprPtr l, ZqlExprPtr r) {
+  return Cmp(CmpOp::kNe, std::move(l), std::move(r));
+}
+ZqlExprPtr Lt(ZqlExprPtr l, ZqlExprPtr r) {
+  return Cmp(CmpOp::kLt, std::move(l), std::move(r));
+}
+ZqlExprPtr Le(ZqlExprPtr l, ZqlExprPtr r) {
+  return Cmp(CmpOp::kLe, std::move(l), std::move(r));
+}
+ZqlExprPtr Gt(ZqlExprPtr l, ZqlExprPtr r) {
+  return Cmp(CmpOp::kGt, std::move(l), std::move(r));
+}
+ZqlExprPtr Ge(ZqlExprPtr l, ZqlExprPtr r) {
+  return Cmp(CmpOp::kGe, std::move(l), std::move(r));
+}
+ZqlExprPtr And(std::vector<ZqlExprPtr> parts) {
+  return ZqlExpr::MakeAnd(std::move(parts));
+}
+ZqlExprPtr Or(std::vector<ZqlExprPtr> parts) {
+  return ZqlExpr::MakeOr(std::move(parts));
+}
+ZqlExprPtr Not(ZqlExprPtr inner) { return ZqlExpr::MakeNot(std::move(inner)); }
+ZqlExprPtr Exists(ZqlQueryPtr subquery) {
+  return ZqlExpr::MakeExists(std::move(subquery));
+}
+
+}  // namespace zql
+
+QueryBuilder& QueryBuilder::Select(ZqlExprPtr e) {
+  query_.select.push_back(std::move(e));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::From(std::string type_name, std::string var,
+                                 std::string collection) {
+  ZqlRange r;
+  r.type_name = std::move(type_name);
+  r.var = std::move(var);
+  r.collection = std::move(collection);
+  query_.from.push_back(std::move(r));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::FromPath(std::string type_name, std::string var,
+                                     const std::string& dotted_path) {
+  ZqlRange r;
+  r.type_name = std::move(type_name);
+  r.var = std::move(var);
+  r.from_path = true;
+  r.path = Split(dotted_path, '.');
+  query_.from.push_back(std::move(r));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::OrderBy(const std::string& dotted_path) {
+  query_.order_by = ZqlExpr::MakePathDotted(dotted_path);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Where(ZqlExprPtr e) {
+  if (!query_.where) {
+    query_.where = std::move(e);
+  } else {
+    query_.where = ZqlExpr::MakeAnd({query_.where, std::move(e)});
+  }
+  return *this;
+}
+
+}  // namespace oodb

@@ -1,0 +1,64 @@
+// Programmatic query construction — the "well-integrated with C++" face of
+// ZQL[C++]: build the same user-level AST the text parser produces, without
+// string parsing.
+//
+//   ZqlQuery q = QueryBuilder()
+//       .Select(zql::Path("e.name"))
+//       .From("Employee", "e", "Employees")
+//       .Where(zql::Eq(zql::Path("e.dept.plant.location"), zql::Lit("Dallas")))
+//       .Build();
+#ifndef OODB_QUERY_BUILDER_H_
+#define OODB_QUERY_BUILDER_H_
+
+#include "src/query/zql_ast.h"
+
+namespace oodb {
+namespace zql {
+
+/// Dotted path: "e.dept.name".
+ZqlExprPtr Path(const std::string& dotted);
+ZqlExprPtr Lit(int64_t v);
+ZqlExprPtr Lit(double v);
+ZqlExprPtr Lit(const char* v);
+ZqlExprPtr Lit(std::string v);
+ZqlExprPtr Cmp(CmpOp op, ZqlExprPtr l, ZqlExprPtr r);
+ZqlExprPtr Eq(ZqlExprPtr l, ZqlExprPtr r);
+ZqlExprPtr Ne(ZqlExprPtr l, ZqlExprPtr r);
+ZqlExprPtr Lt(ZqlExprPtr l, ZqlExprPtr r);
+ZqlExprPtr Le(ZqlExprPtr l, ZqlExprPtr r);
+ZqlExprPtr Gt(ZqlExprPtr l, ZqlExprPtr r);
+ZqlExprPtr Ge(ZqlExprPtr l, ZqlExprPtr r);
+ZqlExprPtr And(std::vector<ZqlExprPtr> parts);
+ZqlExprPtr Or(std::vector<ZqlExprPtr> parts);
+ZqlExprPtr Not(ZqlExprPtr inner);
+ZqlExprPtr Exists(ZqlQueryPtr subquery);
+
+}  // namespace zql
+
+/// Fluent builder for ZqlQuery.
+class QueryBuilder {
+ public:
+  /// Adds an output expression.
+  QueryBuilder& Select(ZqlExprPtr e);
+  /// Range over a named set (or a type extent when `collection` is a type
+  /// name with no matching set).
+  QueryBuilder& From(std::string type_name, std::string var,
+                     std::string collection);
+  /// Range over a set-valued path: FromPath("Employee", "m", "t.team_members").
+  QueryBuilder& FromPath(std::string type_name, std::string var,
+                         const std::string& dotted_path);
+  /// Sets (or ANDs onto) the WHERE clause.
+  QueryBuilder& Where(ZqlExprPtr e);
+  /// Orders the result by a (dotted) path, ascending.
+  QueryBuilder& OrderBy(const std::string& dotted_path);
+
+  ZqlQuery Build() const { return query_; }
+  ZqlQueryPtr BuildPtr() const { return std::make_shared<ZqlQuery>(query_); }
+
+ private:
+  ZqlQuery query_;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_QUERY_BUILDER_H_

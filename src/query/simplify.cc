@@ -1,0 +1,282 @@
+#include "src/query/simplify.h"
+
+#include "src/query/zql_parser.h"
+#include "src/rules/expr_rewrites.h"
+
+namespace oodb {
+
+namespace {
+
+class Simplifier {
+ public:
+  explicit Simplifier(QueryContext* ctx) : ctx_(ctx) {}
+
+  Result<LogicalExprPtr> Run(const ZqlQuery& query, SortSpec* order) {
+    OODB_RETURN_IF_ERROR(ProcessRanges(query.from));
+
+    // Convert the select list and WHERE clause; path resolution appends the
+    // Mat operators each path needs to mats_ (dependency order).
+    std::vector<ScalarExprPtr> emit;
+    for (const ZqlExprPtr& e : query.select) {
+      OODB_ASSIGN_OR_RETURN(ScalarExprPtr s, ConvertExpr(*e));
+      emit.push_back(std::move(s));
+    }
+    std::vector<ScalarExprPtr> conjuncts;
+    if (query.where) {
+      OODB_RETURN_IF_ERROR(ConvertWhere(*query.where, &conjuncts));
+    }
+    // Argument transformations (paper Lesson 9): normalize the predicate —
+    // negation normal form, constant folding, connective flattening —
+    // before the algebraic optimizer sees it.
+    ScalarExprPtr pred;
+    if (!conjuncts.empty()) {
+      pred = NormalizeExpr(ScalarExpr::CombineConjuncts(std::move(conjuncts)));
+      if (IsConstTrue(pred)) pred = nullptr;  // vacuous WHERE clause
+    }
+
+    // ORDER BY: resolve to an attribute of an in-scope binding — resolution
+    // may create Mats, so this precedes chain assembly. The sort
+    // requirement is physical (returned to the caller), not logical.
+    if (query.order_by) {
+      if (order == nullptr) {
+        return Status::InvalidArgument(
+            "query has ORDER BY but no sort-order output was requested");
+      }
+      if (query.order_by->kind != ZqlExpr::Kind::kPath ||
+          query.order_by->path.size() < 2) {
+        return Status::InvalidArgument("ORDER BY must be a var.field path");
+      }
+      OODB_ASSIGN_OR_RETURN(ScalarExprPtr key,
+                            ConvertPath(query.order_by->path));
+      if (key->kind() != ScalarExpr::Kind::kAttr) {
+        return Status::TypeError("ORDER BY path must reach a field");
+      }
+      *order = SortSpec{key->binding(), key->field()};
+    }
+
+    // Assemble: ranges -> mats -> select -> project (paper Figure 5 shape).
+    LogicalExprPtr chain = pipeline_;
+    for (const LogicalOp& mat : mats_) {
+      chain = LogicalExpr::Make(mat, {chain});
+    }
+    if (pred) {
+      chain = LogicalExpr::Make(LogicalOp::Select(std::move(pred)), {chain});
+    }
+
+    if (!emit.empty()) {
+      chain = LogicalExpr::Make(LogicalOp::Project(std::move(emit)), {chain});
+    }
+    OODB_RETURN_IF_ERROR(ValidateLogicalTree(*chain, *ctx_).status());
+    return chain;
+  }
+
+ private:
+  Status ProcessRanges(const std::vector<ZqlRange>& ranges) {
+    for (const ZqlRange& r : ranges) {
+      OODB_RETURN_IF_ERROR(ProcessRange(r));
+    }
+    return Status::OK();
+  }
+
+  Status ProcessRange(const ZqlRange& r) {
+    OODB_ASSIGN_OR_RETURN(TypeId declared,
+                          ctx_->schema().TypeByName(r.type_name));
+    if (ctx_->bindings.ByName(r.var).ok()) {
+      return Status::InvalidArgument("duplicate range variable '" + r.var + "'");
+    }
+    if (!r.from_path) {
+      // Range over a named set, or over a type extent when no set matches.
+      CollectionId coll;
+      Result<const CollectionInfo*> set = ctx_->catalog->FindSet(r.collection);
+      if (set.ok()) {
+        coll = (*set)->id;
+      } else {
+        OODB_ASSIGN_OR_RETURN(TypeId t,
+                              ctx_->schema().TypeByName(r.collection));
+        if (!ctx_->catalog->HasExtent(t)) {
+          return Status::NotFound("no set or extent named '" + r.collection +
+                                  "'");
+        }
+        coll = CollectionId::Extent(t);
+      }
+      if (!ctx_->schema().IsSubtypeOf(coll.type, declared)) {
+        return Status::TypeError("collection '" + r.collection +
+                                 "' does not contain " + r.type_name);
+      }
+      BindingId b = ctx_->bindings.AddGet(r.var, coll.type);
+      LogicalExprPtr get = LogicalExpr::Make(LogicalOp::Get(coll, b));
+      if (!pipeline_) {
+        pipeline_ = get;
+      } else {
+        pipeline_ = LogicalExpr::Make(
+            LogicalOp::Join(ScalarExpr::Const(Value::Int(1))),
+            {pipeline_, get});
+      }
+      return Status::OK();
+    }
+
+    // Range over a set-valued path: resolve the prefix (creating Mats),
+    // unnest the set field, and materialize the revealed references.
+    OODB_ASSIGN_OR_RETURN(PathEnd end, ResolvePrefix(r.path));
+    const FieldDef& f = ctx_->schema().type(end.type).field(end.last_field);
+    if (f.kind != FieldKind::kRefSet) {
+      return Status::TypeError("range path must end in a set-valued field");
+    }
+    if (!ctx_->schema().IsSubtypeOf(f.target_type, declared)) {
+      return Status::TypeError("set elements are not " + r.type_name);
+    }
+    BindingId ref = ctx_->bindings.AddUnnest(r.var + "_ref", f.target_type,
+                                             end.binding, end.last_field);
+    mats_.push_back(LogicalOp::Unnest(end.binding, end.last_field, ref));
+    BindingId obj =
+        ctx_->bindings.AddMat(r.var, f.target_type, ref, kInvalidField);
+    mats_.push_back(LogicalOp::MatRef(ref, obj));
+    return Status::OK();
+  }
+
+  struct PathEnd {
+    BindingId binding;   ///< binding of the object owning the last field
+    TypeId type;         ///< its type
+    FieldId last_field;  ///< the final field (not yet dereferenced)
+  };
+
+  /// Resolves all but the last step of `path`, creating Mat bindings for
+  /// interior reference links.
+  Result<PathEnd> ResolvePrefix(const std::vector<std::string>& path) {
+    if (path.size() < 2) {
+      return Status::InvalidArgument("path must have at least var.field");
+    }
+    OODB_ASSIGN_OR_RETURN(BindingId cur, ctx_->bindings.ByName(path[0]));
+    std::string name = path[0];
+    for (size_t i = 1; i + 1 < path.size(); ++i) {
+      OODB_ASSIGN_OR_RETURN(cur, Traverse(cur, name, path[i]));
+      name += "." + path[i];
+    }
+    TypeId t = ctx_->bindings.def(cur).type;
+    OODB_ASSIGN_OR_RETURN(FieldId last,
+                          ctx_->schema().ResolveField(t, path.back()));
+    return PathEnd{cur, t, last};
+  }
+
+  /// Dereferences `parent`.`field_name`, reusing an existing Mat binding for
+  /// the same link if one exists (common path-subexpression factorization).
+  Result<BindingId> Traverse(BindingId parent, const std::string& parent_name,
+                             const std::string& field_name) {
+    const BindingDef& pd = ctx_->bindings.def(parent);
+    if (pd.is_ref) {
+      return Status::TypeError("cannot dereference unresolved reference '" +
+                               parent_name + "'");
+    }
+    OODB_ASSIGN_OR_RETURN(FieldId f,
+                          ctx_->schema().ResolveField(pd.type, field_name));
+    const FieldDef& fd = ctx_->schema().type(pd.type).field(f);
+    if (fd.kind != FieldKind::kRef) {
+      return Status::TypeError("path step '" + field_name +
+                               "' is not a single reference");
+    }
+    std::string name = parent_name + "." + field_name;
+    if (Result<BindingId> existing = ctx_->bindings.ByName(name);
+        existing.ok()) {
+      return *existing;
+    }
+    BindingId target = ctx_->bindings.AddMat(name, fd.target_type, parent, f);
+    mats_.push_back(LogicalOp::Mat(parent, f, target));
+    return target;
+  }
+
+  /// Splits the WHERE clause at top-level ANDs; EXISTS conjuncts are merged
+  /// into the outer pipeline, everything else converts to a scalar conjunct.
+  Status ConvertWhere(const ZqlExpr& e, std::vector<ScalarExprPtr>* out) {
+    if (e.kind == ZqlExpr::Kind::kAnd) {
+      for (const ZqlExprPtr& c : e.children) {
+        OODB_RETURN_IF_ERROR(ConvertWhere(*c, out));
+      }
+      return Status::OK();
+    }
+    if (e.kind == ZqlExpr::Kind::kExists) {
+      OODB_RETURN_IF_ERROR(ProcessRanges(e.subquery->from));
+      if (e.subquery->where) {
+        OODB_RETURN_IF_ERROR(ConvertWhere(*e.subquery->where, out));
+      }
+      return Status::OK();
+    }
+    OODB_ASSIGN_OR_RETURN(ScalarExprPtr s, ConvertExpr(e));
+    out->push_back(std::move(s));
+    return Status::OK();
+  }
+
+  Result<ScalarExprPtr> ConvertExpr(const ZqlExpr& e) {
+    switch (e.kind) {
+      case ZqlExpr::Kind::kPath:
+        return ConvertPath(e.path);
+      case ZqlExpr::Kind::kLiteral:
+        return ScalarExpr::Const(e.literal);
+      case ZqlExpr::Kind::kCmp: {
+        OODB_ASSIGN_OR_RETURN(ScalarExprPtr l, ConvertExpr(*e.children[0]));
+        OODB_ASSIGN_OR_RETURN(ScalarExprPtr r, ConvertExpr(*e.children[1]));
+        return ScalarExpr::Cmp(e.cmp, std::move(l), std::move(r));
+      }
+      case ZqlExpr::Kind::kAnd:
+      case ZqlExpr::Kind::kOr: {
+        std::vector<ScalarExprPtr> parts;
+        for (const ZqlExprPtr& c : e.children) {
+          OODB_ASSIGN_OR_RETURN(ScalarExprPtr s, ConvertExpr(*c));
+          parts.push_back(std::move(s));
+        }
+        return e.kind == ZqlExpr::Kind::kAnd
+                   ? ScalarExpr::And(std::move(parts))
+                   : ScalarExpr::Or(std::move(parts));
+      }
+      case ZqlExpr::Kind::kNot: {
+        OODB_ASSIGN_OR_RETURN(ScalarExprPtr inner, ConvertExpr(*e.children[0]));
+        return ScalarExpr::Not(std::move(inner));
+      }
+      case ZqlExpr::Kind::kExists:
+        return Status::Unimplemented(
+            "EXISTS is only supported as a top-level WHERE conjunct");
+    }
+    return Status::Internal("unhandled ZQL expression kind");
+  }
+
+  /// A bare variable denotes object identity; `x.f1...fn` resolves interior
+  /// links as Mats and reads the final field. A path ending in a reference
+  /// field yields the reference value (an Attr of ref kind), so
+  /// `e.department == d` compiles to Attr(e, dept) == Self(d).
+  Result<ScalarExprPtr> ConvertPath(const std::vector<std::string>& path) {
+    OODB_ASSIGN_OR_RETURN(BindingId root, ctx_->bindings.ByName(path[0]));
+    if (path.size() == 1) {
+      return ScalarExpr::Self(root);
+    }
+    OODB_ASSIGN_OR_RETURN(PathEnd end, ResolvePrefix(path));
+    const FieldDef& f = ctx_->schema().type(end.type).field(end.last_field);
+    if (f.kind == FieldKind::kRefSet) {
+      return Status::TypeError(
+          "set-valued path used as a scalar; bind it with a FROM range or "
+          "EXISTS instead");
+    }
+    return ScalarExpr::Attr(end.binding, end.last_field);
+  }
+
+  QueryContext* ctx_;
+  LogicalExprPtr pipeline_;       // the Get/Join/(nothing yet) base
+  std::vector<LogicalOp> mats_;   // Unnest/Mat ops in dependency order
+};
+
+}  // namespace
+
+Result<LogicalExprPtr> SimplifyQuery(const ZqlQuery& query, QueryContext* ctx,
+                                     SortSpec* order) {
+  if (query.from.empty()) {
+    return Status::InvalidArgument("query has no FROM ranges");
+  }
+  Simplifier s(ctx);
+  return s.Run(query, order);
+}
+
+Result<LogicalExprPtr> ParseAndSimplify(const std::string& text,
+                                        QueryContext* ctx, SortSpec* order) {
+  OODB_ASSIGN_OR_RETURN(ZqlQueryPtr q, ParseZql(text));
+  return SimplifyQuery(*q, ctx, order);
+}
+
+}  // namespace oodb

@@ -1,0 +1,39 @@
+// Query simplification (paper §3 "Query Simplification"): translates a
+// user-level ZQL query — complex arguments, path expressions, set-valued
+// paths, existentially quantified nested subqueries — into an equivalent
+// logical-algebra expression with *simple* operator arguments suitable as
+// optimizer input:
+//
+//   * every single-valued path link becomes an explicit Mat operator,
+//   * every set-valued path becomes Unnest followed by a Mat resolving the
+//     revealed references (paper Figure 3),
+//   * existential subqueries are unnested into the outer query's pipeline
+//     (Muralikrishna-style; multiset semantics — an outer element joined
+//     with k witnesses appears k times, as in the paper's algebra, which
+//     has no duplicate-elimination operator),
+//   * multiple FROM ranges are combined with constant-true joins whose real
+//     predicates arrive from the WHERE clause during optimization.
+#ifndef OODB_QUERY_SIMPLIFY_H_
+#define OODB_QUERY_SIMPLIFY_H_
+
+#include "src/algebra/logical_op.h"
+#include "src/physical/phys_props.h"
+#include "src/query/zql_ast.h"
+
+namespace oodb {
+
+/// Simplifies `query` into the optimizer's input algebra, creating bindings
+/// in `ctx` (which must be fresh for this query). An ORDER BY clause does
+/// not become a logical operator: it is returned through `order` as the
+/// sort-order physical property the plan root must deliver.
+Result<LogicalExprPtr> SimplifyQuery(const ZqlQuery& query, QueryContext* ctx,
+                                     SortSpec* order = nullptr);
+
+/// Parses and simplifies a textual query.
+Result<LogicalExprPtr> ParseAndSimplify(const std::string& text,
+                                        QueryContext* ctx,
+                                        SortSpec* order = nullptr);
+
+}  // namespace oodb
+
+#endif  // OODB_QUERY_SIMPLIFY_H_

@@ -1,0 +1,107 @@
+#include "src/query/zql_ast.h"
+
+#include "src/common/strings.h"
+
+namespace oodb {
+
+ZqlExprPtr ZqlExpr::MakePath(std::vector<std::string> steps) {
+  auto e = std::make_shared<ZqlExpr>();
+  e->kind = Kind::kPath;
+  e->path = std::move(steps);
+  return e;
+}
+
+ZqlExprPtr ZqlExpr::MakePathDotted(const std::string& dotted) {
+  return MakePath(Split(dotted, '.'));
+}
+
+ZqlExprPtr ZqlExpr::MakeLiteral(Value v) {
+  auto e = std::make_shared<ZqlExpr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ZqlExprPtr ZqlExpr::MakeCmp(CmpOp op, ZqlExprPtr l, ZqlExprPtr r) {
+  auto e = std::make_shared<ZqlExpr>();
+  e->kind = Kind::kCmp;
+  e->cmp = op;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+ZqlExprPtr ZqlExpr::MakeAnd(std::vector<ZqlExprPtr> children) {
+  if (children.size() == 1) return children[0];
+  auto e = std::make_shared<ZqlExpr>();
+  e->kind = Kind::kAnd;
+  e->children = std::move(children);
+  return e;
+}
+
+ZqlExprPtr ZqlExpr::MakeOr(std::vector<ZqlExprPtr> children) {
+  if (children.size() == 1) return children[0];
+  auto e = std::make_shared<ZqlExpr>();
+  e->kind = Kind::kOr;
+  e->children = std::move(children);
+  return e;
+}
+
+ZqlExprPtr ZqlExpr::MakeNot(ZqlExprPtr child) {
+  auto e = std::make_shared<ZqlExpr>();
+  e->kind = Kind::kNot;
+  e->children = {std::move(child)};
+  return e;
+}
+
+ZqlExprPtr ZqlExpr::MakeExists(ZqlQueryPtr subquery) {
+  auto e = std::make_shared<ZqlExpr>();
+  e->kind = Kind::kExists;
+  e->subquery = std::move(subquery);
+  return e;
+}
+
+std::string ZqlExpr::ToString() const {
+  switch (kind) {
+    case Kind::kPath:
+      return Join(path, ".");
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kCmp:
+      return children[0]->ToString() + " " + CmpOpName(cmp) + " " +
+             children[1]->ToString();
+    case Kind::kAnd: {
+      std::vector<std::string> parts;
+      for (const ZqlExprPtr& c : children) parts.push_back(c->ToString());
+      return Join(parts, " && ");
+    }
+    case Kind::kOr: {
+      std::vector<std::string> parts;
+      for (const ZqlExprPtr& c : children) {
+        parts.push_back("(" + c->ToString() + ")");
+      }
+      return Join(parts, " || ");
+    }
+    case Kind::kNot:
+      return "!(" + children[0]->ToString() + ")";
+    case Kind::kExists:
+      return "EXISTS (" + subquery->ToString() + ")";
+  }
+  return "?";
+}
+
+std::string ZqlRange::ToString() const {
+  std::string src = from_path ? Join(path, ".") : collection;
+  return type_name + " " + var + " IN " + src;
+}
+
+std::string ZqlQuery::ToString() const {
+  std::vector<std::string> sel, rng;
+  for (const ZqlExprPtr& e : select) sel.push_back(e->ToString());
+  for (const ZqlRange& r : from) rng.push_back(r.ToString());
+  std::string out = "SELECT " + Join(sel, ", ") + " FROM " + Join(rng, ", ");
+  if (where) out += " WHERE " + where->ToString();
+  if (order_by) out += " ORDER BY " + order_by->ToString();
+  return out;
+}
+
+}  // namespace oodb

@@ -1,0 +1,80 @@
+// ZQL[C++]-style user query AST (paper §3 "User Query Language"). This is
+// the *user-level* algebra with arbitrarily complex arguments (path
+// expressions, nested existential subqueries); the simplification stage
+// (simplify.h) translates it into the optimizer's simple-argument algebra.
+#ifndef OODB_QUERY_ZQL_AST_H_
+#define OODB_QUERY_ZQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/algebra/expr.h"
+
+namespace oodb {
+
+struct ZqlQuery;
+using ZqlQueryPtr = std::shared_ptr<ZqlQuery>;
+
+struct ZqlExpr;
+using ZqlExprPtr = std::shared_ptr<ZqlExpr>;
+
+/// A user-level expression.
+struct ZqlExpr {
+  enum class Kind {
+    kPath,    ///< dotted path from a range variable: e.dept.name
+    kLiteral, ///< constant
+    kCmp,     ///< comparison
+    kAnd,
+    kOr,
+    kNot,
+    kExists,  ///< existentially quantified subquery
+  };
+
+  Kind kind = Kind::kLiteral;
+  std::vector<std::string> path;  // kPath
+  Value literal;                  // kLiteral
+  CmpOp cmp = CmpOp::kEq;         // kCmp
+  std::vector<ZqlExprPtr> children;
+  ZqlQueryPtr subquery;           // kExists
+
+  static ZqlExprPtr MakePath(std::vector<std::string> steps);
+  /// Splits "e.dept.name" on dots.
+  static ZqlExprPtr MakePathDotted(const std::string& dotted);
+  static ZqlExprPtr MakeLiteral(Value v);
+  static ZqlExprPtr MakeCmp(CmpOp op, ZqlExprPtr l, ZqlExprPtr r);
+  static ZqlExprPtr MakeAnd(std::vector<ZqlExprPtr> children);
+  static ZqlExprPtr MakeOr(std::vector<ZqlExprPtr> children);
+  static ZqlExprPtr MakeNot(ZqlExprPtr child);
+  static ZqlExprPtr MakeExists(ZqlQueryPtr subquery);
+
+  std::string ToString() const;
+};
+
+/// One FROM-clause range: `Type var IN source`, where source is a named
+/// collection or a set-valued path (e.g. `Employee m IN t.team_members`).
+struct ZqlRange {
+  std::string type_name;
+  std::string var;
+  bool from_path = false;
+  std::string collection;          // when !from_path
+  std::vector<std::string> path;   // when from_path
+
+  std::string ToString() const;
+};
+
+/// A select-from-where[-order-by] query.
+struct ZqlQuery {
+  std::vector<ZqlExprPtr> select;
+  std::vector<ZqlRange> from;
+  ZqlExprPtr where;  // may be null
+  /// Optional ORDER BY path (ascending). Becomes a required *physical*
+  /// property (sort order) of the plan root, not a logical operator.
+  ZqlExprPtr order_by;
+
+  std::string ToString() const;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_QUERY_ZQL_AST_H_

@@ -1,0 +1,153 @@
+#include "src/query/zql_lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace oodb {
+
+namespace {
+Status LexError(const std::string& msg, int offset) {
+  return Status::ParseError(msg + " at offset " + std::to_string(offset));
+}
+}  // namespace
+
+Result<std::vector<Token>> LexZql(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto peek = [&](size_t k) { return i + k < n ? input[i + k] : '\0'; };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      tok.kind = TokKind::kIdent;
+      tok.text = input.substr(start, i - start);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        // A dot followed by a non-digit ends the number (path syntax like
+        // `3.foo` cannot occur; numbers are never dereferenced).
+        if (input[i] == '.') {
+          if (i + 1 < n && std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+            is_double = true;
+          } else {
+            break;
+          }
+        }
+        ++i;
+      }
+      std::string text = input.substr(start, i - start);
+      if (is_double) {
+        tok.kind = TokKind::kDouble;
+        tok.dbl_val = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.kind = TokKind::kInt;
+        tok.int_val = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t start = ++i;
+      while (i < n && input[i] != quote) ++i;
+      if (i >= n) return LexError("unterminated string literal", tok.offset);
+      tok.kind = TokKind::kString;
+      tok.text = input.substr(start, i - start);
+      ++i;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    switch (c) {
+      case '.':
+        tok.kind = TokKind::kDot;
+        ++i;
+        break;
+      case ',':
+        tok.kind = TokKind::kComma;
+        ++i;
+        break;
+      case '(':
+        tok.kind = TokKind::kLParen;
+        ++i;
+        break;
+      case ')':
+        tok.kind = TokKind::kRParen;
+        ++i;
+        break;
+      case ';':
+        tok.kind = TokKind::kSemi;
+        ++i;
+        break;
+      case '=':
+        if (peek(1) != '=') return LexError("expected '=='", tok.offset);
+        tok.kind = TokKind::kEq;
+        i += 2;
+        break;
+      case '!':
+        if (peek(1) == '=') {
+          tok.kind = TokKind::kNe;
+          i += 2;
+        } else {
+          tok.kind = TokKind::kNot;
+          ++i;
+        }
+        break;
+      case '<':
+        if (peek(1) == '=') {
+          tok.kind = TokKind::kLe;
+          i += 2;
+        } else {
+          tok.kind = TokKind::kLt;
+          ++i;
+        }
+        break;
+      case '>':
+        if (peek(1) == '=') {
+          tok.kind = TokKind::kGe;
+          i += 2;
+        } else {
+          tok.kind = TokKind::kGt;
+          ++i;
+        }
+        break;
+      case '&':
+        if (peek(1) != '&') return LexError("expected '&&'", tok.offset);
+        tok.kind = TokKind::kAnd;
+        i += 2;
+        break;
+      case '|':
+        if (peek(1) != '|') return LexError("expected '||'", tok.offset);
+        tok.kind = TokKind::kOr;
+        i += 2;
+        break;
+      default:
+        return LexError(std::string("unexpected character '") + c + "'",
+                        tok.offset);
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.offset = static_cast<int>(n);
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace oodb

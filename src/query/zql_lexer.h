@@ -1,0 +1,47 @@
+// Lexer for the textual ZQL[C++]-like query syntax.
+#ifndef OODB_QUERY_ZQL_LEXER_H_
+#define OODB_QUERY_ZQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace oodb {
+
+enum class TokKind {
+  kEnd,
+  kIdent,    // foo (keywords detected by the parser case-insensitively)
+  kInt,      // 42
+  kDouble,   // 4.2
+  kString,   // "foo" or 'foo'
+  kDot,      // .
+  kComma,    // ,
+  kLParen,   // (
+  kRParen,   // )
+  kSemi,     // ;
+  kEq,       // ==
+  kNe,       // !=
+  kLt,       // <
+  kLe,       // <=
+  kGt,       // >
+  kGe,       // >=
+  kAnd,      // &&
+  kOr,       // ||
+  kNot,      // !
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // ident / string contents
+  int64_t int_val = 0;
+  double dbl_val = 0.0;
+  int offset = 0;     // byte offset in the input, for error messages
+};
+
+/// Tokenizes the whole input.
+Result<std::vector<Token>> LexZql(const std::string& input);
+
+}  // namespace oodb
+
+#endif  // OODB_QUERY_ZQL_LEXER_H_

@@ -1,0 +1,240 @@
+#include "src/query/zql_parser.h"
+
+#include <algorithm>
+
+#include "src/query/zql_lexer.h"
+
+namespace oodb {
+
+namespace {
+
+bool IsKeyword(const Token& t, const char* kw) {
+  if (t.kind != TokKind::kIdent) return false;
+  if (t.text.size() != std::string(kw).size()) return false;
+  for (size_t i = 0; i < t.text.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(t.text[i])) != kw[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ZqlQueryPtr> ParseQuery() {
+    OODB_ASSIGN_OR_RETURN(ZqlQueryPtr q, ParseQueryBody());
+    if (Peek().kind == TokKind::kSemi) Advance();
+    if (Peek().kind != TokKind::kEnd) {
+      return Error("trailing input after query");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(int k = 0) const {
+    size_t i = std::min(pos_ + k, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  Result<ZqlQueryPtr> ParseQueryBody() {
+    if (!IsKeyword(Peek(), "SELECT")) return Error("expected SELECT");
+    Advance();
+    auto q = std::make_shared<ZqlQuery>();
+    while (true) {
+      OODB_ASSIGN_OR_RETURN(ZqlExprPtr e, ParseExpr());
+      q->select.push_back(std::move(e));
+      if (Peek().kind != TokKind::kComma) break;
+      Advance();
+    }
+    if (!IsKeyword(Peek(), "FROM")) return Error("expected FROM");
+    Advance();
+    while (true) {
+      OODB_ASSIGN_OR_RETURN(ZqlRange r, ParseRange());
+      q->from.push_back(std::move(r));
+      if (Peek().kind != TokKind::kComma) break;
+      Advance();
+    }
+    if (IsKeyword(Peek(), "WHERE")) {
+      Advance();
+      OODB_ASSIGN_OR_RETURN(q->where, ParseExpr());
+    }
+    if (IsKeyword(Peek(), "ORDER")) {
+      Advance();
+      if (!IsKeyword(Peek(), "BY")) return Error("expected BY after ORDER");
+      Advance();
+      OODB_ASSIGN_OR_RETURN(std::vector<std::string> path, ParsePathSteps());
+      q->order_by = ZqlExpr::MakePath(std::move(path));
+    }
+    return q;
+  }
+
+  Result<ZqlRange> ParseRange() {
+    ZqlRange r;
+    if (Peek().kind != TokKind::kIdent) return Error("expected type name");
+    r.type_name = Advance().text;
+    if (Peek().kind != TokKind::kIdent) return Error("expected range variable");
+    r.var = Advance().text;
+    if (!IsKeyword(Peek(), "IN")) return Error("expected IN");
+    Advance();
+    OODB_ASSIGN_OR_RETURN(std::vector<std::string> path, ParsePathSteps());
+    if (path.size() == 1) {
+      r.collection = path[0];
+    } else {
+      r.from_path = true;
+      r.path = std::move(path);
+    }
+    return r;
+  }
+
+  /// ident ('(' ')')? ('.' ident ('(' ')')?)*
+  Result<std::vector<std::string>> ParsePathSteps() {
+    std::vector<std::string> steps;
+    if (Peek().kind != TokKind::kIdent) return Error("expected identifier");
+    steps.push_back(Advance().text);
+    MaybeEmptyParens();
+    while (Peek().kind == TokKind::kDot) {
+      Advance();
+      if (Peek().kind != TokKind::kIdent) {
+        return Error("expected identifier after '.'");
+      }
+      steps.push_back(Advance().text);
+      MaybeEmptyParens();
+    }
+    return steps;
+  }
+
+  void MaybeEmptyParens() {
+    if (Peek().kind == TokKind::kLParen && Peek(1).kind == TokKind::kRParen) {
+      Advance();
+      Advance();
+    }
+  }
+
+  Result<ZqlExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ZqlExprPtr> ParseOr() {
+    OODB_ASSIGN_OR_RETURN(ZqlExprPtr first, ParseAnd());
+    std::vector<ZqlExprPtr> parts = {std::move(first)};
+    while (Peek().kind == TokKind::kOr) {
+      Advance();
+      OODB_ASSIGN_OR_RETURN(ZqlExprPtr next, ParseAnd());
+      parts.push_back(std::move(next));
+    }
+    return ZqlExpr::MakeOr(std::move(parts));
+  }
+
+  Result<ZqlExprPtr> ParseAnd() {
+    OODB_ASSIGN_OR_RETURN(ZqlExprPtr first, ParseUnary());
+    std::vector<ZqlExprPtr> parts = {std::move(first)};
+    while (Peek().kind == TokKind::kAnd) {
+      Advance();
+      OODB_ASSIGN_OR_RETURN(ZqlExprPtr next, ParseUnary());
+      parts.push_back(std::move(next));
+    }
+    return ZqlExpr::MakeAnd(std::move(parts));
+  }
+
+  Result<ZqlExprPtr> ParseUnary() {
+    if (Peek().kind == TokKind::kNot) {
+      Advance();
+      OODB_ASSIGN_OR_RETURN(ZqlExprPtr inner, ParseUnary());
+      return ZqlExpr::MakeNot(std::move(inner));
+    }
+    return ParseComparison();
+  }
+
+  Result<ZqlExprPtr> ParseComparison() {
+    OODB_ASSIGN_OR_RETURN(ZqlExprPtr left, ParsePrimary());
+    CmpOp op;
+    switch (Peek().kind) {
+      case TokKind::kEq:
+        op = CmpOp::kEq;
+        break;
+      case TokKind::kNe:
+        op = CmpOp::kNe;
+        break;
+      case TokKind::kLt:
+        op = CmpOp::kLt;
+        break;
+      case TokKind::kLe:
+        op = CmpOp::kLe;
+        break;
+      case TokKind::kGt:
+        op = CmpOp::kGt;
+        break;
+      case TokKind::kGe:
+        op = CmpOp::kGe;
+        break;
+      default:
+        return left;
+    }
+    Advance();
+    OODB_ASSIGN_OR_RETURN(ZqlExprPtr right, ParsePrimary());
+    return ZqlExpr::MakeCmp(op, std::move(left), std::move(right));
+  }
+
+  Result<ZqlExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokKind::kLParen: {
+        Advance();
+        OODB_ASSIGN_OR_RETURN(ZqlExprPtr inner, ParseExpr());
+        if (Peek().kind != TokKind::kRParen) return Error("expected ')'");
+        Advance();
+        return inner;
+      }
+      case TokKind::kInt: {
+        int64_t v = Advance().int_val;
+        return ZqlExpr::MakeLiteral(Value::Int(v));
+      }
+      case TokKind::kDouble: {
+        double v = Advance().dbl_val;
+        return ZqlExpr::MakeLiteral(Value::Double(v));
+      }
+      case TokKind::kString: {
+        std::string v = Advance().text;
+        return ZqlExpr::MakeLiteral(Value::Str(std::move(v)));
+      }
+      case TokKind::kIdent: {
+        if (IsKeyword(t, "EXISTS")) {
+          Advance();
+          if (Peek().kind != TokKind::kLParen) {
+            return Error("expected '(' after EXISTS");
+          }
+          Advance();
+          OODB_ASSIGN_OR_RETURN(ZqlQueryPtr sub, ParseQueryBody());
+          if (Peek().kind != TokKind::kRParen) {
+            return Error("expected ')' after subquery");
+          }
+          Advance();
+          return ZqlExpr::MakeExists(std::move(sub));
+        }
+        OODB_ASSIGN_OR_RETURN(std::vector<std::string> steps, ParsePathSteps());
+        return ZqlExpr::MakePath(std::move(steps));
+      }
+      default:
+        return Error("expected expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ZqlQueryPtr> ParseZql(const std::string& input) {
+  OODB_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexZql(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+}  // namespace oodb

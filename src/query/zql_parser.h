@@ -1,0 +1,22 @@
+// Recursive-descent parser for the textual ZQL[C++]-like syntax:
+//
+//   SELECT e.name, d.name
+//   FROM Employee e IN Employees, Department d IN Departments
+//   WHERE d.floor == 3 && e.age >= 32 && e.dept == d;
+//
+// Path components may carry empty parens mimicking ZQL[C++]'s accessor
+// methods (`e.name()` is accepted as `e.name`). Existential subqueries:
+// `EXISTS (SELECT m FROM Employee m IN t.team_members WHERE m.name == "Fred")`.
+#ifndef OODB_QUERY_ZQL_PARSER_H_
+#define OODB_QUERY_ZQL_PARSER_H_
+
+#include "src/query/zql_ast.h"
+
+namespace oodb {
+
+/// Parses a complete query.
+Result<ZqlQueryPtr> ParseZql(const std::string& input);
+
+}  // namespace oodb
+
+#endif  // OODB_QUERY_ZQL_PARSER_H_

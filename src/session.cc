@@ -1,0 +1,35 @@
+#include "src/session.h"
+
+namespace oodb {
+
+Result<SessionResult> Session::Query(const std::string& zql) {
+  SessionResult out;
+  out.ctx.catalog = catalog_;
+  SortSpec order;
+  OODB_ASSIGN_OR_RETURN(out.logical, ParseAndSimplify(zql, &out.ctx, &order));
+  PhysProps required;
+  required.sort = order;
+  Optimizer optimizer(catalog_, options_.optimizer);
+  OODB_ASSIGN_OR_RETURN(
+      out.optimized, optimizer.Optimize(*out.logical, &out.ctx, required));
+  OODB_ASSIGN_OR_RETURN(
+      out.exec,
+      ExecutePlan(*out.optimized.plan, &store_, &out.ctx, options_.exec));
+  return out;
+}
+
+Result<std::string> Session::Explain(const std::string& zql) {
+  QueryContext ctx;
+  ctx.catalog = catalog_;
+  SortSpec order;
+  OODB_ASSIGN_OR_RETURN(LogicalExprPtr logical,
+                        ParseAndSimplify(zql, &ctx, &order));
+  PhysProps required;
+  required.sort = order;
+  Optimizer optimizer(catalog_, options_.optimizer);
+  OODB_ASSIGN_OR_RETURN(OptimizedQuery optimized,
+                        optimizer.Optimize(*logical, &ctx, required));
+  return PrintPlan(*optimized.plan, ctx, /*with_costs=*/true);
+}
+
+}  // namespace oodb

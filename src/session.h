@@ -1,0 +1,72 @@
+// Session: the convenience facade bundling a catalog, an object store, and
+// an optimizer into a queryable "database" — parse, simplify, optimize, and
+// execute in one call.
+#ifndef OODB_SESSION_H_
+#define OODB_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "src/catalog/analyze.h"
+#include "src/exec/executor.h"
+#include "src/optimizer.h"
+#include "src/query/simplify.h"
+
+namespace oodb {
+
+/// The result of Session::Query: the plan, its anticipated cost, and the
+/// executed rows/statistics.
+struct SessionResult {
+  QueryContext ctx;  ///< bindings (needed to render plan/exprs)
+  LogicalExprPtr logical;
+  OptimizedQuery optimized;
+  ExecStats exec;
+
+  std::string PlanText(bool with_costs = false) const {
+    return PrintPlan(*optimized.plan, ctx, with_costs);
+  }
+  const std::vector<std::vector<Value>>& rows() const {
+    return exec.sample_rows;
+  }
+};
+
+/// A queryable database session. Owns the store; the catalog is shared and
+/// may be updated (Analyze, index toggles) between queries.
+class Session {
+ public:
+  struct Options {
+    OptimizerOptions optimizer;
+    StoreOptions store;
+    ExecOptions exec;
+
+    Options() { exec.sample_limit = 1000; }  // keep whole result sets
+  };
+
+  explicit Session(Catalog* catalog, Options options = {})
+      : catalog_(catalog), options_(std::move(options)),
+        store_(catalog, options_.store) {}
+
+  ObjectStore& store() { return store_; }
+  Catalog& catalog() { return *catalog_; }
+  Options& options() { return options_; }
+
+  /// Parses, simplifies, optimizes, and executes a ZQL query.
+  Result<SessionResult> Query(const std::string& zql);
+
+  /// Optimizes without executing; returns the rendered plan with costs.
+  Result<std::string> Explain(const std::string& zql);
+
+  /// Refreshes the catalog's statistics from the stored data.
+  Status Analyze(AnalyzeOptions options = {}) {
+    return AnalyzeStore(store_, catalog_, options);
+  }
+
+ private:
+  Catalog* catalog_;
+  Options options_;
+  ObjectStore store_;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_SESSION_H_

@@ -1,0 +1,28 @@
+#include "src/storage/buffer_pool.h"
+
+namespace oodb {
+
+void BufferPool::Access(PageId page) {
+  auto it = index_.find(page);
+  if (it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  ++misses_;
+  disk_->Read(page);
+  lru_.push_front(page);
+  index_[page] = lru_.begin();
+  if (static_cast<int64_t>(lru_.size()) > capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void BufferPool::Reset() {
+  lru_.clear();
+  index_.clear();
+  hits_ = misses_ = 0;
+}
+
+}  // namespace oodb

@@ -1,0 +1,39 @@
+// A simple LRU buffer pool over the simulated disk.
+#ifndef OODB_STORAGE_BUFFER_POOL_H_
+#define OODB_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "src/storage/disk_model.h"
+
+namespace oodb {
+
+/// LRU page cache: hits are free, misses hit the disk model and may evict.
+class BufferPool {
+ public:
+  BufferPool(DiskModel* disk, int64_t capacity_pages)
+      : disk_(disk), capacity_(capacity_pages) {}
+
+  /// Touches `page`, faulting it in if absent.
+  void Access(PageId page);
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t resident() const { return static_cast<int64_t>(lru_.size()); }
+  int64_t capacity() const { return capacity_; }
+
+  void Reset();
+
+ private:
+  DiskModel* disk_;
+  int64_t capacity_;
+  std::list<PageId> lru_;  // front = most recent
+  std::unordered_map<PageId, std::list<PageId>::iterator> index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_STORAGE_BUFFER_POOL_H_

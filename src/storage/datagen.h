@@ -1,0 +1,38 @@
+// Synthetic data generator for the paper's universe (Table 1): Persons,
+// Countries, Cities/Capitals, Plants, Departments, Jobs, Employees,
+// Information, and Tasks with team members. Value distributions are chosen
+// so that actual match counts agree with the catalog's selectivity
+// statistics (e.g. exactly ceil(|Cities| / distinct-mayor-names) cities have
+// a mayor named "Joe").
+#ifndef OODB_STORAGE_DATAGEN_H_
+#define OODB_STORAGE_DATAGEN_H_
+
+#include "src/catalog/paper_catalog.h"
+#include "src/common/rng.h"
+#include "src/storage/object_store.h"
+
+namespace oodb {
+
+struct GenOptions {
+  uint64_t seed = 42;
+  /// Number of Plant objects (the catalog deliberately has no statistics
+  /// for Plant; this is the physical population).
+  int64_t num_plants = 100;
+  /// Fraction of plants located in "Dallas".
+  double dallas_fraction = 0.10;
+};
+
+/// Handy OID lists of the generated population.
+struct PaperDataset {
+  std::vector<Oid> persons, countries, cities, capitals, plants, departments,
+      jobs, employees, tasks, infos;
+};
+
+/// Populates `store` (which must have been created over `db.catalog`) and
+/// builds all registered indexes.
+Result<PaperDataset> GeneratePaperData(const PaperDb& db, ObjectStore* store,
+                                       GenOptions options = {});
+
+}  // namespace oodb
+
+#endif  // OODB_STORAGE_DATAGEN_H_

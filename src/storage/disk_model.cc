@@ -1,0 +1,31 @@
+#include "src/storage/disk_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oodb {
+
+void DiskModel::Read(PageId page) {
+  bool sequential = position_ != kInvalidPage &&
+                    (page == position_ || page == position_ + 1);
+  if (sequential) {
+    ++seq_reads_;
+    clock_->io_s += timing_->seq_io_s;
+  } else {
+    ++random_reads_;
+    // Short forward seeks (the elevator pattern) cost less than full random
+    // repositioning: interpolate between sequential and random cost on a
+    // log scale of the seek distance.
+    double cost = timing_->random_io_s;
+    if (position_ != kInvalidPage && page > position_) {
+      double distance = static_cast<double>(page - position_);
+      double t = std::min(1.0, std::log2(distance + 1.0) / 16.0);
+      cost = timing_->seq_io_s +
+             t * (timing_->random_io_s - timing_->seq_io_s);
+    }
+    clock_->io_s += cost;
+  }
+  position_ = page;
+}
+
+}  // namespace oodb

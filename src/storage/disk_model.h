@@ -1,0 +1,58 @@
+// Simulated disk: tracks page reads, classifies them as sequential or
+// random by arm position, and accumulates simulated elapsed time using the
+// same timing constants as the optimizer's cost model — so optimizer
+// estimates can be validated against "measured" execution behaviour.
+#ifndef OODB_STORAGE_DISK_MODEL_H_
+#define OODB_STORAGE_DISK_MODEL_H_
+
+#include <cstdint>
+
+#include "src/cost/cost_model.h"
+
+namespace oodb {
+
+using PageId = int64_t;
+inline constexpr PageId kInvalidPage = -1;
+
+/// Accumulates simulated I/O and CPU time during execution.
+struct SimClock {
+  double io_s = 0.0;
+  double cpu_s = 0.0;
+
+  double total() const { return io_s + cpu_s; }
+  void Reset() { io_s = cpu_s = 0.0; }
+};
+
+/// The disk-arm model. A read of page p is *sequential* if p immediately
+/// follows the previous read (or re-reads it), otherwise *random*. Assembly's
+/// elevator pattern benefits automatically: refs sorted by page produce
+/// short forward seeks which are charged an interpolated cost.
+class DiskModel {
+ public:
+  DiskModel(const CostModelOptions* timing, SimClock* clock)
+      : timing_(timing), clock_(clock) {}
+
+  /// Records a physical read of `page`.
+  void Read(PageId page);
+
+  int64_t reads() const { return seq_reads_ + random_reads_; }
+  int64_t seq_reads() const { return seq_reads_; }
+  int64_t random_reads() const { return random_reads_; }
+  PageId position() const { return position_; }
+
+  void Reset() {
+    seq_reads_ = random_reads_ = 0;
+    position_ = kInvalidPage;
+  }
+
+ private:
+  const CostModelOptions* timing_;
+  SimClock* clock_;
+  PageId position_ = kInvalidPage;
+  int64_t seq_reads_ = 0;
+  int64_t random_reads_ = 0;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_STORAGE_DISK_MODEL_H_

@@ -1,0 +1,43 @@
+#include "src/storage/index.h"
+
+namespace oodb {
+
+bool ValueLess::operator()(const Value& a, const Value& b) const {
+  if (a.kind != b.kind) {
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  }
+  return a.Compare(b) < 0;
+}
+
+void StoredIndex::Insert(const Value& key, Oid root) {
+  entries_[key].push_back(root);
+  ++num_entries_;
+}
+
+const std::vector<Oid>& StoredIndex::Lookup(const Value& key) const {
+  static const std::vector<Oid> kEmpty;
+  auto it = entries_.find(key);
+  return it == entries_.end() ? kEmpty : it->second;
+}
+
+std::vector<Oid> StoredIndex::Scan(CmpOp op, const Value& v) const {
+  std::vector<Oid> out;
+  if (op == CmpOp::kEq) return Lookup(v);
+  for (const auto& [key, oids] : entries_) {
+    if (EvalCmp(op, key.Compare(v))) {
+      out.insert(out.end(), oids.begin(), oids.end());
+    }
+  }
+  return out;
+}
+
+std::vector<Oid> StoredIndex::Range(const Value& lo, const Value& hi) const {
+  std::vector<Oid> out;
+  for (auto it = entries_.lower_bound(lo);
+       it != entries_.end() && it->first.Compare(hi) <= 0; ++it) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+}  // namespace oodb

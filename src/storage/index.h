@@ -1,0 +1,52 @@
+// Stored (path-)indexes: ordered key -> OID-list maps built from the data.
+// A path index on collection C over path f1...fn maps the value reached by
+// dereferencing f1..fn-1 and reading fn to the *root* objects of C — the
+// paper's "index on Cities over mayor.name" (§4).
+#ifndef OODB_STORAGE_INDEX_H_
+#define OODB_STORAGE_INDEX_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/algebra/expr.h"
+#include "src/catalog/catalog.h"
+#include "src/storage/object.h"
+
+namespace oodb {
+
+/// Ordering for index keys (kind first, then value).
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const;
+};
+
+/// One built index.
+class StoredIndex {
+ public:
+  explicit StoredIndex(const IndexInfo* info) : info_(info) {}
+
+  const IndexInfo& info() const { return *info_; }
+
+  void Insert(const Value& key, Oid root);
+
+  /// Root OIDs whose path value equals `key` (empty vector if none).
+  const std::vector<Oid>& Lookup(const Value& key) const;
+
+  /// Root OIDs with key in [lo, hi] (inclusive).
+  std::vector<Oid> Range(const Value& lo, const Value& hi) const;
+
+  /// Root OIDs whose key satisfies `key_op v` (==, !=, <, <=, >, >=).
+  std::vector<Oid> Scan(CmpOp op, const Value& v) const;
+
+  int64_t num_keys() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t num_entries() const { return num_entries_; }
+
+ private:
+  const IndexInfo* info_;
+  std::map<Value, std::vector<Oid>, ValueLess> entries_;
+  int64_t num_entries_ = 0;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_STORAGE_INDEX_H_

@@ -1,0 +1,31 @@
+// Runtime objects: typed field values addressed by OID.
+#ifndef OODB_STORAGE_OBJECT_H_
+#define OODB_STORAGE_OBJECT_H_
+
+#include <vector>
+
+#include "src/algebra/expr.h"
+#include "src/catalog/schema.h"
+
+namespace oodb {
+
+using Oid = int64_t;
+inline constexpr Oid kInvalidOid = -1;
+
+/// One stored object. Scalar and single-reference fields live in `values`
+/// (references encoded as Value::Int(oid)); set-valued reference fields live
+/// in `ref_sets`, keyed by the field's position among the type's kRefSet
+/// fields (see ObjectStore::RefSetSlot).
+struct ObjectData {
+  Oid oid = kInvalidOid;
+  TypeId type = kInvalidType;
+  std::vector<Value> values;
+  std::vector<std::vector<Oid>> ref_sets;
+
+  const Value& value(FieldId f) const { return values[f]; }
+  Oid ref(FieldId f) const { return values[f].i; }
+};
+
+}  // namespace oodb
+
+#endif  // OODB_STORAGE_OBJECT_H_

@@ -1,0 +1,134 @@
+#include "src/storage/object_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace oodb {
+
+ObjectStore::ObjectStore(const Catalog* catalog, StoreOptions options)
+    : catalog_(catalog),
+      options_(options),
+      disk_(&options_.timing, &clock_),
+      buffer_(&disk_, options_.buffer_pages) {
+  placement_.resize(catalog_->schema().num_types());
+  extents_.resize(catalog_->schema().num_types());
+}
+
+Oid ObjectStore::Create(TypeId type) {
+  assert(catalog_->schema().has_type(type));
+  const TypeDef& td = catalog_->schema().type(type);
+  TypePlacement& place = placement_[type];
+  int64_t size = td.object_size();
+  if (place.current_page == kInvalidPage ||
+      place.bytes_on_current + size > options_.timing.page_size) {
+    place.current_page = next_page_++;
+    if (place.first_page == kInvalidPage) place.first_page = place.current_page;
+    place.bytes_on_current = 0;
+  }
+  place.bytes_on_current += size;
+
+  Oid oid = static_cast<Oid>(objects_.size());
+  ObjectData obj;
+  obj.oid = oid;
+  obj.type = type;
+  obj.values.resize(td.fields().size());
+  int ref_sets = 0;
+  for (const FieldDef& f : td.fields()) {
+    if (f.kind == FieldKind::kRefSet) ++ref_sets;
+  }
+  obj.ref_sets.resize(ref_sets);
+  objects_.push_back(std::move(obj));
+  object_page_.push_back(place.current_page);
+  if (catalog_->HasExtent(type)) extents_[type].push_back(oid);
+  return oid;
+}
+
+void ObjectStore::SetValue(Oid oid, FieldId field, Value v) {
+  objects_[oid].values[field] = std::move(v);
+}
+
+void ObjectStore::SetRef(Oid oid, FieldId field, Oid target) {
+  objects_[oid].values[field] = Value::Int(target);
+}
+
+void ObjectStore::AddToRefSet(Oid oid, FieldId field, Oid target) {
+  ObjectData& obj = objects_[oid];
+  const TypeDef& td = catalog_->schema().type(obj.type);
+  int slot = 0;
+  for (FieldId f = 0; f < field; ++f) {
+    if (td.field(f).kind == FieldKind::kRefSet) ++slot;
+  }
+  assert(td.field(field).kind == FieldKind::kRefSet);
+  obj.ref_sets[slot].push_back(target);
+  // Record the set's cardinality hint in values[field] for generic reads.
+  obj.values[field] = Value::Int(static_cast<int64_t>(obj.ref_sets[slot].size()));
+}
+
+Status ObjectStore::AddToSet(const std::string& set_name, Oid oid) {
+  OODB_RETURN_IF_ERROR(catalog_->FindSet(set_name).status());
+  sets_[set_name].push_back(oid);
+  return Status::OK();
+}
+
+const ObjectData& ObjectStore::Read(Oid oid, bool charge_io) {
+  if (charge_io) buffer_.Access(object_page_[oid]);
+  return objects_[oid];
+}
+
+PageId ObjectStore::PageOf(Oid oid) const { return object_page_[oid]; }
+
+Result<const std::vector<Oid>*> ObjectStore::CollectionMembers(
+    const CollectionId& id) const {
+  if (id.kind == CollectionId::Kind::kExtent) {
+    if (!catalog_->HasExtent(id.type)) {
+      return Status::NotFound("type has no extent");
+    }
+    return &extents_[id.type];
+  }
+  auto it = sets_.find(id.name);
+  if (it == sets_.end()) return Status::NotFound("set not populated: " + id.name);
+  return &it->second;
+}
+
+Status ObjectStore::BuildIndexes() {
+  indexes_.clear();
+  indexes_.reserve(catalog_->indexes().size());
+  for (const IndexInfo& info : catalog_->indexes()) {
+    StoredIndex idx(&info);
+    OODB_ASSIGN_OR_RETURN(const std::vector<Oid>* members,
+                          CollectionMembers(info.collection));
+    for (Oid root : *members) {
+      // Dereference the path without charging I/O (index construction is
+      // not part of query execution).
+      Oid cur = root;
+      bool ok = true;
+      for (size_t i = 0; i + 1 < info.path.size(); ++i) {
+        Oid next = objects_[cur].ref(info.path[i]);
+        if (next == kInvalidOid || !Exists(next)) {
+          ok = false;
+          break;
+        }
+        cur = next;
+      }
+      if (!ok) continue;
+      idx.Insert(objects_[cur].value(info.path.back()), root);
+    }
+    indexes_.push_back(std::move(idx));
+  }
+  return Status::OK();
+}
+
+Result<const StoredIndex*> ObjectStore::FindIndex(const std::string& name) const {
+  for (const StoredIndex& idx : indexes_) {
+    if (idx.info().name == name) return &idx;
+  }
+  return Status::NotFound("index not built: " + name);
+}
+
+void ObjectStore::ResetSimulation() {
+  clock_.Reset();
+  disk_.Reset();
+  buffer_.Reset();
+}
+
+}  // namespace oodb

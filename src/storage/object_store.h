@@ -1,0 +1,100 @@
+// The simulated object store: objects placed densely on pages (clustered by
+// type in creation order, as the paper assumes), named sets, type extents,
+// and an LRU buffer pool over a seek-aware disk model. Reads are charged to
+// the simulated clock so executed plans can be compared with the
+// optimizer's anticipated costs.
+#ifndef OODB_STORAGE_OBJECT_STORE_H_
+#define OODB_STORAGE_OBJECT_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/index.h"
+#include "src/storage/object.h"
+
+namespace oodb {
+
+struct StoreOptions {
+  CostModelOptions timing;
+  /// Buffer pool capacity in pages (default ~4 MB at 4 KiB pages).
+  int64_t buffer_pages = 1024;
+};
+
+/// The object store.
+class ObjectStore {
+ public:
+  explicit ObjectStore(const Catalog* catalog, StoreOptions options = {});
+
+  const Catalog& catalog() const { return *catalog_; }
+
+  // --- population (no I/O charged) ---
+
+  /// Creates an object of `type`, placing it on the type's current page.
+  Oid Create(TypeId type);
+  void SetValue(Oid oid, FieldId field, Value v);
+  void SetRef(Oid oid, FieldId field, Oid target);
+  void AddToRefSet(Oid oid, FieldId field, Oid target);
+  /// Adds `oid` to named set `set_name` (must exist in the catalog).
+  Status AddToSet(const std::string& set_name, Oid oid);
+
+  /// Builds every index registered in the catalog from the stored data.
+  Status BuildIndexes();
+
+  // --- reads (charged to the simulated clock unless charge_io = false) ---
+
+  /// Fetches an object, charging a buffer-pool access of its page.
+  const ObjectData& Read(Oid oid, bool charge_io = true);
+
+  /// Const access without any simulation accounting (statistics, tests).
+  const ObjectData& Peek(Oid oid) const { return objects_[oid]; }
+
+  PageId PageOf(Oid oid) const;
+  TypeId TypeOf(Oid oid) const { return objects_[oid].type; }
+  bool Exists(Oid oid) const {
+    return oid >= 0 && oid < static_cast<Oid>(objects_.size());
+  }
+  int64_t num_objects() const { return static_cast<Oid>(objects_.size()); }
+
+  /// Members of a collection in storage (page) order.
+  Result<const std::vector<Oid>*> CollectionMembers(const CollectionId& id) const;
+
+  Result<const StoredIndex*> FindIndex(const std::string& name) const;
+
+  // --- simulation accounting ---
+  SimClock& clock() { return clock_; }
+  DiskModel& disk() { return disk_; }
+  BufferPool& buffer() { return buffer_; }
+  const CostModelOptions& timing() const { return options_.timing; }
+
+  /// Clears simulated clock, disk stats, and buffer contents (cold start).
+  void ResetSimulation();
+
+ private:
+  struct TypePlacement {
+    PageId first_page = kInvalidPage;
+    PageId current_page = kInvalidPage;
+    int64_t bytes_on_current = 0;
+  };
+
+  const Catalog* catalog_;
+  StoreOptions options_;
+  SimClock clock_;
+  DiskModel disk_;
+  BufferPool buffer_;
+
+  std::vector<ObjectData> objects_;
+  std::vector<PageId> object_page_;
+  std::vector<TypePlacement> placement_;  // by type
+  PageId next_page_ = 0;
+
+  std::unordered_map<std::string, std::vector<Oid>> sets_;
+  std::vector<std::vector<Oid>> extents_;  // by type
+  std::vector<StoredIndex> indexes_;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_STORAGE_OBJECT_STORE_H_

@@ -1,0 +1,66 @@
+#include "src/volcano/plan.h"
+
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace oodb {
+
+PlanNodePtr PlanNode::Make(PhysicalOp op, std::vector<PlanNodePtr> children,
+                           LogicalProps logical, PhysProps delivered,
+                           Cost local_cost) {
+  auto node = std::make_shared<PlanNode>();
+  node->op = std::move(op);
+  node->children = std::move(children);
+  node->logical = logical;
+  node->delivered = delivered;
+  node->local_cost = local_cost;
+  node->total_cost = local_cost;
+  for (const PlanNodePtr& c : node->children) {
+    node->total_cost += c->total_cost;
+  }
+  return node;
+}
+
+namespace {
+void PrintRec(const PlanNode& node, const QueryContext& ctx, bool with_costs,
+              int depth, std::ostringstream& os) {
+  os << Repeat("    ", depth) << node.op.ToString(ctx);
+  if (with_costs) {
+    os << "   [card " << FormatDouble(node.logical.card, 1) << ", cost "
+       << FormatDouble(node.total_cost.total(), 3) << "s]";
+  }
+  os << "\n";
+  for (const PlanNodePtr& c : node.children) {
+    PrintRec(*c, ctx, with_costs, depth + 1, os);
+  }
+}
+
+void CollectOps(const PlanNode& node, const QueryContext& ctx,
+                std::vector<std::string>* out) {
+  out->push_back(node.op.ToString(ctx));
+  for (const PlanNodePtr& c : node.children) CollectOps(*c, ctx, out);
+}
+}  // namespace
+
+std::string PrintPlan(const PlanNode& plan, const QueryContext& ctx,
+                      bool with_costs) {
+  std::ostringstream os;
+  PrintRec(plan, ctx, with_costs, 0, os);
+  return os.str();
+}
+
+std::vector<std::string> PlanOpStrings(const PlanNode& plan,
+                                       const QueryContext& ctx) {
+  std::vector<std::string> out;
+  CollectOps(plan, ctx, &out);
+  return out;
+}
+
+int CountOps(const PlanNode& plan, PhysOpKind kind) {
+  int n = plan.op.kind == kind ? 1 : 0;
+  for (const PlanNodePtr& c : plan.children) n += CountOps(*c, kind);
+  return n;
+}
+
+}  // namespace oodb

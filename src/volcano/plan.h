@@ -1,0 +1,53 @@
+// Query evaluation plans: trees of physical operators with delivered
+// physical properties and anticipated costs, as produced by the search
+// engine and consumed by the execution engine.
+#ifndef OODB_VOLCANO_PLAN_H_
+#define OODB_VOLCANO_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/algebra/logical_props.h"
+#include "src/cost/cost_model.h"
+#include "src/physical/physical_op.h"
+
+namespace oodb {
+
+struct PlanNode;
+using PlanNodePtr = std::shared_ptr<const PlanNode>;
+
+/// One node of a physical plan.
+struct PlanNode {
+  PhysicalOp op;
+  std::vector<PlanNodePtr> children;
+
+  /// Logical properties of the implemented expression.
+  LogicalProps logical;
+  /// Physical properties this subtree delivers.
+  PhysProps delivered;
+  /// Cost of this operator alone / of the whole subtree.
+  Cost local_cost;
+  Cost total_cost;
+
+  static PlanNodePtr Make(PhysicalOp op, std::vector<PlanNodePtr> children,
+                          LogicalProps logical, PhysProps delivered,
+                          Cost local_cost);
+};
+
+/// Renders a plan in the paper's figure style (root first, children
+/// indented), optionally annotating each node with cost and cardinality.
+std::string PrintPlan(const PlanNode& plan, const QueryContext& ctx,
+                      bool with_costs = false);
+
+/// Flattens a plan to a list of operator display strings (preorder), used by
+/// tests asserting plan shapes.
+std::vector<std::string> PlanOpStrings(const PlanNode& plan,
+                                       const QueryContext& ctx);
+
+/// Counts operators of `kind` in the plan.
+int CountOps(const PlanNode& plan, PhysOpKind kind);
+
+}  // namespace oodb
+
+#endif  // OODB_VOLCANO_PLAN_H_

@@ -1,0 +1,161 @@
+// Rule interfaces of the optimizer generator: transformation rules
+// (logical -> logical), implementation rules (logical -> physical algorithm),
+// and property enforcers. Rules are registered with the search engine and
+// individually switchable by name — the mechanism behind the paper's
+// "simulated other optimizers by disabling various rules" methodology (§4).
+#ifndef OODB_VOLCANO_RULE_H_
+#define OODB_VOLCANO_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cost/cost_model.h"
+#include "src/volcano/memo.h"
+
+namespace oodb {
+
+/// Search statistics reported per optimization (Table 2's "Optim. Time" and
+/// "% of Exh. Search" columns derive from these).
+struct SearchStats {
+  int groups = 0;
+  int logical_mexprs = 0;
+  int phys_alternatives = 0;     ///< physical alternatives costed
+  int transformation_firings = 0;
+  int impl_firings = 0;
+  int enforcer_firings = 0;
+  double optimize_seconds = 0.0;
+
+  /// Total expressions generated — the exhaustive-search denominator.
+  int expressions() const { return logical_mexprs + phys_alternatives; }
+};
+
+/// Optimizer configuration.
+struct OptimizerOptions {
+  CostModelOptions cost;
+  /// Names of rules/enforcers to disable (see rule name constants below).
+  std::vector<std::string> disabled_rules;
+  /// Extensions, off by default to match the paper's configuration:
+  /// warm-start assembly (Lesson 7) and merge join + sort enforcer.
+  bool enable_warm_start_assembly = false;
+  bool enable_merge_join = false;
+  /// Branch-and-bound cost-limit pruning during the costing phase (the
+  /// paper's unevaluated "mechanisms for heuristic guidance and pruning").
+  /// Plans remain optimal; only search effort shrinks.
+  bool enable_pruning = false;
+  /// Emit rule-firing trace to stderr.
+  bool trace = false;
+
+  bool IsDisabled(const std::string& name) const {
+    for (const std::string& d : disabled_rules) {
+      if (d == name) return true;
+    }
+    return false;
+  }
+};
+
+// Rule name constants (used with OptimizerOptions::disabled_rules).
+inline constexpr const char* kRuleJoinCommute = "join-commutativity";
+inline constexpr const char* kRuleJoinAssoc = "join-associativity";
+inline constexpr const char* kRuleMatToJoin = "mat-to-join";
+inline constexpr const char* kRuleMatMatCommute = "mat-mat-commute";
+inline constexpr const char* kRuleSelectMatCommute = "select-mat-commute";
+inline constexpr const char* kRuleMatSelectCommute = "mat-select-commute";
+inline constexpr const char* kRuleSelectSplit = "select-split";
+inline constexpr const char* kRuleSelectMerge = "select-merge";
+inline constexpr const char* kRuleSelectUnnestCommute = "select-unnest-commute";
+inline constexpr const char* kRuleMatUnnestCommute = "mat-unnest-commute";
+inline constexpr const char* kRuleUnnestMatCommute = "unnest-mat-commute";
+inline constexpr const char* kRuleSelectJoinPush = "select-join-pushdown";
+inline constexpr const char* kRuleSelectJoinAbsorb = "select-join-absorb";
+inline constexpr const char* kRuleMatJoinPush = "mat-join-pushdown";
+inline constexpr const char* kRuleMatJoinPull = "mat-join-pullup";
+inline constexpr const char* kRuleSetOpCommute = "setop-commutativity";
+inline constexpr const char* kRuleSetOpAssoc = "setop-associativity";
+inline constexpr const char* kImplFileScan = "file-scan";
+inline constexpr const char* kImplIndexScan = "collapse-to-index-scan";
+inline constexpr const char* kImplFilter = "filter";
+inline constexpr const char* kImplHybridHashJoin = "hybrid-hash-join";
+inline constexpr const char* kImplPointerJoin = "pointer-join";
+inline constexpr const char* kImplAssembly = "assembly";
+inline constexpr const char* kImplAlgProject = "alg-project";
+inline constexpr const char* kImplAlgUnnest = "alg-unnest";
+inline constexpr const char* kImplHashSetOps = "hash-set-ops";
+inline constexpr const char* kImplMergeJoin = "merge-join";
+inline constexpr const char* kImplNestedLoops = "nested-loops";
+inline constexpr const char* kEnforcerAssembly = "assembly-enforcer";
+inline constexpr const char* kEnforcerSort = "sort-enforcer";
+
+/// Shared state handed to rules.
+struct OptContext {
+  QueryContext* qctx = nullptr;
+  Memo* memo = nullptr;
+  const CostModel* cost_model = nullptr;
+  const OptimizerOptions* opts = nullptr;
+  SearchStats* stats = nullptr;
+};
+
+/// A logical-to-logical transformation rule.
+class TransformationRule {
+ public:
+  virtual ~TransformationRule() = default;
+  virtual const char* name() const = 0;
+  /// Operator kind of the m-exprs this rule matches.
+  virtual LogicalOpKind root_kind() const = 0;
+  /// True if the rule also inspects child-group contents (such rules are
+  /// re-fired when a child group gains expressions).
+  virtual bool matches_children() const { return false; }
+  /// Appends substitute expressions for `mexpr` to `out`.
+  virtual Status Apply(OptContext& ctx, const LogicalMExpr& mexpr,
+                       std::vector<RuleExprPtr>* out) const = 0;
+};
+
+/// One physical alternative proposed by an implementation rule.
+struct PhysInput {
+  GroupId group = kInvalidGroup;
+  PhysProps required;
+};
+struct PhysAlternative {
+  PhysicalOp op;
+  std::vector<PhysInput> inputs;
+  /// Properties the algorithm delivers given inputs delivering theirs.
+  PhysProps delivered;
+  Cost local_cost;
+};
+
+/// A logical-to-physical implementation rule. May match multi-level
+/// patterns by inspecting child groups (e.g. collapse-to-index-scan).
+class ImplRule {
+ public:
+  virtual ~ImplRule() = default;
+  virtual const char* name() const = 0;
+  virtual LogicalOpKind root_kind() const = 0;
+  /// Appends physical alternatives that implement `mexpr` and can deliver
+  /// `required` (alternatives that cannot are filtered by the caller, so
+  /// rules may emit optimistically).
+  virtual Status Apply(OptContext& ctx, const LogicalMExpr& mexpr,
+                       const PhysProps& required,
+                       std::vector<PhysAlternative>* out) const = 0;
+};
+
+/// An enforcer alternative: a property-enforcing operator over the *same*
+/// group optimized under weaker requirements.
+struct EnforcerAlt {
+  PhysicalOp op;
+  PhysProps child_required;
+  PhysProps delivered;
+  Cost local_cost;
+};
+
+/// A physical property enforcer.
+class Enforcer {
+ public:
+  virtual ~Enforcer() = default;
+  virtual const char* name() const = 0;
+  virtual Status Apply(OptContext& ctx, GroupId group,
+                       const PhysProps& required,
+                       std::vector<EnforcerAlt>* out) const = 0;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_VOLCANO_RULE_H_

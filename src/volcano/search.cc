@@ -1,0 +1,225 @@
+#include "src/volcano/search.h"
+
+#include <chrono>
+#include <iostream>
+#include <limits>
+
+namespace oodb {
+
+namespace {
+constexpr double kNoLimit = std::numeric_limits<double>::infinity();
+}  // namespace
+
+SearchEngine::SearchEngine(QueryContext* qctx, const CostModel* cost_model,
+                           const OptimizerOptions* opts)
+    : qctx_(qctx), cost_model_(cost_model), opts_(opts), memo_(qctx) {
+  octx_.qctx = qctx_;
+  octx_.memo = &memo_;
+  octx_.cost_model = cost_model_;
+  octx_.opts = opts_;
+}
+
+void SearchEngine::AddTransformation(std::unique_ptr<TransformationRule> rule) {
+  transformations_.push_back(std::move(rule));
+}
+
+void SearchEngine::AddImplRule(std::unique_ptr<ImplRule> rule) {
+  impl_rules_.push_back(std::move(rule));
+}
+
+void SearchEngine::AddEnforcer(std::unique_ptr<Enforcer> enforcer) {
+  enforcers_.push_back(std::move(enforcer));
+}
+
+Status SearchEngine::Explore() {
+  if (transformations_.size() > 64) {
+    return Status::Internal("more than 64 transformation rules");
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // New m-exprs appended during the pass are visited in the same pass.
+    for (MExprId m = 0; m < static_cast<MExprId>(memo_.num_mexprs()); ++m) {
+      if (static_cast<size_t>(m) >= child_sizes_seen_.size()) {
+        child_sizes_seen_.resize(m + 1, -1);
+      }
+      int64_t child_sizes = 0;
+      for (size_t i = 0; i < memo_.mexpr(m).children.size(); ++i) {
+        child_sizes += memo_.group(memo_.mexpr(m).children[i]).mexprs.size();
+      }
+      bool children_grew = child_sizes != child_sizes_seen_[m];
+      for (size_t r = 0; r < transformations_.size(); ++r) {
+        const TransformationRule& rule = *transformations_[r];
+        if (rule.root_kind() != memo_.mexpr(m).op.kind) continue;
+        if (opts_->IsDisabled(rule.name())) continue;
+        uint64_t bit = 1ull << r;
+        bool fired_before = (memo_.mexpr(m).applied_rules & bit) != 0;
+        if (fired_before && !(rule.matches_children() && children_grew)) {
+          continue;
+        }
+        memo_.mutable_mexpr(m).applied_rules |= bit;
+        std::vector<RuleExprPtr> out;
+        OODB_RETURN_IF_ERROR(rule.Apply(octx_, memo_.mexpr(m), &out));
+        if (stats_ != nullptr) ++stats_->transformation_firings;
+        GroupId target = memo_.Find(memo_.mexpr(m).group);
+        for (const RuleExprPtr& e : out) {
+          OODB_ASSIGN_OR_RETURN(MExprId inserted,
+                                memo_.InsertRuleExpr(e, target));
+          if (inserted != kInvalidMExpr) {
+            changed = true;
+            if (opts_->trace) {
+              std::cerr << "[explore] " << rule.name() << ": +#" << inserted
+                        << " " << memo_.mexpr(inserted).op.ToString(*qctx_)
+                        << "\n";
+            }
+          }
+        }
+      }
+      child_sizes_seen_[m] = child_sizes;
+      // Re-check sizes next round; if a rule enlarged this m-expr's children
+      // after we recorded them, the outer loop runs again anyway because
+      // `changed` is set when anything was inserted.
+    }
+  }
+  return Status::OK();
+}
+
+Result<PlanNodePtr> SearchEngine::OptimizeGroup(GroupId g, PhysProps required,
+                                                int depth, double limit) {
+  if (depth > 100) return Status::PlanError("optimization recursion too deep");
+  if (!opts_->enable_pruning) limit = kNoLimit;
+  g = memo_.Find(g);
+  // Normalize: only loadable, in-scope bindings can be required in memory.
+  required.in_memory = LoadableBindings(
+      required.in_memory.Intersect(memo_.group(g).props.scope), *qctx_);
+
+  {
+    Group& grp = memo_.mutable_group(g);
+    auto it = grp.winners.find(required);
+    if (it != grp.winners.end()) {
+      const Winner& w = it->second;
+      if (w.in_progress) {
+        return Status::PlanError("cyclic property requirement");
+      }
+      if (w.plan) return w.plan;  // stored plans are always optimal
+      if (w.complete) {
+        return Status::PlanError("no plan can deliver required properties");
+      }
+      // Search was abandoned under a cost limit; re-run only if the new
+      // limit can reveal something the old one could not.
+      if (limit <= w.lower_bound) {
+        return Status::PlanError("pruned: no plan within cost limit");
+      }
+      grp.winners.erase(it);
+    }
+    grp.winners.emplace(required, Winner{nullptr, true, true, 0.0});
+  }
+
+  // `upper` is the running branch-and-bound bound: plans costing more are
+  // not interesting (either over the caller's limit or beaten by `best`).
+  double upper = limit;
+  PlanNodePtr best;
+  auto consider = [&](PlanNodePtr node) {
+    if (node->total_cost.total() > upper) return;
+    upper = node->total_cost.total();
+    best = std::move(node);
+  };
+
+  const std::vector<MExprId> mexprs = memo_.group(g).mexprs;  // copy: stable
+  for (MExprId mid : mexprs) {
+    const LogicalMExpr& m = memo_.mexpr(mid);
+    for (const std::unique_ptr<ImplRule>& rule : impl_rules_) {
+      if (rule->root_kind() != m.op.kind) continue;
+      if (opts_->IsDisabled(rule->name())) continue;
+      std::vector<PhysAlternative> alts;
+      OODB_RETURN_IF_ERROR(rule->Apply(octx_, m, required, &alts));
+      if (stats_ != nullptr) ++stats_->impl_firings;
+      for (PhysAlternative& alt : alts) {
+        if (stats_ != nullptr) ++stats_->phys_alternatives;
+        if (!alt.delivered.Satisfies(required)) continue;
+        double spent = alt.local_cost.total();
+        if (spent > upper) continue;
+        std::vector<PlanNodePtr> children;
+        bool ok = true;
+        for (const PhysInput& in : alt.inputs) {
+          Result<PlanNodePtr> child =
+              OptimizeGroup(in.group, in.required, depth + 1, upper - spent);
+          if (!child.ok()) {
+            ok = false;
+            break;
+          }
+          spent += (*child)->total_cost.total();
+          if (spent > upper) {
+            ok = false;
+            break;
+          }
+          children.push_back(std::move(child).value());
+        }
+        if (!ok) continue;
+        consider(PlanNode::Make(std::move(alt.op), std::move(children),
+                                memo_.group(g).props, alt.delivered,
+                                alt.local_cost));
+      }
+    }
+  }
+
+  for (const std::unique_ptr<Enforcer>& enf : enforcers_) {
+    if (opts_->IsDisabled(enf->name())) continue;
+    std::vector<EnforcerAlt> alts;
+    OODB_RETURN_IF_ERROR(enf->Apply(octx_, g, required, &alts));
+    if (stats_ != nullptr) ++stats_->enforcer_firings;
+    for (EnforcerAlt& alt : alts) {
+      if (stats_ != nullptr) ++stats_->phys_alternatives;
+      if (alt.child_required == required) continue;  // no progress
+      if (!alt.delivered.Satisfies(required)) continue;
+      if (alt.local_cost.total() > upper) continue;
+      Result<PlanNodePtr> child = OptimizeGroup(
+          g, alt.child_required, depth + 1, upper - alt.local_cost.total());
+      if (!child.ok()) continue;
+      consider(PlanNode::Make(std::move(alt.op), {std::move(child).value()},
+                              memo_.group(g).props, alt.delivered,
+                              alt.local_cost));
+    }
+  }
+
+  {
+    Winner w;
+    w.plan = best;
+    if (!best) {
+      // Definitive only if no limit could have cut a branch.
+      w.complete = limit >= kNoLimit;
+      w.lower_bound = limit;
+    }
+    memo_.mutable_group(g).winners[required] = std::move(w);
+  }
+  if (!best) {
+    return Status::PlanError("no plan found for group " + std::to_string(g));
+  }
+  if (opts_->trace) {
+    std::cerr << "[optimize] group " << g << " under "
+              << required.ToString(*qctx_) << " -> "
+              << best->op.ToString(*qctx_) << " cost "
+              << best->total_cost.ToString() << "\n";
+  }
+  return best;
+}
+
+Result<PlanNodePtr> SearchEngine::Optimize(const LogicalExpr& input,
+                                           const PhysProps& required,
+                                           SearchStats* stats) {
+  stats_ = stats;
+  auto start = std::chrono::steady_clock::now();
+  OODB_ASSIGN_OR_RETURN(GroupId root, memo_.InsertTree(input));
+  OODB_RETURN_IF_ERROR(Explore());
+  Result<PlanNodePtr> plan = OptimizeGroup(root, required, 0, kNoLimit);
+  auto end = std::chrono::steady_clock::now();
+  if (stats_ != nullptr) {
+    stats_->groups = memo_.num_groups();
+    stats_->logical_mexprs = memo_.num_mexprs();
+    stats_->optimize_seconds +=
+        std::chrono::duration<double>(end - start).count();
+  }
+  return plan;
+}
+
+}  // namespace oodb

@@ -1,0 +1,58 @@
+// The search engine: exhaustive transformation closure (exploration)
+// followed by top-down, goal-directed costing driven by required physical
+// property vectors — the Volcano strategy the paper relies on ("the search
+// process considers only those subplans that can deliver the physical
+// properties that are required by the algorithm of the containing plan").
+#ifndef OODB_VOLCANO_SEARCH_H_
+#define OODB_VOLCANO_SEARCH_H_
+
+#include <memory>
+
+#include "src/volcano/rule.h"
+
+namespace oodb {
+
+/// One-shot search engine: insert a query, explore, optimize. Constructed
+/// per optimization by the Optimizer facade.
+class SearchEngine {
+ public:
+  SearchEngine(QueryContext* qctx, const CostModel* cost_model,
+               const OptimizerOptions* opts);
+
+  void AddTransformation(std::unique_ptr<TransformationRule> rule);
+  void AddImplRule(std::unique_ptr<ImplRule> rule);
+  void AddEnforcer(std::unique_ptr<Enforcer> enforcer);
+
+  /// Optimizes `input`, requiring `required` of the root. Stats are
+  /// accumulated into `*stats`.
+  Result<PlanNodePtr> Optimize(const LogicalExpr& input,
+                               const PhysProps& required, SearchStats* stats);
+
+  Memo& memo() { return memo_; }
+
+ private:
+  /// Applies transformation rules to fixpoint over the whole memo.
+  Status Explore();
+
+  Result<PlanNodePtr> OptimizeGroup(GroupId g, PhysProps required, int depth,
+                                    double limit);
+
+  QueryContext* qctx_;
+  const CostModel* cost_model_;
+  const OptimizerOptions* opts_;
+  Memo memo_;
+  OptContext octx_;
+  SearchStats* stats_ = nullptr;
+
+  std::vector<std::unique_ptr<TransformationRule>> transformations_;
+  std::vector<std::unique_ptr<ImplRule>> impl_rules_;
+  std::vector<std::unique_ptr<Enforcer>> enforcers_;
+
+  /// Per-mexpr sum of child-group sizes when child-matching rules last
+  /// fired; triggers re-firing after child groups grow.
+  std::vector<int64_t> child_sizes_seen_;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_VOLCANO_SEARCH_H_

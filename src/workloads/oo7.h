@@ -1,0 +1,95 @@
+// An OO7-inspired CAD workload (Carey/DeWitt/Naughton's 1993 OODB
+// benchmark domain): modules -> complex assemblies -> base assemblies ->
+// composite parts -> atomic parts, with documentation. This is the
+// complex-object world the paper's assembly operator (REVELATION) was built
+// for; it exercises deep path expressions, multi-level unnest chains,
+// set-valued traversals, and path indexes at depth — on a schema entirely
+// different from the paper's Table 1.
+#ifndef OODB_WORKLOADS_OO7_H_
+#define OODB_WORKLOADS_OO7_H_
+
+#include "src/catalog/catalog.h"
+#include "src/storage/object_store.h"
+
+namespace oodb {
+
+/// Scale knobs (the "small" configuration by default, scaled down further
+/// for unit tests).
+struct Oo7Options {
+  uint64_t seed = 7;
+  int num_modules = 1;
+  int complex_per_module = 5;       ///< complex assemblies per module
+  int base_per_complex = 10;        ///< base assemblies per complex assembly
+  int components_per_base = 3;      ///< composite parts per base assembly
+  int num_composite_parts = 50;     ///< shared component library
+  int atomic_per_composite = 20;
+  int num_build_dates = 100;
+  int num_doc_titles = 25;
+};
+
+/// The OO7 catalog plus handles, and the generated population.
+struct Oo7Db {
+  Catalog catalog;
+
+  TypeId atomic_part, composite_part, document, base_assembly,
+      complex_assembly, module;
+
+  FieldId atomic_id, atomic_x, atomic_y, atomic_build_date, atomic_part_of;
+  FieldId comp_id, comp_build_date, comp_root_part, comp_parts, comp_doc;
+  FieldId doc_title, doc_text;
+  FieldId base_id, base_build_date, base_components;
+  FieldId complex_id, complex_build_date, complex_subassemblies;
+  FieldId module_id, module_man, module_design_root;
+
+  std::vector<Oid> modules, complex_assemblies, base_assemblies,
+      composite_parts, atomic_parts, documents;
+};
+
+/// Index names registered by MakeOo7.
+inline constexpr const char* kOo7IdxAtomicId = "oo7_atomic_id";
+inline constexpr const char* kOo7IdxCompositeDocTitle = "oo7_comp_doc_title";
+inline constexpr const char* kOo7IdxBaseBuildDate = "oo7_base_build_date";
+
+/// Builds the schema/catalog and populates `store` (which the caller must
+/// construct over `db->catalog` — use MakeOo7Store for the common case).
+Status PopulateOo7(Oo7Db* db, ObjectStore* store, const Oo7Options& options);
+
+/// Builds catalog + store + data in one go.
+struct Oo7Instance {
+  std::unique_ptr<Oo7Db> db;
+  std::unique_ptr<ObjectStore> store;
+};
+Result<Oo7Instance> MakeOo7(Oo7Options options = {});
+
+/// Builds only the catalog part of an Oo7Db (no data) — statistics are set
+/// to the values `options` implies, so plans can be studied without data.
+std::unique_ptr<Oo7Db> MakeOo7Catalog(const Oo7Options& options);
+
+// --- OO7-inspired queries (ZQL) ---
+
+/// Q1: exact-match lookup of an atomic part by id (index).
+std::string Oo7QueryExactMatch(int64_t id);
+
+/// Q5: base assemblies with a component composite part newer than the
+/// assembly itself (set-valued path + cross-component comparison).
+inline constexpr const char* kOo7QueryNewerComponents =
+    "SELECT b.id FROM BaseAssembly b IN BaseAssemblies, "
+    "CompositePart p IN b.components "
+    "WHERE p.buildDate > b.buildDate;";
+
+/// T1-style traversal: module -> design root -> subassemblies ->
+/// components -> atomic parts (three set-valued hops).
+inline constexpr const char* kOo7QueryTraversal =
+    "SELECT a.id FROM Module m IN Modules, "
+    "BaseAssembly b IN m.designRoot.subAssemblies, "
+    "CompositePart p IN b.components, "
+    "AtomicPart a IN p.parts "
+    "WHERE a.x > a.y;";
+
+/// Documentation path-index query: composite parts by document title
+/// (collapse-to-index-scan over a Mat chain).
+std::string Oo7QueryByDocTitle(const std::string& title);
+
+}  // namespace oodb
+
+#endif  // OODB_WORKLOADS_OO7_H_

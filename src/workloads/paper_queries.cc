@@ -1,0 +1,28 @@
+#include "src/workloads/paper_queries.h"
+
+namespace oodb {
+
+Result<LogicalExprPtr> BuildPaperQuery(int n, const PaperDb& db,
+                                       QueryContext* ctx) {
+  ctx->catalog = &db.catalog;
+  const char* text;
+  switch (n) {
+    case 1:
+      text = kQuery1Text;
+      break;
+    case 2:
+      text = kQuery2Text;
+      break;
+    case 3:
+      text = kQuery3Text;
+      break;
+    case 4:
+      text = kQuery4Text;
+      break;
+    default:
+      return Status::InvalidArgument("paper query number must be 1-4");
+  }
+  return ParseAndSimplify(text, ctx);
+}
+
+}  // namespace oodb

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "src/algebra/binding.h"
+
+namespace oodb {
+namespace {
+
+TEST(BindingSetTest, EmptyByDefault) {
+  BindingSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(BindingSetTest, AddRemoveContains) {
+  BindingSet s;
+  s.Add(3);
+  s.Add(7);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_FALSE(s.Contains(5));
+  EXPECT_EQ(s.Count(), 2);
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.Count(), 1);
+}
+
+TEST(BindingSetTest, SetAlgebra) {
+  BindingSet a = BindingSet::Of(1);
+  a.Add(2);
+  BindingSet b = BindingSet::Of(2);
+  b.Add(3);
+  EXPECT_EQ(a.Union(b).Count(), 3);
+  EXPECT_EQ(a.Intersect(b).Count(), 1);
+  EXPECT_TRUE(a.Intersect(b).Contains(2));
+  EXPECT_EQ(a.Minus(b).Count(), 1);
+  EXPECT_TRUE(a.Minus(b).Contains(1));
+}
+
+TEST(BindingSetTest, ContainsAllAndIntersects) {
+  BindingSet a;
+  a.Add(1);
+  a.Add(2);
+  a.Add(3);
+  BindingSet b;
+  b.Add(1);
+  b.Add(3);
+  EXPECT_TRUE(a.ContainsAll(b));
+  EXPECT_FALSE(b.ContainsAll(a));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(b.Intersects(BindingSet::Of(9)));
+  EXPECT_TRUE(a.ContainsAll(BindingSet()));  // empty set is subset of all
+}
+
+TEST(BindingSetTest, ToVectorOrdered) {
+  BindingSet s;
+  s.Add(9);
+  s.Add(0);
+  s.Add(4);
+  EXPECT_EQ(s.ToVector(), (std::vector<BindingId>{0, 4, 9}));
+}
+
+TEST(BindingSetTest, EqualityAndOrdering) {
+  BindingSet a = BindingSet::Of(1);
+  BindingSet b = BindingSet::Of(1);
+  BindingSet c = BindingSet::Of(2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c);
+}
+
+TEST(BindingSetTest, HighBits) {
+  BindingSet s;
+  s.Add(63);
+  EXPECT_TRUE(s.Contains(63));
+  EXPECT_EQ(s.ToVector(), (std::vector<BindingId>{63}));
+}
+
+TEST(BindingTableTest, AddGet) {
+  BindingTable t;
+  BindingId c = t.AddGet("c", 2);
+  EXPECT_EQ(c, 0);
+  EXPECT_EQ(t.def(c).name, "c");
+  EXPECT_EQ(t.def(c).type, 2);
+  EXPECT_EQ(t.def(c).origin, BindingOrigin::kGet);
+  EXPECT_FALSE(t.def(c).is_ref);
+  EXPECT_EQ(t.size(), 1);
+}
+
+TEST(BindingTableTest, AddMatRecordsDerivation) {
+  BindingTable t;
+  BindingId c = t.AddGet("c", 2);
+  BindingId m = t.AddMat("c.mayor", 0, c, 1);
+  EXPECT_EQ(t.def(m).origin, BindingOrigin::kMat);
+  EXPECT_EQ(t.def(m).parent, c);
+  EXPECT_EQ(t.def(m).via_field, 1);
+  EXPECT_FALSE(t.def(m).is_ref);
+}
+
+TEST(BindingTableTest, AddUnnestIsRef) {
+  BindingTable t;
+  BindingId task = t.AddGet("t", 5);
+  BindingId m = t.AddUnnest("m", 3, task, 2);
+  EXPECT_EQ(t.def(m).origin, BindingOrigin::kUnnest);
+  EXPECT_TRUE(t.def(m).is_ref);
+  EXPECT_EQ(t.def(m).parent, task);
+}
+
+TEST(BindingTableTest, ByName) {
+  BindingTable t;
+  t.AddGet("c", 2);
+  BindingId m = t.AddMat("c.mayor", 0, 0, 1);
+  auto r = t.ByName("c.mayor");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, m);
+  EXPECT_FALSE(t.ByName("zzz").ok());
+}
+
+TEST(BindingTableTest, HasBounds) {
+  BindingTable t;
+  t.AddGet("c", 2);
+  EXPECT_TRUE(t.has(0));
+  EXPECT_FALSE(t.has(1));
+  EXPECT_FALSE(t.has(-1));
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "src/catalog/paper_catalog.h"
+
+namespace oodb {
+namespace {
+
+TEST(CatalogTest, AddSetAndLookup) {
+  Catalog cat;
+  TypeId t = cat.schema().AddType("T", 100);
+  ASSERT_TRUE(cat.AddSet("S", t, 500).ok());
+  auto s = cat.FindSet("S");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->cardinality, 500);
+  EXPECT_EQ((*s)->id.type, t);
+  EXPECT_FALSE(cat.FindSet("missing").ok());
+}
+
+TEST(CatalogTest, DuplicateSetRejected) {
+  Catalog cat;
+  TypeId t = cat.schema().AddType("T", 100);
+  ASSERT_TRUE(cat.AddSet("S", t, 1).ok());
+  EXPECT_EQ(cat.AddSet("S", t, 2).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, ExtentAndTypeCardinality) {
+  Catalog cat;
+  TypeId t = cat.schema().AddType("T", 100);
+  TypeId u = cat.schema().AddType("U", 100);
+  ASSERT_TRUE(cat.AddExtent(t, 1000).ok());
+  EXPECT_TRUE(cat.HasExtent(t));
+  EXPECT_FALSE(cat.HasExtent(u));
+  EXPECT_EQ(cat.TypeCardinality(t).value(), 1000);
+  EXPECT_FALSE(cat.TypeCardinality(u).has_value());
+  EXPECT_EQ(cat.AddExtent(t, 5).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, CollectionIdDisplay) {
+  Catalog cat;
+  TypeId t = cat.schema().AddType("Job", 250);
+  EXPECT_EQ(CollectionId::Set("Jobs", t).Display(cat.schema()), "Jobs");
+  EXPECT_EQ(CollectionId::Extent(t).Display(cat.schema()), "extent(Job)");
+}
+
+TEST(CatalogTest, IndexValidation) {
+  Catalog cat;
+  TypeId person = cat.schema().AddType("Person", 100);
+  TypeId city = cat.schema().AddType("City", 200);
+  FieldDef name;
+  name.name = "name";
+  name.kind = FieldKind::kString;
+  FieldId person_name = cat.schema().mutable_type(person).AddField(name);
+  FieldDef mayor;
+  mayor.name = "mayor";
+  mayor.kind = FieldKind::kRef;
+  mayor.target_type = person;
+  FieldId city_mayor = cat.schema().mutable_type(city).AddField(mayor);
+  ASSERT_TRUE(cat.AddSet("Cities", city, 100).ok());
+
+  IndexInfo good;
+  good.name = "idx";
+  good.collection = CollectionId::Set("Cities", city);
+  good.path = {city_mayor, person_name};
+  good.distinct_keys = 50;
+  EXPECT_TRUE(cat.AddIndex(good).ok());
+
+  IndexInfo empty_path = good;
+  empty_path.name = "bad1";
+  empty_path.path = {};
+  EXPECT_FALSE(cat.AddIndex(empty_path).ok());
+
+  IndexInfo key_is_ref = good;
+  key_is_ref.name = "bad2";
+  key_is_ref.path = {city_mayor};  // ends at a ref, not a scalar
+  EXPECT_FALSE(cat.AddIndex(key_is_ref).ok());
+
+  IndexInfo dup = good;
+  EXPECT_EQ(cat.AddIndex(dup).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, IndexEnableDisable) {
+  PaperDb db = MakePaperCatalog();
+  CollectionId tasks = CollectionId::Set("Tasks", db.task);
+  EXPECT_EQ(db.catalog.IndexesOn(tasks).size(), 1u);
+  ASSERT_TRUE(db.catalog.SetIndexEnabled(kIdxTasksTime, false).ok());
+  EXPECT_EQ(db.catalog.IndexesOn(tasks).size(), 0u);
+  ASSERT_TRUE(db.catalog.SetIndexEnabled(kIdxTasksTime, true).ok());
+  EXPECT_EQ(db.catalog.IndexesOn(tasks).size(), 1u);
+  EXPECT_FALSE(db.catalog.SetIndexEnabled("missing", true).ok());
+}
+
+TEST(CatalogTest, PagesForDensePacking) {
+  Catalog cat;
+  TypeId t = cat.schema().AddType("T", 250);
+  // 4096 / 250 = 16 objects per page.
+  EXPECT_EQ(cat.PagesFor(t, 16, 4096), 1);
+  EXPECT_EQ(cat.PagesFor(t, 17, 4096), 2);
+  EXPECT_EQ(cat.PagesFor(t, 50000, 4096), 3125);
+}
+
+TEST(CatalogTest, PagesForObjectLargerThanPage) {
+  Catalog cat;
+  TypeId t = cat.schema().AddType("Huge", 10000);
+  EXPECT_EQ(cat.PagesFor(t, 5, 4096), 5);  // one object per page minimum
+}
+
+// --- The paper's Table 1 ---
+
+TEST(PaperCatalogTest, Table1Cardinalities) {
+  PaperDb db = MakePaperCatalog();
+  EXPECT_EQ((*db.catalog.FindSet("Capitals"))->cardinality, 160);
+  EXPECT_EQ((*db.catalog.FindSet("Cities"))->cardinality, 10000);
+  EXPECT_EQ((*db.catalog.FindSet("Employees"))->cardinality, 50000);
+  EXPECT_EQ(db.catalog.TypeCardinality(db.country).value(), 160);
+  EXPECT_EQ(db.catalog.TypeCardinality(db.department).value(), 1000);
+  EXPECT_EQ(db.catalog.TypeCardinality(db.employee).value(), 200000);
+  EXPECT_EQ(db.catalog.TypeCardinality(db.information).value(), 1000);
+  EXPECT_EQ(db.catalog.TypeCardinality(db.job).value(), 5000);
+  EXPECT_EQ(db.catalog.TypeCardinality(db.person).value(), 100000);
+}
+
+TEST(PaperCatalogTest, Table1ObjectSizes) {
+  PaperDb db = MakePaperCatalog();
+  const Schema& s = db.catalog.schema();
+  EXPECT_EQ(s.type(db.capital).object_size(), 400);
+  EXPECT_EQ(s.type(db.city).object_size(), 200);
+  EXPECT_EQ(s.type(db.country).object_size(), 300);
+  EXPECT_EQ(s.type(db.department).object_size(), 400);
+  EXPECT_EQ(s.type(db.employee).object_size(), 250);
+  EXPECT_EQ(s.type(db.job).object_size(), 250);
+  EXPECT_EQ(s.type(db.person).object_size(), 100);
+  EXPECT_EQ(s.type(db.plant).object_size(), 1000);
+}
+
+TEST(PaperCatalogTest, PlantHasNoKnownCardinality) {
+  PaperDb db = MakePaperCatalog();
+  EXPECT_FALSE(db.catalog.HasExtent(db.plant));
+  EXPECT_FALSE(db.catalog.TypeCardinality(db.plant).has_value());
+}
+
+TEST(PaperCatalogTest, CapitalInheritsCityFields) {
+  PaperDb db = MakePaperCatalog();
+  const Schema& s = db.catalog.schema();
+  EXPECT_TRUE(s.IsSubtypeOf(db.capital, db.city));
+  auto mayor = s.ResolveField(db.capital, "mayor");
+  ASSERT_TRUE(mayor.ok());
+  EXPECT_EQ(*mayor, db.city_mayor);
+}
+
+TEST(PaperCatalogTest, IndexesRegistered) {
+  PaperDb db = MakePaperCatalog();
+  auto idx = db.catalog.FindIndex(kIdxCitiesMayorName);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ((*idx)->path.size(), 2u);
+  EXPECT_EQ((*idx)->distinct_keys, 5000);
+  EXPECT_TRUE(db.catalog.FindIndex(kIdxTasksTime).ok());
+  EXPECT_TRUE(db.catalog.FindIndex(kIdxEmployeesName).ok());
+}
+
+TEST(PaperCatalogTest, ScaledCatalogPreservesSelectivities) {
+  PaperDb full = MakePaperCatalog(1.0);
+  PaperDb tenth = MakePaperCatalog(0.1);
+  // matches = card / distinct stays invariant under scaling.
+  auto ratio = [](const PaperDb& db) {
+    double card = (*db.catalog.FindSet("Cities"))->cardinality;
+    double distinct = (*db.catalog.FindIndex(kIdxCitiesMayorName))->distinct_keys;
+    return card / distinct;
+  };
+  EXPECT_NEAR(ratio(full), ratio(tenth), 0.01);
+  EXPECT_EQ((*tenth.catalog.FindSet("Cities"))->cardinality, 1000);
+}
+
+TEST(PaperCatalogTest, TableStringMentionsEveryType) {
+  PaperDb db = MakePaperCatalog();
+  std::string table = db.catalog.ToTableString();
+  for (const char* name : {"Person", "City", "Capital", "Country", "Plant",
+                           "Department", "Job", "Employee", "Task"}) {
+    EXPECT_NE(table.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace oodb

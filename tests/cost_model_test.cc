@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "src/catalog/paper_catalog.h"
+#include "src/cost/cost_model.h"
+#include "src/physical/algorithms.h"
+
+namespace oodb {
+namespace {
+
+TEST(CostTest, TotalAndArithmetic) {
+  Cost a{1.0, 2.0};
+  Cost b{0.5, 0.25};
+  EXPECT_DOUBLE_EQ(a.total(), 3.0);
+  Cost c = a + b;
+  EXPECT_DOUBLE_EQ(c.io_s, 1.5);
+  EXPECT_DOUBLE_EQ(c.cpu_s, 2.25);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.total(), c.total());
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(Cost::Io(1.0) < Cost::Infinite());
+}
+
+TEST(CostTest, ToStringMentionsComponents) {
+  std::string s = Cost{1.5, 0.5}.ToString();
+  EXPECT_NE(s.find("io"), std::string::npos);
+  EXPECT_NE(s.find("cpu"), std::string::npos);
+}
+
+TEST(CostModelTest, SequentialCheaperThanRandom) {
+  CostModel cm;
+  EXPECT_LT(cm.SeqRead(100).total(), cm.RandomRead(100).total());
+}
+
+TEST(CostModelTest, AssemblyDiscountCurve) {
+  CostModel cm;
+  EXPECT_DOUBLE_EQ(cm.AssemblyDiscount(1), 1.0);
+  EXPECT_LT(cm.AssemblyDiscount(8), 1.0);
+  EXPECT_GT(cm.AssemblyDiscount(8), cm.AssemblyDiscount(32));
+  // Fully realized by window 32 (the calibration point).
+  EXPECT_DOUBLE_EQ(cm.AssemblyDiscount(32),
+                   cm.opts().assembly_window_discount_floor);
+  EXPECT_DOUBLE_EQ(cm.AssemblyDiscount(1024),
+                   cm.opts().assembly_window_discount_floor);
+}
+
+TEST(CostModelTest, AssemblyBoundedByKnownPopulation) {
+  PaperDb db = MakePaperCatalog();
+  CostModel cm;
+  // Department population is 1000: assembling 50000 references faults at
+  // most 1000 times.
+  Cost bounded = cm.AssemblyIo(db.catalog, db.department, 50000, 32);
+  Cost direct = cm.AssemblyIo(db.catalog, db.department, 1000, 32);
+  EXPECT_DOUBLE_EQ(bounded.io_s, direct.io_s);
+}
+
+TEST(CostModelTest, AssemblyUnboundedForPlants) {
+  PaperDb db = MakePaperCatalog();
+  CostModel cm;
+  // Plant has no extent: every reference may fault (the paper's Query 1
+  // blow-up).
+  Cost c = cm.AssemblyIo(db.catalog, db.plant, 50000, 32);
+  EXPECT_DOUBLE_EQ(
+      c.io_s, 50000 * cm.opts().random_io_s * cm.AssemblyDiscount(32));
+}
+
+TEST(CostModelTest, YaoPageFaultEstimate) {
+  PaperDb db = MakePaperCatalog();
+  CostModelOptions opts;
+  opts.yao_page_faults = true;
+  CostModel yao(opts);
+  CostModel simple;
+  // 50000 refs into the 1000-object Department extent (98 pages): Yao
+  // expects essentially every page touched but far fewer faults than the
+  // 1000-object bound.
+  Cost y = yao.AssemblyIo(db.catalog, db.department, 50000, 32);
+  Cost s = simple.AssemblyIo(db.catalog, db.department, 50000, 32);
+  EXPECT_LT(y.io_s, s.io_s);
+  EXPECT_GT(y.io_s, 0.0);
+  // Few refs into a large extent: Yao ~= one fault per ref, like the
+  // simple model.
+  Cost y2 = yao.AssemblyIo(db.catalog, db.person, 10, 32);
+  Cost s2 = simple.AssemblyIo(db.catalog, db.person, 10, 32);
+  EXPECT_NEAR(y2.io_s, s2.io_s, s2.io_s * 0.01);
+  // Unknown populations (Plant) are unaffected by the formula.
+  Cost yp = yao.AssemblyIo(db.catalog, db.plant, 500, 32);
+  Cost sp = simple.AssemblyIo(db.catalog, db.plant, 500, 32);
+  EXPECT_DOUBLE_EQ(yp.io_s, sp.io_s);
+}
+
+TEST(CostModelTest, WindowOneCostsFullRandom) {
+  PaperDb db = MakePaperCatalog();
+  CostModel cm;
+  Cost w1 = cm.AssemblyIo(db.catalog, db.plant, 1000, 1);
+  EXPECT_DOUBLE_EQ(w1.io_s, 1000 * cm.opts().random_io_s);
+}
+
+TEST(CostModelTest, HashJoinOverflowOnlyBeyondMemory) {
+  CostModel cm;
+  EXPECT_DOUBLE_EQ(cm.HashJoinOverflowIo(1024.0, 1024.0).total(), 0.0);
+  double big = cm.opts().memory_bytes * 2;
+  EXPECT_GT(cm.HashJoinOverflowIo(big, big).total(), 0.0);
+}
+
+TEST(CostModelTest, PagesForMatchesCatalog) {
+  PaperDb db = MakePaperCatalog();
+  CostModel cm;
+  EXPECT_DOUBLE_EQ(cm.PagesFor(db.catalog, db.employee, 50000), 3125);
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(db.catalog.PagesFor(db.employee, 50000, 4096)), 3125);
+}
+
+TEST(AlgorithmCostTest, FileScanScalesWithPagesAndTuples) {
+  PaperDb db = MakePaperCatalog();
+  CostModel cm;
+  const CollectionInfo* employees = *db.catalog.FindSet("Employees");
+  const CollectionInfo* cities = *db.catalog.FindSet("Cities");
+  EXPECT_GT(FileScanCost(cm, db.catalog, *employees).total(),
+            FileScanCost(cm, db.catalog, *cities).total());
+}
+
+TEST(AlgorithmCostTest, ClusteredIndexScanCheaper) {
+  PaperDb db = MakePaperCatalog();
+  CostModel cm;
+  Cost unclustered = IndexScanCost(cm, 100, false, 0, db.catalog, db.city);
+  Cost clustered = IndexScanCost(cm, 100, true, 0, db.catalog, db.city);
+  EXPECT_LT(clustered.total(), unclustered.total());
+}
+
+TEST(AlgorithmCostTest, WarmStartBeatsFaultingForDenseAccess) {
+  PaperDb db = MakePaperCatalog();
+  CostModel cm;
+  BindingTable bindings;
+  BindingId e = bindings.AddGet("e", db.employee);
+  BindingId d = bindings.AddMat("e.dept", db.department, e, db.emp_dept);
+  std::vector<MatStep> steps = {{e, db.emp_dept, d}};
+  // 50000 references into a 1000-object extent: pre-scanning the extent
+  // (paper Lesson 7) is far cheaper than 1000 discounted faults.
+  Cost faulting = AssemblyCost(cm, db.catalog, bindings, 50000, steps, 0, false);
+  Cost warm = AssemblyCost(cm, db.catalog, bindings, 50000, steps, 0, true);
+  EXPECT_LT(warm.total(), faulting.total());
+}
+
+TEST(AlgorithmCostTest, PointerJoinWorseThanAssembly) {
+  PaperDb db = MakePaperCatalog();
+  CostModel cm;
+  BindingTable bindings;
+  BindingId e = bindings.AddGet("e", db.employee);
+  BindingId d = bindings.AddMat("e.dept", db.department, e, db.emp_dept);
+  std::vector<MatStep> steps = {{e, db.emp_dept, d}};
+  Cost assembly = AssemblyCost(cm, db.catalog, bindings, 5000, steps, 0, false);
+  Cost pointer = PointerJoinCost(cm, db.catalog, 5000, db.department);
+  EXPECT_LT(assembly.total(), pointer.total());
+}
+
+TEST(AlgorithmCostTest, SortSpillsBeyondMemory) {
+  CostModel cm;
+  Cost in_memory = SortCost(cm, 1000, 100);
+  EXPECT_DOUBLE_EQ(in_memory.io_s, 0.0);
+  Cost spilled = SortCost(cm, 1000000, 100);
+  EXPECT_GT(spilled.io_s, 0.0);
+}
+
+TEST(AlgorithmCostTest, MergeJoinLinear) {
+  CostModel cm;
+  EXPECT_LT(MergeJoinCost(cm, 100, 100).total(),
+            HybridHashJoinCost(cm, 100, 100, 100, 100).total());
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,129 @@
+// Dynamic plan selection: compile once per index configuration, select at
+// run time (the ObjectStore capability of paper §2, rebuilt cost-based).
+#include <gtest/gtest.h>
+
+#include "src/dynamic/dynamic_plans.h"
+#include "tests/test_util.h"
+
+namespace oodb {
+namespace {
+
+class DynamicPlanTest : public ::testing::Test {
+ protected:
+  DynamicPlanTest() : db_(MakePaperCatalog()) {}
+
+  DynamicPlan CompileQuery4(QueryContext* ctx) {
+    auto logical = BuildPaperQuery(4, db_, ctx);
+    EXPECT_TRUE(logical.ok()) << logical.status();
+    auto compiled = DynamicPlan::Compile(**logical, ctx, &db_.catalog);
+    EXPECT_TRUE(compiled.ok()) << compiled.status();
+    return *std::move(compiled);
+  }
+
+  PaperDb db_;
+};
+
+TEST_F(DynamicPlanTest, CompilesOneVariantPerConfiguration) {
+  QueryContext ctx;
+  DynamicPlan dp = CompileQuery4(&ctx);
+  // Query 4 touches Task and Employee: the time index and the name index
+  // are relevant (the Cities path index is not).
+  EXPECT_EQ(dp.relevant_indexes().size(), 2u);
+  EXPECT_EQ(dp.variants().size(), 4u);
+}
+
+TEST_F(DynamicPlanTest, CompilationRestoresCatalogState) {
+  QueryContext ctx;
+  CompileQuery4(&ctx);
+  EXPECT_TRUE((*db_.catalog.FindIndex(kIdxTasksTime))->enabled);
+  EXPECT_TRUE((*db_.catalog.FindIndex(kIdxEmployeesName))->enabled);
+}
+
+TEST_F(DynamicPlanTest, SelectionTracksIndexAvailability) {
+  QueryContext ctx;
+  DynamicPlan dp = CompileQuery4(&ctx);
+
+  // All indexes on: the Figure-12 plan (time index only used).
+  auto all = dp.Select(db_.catalog);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(CountOps(*(*all)->plan, PhysOpKind::kIndexScan), 1);
+
+  // Drop the time index at "run time": selection switches plans without
+  // recompilation.
+  ASSERT_TRUE(db_.catalog.SetIndexEnabled(kIdxTasksTime, false).ok());
+  auto name_only = dp.Select(db_.catalog);
+  ASSERT_TRUE(name_only.ok());
+  EXPECT_NE((*name_only)->plan.get(), (*all)->plan.get());
+  EXPECT_GT((*name_only)->cost.total(), (*all)->cost.total());
+
+  ASSERT_TRUE(db_.catalog.SetIndexEnabled(kIdxEmployeesName, false).ok());
+  auto none = dp.Select(db_.catalog);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(CountOps(*(*none)->plan, PhysOpKind::kIndexScan), 0);
+
+  ASSERT_TRUE(db_.catalog.SetIndexEnabled(kIdxTasksTime, true).ok());
+  ASSERT_TRUE(db_.catalog.SetIndexEnabled(kIdxEmployeesName, true).ok());
+}
+
+TEST_F(DynamicPlanTest, VariantsMatchDirectOptimization) {
+  QueryContext ctx;
+  DynamicPlan dp = CompileQuery4(&ctx);
+  struct Cfg {
+    bool time, name;
+  };
+  for (Cfg cfg : {Cfg{false, false}, Cfg{true, false}, Cfg{false, true},
+                  Cfg{true, true}}) {
+    ASSERT_TRUE(db_.catalog.SetIndexEnabled(kIdxTasksTime, cfg.time).ok());
+    ASSERT_TRUE(db_.catalog.SetIndexEnabled(kIdxEmployeesName, cfg.name).ok());
+    QueryContext direct_ctx;
+    OptimizedQuery direct = testing::MustOptimize(4, db_, &direct_ctx);
+    auto selected = dp.Select(db_.catalog);
+    ASSERT_TRUE(selected.ok());
+    EXPECT_DOUBLE_EQ((*selected)->cost.total(), direct.cost.total());
+  }
+  ASSERT_TRUE(db_.catalog.SetIndexEnabled(kIdxTasksTime, true).ok());
+  ASSERT_TRUE(db_.catalog.SetIndexEnabled(kIdxEmployeesName, true).ok());
+}
+
+TEST_F(DynamicPlanTest, SelectedPlanExecutes) {
+  PaperDb db = MakePaperCatalog(0.05);
+  ObjectStore store(&db.catalog);
+  GenOptions gen;
+  gen.num_plants = 20;
+  ASSERT_TRUE(GeneratePaperData(db, &store, gen).ok());
+
+  QueryContext ctx;
+  ctx.catalog = &db.catalog;
+  auto logical = ParseAndSimplify(
+      "SELECT t.name FROM Task t IN Tasks, Employee e IN t.team_members "
+      "WHERE e.name == \"Fred\" && t.time == 5;",
+      &ctx);
+  ASSERT_TRUE(logical.ok());
+  auto compiled = DynamicPlan::Compile(**logical, &ctx, &db.catalog);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+
+  // Run under two different configurations; results must agree.
+  auto run = [&]() -> int64_t {
+    auto variant = compiled->Select(db.catalog);
+    EXPECT_TRUE(variant.ok());
+    auto stats = ExecutePlan(*(*variant)->plan, &store, &ctx);
+    EXPECT_TRUE(stats.ok()) << stats.status();
+    return stats.ok() ? stats->rows : -1;
+  };
+  int64_t with_index = run();
+  ASSERT_TRUE(db.catalog.SetIndexEnabled(kIdxTasksTime, false).ok());
+  int64_t without_index = run();
+  EXPECT_EQ(with_index, without_index);
+  ASSERT_TRUE(db.catalog.SetIndexEnabled(kIdxTasksTime, true).ok());
+}
+
+TEST_F(DynamicPlanTest, MismatchedContextRejected) {
+  PaperDb other = MakePaperCatalog();
+  QueryContext ctx;
+  auto logical = BuildPaperQuery(4, db_, &ctx);
+  ASSERT_TRUE(logical.ok());
+  EXPECT_FALSE(DynamicPlan::Compile(**logical, &ctx, &other.catalog).ok());
+}
+
+}  // namespace
+}  // namespace oodb

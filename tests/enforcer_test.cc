@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "src/physical/enforcers.h"
+#include "tests/test_util.h"
+
+namespace oodb {
+namespace {
+
+class EnforcerTest : public ::testing::Test {
+ protected:
+  EnforcerTest() : db_(MakePaperCatalog()) {
+    ctx_.catalog = &db_.catalog;
+    e_ = ctx_.bindings.AddGet("e", db_.employee);
+    d_ = ctx_.bindings.AddMat("e.dept", db_.department, e_, db_.emp_dept);
+    p_ = ctx_.bindings.AddMat("e.dept.plant", db_.plant, d_, db_.dept_plant);
+  }
+  PaperDb db_;
+  QueryContext ctx_;
+  BindingId e_, d_, p_;
+};
+
+TEST_F(EnforcerTest, PlanAssemblyStepsSingle) {
+  BindingSet missing = BindingSet::Of(d_);
+  BindingSet below;
+  std::vector<MatStep> steps = PlanAssemblySteps(missing, ctx_, &below);
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps[0].source, e_);
+  EXPECT_EQ(steps[0].field, db_.emp_dept);
+  EXPECT_EQ(steps[0].target, d_);
+  // The source object must be loaded below.
+  EXPECT_TRUE(below.Contains(e_));
+}
+
+TEST_F(EnforcerTest, PlanAssemblyStepsChainInDependencyOrder) {
+  BindingSet missing = BindingSet::Of(p_);
+  missing.Add(d_);
+  BindingSet below;
+  std::vector<MatStep> steps = PlanAssemblySteps(missing, ctx_, &below);
+  ASSERT_EQ(steps.size(), 2u);
+  // Dept (depth 1) before plant (depth 2) — the Figure 7 multi-component
+  // assembly shape.
+  EXPECT_EQ(steps[0].target, d_);
+  EXPECT_EQ(steps[1].target, p_);
+  // d is being assembled itself, so only e is required below.
+  EXPECT_TRUE(below.Contains(e_));
+  EXPECT_FALSE(below.Contains(d_));
+}
+
+TEST_F(EnforcerTest, PlanAssemblyStepsRejectsGetOrigin) {
+  BindingSet missing = BindingSet::Of(e_);  // a scanned binding
+  EXPECT_TRUE(PlanAssemblySteps(missing, ctx_, nullptr).empty());
+}
+
+TEST_F(EnforcerTest, PlanAssemblyStepsMatRef) {
+  BindingId t = ctx_.bindings.AddGet("t", db_.task);
+  BindingId r =
+      ctx_.bindings.AddUnnest("r", db_.employee, t, db_.task_team_members);
+  BindingId obj = ctx_.bindings.AddMat("m", db_.employee, r, kInvalidField);
+  BindingSet below;
+  std::vector<MatStep> steps =
+      PlanAssemblySteps(BindingSet::Of(obj), ctx_, &below);
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps[0].source, r);
+  EXPECT_EQ(steps[0].field, kInvalidField);
+  // The reference value lives in the tuple slot: nothing required below.
+  EXPECT_TRUE(below.Empty());
+}
+
+// The paper's Query 3 narrative, asserted at the search level: disabling the
+// sort/assembly enforcers changes which plans exist.
+TEST_F(EnforcerTest, AssemblyEnforcerEnablesIndexScanPlanForQuery3) {
+  QueryContext ctx;
+  OptimizedQuery with = testing::MustOptimize(3, db_, &ctx);
+  EXPECT_EQ(CountOps(*with.plan, PhysOpKind::kIndexScan), 1);
+  EXPECT_EQ(CountOps(*with.plan, PhysOpKind::kAssembly), 1);
+
+  QueryContext ctx2;
+  OptimizerOptions opts;
+  opts.disabled_rules = {kEnforcerAssembly};
+  OptimizedQuery without = testing::MustOptimize(3, db_, &ctx2, opts);
+  // Without the enforcer, the index scan cannot participate (it does not
+  // deliver the mayor in memory).
+  EXPECT_EQ(CountOps(*without.plan, PhysOpKind::kIndexScan), 0);
+}
+
+TEST_F(EnforcerTest, EnforcerCostScalesWithInputCardinality) {
+  // The assembly enforcer above the index scan (2 tuples) is far cheaper
+  // than assembly over the whole collection (10000 tuples) — the reason the
+  // paper's Figure 10 plan wins by three orders of magnitude.
+  QueryContext ctx;
+  OptimizedQuery q3 = testing::MustOptimize(3, db_, &ctx);
+  const PlanNode* assembly = nullptr;
+  std::function<void(const PlanNode&)> find = [&](const PlanNode& n) {
+    if (n.op.kind == PhysOpKind::kAssembly) assembly = &n;
+    for (const PlanNodePtr& c : n.children) find(*c);
+  };
+  find(*q3.plan);
+  ASSERT_NE(assembly, nullptr);
+  EXPECT_LT(assembly->local_cost.total(), 0.5);
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,153 @@
+// Argument-transformation rules (paper Lesson 9): predicate normalization.
+#include <gtest/gtest.h>
+
+#include "src/rules/expr_rewrites.h"
+#include "tests/test_util.h"
+
+namespace oodb {
+namespace {
+
+class ExprRewriteTest : public ::testing::Test {
+ protected:
+  ExprRewriteTest() : db_(MakePaperCatalog()) {
+    ctx_.catalog = &db_.catalog;
+    c_ = ctx_.bindings.AddGet("c", db_.city);
+  }
+
+  std::string Str(const ScalarExprPtr& e) {
+    return e->ToString(ctx_.bindings, ctx_.schema());
+  }
+  ScalarExprPtr Pop(CmpOp op, int64_t v) {
+    return ScalarExpr::AttrCmpInt(c_, db_.city_population, op, v);
+  }
+
+  PaperDb db_;
+  QueryContext ctx_;
+  BindingId c_;
+};
+
+TEST_F(ExprRewriteTest, NullPassesThrough) {
+  EXPECT_EQ(NormalizeExpr(nullptr), nullptr);
+}
+
+TEST_F(ExprRewriteTest, ConstantsFold) {
+  auto eq = ScalarExpr::Cmp(CmpOp::kEq, ScalarExpr::Const(Value::Int(3)),
+                            ScalarExpr::Const(Value::Int(3)));
+  EXPECT_TRUE(IsConstTrue(NormalizeExpr(eq)));
+  auto lt = ScalarExpr::Cmp(CmpOp::kLt, ScalarExpr::Const(Value::Int(5)),
+                            ScalarExpr::Const(Value::Int(3)));
+  EXPECT_TRUE(IsConstFalse(NormalizeExpr(lt)));
+  auto strs = ScalarExpr::Cmp(CmpOp::kNe, ScalarExpr::Const(Value::Str("a")),
+                              ScalarExpr::Const(Value::Str("b")));
+  EXPECT_TRUE(IsConstTrue(NormalizeExpr(strs)));
+}
+
+TEST_F(ExprRewriteTest, ConstMovesRight) {
+  auto flipped = ScalarExpr::Cmp(CmpOp::kLt, ScalarExpr::Const(Value::Int(40)),
+                                 ScalarExpr::Attr(c_, db_.city_population));
+  ScalarExprPtr norm = NormalizeExpr(flipped);
+  // 40 < pop  ==  pop > 40.
+  EXPECT_EQ(Str(norm), "c.population > 40");
+}
+
+TEST_F(ExprRewriteTest, DoubleNegationCancels) {
+  ScalarExprPtr e = ScalarExpr::Not(ScalarExpr::Not(Pop(CmpOp::kEq, 7)));
+  EXPECT_TRUE(NormalizeExpr(e)->Equals(*Pop(CmpOp::kEq, 7)));
+}
+
+TEST_F(ExprRewriteTest, NotFlipsComparisons) {
+  EXPECT_EQ(Str(NormalizeExpr(ScalarExpr::Not(Pop(CmpOp::kLt, 9)))),
+            "c.population >= 9");
+  EXPECT_EQ(Str(NormalizeExpr(ScalarExpr::Not(Pop(CmpOp::kEq, 9)))),
+            "c.population != 9");
+  EXPECT_EQ(Str(NormalizeExpr(ScalarExpr::Not(Pop(CmpOp::kGe, 9)))),
+            "c.population < 9");
+}
+
+TEST_F(ExprRewriteTest, DeMorgan) {
+  ScalarExprPtr e = ScalarExpr::Not(
+      ScalarExpr::And({Pop(CmpOp::kLt, 1), Pop(CmpOp::kGt, 2)}));
+  ScalarExprPtr norm = NormalizeExpr(e);
+  ASSERT_EQ(norm->kind(), ScalarExpr::Kind::kOr);
+  EXPECT_EQ(Str(norm), "(c.population >= 1) or (c.population <= 2)");
+}
+
+TEST_F(ExprRewriteTest, ConnectiveIdentityAndZero) {
+  auto t = ScalarExpr::Const(Value::Int(1));
+  auto f = ScalarExpr::Const(Value::Int(0));
+  // AND absorbs true, collapses on false.
+  EXPECT_TRUE(NormalizeExpr(ScalarExpr::And({t, Pop(CmpOp::kEq, 5)}))
+                  ->Equals(*Pop(CmpOp::kEq, 5)));
+  EXPECT_TRUE(IsConstFalse(
+      NormalizeExpr(ScalarExpr::And({Pop(CmpOp::kEq, 5), f}))));
+  // OR absorbs false, collapses on true.
+  EXPECT_TRUE(NormalizeExpr(ScalarExpr::Or({f, Pop(CmpOp::kEq, 5)}))
+                  ->Equals(*Pop(CmpOp::kEq, 5)));
+  EXPECT_TRUE(
+      IsConstTrue(NormalizeExpr(ScalarExpr::Or({t, Pop(CmpOp::kEq, 5)}))));
+}
+
+TEST_F(ExprRewriteTest, FlattensNestedConnectives) {
+  ScalarExprPtr nested = ScalarExpr::And(
+      {ScalarExpr::And({Pop(CmpOp::kEq, 1), Pop(CmpOp::kEq, 2)}),
+       Pop(CmpOp::kEq, 3)});
+  ScalarExprPtr norm = NormalizeExpr(nested);
+  ASSERT_EQ(norm->kind(), ScalarExpr::Kind::kAnd);
+  EXPECT_EQ(norm->children().size(), 3u);
+}
+
+TEST_F(ExprRewriteTest, Idempotent) {
+  ScalarExprPtr e = ScalarExpr::Not(ScalarExpr::Or(
+      {Pop(CmpOp::kLt, 1),
+       ScalarExpr::And({Pop(CmpOp::kGt, 2), ScalarExpr::Const(Value::Int(1))})}));
+  ScalarExprPtr once = NormalizeExpr(e);
+  ScalarExprPtr twice = NormalizeExpr(once);
+  EXPECT_TRUE(once->Equals(*twice));
+}
+
+TEST_F(ExprRewriteTest, SimplificationAppliesNormalization) {
+  QueryContext ctx;
+  ctx.catalog = &db_.catalog;
+  auto q = ParseAndSimplify(
+      "SELECT c.name FROM City c IN Cities "
+      "WHERE !(c.population < 100 || c.population > 900) && 1 == 1;",
+      &ctx);
+  ASSERT_TRUE(q.ok()) << q.status();
+  std::string printed = PrintLogicalTree(**q, ctx);
+  // De Morgan applied, tautology folded away.
+  EXPECT_NE(printed.find("c.population >= 100"), std::string::npos);
+  EXPECT_NE(printed.find("c.population <= 900"), std::string::npos);
+  EXPECT_EQ(printed.find("1 == 1"), std::string::npos);
+  EXPECT_EQ(printed.find("not"), std::string::npos);
+}
+
+TEST_F(ExprRewriteTest, VacuousWhereDropsSelect) {
+  QueryContext ctx;
+  ctx.catalog = &db_.catalog;
+  auto q = ParseAndSimplify(
+      "SELECT c.name FROM City c IN Cities WHERE 1 == 1;", &ctx);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(PrintLogicalTree(**q, ctx).find("Select"), std::string::npos);
+}
+
+TEST_F(ExprRewriteTest, ContradictionStillPlansAndReturnsEmpty) {
+  PaperDb db = MakePaperCatalog(0.02);
+  ObjectStore store(&db.catalog);
+  GenOptions gen;
+  gen.num_plants = 10;
+  ASSERT_TRUE(GeneratePaperData(db, &store, gen).ok());
+  QueryContext ctx;
+  ctx.catalog = &db.catalog;
+  auto q = ParseAndSimplify(
+      "SELECT c.name FROM City c IN Cities WHERE 1 == 2;", &ctx);
+  ASSERT_TRUE(q.ok()) << q.status();
+  Optimizer opt(&db.catalog);
+  auto planned = opt.Optimize(**q, &ctx);
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  auto stats = ExecutePlan(*planned->plan, &store, &ctx);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->rows, 0);
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,160 @@
+// End-to-end plan-equivalence property tests: every optimizer configuration
+// must produce plans that return the *same results* when executed — only the
+// costs may differ. This exercises simplification, the full rule set, the
+// property machinery, and every execution operator together.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace oodb {
+namespace {
+
+constexpr double kScale = 0.02;
+
+struct Config {
+  const char* name;
+  OptimizerOptions opts;
+};
+
+std::vector<Config> Configs() {
+  std::vector<Config> configs;
+  configs.push_back({"all-rules", {}});
+  {
+    OptimizerOptions o;
+    o.disabled_rules = {kRuleJoinCommute};
+    configs.push_back({"no-join-commute", o});
+  }
+  {
+    OptimizerOptions o;
+    o.disabled_rules = {kImplIndexScan};
+    configs.push_back({"no-collapse-to-index-scan", o});
+  }
+  {
+    OptimizerOptions o;
+    o.disabled_rules = {kRuleMatToJoin};
+    configs.push_back({"no-mat-to-join", o});
+  }
+  {
+    OptimizerOptions o;
+    o.cost.assembly_window = 1;
+    configs.push_back({"window-1", o});
+  }
+  {
+    OptimizerOptions o;
+    o.enable_warm_start_assembly = true;
+    configs.push_back({"warm-start", o});
+  }
+  {
+    OptimizerOptions o;
+    o.enable_merge_join = true;
+    configs.push_back({"merge-join", o});
+  }
+  {
+    OptimizerOptions o;
+    o.disabled_rules = {kImplHybridHashJoin};
+    configs.push_back({"no-hash-join", o});
+  }
+  return configs;
+}
+
+const char* Queries[] = {
+    // Query 1 (Dallas plants).
+    "SELECT e.name, e.job.name, e.dept.name FROM Employee e IN Employees "
+    "WHERE e.dept.plant.location == \"Dallas\";",
+    // Query 2 (mayor Joe).
+    "SELECT c.name FROM City c IN Cities WHERE c.mayor.name == \"Joe\";",
+    // Query 3 (mayor age in output).
+    "SELECT c.mayor.age, c.name FROM City c IN Cities "
+    "WHERE c.mayor.name == \"Joe\";",
+    // Query 4 variant (time value that exists at this scale).
+    "SELECT t.name FROM Task t IN Tasks, Employee e IN t.team_members "
+    "WHERE e.name == \"Fred\" && t.time == 5;",
+    // Explicit join with a local predicate.
+    "SELECT e.name, d.name FROM Employee e IN Employees, "
+    "Department d IN Department WHERE e.dept == d && d.floor == 3;",
+    // Range + path + reverse traversal potential.
+    "SELECT e.name FROM Employee e IN Employees "
+    "WHERE e.job.name == \"Job7\" && e.age >= 30;",
+};
+
+class PlanEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  static PaperDb* db_;
+  static ObjectStore* store_;
+
+  static void SetUpTestSuite() {
+    db_ = new PaperDb(MakePaperCatalog(kScale));
+    store_ = new ObjectStore(&db_->catalog);
+    GenOptions gen;
+    gen.num_plants = 20;
+    auto r = GeneratePaperData(*db_, store_, gen);
+    ASSERT_TRUE(r.ok()) << r.status();
+  }
+
+  static void TearDownTestSuite() {
+    delete store_;
+    delete db_;
+    store_ = nullptr;
+    db_ = nullptr;
+  }
+
+  /// Runs the query under a config and returns the sorted projected rows.
+  std::vector<std::string> RowsUnder(const char* text,
+                                     const OptimizerOptions& opts) {
+    QueryContext ctx;
+    ctx.catalog = &db_->catalog;
+    auto logical = ParseAndSimplify(text, &ctx);
+    EXPECT_TRUE(logical.ok()) << logical.status();
+    if (!logical.ok()) return {};
+    Optimizer opt(&db_->catalog, opts);
+    auto planned = opt.Optimize(**logical, &ctx);
+    EXPECT_TRUE(planned.ok()) << planned.status();
+    if (!planned.ok()) return {};
+    ExecOptions eo;
+    eo.sample_limit = 1 << 20;  // keep all rows
+    auto stats = ExecutePlan(*planned->plan, store_, &ctx, eo);
+    EXPECT_TRUE(stats.ok()) << stats.status() << "\nplan:\n"
+                            << PrintPlan(*planned->plan, ctx);
+    if (!stats.ok()) return {};
+    std::vector<std::string> rows;
+    for (const std::vector<Value>& row : stats->sample_rows) {
+      std::string s;
+      for (const Value& v : row) {
+        s += v.ToString();
+        s += '|';
+      }
+      rows.push_back(std::move(s));
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  }
+};
+
+PaperDb* PlanEquivalenceTest::db_ = nullptr;
+ObjectStore* PlanEquivalenceTest::store_ = nullptr;
+
+TEST_P(PlanEquivalenceTest, SameResultsAsAllRules) {
+  auto [query_idx, config_idx] = GetParam();
+  const char* text = Queries[query_idx];
+  Config config = Configs()[config_idx];
+
+  std::vector<std::string> baseline = RowsUnder(text, OptimizerOptions{});
+  std::vector<std::string> rows = RowsUnder(text, config.opts);
+  EXPECT_EQ(rows, baseline) << "query " << query_idx << " config "
+                            << config.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueriesByConfigs, PlanEquivalenceTest,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Range(0, static_cast<int>(Configs().size()))),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "q" + std::to_string(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,206 @@
+// The OO7-inspired CAD workload: a second, structurally different schema —
+// deep composition hierarchies, shared components, multi-level set-valued
+// traversals — exercising the optimizer and executor beyond the paper's
+// Table-1 universe.
+#include <gtest/gtest.h>
+
+#include "src/exec/reference.h"
+#include "src/workloads/oo7.h"
+#include "tests/test_util.h"
+
+namespace oodb {
+namespace {
+
+Oo7Options SmallConfig() {
+  Oo7Options o;
+  o.complex_per_module = 3;
+  o.base_per_complex = 4;
+  o.components_per_base = 2;
+  o.num_composite_parts = 20;
+  o.atomic_per_composite = 8;
+  o.num_build_dates = 20;
+  o.num_doc_titles = 5;
+  return o;
+}
+
+class Oo7Test : public ::testing::Test {
+ protected:
+  Oo7Test() {
+    auto r = MakeOo7(SmallConfig());
+    EXPECT_TRUE(r.ok()) << r.status();
+    instance_ = std::move(r).value();
+  }
+
+  Oo7Db& db() { return *instance_.db; }
+  ObjectStore& store() { return *instance_.store; }
+
+  struct Ran {
+    OptimizedQuery optimized;
+    ExecStats stats;
+    QueryContext ctx;
+  };
+
+  Ran Run(const std::string& text, OptimizerOptions opts = {}) {
+    Ran out;
+    out.ctx.catalog = &db().catalog;
+    auto logical = ParseAndSimplify(text, &out.ctx);
+    EXPECT_TRUE(logical.ok()) << logical.status();
+    Optimizer opt(&db().catalog, std::move(opts));
+    auto planned = opt.Optimize(**logical, &out.ctx);
+    EXPECT_TRUE(planned.ok()) << planned.status();
+    out.optimized = *planned;
+    auto stats = ExecutePlan(*planned->plan, &store(), &out.ctx);
+    EXPECT_TRUE(stats.ok()) << stats.status() << "\n"
+                            << PrintPlan(*planned->plan, out.ctx);
+    out.stats = *std::move(stats);
+    return out;
+  }
+
+  Oo7Instance instance_;
+};
+
+TEST_F(Oo7Test, PopulationMatchesConfiguration) {
+  Oo7Options o = SmallConfig();
+  EXPECT_EQ(db().modules.size(), static_cast<size_t>(o.num_modules));
+  EXPECT_EQ(db().composite_parts.size(),
+            static_cast<size_t>(o.num_composite_parts));
+  EXPECT_EQ(db().atomic_parts.size(),
+            static_cast<size_t>(o.num_composite_parts * o.atomic_per_composite));
+  EXPECT_EQ(db().base_assemblies.size(),
+            static_cast<size_t>(o.num_modules * o.complex_per_module *
+                                o.base_per_complex));
+}
+
+TEST_F(Oo7Test, CompositionLinksAreConsistent) {
+  // Every atomic part's partOf points back to a composite that contains it.
+  for (Oid a : db().atomic_parts) {
+    Oid comp = store().Peek(a).ref(db().atomic_part_of);
+    const ObjectData& c = store().Peek(comp);
+    const std::vector<Oid>& parts = c.ref_sets[0];
+    EXPECT_NE(std::find(parts.begin(), parts.end(), a), parts.end());
+  }
+}
+
+TEST_F(Oo7Test, ExactMatchUsesIdIndex) {
+  Ran r = Run(Oo7QueryExactMatch(7));
+  EXPECT_EQ(CountOps(*r.optimized.plan, PhysOpKind::kIndexScan), 1);
+  EXPECT_EQ(r.stats.rows, 1);
+}
+
+TEST_F(Oo7Test, DocTitleQueryRowsCorrect) {
+  // At this tiny scale the whole collection fits in two pages, so the
+  // cost-based optimizer rightly prefers the file scan; correctness only.
+  Ran r = Run(Oo7QueryByDocTitle("Doc2"));
+  // 20 composites over 5 titles -> 4 qualifying.
+  EXPECT_EQ(r.stats.rows, 4);
+}
+
+TEST(Oo7PlanTest, DocTitlePathIndexCollapsesAtScale) {
+  // With a production-sized component library the path index wins.
+  Oo7Options o;
+  o.num_composite_parts = 5000;
+  o.num_doc_titles = 500;
+  std::unique_ptr<Oo7Db> db = MakeOo7Catalog(o);
+  QueryContext ctx;
+  ctx.catalog = &db->catalog;
+  auto logical = ParseAndSimplify(Oo7QueryByDocTitle("Doc42"), &ctx);
+  ASSERT_TRUE(logical.ok()) << logical.status();
+  Optimizer opt(&db->catalog);
+  auto planned = opt.Optimize(**logical, &ctx);
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  EXPECT_EQ(CountOps(*planned->plan, PhysOpKind::kIndexScan), 1)
+      << PrintPlan(*planned->plan, ctx);
+}
+
+TEST_F(Oo7Test, NewerComponentsMatchesBruteForce) {
+  int expected = 0;
+  for (Oid b : db().base_assemblies) {
+    const ObjectData& base = store().Peek(b);
+    for (Oid p : base.ref_sets[0]) {
+      if (store().Peek(p).value(db().comp_build_date).i >
+          base.value(db().base_build_date).i) {
+        ++expected;
+      }
+    }
+  }
+  Ran r = Run(kOo7QueryNewerComponents);
+  EXPECT_EQ(r.stats.rows, expected);
+  EXPECT_GT(expected, 0);
+}
+
+TEST_F(Oo7Test, DeepTraversalMatchesReference) {
+  QueryContext ctx;
+  ctx.catalog = &db().catalog;
+  auto logical = ParseAndSimplify(kOo7QueryTraversal, &ctx);
+  ASSERT_TRUE(logical.ok()) << logical.status();
+  auto reference = EvaluateReference(**logical, &store(), ctx);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  Ran r = Run(kOo7QueryTraversal);
+  EXPECT_EQ(r.stats.rows, static_cast<int64_t>(reference->rows.size()));
+  EXPECT_GT(r.stats.rows, 0);
+  // Three unnest levels survived simplification and planning.
+  EXPECT_EQ(CountOps(*r.optimized.plan, PhysOpKind::kAlgUnnest), 3);
+}
+
+TEST_F(Oo7Test, TraversalConsistentAcrossRuleConfigs) {
+  Ran base = Run(kOo7QueryTraversal);
+  OptimizerOptions no_join;
+  no_join.disabled_rules = {kRuleMatToJoin, kRuleJoinCommute};
+  Ran chased = Run(kOo7QueryTraversal, no_join);
+  EXPECT_EQ(base.stats.rows, chased.stats.rows);
+  OptimizerOptions pruned;
+  pruned.enable_pruning = true;
+  Ran p = Run(kOo7QueryTraversal, pruned);
+  EXPECT_DOUBLE_EQ(p.optimized.cost.total(), base.optimized.cost.total());
+}
+
+TEST_F(Oo7Test, SharedComponentsFanIn) {
+  // Composite parts are shared between assemblies: the traversal touches
+  // fewer distinct composites than (assemblies x components) pairs.
+  Ran r = Run(
+      "SELECT b.id, p.id FROM BaseAssembly b IN BaseAssemblies, "
+      "CompositePart p IN b.components;");
+  Oo7Options o = SmallConfig();
+  EXPECT_EQ(r.stats.rows, static_cast<int64_t>(db().base_assemblies.size() *
+                                               o.components_per_base));
+}
+
+TEST_F(Oo7Test, AnalyzeMeasuresOo7Statistics) {
+  ASSERT_TRUE(AnalyzeStore(store(), &db().catalog).ok());
+  const FieldDef& date = db().catalog.schema()
+                             .type(db().base_assembly)
+                             .field(db().base_build_date);
+  EXPECT_GE(date.min_value, 0);
+  EXPECT_LT(date.max_value, 20);
+  const FieldDef& comps = db().catalog.schema()
+                              .type(db().base_assembly)
+                              .field(db().base_components);
+  EXPECT_DOUBLE_EQ(comps.avg_set_card, 2.0);
+}
+
+TEST_F(Oo7Test, OrderByBuildDate) {
+  QueryContext ctx;
+  ctx.catalog = &db().catalog;
+  SortSpec order;
+  auto logical = ParseAndSimplify(
+      "SELECT b.buildDate, b.id FROM BaseAssembly b IN BaseAssemblies "
+      "WHERE b.buildDate >= 10 ORDER BY b.buildDate;",
+      &ctx, &order);
+  ASSERT_TRUE(logical.ok()) << logical.status();
+  PhysProps required;
+  required.sort = order;
+  Optimizer opt(&db().catalog);
+  auto planned = opt.Optimize(**logical, &ctx, required);
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  ExecOptions eo;
+  eo.sample_limit = 1 << 16;
+  auto stats = ExecutePlan(*planned->plan, &store(), &ctx, eo);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  for (size_t i = 1; i < stats->sample_rows.size(); ++i) {
+    EXPECT_LE(stats->sample_rows[i - 1][0].i, stats->sample_rows[i][0].i);
+  }
+}
+
+}  // namespace
+}  // namespace oodb

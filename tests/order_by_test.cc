@@ -1,0 +1,123 @@
+// ORDER BY: the sort-order physical property end-to-end — required of the
+// plan root, supplied by the Sort enforcer or by an order-delivering
+// algorithm (a simple index scan emits key order for free).
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace oodb {
+namespace {
+
+TEST(OrderByParseTest, ParserAndBuilderAgree) {
+  auto q = ParseZqlForTest("SELECT e.name FROM Employee e IN Employees "
+                           "WHERE e.age >= 30 ORDER BY e.salary;");
+  ASSERT_NE(q, nullptr);
+  ASSERT_NE(q->order_by, nullptr);
+  EXPECT_EQ(q->order_by->path, (std::vector<std::string>{"e", "salary"}));
+
+  ZqlQuery built = QueryBuilder()
+                       .Select(zql::Path("e.name"))
+                       .From("Employee", "e", "Employees")
+                       .Where(zql::Ge(zql::Path("e.age"), zql::Lit(int64_t{30})))
+                       .OrderBy("e.salary")
+                       .Build();
+  EXPECT_EQ(built.ToString(), q->ToString());
+}
+
+class OrderByTest : public ::testing::Test {
+ protected:
+  OrderByTest() : db_(MakePaperCatalog(0.05)), session_(&db_.catalog) {
+    GenOptions gen;
+    gen.num_plants = 20;
+    auto r = GeneratePaperData(db_, &session_.store(), gen);
+    EXPECT_TRUE(r.ok()) << r.status();
+  }
+
+  /// Checks column `col` of the result rows is non-decreasing.
+  static void ExpectSorted(const SessionResult& r, size_t col) {
+    for (size_t i = 1; i < r.rows().size(); ++i) {
+      EXPECT_LE(r.rows()[i - 1][col].Compare(r.rows()[i][col]), 0)
+          << "row " << i;
+    }
+  }
+
+  PaperDb db_;
+  Session session_;
+};
+
+TEST_F(OrderByTest, SortEnforcerProducesOrderedRows) {
+  auto r = session_.Query(
+      "SELECT e.age, e.name FROM Employee e IN Employees "
+      "WHERE e.age >= 40 ORDER BY e.age;");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_GT(r->exec.rows, 2);
+  EXPECT_EQ(CountOps(*r->optimized.plan, PhysOpKind::kSort), 1);
+  ExpectSorted(*r, 0);
+}
+
+TEST_F(OrderByTest, OrderByUnprojectedColumnWorks) {
+  // The sort key (salary) is not in the SELECT list: the sort must happen
+  // below the projection, where the binding is still in scope.
+  auto r = session_.Query(
+      "SELECT e.name FROM Employee e IN Employees "
+      "WHERE e.age >= 60 ORDER BY e.salary;");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(CountOps(*r->optimized.plan, PhysOpKind::kSort), 1);
+  EXPECT_GT(r->exec.rows, 0);
+}
+
+TEST_F(OrderByTest, OrderByPathLoadsComponent) {
+  auto r = session_.Query(
+      "SELECT c.name, c.mayor.age FROM City c IN Cities "
+      "WHERE c.population >= 500000 ORDER BY c.mayor.age;");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_GT(r->exec.rows, 2);
+  ExpectSorted(*r, 1);
+}
+
+TEST_F(OrderByTest, IndexScanDeliversOrderWithoutSort) {
+  // A narrow range on the indexed key, ordered by that key: the simple
+  // index scan already emits key order — no Sort operator needed.
+  auto r = session_.Query(
+      "SELECT t.time, t.name FROM Task t IN Tasks "
+      "WHERE t.time >= 29 ORDER BY t.time;");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_GT(r->exec.rows, 1);
+  EXPECT_EQ(CountOps(*r->optimized.plan, PhysOpKind::kIndexScan), 1)
+      << r->PlanText();
+  EXPECT_EQ(CountOps(*r->optimized.plan, PhysOpKind::kSort), 0)
+      << r->PlanText();
+  ExpectSorted(*r, 0);
+}
+
+TEST_F(OrderByTest, SortedPlanCostsMoreThanUnsorted) {
+  auto unsorted = session_.Query(
+      "SELECT e.name FROM Employee e IN Employees WHERE e.age >= 40;");
+  auto sorted = session_.Query(
+      "SELECT e.name FROM Employee e IN Employees WHERE e.age >= 40 "
+      "ORDER BY e.name;");
+  ASSERT_TRUE(unsorted.ok());
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_GT(sorted->optimized.cost.total(), unsorted->optimized.cost.total());
+  EXPECT_EQ(sorted->exec.rows, unsorted->exec.rows);
+}
+
+TEST_F(OrderByTest, BareVariableOrderByRejected) {
+  EXPECT_FALSE(session_.Query(
+                           "SELECT e.name FROM Employee e IN Employees "
+                           "ORDER BY e;")
+                   .ok());
+}
+
+TEST_F(OrderByTest, SimplifyWithoutOrderOutputRejected) {
+  QueryContext ctx;
+  ctx.catalog = &db_.catalog;
+  EXPECT_FALSE(ParseAndSimplify(
+                   "SELECT e.name FROM Employee e IN Employees "
+                   "ORDER BY e.age;",
+                   &ctx, /*order=*/nullptr)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "src/catalog/schema.h"
+
+namespace oodb {
+namespace {
+
+Schema TwoTypes(TypeId* person, TypeId* city) {
+  Schema s;
+  *person = s.AddType("Person", 100);
+  *city = s.AddType("City", 200);
+  FieldDef name;
+  name.name = "name";
+  name.kind = FieldKind::kString;
+  s.mutable_type(*person).AddField(name);
+  FieldDef mayor;
+  mayor.name = "mayor";
+  mayor.kind = FieldKind::kRef;
+  mayor.target_type = *person;
+  s.mutable_type(*city).AddField(mayor);
+  return s;
+}
+
+TEST(SchemaTest, AddTypeAssignsSequentialIds) {
+  Schema s;
+  EXPECT_EQ(s.AddType("A", 10), 0);
+  EXPECT_EQ(s.AddType("B", 20), 1);
+  EXPECT_EQ(s.num_types(), 2);
+  EXPECT_EQ(s.type(0).name(), "A");
+  EXPECT_EQ(s.type(1).object_size(), 20);
+}
+
+TEST(SchemaTest, TypeByName) {
+  TypeId p, c;
+  Schema s = TwoTypes(&p, &c);
+  auto r = s.TypeByName("City");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, c);
+  EXPECT_FALSE(s.TypeByName("Nope").ok());
+}
+
+TEST(SchemaTest, FieldLookup) {
+  TypeId p, c;
+  Schema s = TwoTypes(&p, &c);
+  auto f = s.type(p).FieldByName("name");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(s.type(p).field(*f).kind, FieldKind::kString);
+  EXPECT_FALSE(s.type(p).FieldByName("zzz").ok());
+}
+
+TEST(SchemaTest, ResolveField) {
+  TypeId p, c;
+  Schema s = TwoTypes(&p, &c);
+  auto f = s.ResolveField(c, "mayor");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(s.type(c).field(*f).target_type, p);
+}
+
+TEST(SchemaTest, ResolveFieldBadType) {
+  Schema s;
+  EXPECT_FALSE(s.ResolveField(5, "x").ok());
+}
+
+TEST(SchemaTest, InheritCopiesFields) {
+  TypeId p, c;
+  Schema s = TwoTypes(&p, &c);
+  TypeId capital = s.AddType("Capital", 400);
+  ASSERT_TRUE(s.InheritFields(capital, c).ok());
+  auto f = s.type(capital).FieldByName("mayor");
+  ASSERT_TRUE(f.ok());
+  // Field ids are shared between super- and subtype.
+  EXPECT_EQ(*f, *s.type(c).FieldByName("mayor"));
+  EXPECT_EQ(s.type(capital).supertype(), c);
+}
+
+TEST(SchemaTest, InheritRequiresEmptySubtype) {
+  TypeId p, c;
+  Schema s = TwoTypes(&p, &c);
+  TypeId t = s.AddType("T", 10);
+  FieldDef f;
+  f.name = "x";
+  s.mutable_type(t).AddField(f);
+  EXPECT_FALSE(s.InheritFields(t, c).ok());
+}
+
+TEST(SchemaTest, IsSubtypeOf) {
+  TypeId p, c;
+  Schema s = TwoTypes(&p, &c);
+  TypeId capital = s.AddType("Capital", 400);
+  ASSERT_TRUE(s.InheritFields(capital, c).ok());
+  EXPECT_TRUE(s.IsSubtypeOf(capital, c));
+  EXPECT_TRUE(s.IsSubtypeOf(c, c));
+  EXPECT_FALSE(s.IsSubtypeOf(c, capital));
+  EXPECT_FALSE(s.IsSubtypeOf(p, c));
+}
+
+TEST(SchemaTest, FieldKindNames) {
+  EXPECT_STREQ(FieldKindName(FieldKind::kInt), "int");
+  EXPECT_STREQ(FieldKindName(FieldKind::kDouble), "double");
+  EXPECT_STREQ(FieldKindName(FieldKind::kString), "string");
+  EXPECT_STREQ(FieldKindName(FieldKind::kRef), "ref");
+  EXPECT_STREQ(FieldKindName(FieldKind::kRefSet), "set<ref>");
+}
+
+TEST(SchemaTest, HasField) {
+  TypeId p, c;
+  Schema s = TwoTypes(&p, &c);
+  EXPECT_TRUE(s.type(p).has_field(0));
+  EXPECT_FALSE(s.type(p).has_field(1));
+  EXPECT_FALSE(s.type(p).has_field(-1));
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "src/query/simplify.h"
+#include "src/query/builder.h"
+#include "tests/test_util.h"
+
+namespace oodb {
+namespace {
+
+class SimplifyTest : public ::testing::Test {
+ protected:
+  SimplifyTest() : db_(MakePaperCatalog()) {}
+
+  LogicalExprPtr Simplify(const std::string& text) {
+    ctx_ = QueryContext{};
+    ctx_.catalog = &db_.catalog;
+    auto r = ParseAndSimplify(text, &ctx_);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() ? *r : nullptr;
+  }
+
+  PaperDb db_;
+  QueryContext ctx_;
+};
+
+TEST_F(SimplifyTest, SingleValuedPathBecomesMatChain) {
+  // Paper Figure 2: each path link becomes a Mat.
+  LogicalExprPtr q = Simplify(
+      "SELECT c FROM City c IN Cities "
+      "WHERE c.mayor.name == c.country.president.name");
+  ASSERT_NE(q, nullptr);
+  std::string printed = PrintLogicalTree(*q, ctx_);
+  EXPECT_NE(printed.find("Mat c.mayor"), std::string::npos);
+  EXPECT_NE(printed.find("Mat c.country"), std::string::npos);
+  EXPECT_NE(printed.find("Mat c.country.president"), std::string::npos);
+  EXPECT_NE(printed.find("Get Cities: c"), std::string::npos);
+  // "name" instance variables are record fields: no Mat for them.
+  EXPECT_EQ(printed.find("Mat c.mayor.name"), std::string::npos);
+}
+
+TEST_F(SimplifyTest, SetValuedPathBecomesUnnestPlusMat) {
+  // Paper Figure 3.
+  LogicalExprPtr q = Simplify(
+      "SELECT m FROM Task t IN Tasks, Employee m IN t.team_members");
+  ASSERT_NE(q, nullptr);
+  std::string printed = PrintLogicalTree(*q, ctx_);
+  EXPECT_NE(printed.find("Unnest t.team_members"), std::string::npos);
+  EXPECT_NE(printed.find("Mat m_ref: m"), std::string::npos);
+}
+
+TEST_F(SimplifyTest, CommonPathSubexpressionsShareBindings) {
+  // e.dept appears twice; only one Mat is created.
+  LogicalExprPtr q = Simplify(
+      "SELECT e.dept.name FROM Employee e IN Employees "
+      "WHERE e.dept.floor == 3");
+  ASSERT_NE(q, nullptr);
+  int mats = 0;
+  std::function<void(const LogicalExpr&)> count = [&](const LogicalExpr& n) {
+    if (n.op.kind == LogicalOpKind::kMat) ++mats;
+    for (const auto& c : n.children) count(*c);
+  };
+  count(*q);
+  EXPECT_EQ(mats, 1);
+}
+
+TEST_F(SimplifyTest, MultipleRangesJoinedWithTruePredicate) {
+  LogicalExprPtr q = Simplify(
+      "SELECT e.name, d.name "
+      "FROM Employee e IN Employees, Department d IN Department "
+      "WHERE e.dept == d && d.floor == 3");
+  ASSERT_NE(q, nullptr);
+  bool has_join = false;
+  std::function<void(const LogicalExpr&)> walk = [&](const LogicalExpr& n) {
+    if (n.op.kind == LogicalOpKind::kJoin) has_join = true;
+    for (const auto& c : n.children) walk(*c);
+  };
+  walk(*q);
+  EXPECT_TRUE(has_join);
+}
+
+TEST_F(SimplifyTest, RangeOverExtentByTypeName) {
+  // "Departments" is not a named set; the extent serves the range.
+  LogicalExprPtr q = Simplify("SELECT d.name FROM Department d IN Department");
+  ASSERT_NE(q, nullptr);
+  std::string printed = PrintLogicalTree(*q, ctx_);
+  EXPECT_NE(printed.find("Get extent(Department): d"), std::string::npos);
+}
+
+TEST_F(SimplifyTest, ExistsUnnestsIntoPipeline) {
+  LogicalExprPtr q = Simplify(
+      "SELECT t FROM Task t IN Tasks WHERE t.time == 100 && "
+      "EXISTS (SELECT m FROM Employee m IN t.team_members "
+      "WHERE m.name == \"Fred\")");
+  ASSERT_NE(q, nullptr);
+  std::string printed = PrintLogicalTree(*q, ctx_);
+  EXPECT_NE(printed.find("Unnest t.team_members"), std::string::npos);
+  EXPECT_NE(printed.find("m.name == \"Fred\""), std::string::npos);
+  EXPECT_NE(printed.find("t.time == 100"), std::string::npos);
+}
+
+TEST_F(SimplifyTest, RefComparisonCompilesToRefEqSelf) {
+  LogicalExprPtr q = Simplify(
+      "SELECT e FROM Employee e IN Employees, Department d IN Department "
+      "WHERE e.dept == d");
+  ASSERT_NE(q, nullptr);
+  std::string printed = PrintLogicalTree(*q, ctx_);
+  EXPECT_NE(printed.find("e.dept == d.self"), std::string::npos);
+}
+
+TEST_F(SimplifyTest, ProjectEmitsSelectedExpressions) {
+  LogicalExprPtr q = Simplify(
+      "SELECT e.name, e.salary FROM Employee e IN Employees");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->op.kind, LogicalOpKind::kProject);
+  EXPECT_EQ(q->op.emit.size(), 2u);
+}
+
+TEST_F(SimplifyTest, ValidatedAgainstAlgebraRules) {
+  for (int n = 1; n <= 4; ++n) {
+    QueryContext ctx;
+    auto q = BuildPaperQuery(n, db_, &ctx);
+    ASSERT_TRUE(q.ok()) << "query " << n << ": " << q.status();
+    EXPECT_TRUE(ValidateLogicalTree(**q, ctx).ok());
+  }
+}
+
+TEST_F(SimplifyTest, BuilderQueriesSimplifyIdentically) {
+  QueryContext ctx1;
+  ctx1.catalog = &db_.catalog;
+  auto parsed = ParseAndSimplify(kQuery2Text, &ctx1);
+  ASSERT_TRUE(parsed.ok());
+
+  QueryContext ctx2;
+  ctx2.catalog = &db_.catalog;
+  ZqlQuery built = QueryBuilder()
+                       .Select(zql::Path("c"))
+                       .From("City", "c", "Cities")
+                       .Where(zql::Eq(zql::Path("c.mayor.name"), zql::Lit("Joe")))
+                       .Build();
+  auto simplified = SimplifyQuery(built, &ctx2);
+  ASSERT_TRUE(simplified.ok()) << simplified.status();
+  EXPECT_EQ(PrintLogicalTree(**parsed, ctx1),
+            PrintLogicalTree(**simplified, ctx2));
+}
+
+// --- Error cases ---
+
+TEST_F(SimplifyTest, UnknownCollectionRejected) {
+  QueryContext ctx;
+  ctx.catalog = &db_.catalog;
+  EXPECT_FALSE(
+      ParseAndSimplify("SELECT x FROM Widget x IN Widgets", &ctx).ok());
+}
+
+TEST_F(SimplifyTest, TypeMismatchRejected) {
+  QueryContext ctx;
+  ctx.catalog = &db_.catalog;
+  // Cities is a set of City, not Employee.
+  EXPECT_FALSE(
+      ParseAndSimplify("SELECT e FROM Employee e IN Cities", &ctx).ok());
+}
+
+TEST_F(SimplifyTest, DuplicateRangeVariableRejected) {
+  QueryContext ctx;
+  ctx.catalog = &db_.catalog;
+  EXPECT_FALSE(ParseAndSimplify(
+                   "SELECT e FROM Employee e IN Employees, City e IN Cities",
+                   &ctx)
+                   .ok());
+}
+
+TEST_F(SimplifyTest, SetValuedPathAsScalarRejected) {
+  QueryContext ctx;
+  ctx.catalog = &db_.catalog;
+  EXPECT_FALSE(ParseAndSimplify(
+                   "SELECT t FROM Task t IN Tasks WHERE t.team_members == 3",
+                   &ctx)
+                   .ok());
+}
+
+TEST_F(SimplifyTest, DereferencingScalarRejected) {
+  QueryContext ctx;
+  ctx.catalog = &db_.catalog;
+  EXPECT_FALSE(ParseAndSimplify(
+                   "SELECT e FROM Employee e IN Employees "
+                   "WHERE e.name.length == 3",
+                   &ctx)
+                   .ok());
+}
+
+TEST_F(SimplifyTest, ExistsInsideOrRejected) {
+  QueryContext ctx;
+  ctx.catalog = &db_.catalog;
+  EXPECT_FALSE(
+      ParseAndSimplify(
+          "SELECT t FROM Task t IN Tasks WHERE t.time == 1 || "
+          "EXISTS (SELECT m FROM Employee m IN t.team_members)",
+          &ctx)
+          .ok());
+}
+
+TEST_F(SimplifyTest, NoRangesRejected) {
+  QueryContext ctx;
+  ctx.catalog = &db_.catalog;
+  ZqlQuery empty;
+  EXPECT_FALSE(SimplifyQuery(empty, &ctx).ok());
+}
+
+TEST_F(SimplifyTest, SubtypeRangeOverCapitals) {
+  // A City-typed variable may range over the Capitals set (Capital <: City).
+  LogicalExprPtr q =
+      Simplify("SELECT k.name FROM City k IN Capitals WHERE k.population >= 5");
+  ASSERT_NE(q, nullptr);
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "src/catalog/paper_catalog.h"
+#include "src/storage/object_store.h"
+
+namespace oodb {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  StorageTest() : db_(MakePaperCatalog(0.01)), store_(&db_.catalog) {}
+  PaperDb db_;
+  ObjectStore store_;
+};
+
+TEST_F(StorageTest, CreateAssignsSequentialOids) {
+  Oid a = store_.Create(db_.person);
+  Oid b = store_.Create(db_.person);
+  EXPECT_EQ(b, a + 1);
+  EXPECT_TRUE(store_.Exists(a));
+  EXPECT_FALSE(store_.Exists(b + 1));
+  EXPECT_EQ(store_.TypeOf(a), db_.person);
+}
+
+TEST_F(StorageTest, DensePackingOnPages) {
+  // Person objects are 100 bytes: 40 fit on one 4096-byte page.
+  std::vector<Oid> oids;
+  for (int i = 0; i < 41; ++i) oids.push_back(store_.Create(db_.person));
+  EXPECT_EQ(store_.PageOf(oids[0]), store_.PageOf(oids[39]));
+  EXPECT_NE(store_.PageOf(oids[0]), store_.PageOf(oids[40]));
+  EXPECT_EQ(store_.PageOf(oids[40]), store_.PageOf(oids[0]) + 1);
+}
+
+TEST_F(StorageTest, TypesGetSeparatePages) {
+  Oid p = store_.Create(db_.person);
+  Oid c = store_.Create(db_.city);
+  Oid p2 = store_.Create(db_.person);
+  EXPECT_NE(store_.PageOf(p), store_.PageOf(c));
+  // A later person resumes the person type's current page.
+  EXPECT_EQ(store_.PageOf(p), store_.PageOf(p2));
+}
+
+TEST_F(StorageTest, FieldValuesRoundTrip) {
+  Oid p = store_.Create(db_.person);
+  store_.SetValue(p, db_.person_name, Value::Str("Ada"));
+  store_.SetValue(p, db_.person_age, Value::Int(36));
+  const ObjectData& obj = store_.Read(p, /*charge_io=*/false);
+  EXPECT_EQ(obj.value(db_.person_name).s, "Ada");
+  EXPECT_EQ(obj.value(db_.person_age).i, 36);
+}
+
+TEST_F(StorageTest, RefsAndRefSets) {
+  Oid p = store_.Create(db_.person);
+  Oid c = store_.Create(db_.city);
+  store_.SetRef(c, db_.city_mayor, p);
+  EXPECT_EQ(store_.Read(c, false).ref(db_.city_mayor), p);
+
+  Oid t = store_.Create(db_.task);
+  Oid e1 = store_.Create(db_.employee);
+  Oid e2 = store_.Create(db_.employee);
+  store_.AddToRefSet(t, db_.task_team_members, e1);
+  store_.AddToRefSet(t, db_.task_team_members, e2);
+  const ObjectData& task = store_.Read(t, false);
+  ASSERT_EQ(task.ref_sets.size(), 1u);
+  EXPECT_EQ(task.ref_sets[0], (std::vector<Oid>{e1, e2}));
+}
+
+TEST_F(StorageTest, ExtentsTrackMembership) {
+  Oid p = store_.Create(db_.person);
+  auto extent = store_.CollectionMembers(CollectionId::Extent(db_.person));
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ((*extent)->size(), 1u);
+  EXPECT_EQ((**extent)[0], p);
+  // Plant has no extent.
+  store_.Create(db_.plant);
+  EXPECT_FALSE(store_.CollectionMembers(CollectionId::Extent(db_.plant)).ok());
+}
+
+TEST_F(StorageTest, NamedSets) {
+  Oid c = store_.Create(db_.city);
+  ASSERT_TRUE(store_.AddToSet("Cities", c).ok());
+  auto members = store_.CollectionMembers(CollectionId::Set("Cities", db_.city));
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ((*members)->size(), 1u);
+  EXPECT_FALSE(store_.AddToSet("NoSuchSet", c).ok());
+}
+
+TEST_F(StorageTest, ReadChargesBufferAndDisk) {
+  Oid p = store_.Create(db_.person);
+  store_.ResetSimulation();
+  store_.Read(p);
+  EXPECT_EQ(store_.buffer().misses(), 1);
+  EXPECT_EQ(store_.disk().reads(), 1);
+  EXPECT_GT(store_.clock().io_s, 0.0);
+  // Second read of the same page: buffer hit, no disk I/O.
+  store_.Read(p);
+  EXPECT_EQ(store_.buffer().hits(), 1);
+  EXPECT_EQ(store_.disk().reads(), 1);
+}
+
+TEST_F(StorageTest, IndexBuildAndLookup) {
+  Oid p1 = store_.Create(db_.person);
+  store_.SetValue(p1, db_.person_name, Value::Str("Joe"));
+  Oid p2 = store_.Create(db_.person);
+  store_.SetValue(p2, db_.person_name, Value::Str("Ann"));
+  Oid c1 = store_.Create(db_.city);
+  store_.SetRef(c1, db_.city_mayor, p1);
+  Oid c2 = store_.Create(db_.city);
+  store_.SetRef(c2, db_.city_mayor, p2);
+  ASSERT_TRUE(store_.AddToSet("Cities", c1).ok());
+  ASSERT_TRUE(store_.AddToSet("Cities", c2).ok());
+  // Populate the other indexed collections so BuildIndexes succeeds.
+  ASSERT_TRUE(store_.AddToSet("Tasks", store_.Create(db_.task)).ok());
+
+  ASSERT_TRUE(store_.BuildIndexes().ok());
+  auto idx = store_.FindIndex(kIdxCitiesMayorName);
+  ASSERT_TRUE(idx.ok());
+  // The path index resolves mayor.name to the *city* roots.
+  EXPECT_EQ((*idx)->Lookup(Value::Str("Joe")), (std::vector<Oid>{c1}));
+  EXPECT_EQ((*idx)->Lookup(Value::Str("Ann")), (std::vector<Oid>{c2}));
+  EXPECT_TRUE((*idx)->Lookup(Value::Str("Zed")).empty());
+}
+
+TEST_F(StorageTest, IndexRangeScan) {
+  for (int i = 0; i < 10; ++i) {
+    Oid t = store_.Create(db_.task);
+    store_.SetValue(t, db_.task_time, Value::Int(i));
+    ASSERT_TRUE(store_.AddToSet("Tasks", t).ok());
+  }
+  ASSERT_TRUE(store_.AddToSet("Cities", store_.Create(db_.city)).ok());
+  ASSERT_TRUE(store_.BuildIndexes().ok());
+  auto idx = store_.FindIndex(kIdxTasksTime);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ((*idx)->Range(Value::Int(3), Value::Int(5)).size(), 3u);
+  EXPECT_EQ((*idx)->num_keys(), 10);
+  EXPECT_EQ((*idx)->num_entries(), 10);
+}
+
+TEST(DiskModelTest, SequentialVsRandomClassification) {
+  CostModelOptions timing;
+  SimClock clock;
+  DiskModel disk(&timing, &clock);
+  disk.Read(10);  // first read: random
+  disk.Read(11);  // sequential
+  disk.Read(11);  // re-read: sequential
+  disk.Read(50);  // forward seek: random (discounted)
+  disk.Read(5);   // backward: random (full)
+  EXPECT_EQ(disk.seq_reads(), 2);
+  EXPECT_EQ(disk.random_reads(), 3);
+  EXPECT_EQ(disk.reads(), 5);
+}
+
+TEST(DiskModelTest, ShortForwardSeeksCheaperThanFullRandom) {
+  CostModelOptions timing;
+  SimClock near_clock, far_clock;
+  {
+    DiskModel disk(&timing, &near_clock);
+    disk.Read(100);
+    near_clock.Reset();
+    disk.Read(102);  // distance 2
+  }
+  {
+    DiskModel disk(&timing, &far_clock);
+    disk.Read(100);
+    far_clock.Reset();
+    disk.Read(100000000);  // huge seek
+  }
+  EXPECT_LT(near_clock.io_s, far_clock.io_s);
+  EXPECT_GT(near_clock.io_s, timing.seq_io_s - 1e-12);
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  CostModelOptions timing;
+  SimClock clock;
+  DiskModel disk(&timing, &clock);
+  BufferPool pool(&disk, 2);
+  pool.Access(1);
+  pool.Access(2);
+  pool.Access(1);  // 1 is now most recent
+  pool.Access(3);  // evicts 2
+  EXPECT_EQ(pool.misses(), 3);
+  EXPECT_EQ(pool.hits(), 1);
+  pool.Access(2);  // miss again
+  EXPECT_EQ(pool.misses(), 4);
+  pool.Access(1);  // 1 was evicted by the re-fault of 2? No: capacity 2,
+                   // after access(2) resident = {2, 3}; 1 misses.
+  EXPECT_EQ(pool.misses(), 5);
+  EXPECT_EQ(pool.resident(), 2);
+}
+
+TEST(BufferPoolTest, ResetClears) {
+  CostModelOptions timing;
+  SimClock clock;
+  DiskModel disk(&timing, &clock);
+  BufferPool pool(&disk, 4);
+  pool.Access(1);
+  pool.Reset();
+  EXPECT_EQ(pool.hits(), 0);
+  EXPECT_EQ(pool.misses(), 0);
+  EXPECT_EQ(pool.resident(), 0);
+}
+
+}  // namespace
+}  // namespace oodb

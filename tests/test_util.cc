@@ -1,0 +1,45 @@
+#include "tests/test_util.h"
+
+namespace oodb {
+namespace testing {
+
+bool PlanContains(const PlanNode& plan, const QueryContext& ctx,
+                  const std::string& needle) {
+  for (const std::string& op : PlanOpStrings(plan, ctx)) {
+    if (op.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+static void CollectKinds(const PlanNode& plan, std::vector<PhysOpKind>* out) {
+  out->push_back(plan.op.kind);
+  for (const PlanNodePtr& c : plan.children) CollectKinds(*c, out);
+}
+
+std::vector<PhysOpKind> PlanKinds(const PlanNode& plan) {
+  std::vector<PhysOpKind> out;
+  CollectKinds(plan, &out);
+  return out;
+}
+
+OptimizedQuery MustOptimize(int n, const PaperDb& db, QueryContext* ctx,
+                            OptimizerOptions opts) {
+  Result<LogicalExprPtr> logical = BuildPaperQuery(n, db, ctx);
+  EXPECT_TRUE(logical.ok()) << logical.status();
+  if (!logical.ok()) std::abort();
+  Optimizer opt(&db.catalog, std::move(opts));
+  Result<OptimizedQuery> r = opt.Optimize(**logical, ctx);
+  EXPECT_TRUE(r.ok()) << r.status();
+  if (!r.ok()) std::abort();
+  return *std::move(r);
+}
+
+}  // namespace testing
+
+ZqlQueryPtr ParseZqlForTest(const std::string& text) {
+  Result<ZqlQueryPtr> q = ParseZql(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return q.ok() ? *q : nullptr;
+}
+
+}  // namespace oodb

@@ -1,0 +1,57 @@
+// Shared test helpers.
+#ifndef OODB_TESTS_TEST_UTIL_H_
+#define OODB_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/oodb.h"
+#include "src/query/zql_parser.h"
+#include "src/workloads/paper_queries.h"
+
+namespace oodb {
+namespace testing {
+
+#define ASSERT_OK(expr)                                   \
+  do {                                                    \
+    const auto& _res = (expr);                            \
+    ASSERT_TRUE(StatusOf(_res).ok()) << StatusOf(_res);   \
+  } while (0)
+
+#define EXPECT_OK(expr)                                   \
+  do {                                                    \
+    const auto& _res = (expr);                            \
+    EXPECT_TRUE(StatusOf(_res).ok()) << StatusOf(_res);   \
+  } while (0)
+
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& StatusOf(const Result<T>& r) {
+  static const Status kOk;
+  return r.ok() ? kOk : r.status();
+}
+
+/// True if any plan operator's display string contains `needle`.
+bool PlanContains(const PlanNode& plan, const QueryContext& ctx,
+                  const std::string& needle);
+
+/// Preorder operator kinds of a plan.
+std::vector<PhysOpKind> PlanKinds(const PlanNode& plan);
+
+/// Optimizes paper query `n` under `opts`; aborts the test on failure.
+OptimizedQuery MustOptimize(int n, const PaperDb& db, QueryContext* ctx,
+                            OptimizerOptions opts = {});
+
+}  // namespace testing
+
+/// Parses ZQL text, returning null (with a test failure) on error.
+ZqlQueryPtr ParseZqlForTest(const std::string& text);
+
+namespace testing {
+
+}  // namespace testing
+}  // namespace oodb
+
+#endif  // OODB_TESTS_TEST_UTIL_H_

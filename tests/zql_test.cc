@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "src/query/builder.h"
+#include "src/query/zql_lexer.h"
+#include "src/query/zql_parser.h"
+
+namespace oodb {
+namespace {
+
+// --- Lexer ---
+
+TEST(ZqlLexerTest, BasicTokens) {
+  auto toks = LexZql("SELECT e.name, 42 4.5 \"str\" == != <= >= < > && || ! ;");
+  ASSERT_TRUE(toks.ok());
+  std::vector<TokKind> kinds;
+  for (const Token& t : *toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokKind>{
+                TokKind::kIdent, TokKind::kIdent, TokKind::kDot, TokKind::kIdent,
+                TokKind::kComma, TokKind::kInt, TokKind::kDouble,
+                TokKind::kString, TokKind::kEq, TokKind::kNe, TokKind::kLe,
+                TokKind::kGe, TokKind::kLt, TokKind::kGt, TokKind::kAnd,
+                TokKind::kOr, TokKind::kNot, TokKind::kSemi, TokKind::kEnd}));
+}
+
+TEST(ZqlLexerTest, NumbersAndStrings) {
+  auto toks = LexZql("123 45.25 'single' \"double\"");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].int_val, 123);
+  EXPECT_DOUBLE_EQ((*toks)[1].dbl_val, 45.25);
+  EXPECT_EQ((*toks)[2].text, "single");
+  EXPECT_EQ((*toks)[3].text, "double");
+}
+
+TEST(ZqlLexerTest, IntFollowedByDotIdent) {
+  // `3.foo` must not lex as a double.
+  auto toks = LexZql("3.x");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokKind::kInt);
+  EXPECT_EQ((*toks)[1].kind, TokKind::kDot);
+}
+
+TEST(ZqlLexerTest, Errors) {
+  EXPECT_FALSE(LexZql("\"unterminated").ok());
+  EXPECT_FALSE(LexZql("a = b").ok());   // single '='
+  EXPECT_FALSE(LexZql("a & b").ok());   // single '&'
+  EXPECT_FALSE(LexZql("a # b").ok());   // unknown char
+}
+
+// --- Parser ---
+
+TEST(ZqlParserTest, PaperQuery1Shape) {
+  auto q = ParseZql(
+      "SELECT e.name, e.dept.name FROM Employee e IN Employees "
+      "WHERE e.dept.plant.location == \"Dallas\";");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ((*q)->select.size(), 2u);
+  ASSERT_EQ((*q)->from.size(), 1u);
+  EXPECT_EQ((*q)->from[0].type_name, "Employee");
+  EXPECT_EQ((*q)->from[0].var, "e");
+  EXPECT_EQ((*q)->from[0].collection, "Employees");
+  ASSERT_NE((*q)->where, nullptr);
+  EXPECT_EQ((*q)->where->kind, ZqlExpr::Kind::kCmp);
+}
+
+TEST(ZqlParserTest, MultipleRangesAndConjuncts) {
+  auto q = ParseZql(
+      "SELECT e.name, d.name "
+      "FROM Employee e IN Employees, Department d IN Departments "
+      "WHERE d.floor == 3 && e.age >= 32 && e.dept == d");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ((*q)->from.size(), 2u);
+  EXPECT_EQ((*q)->where->kind, ZqlExpr::Kind::kAnd);
+  EXPECT_EQ((*q)->where->children.size(), 3u);
+}
+
+TEST(ZqlParserTest, PathRange) {
+  auto q = ParseZql(
+      "SELECT t FROM Task t IN Tasks, Employee m IN t.team_members "
+      "WHERE m.name == \"Fred\"");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ((*q)->from.size(), 2u);
+  EXPECT_TRUE((*q)->from[1].from_path);
+  EXPECT_EQ((*q)->from[1].path,
+            (std::vector<std::string>{"t", "team_members"}));
+}
+
+TEST(ZqlParserTest, MethodCallParensAccepted) {
+  // ZQL[C++] accessor style: e.nameo / e.name().
+  auto q = ParseZql("SELECT e.name() FROM Employee e IN Employees "
+                    "WHERE e.dept().name() == \"R&D\"");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ((*q)->select[0]->path, (std::vector<std::string>{"e", "name"}));
+}
+
+TEST(ZqlParserTest, OrNotPrecedence) {
+  auto q = ParseZql(
+      "SELECT e FROM Employee e IN Employees "
+      "WHERE e.age == 1 || e.age == 2 && !(e.age == 3)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  // || binds loosest: top is an OR of [cmp, AND[cmp, NOT]].
+  EXPECT_EQ((*q)->where->kind, ZqlExpr::Kind::kOr);
+  ASSERT_EQ((*q)->where->children.size(), 2u);
+  EXPECT_EQ((*q)->where->children[1]->kind, ZqlExpr::Kind::kAnd);
+}
+
+TEST(ZqlParserTest, ExistsSubquery) {
+  auto q = ParseZql(
+      "SELECT t FROM Task t IN Tasks "
+      "WHERE t.time == 100 && EXISTS (SELECT m FROM Employee m IN "
+      "t.team_members WHERE m.name == \"Fred\")");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const ZqlExprPtr& ex = (*q)->where->children[1];
+  ASSERT_EQ(ex->kind, ZqlExpr::Kind::kExists);
+  ASSERT_NE(ex->subquery, nullptr);
+  EXPECT_EQ(ex->subquery->from.size(), 1u);
+}
+
+TEST(ZqlParserTest, KeywordsCaseInsensitive) {
+  auto q = ParseZql("select e from Employee e in Employees where e.age == 1");
+  ASSERT_TRUE(q.ok()) << q.status();
+}
+
+TEST(ZqlParserTest, Errors) {
+  EXPECT_FALSE(ParseZql("FROM Employee e IN Employees").ok());
+  EXPECT_FALSE(ParseZql("SELECT e").ok());                 // missing FROM
+  EXPECT_FALSE(ParseZql("SELECT e FROM e").ok());          // bad range
+  EXPECT_FALSE(ParseZql("SELECT e FROM Employee e Employees").ok());
+  EXPECT_FALSE(
+      ParseZql("SELECT e FROM Employee e IN Employees WHERE").ok());
+  EXPECT_FALSE(
+      ParseZql("SELECT e FROM Employee e IN Employees; trailing").ok());
+  EXPECT_FALSE(ParseZql("SELECT e FROM Employee e IN Employees WHERE (e.age "
+                        "== 1").ok());  // unclosed paren
+}
+
+TEST(ZqlParserTest, ToStringRoundTrips) {
+  auto q = ParseZql(
+      "SELECT e.name FROM Employee e IN Employees WHERE e.age >= 32");
+  ASSERT_TRUE(q.ok());
+  std::string text = (*q)->ToString();
+  auto q2 = ParseZql(text);
+  ASSERT_TRUE(q2.ok()) << text;
+  EXPECT_EQ((*q2)->ToString(), text);
+}
+
+// --- Builder ---
+
+TEST(BuilderTest, EquivalentToParsedQuery) {
+  ZqlQuery built = QueryBuilder()
+                       .Select(zql::Path("e.name"))
+                       .From("Employee", "e", "Employees")
+                       .Where(zql::Ge(zql::Path("e.age"), zql::Lit(int64_t{32})))
+                       .Build();
+  auto parsed = ParseZql(
+      "SELECT e.name FROM Employee e IN Employees WHERE e.age >= 32");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(built.ToString(), (*parsed)->ToString());
+}
+
+TEST(BuilderTest, WhereAccumulatesWithAnd) {
+  ZqlQuery q = QueryBuilder()
+                   .Select(zql::Path("e"))
+                   .From("Employee", "e", "Employees")
+                   .Where(zql::Eq(zql::Path("e.age"), zql::Lit(int64_t{30})))
+                   .Where(zql::Eq(zql::Path("e.name"), zql::Lit("Fred")))
+                   .Build();
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->kind, ZqlExpr::Kind::kAnd);
+}
+
+TEST(BuilderTest, FromPath) {
+  ZqlQuery q = QueryBuilder()
+                   .Select(zql::Path("t"))
+                   .From("Task", "t", "Tasks")
+                   .FromPath("Employee", "m", "t.team_members")
+                   .Build();
+  ASSERT_EQ(q.from.size(), 2u);
+  EXPECT_TRUE(q.from[1].from_path);
+  EXPECT_EQ(q.from[1].path, (std::vector<std::string>{"t", "team_members"}));
+}
+
+TEST(BuilderTest, ExprHelpers) {
+  EXPECT_EQ(zql::Lit(int64_t{5})->literal.i, 5);
+  EXPECT_EQ(zql::Lit(2.5)->literal.d, 2.5);
+  EXPECT_EQ(zql::Lit("x")->literal.s, "x");
+  EXPECT_EQ(zql::Not(zql::Lit(int64_t{1}))->kind, ZqlExpr::Kind::kNot);
+  EXPECT_EQ(zql::Or({zql::Lit(int64_t{1}), zql::Lit(int64_t{2})})->kind,
+            ZqlExpr::Kind::kOr);
+  EXPECT_EQ(zql::Lt(zql::Path("a.b"), zql::Lit(int64_t{1}))->cmp, CmpOp::kLt);
+}
+
+}  // namespace
+}  // namespace oodb
