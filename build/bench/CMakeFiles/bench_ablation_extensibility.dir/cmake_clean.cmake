@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_extensibility.dir/bench_ablation_extensibility.cc.o"
+  "CMakeFiles/bench_ablation_extensibility.dir/bench_ablation_extensibility.cc.o.d"
+  "bench_ablation_extensibility"
+  "bench_ablation_extensibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_extensibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

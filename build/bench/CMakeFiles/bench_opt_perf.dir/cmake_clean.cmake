@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_opt_perf.dir/bench_opt_perf.cc.o"
+  "CMakeFiles/bench_opt_perf.dir/bench_opt_perf.cc.o.d"
+  "bench_opt_perf"
+  "bench_opt_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opt_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query2.dir/bench_query2.cc.o"
+  "CMakeFiles/bench_query2.dir/bench_query2.cc.o.d"
+  "bench_query2"
+  "bench_query2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

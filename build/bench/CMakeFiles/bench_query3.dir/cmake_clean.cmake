@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query3.dir/bench_query3.cc.o"
+  "CMakeFiles/bench_query3.dir/bench_query3.cc.o.d"
+  "bench_query3"
+  "bench_query3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

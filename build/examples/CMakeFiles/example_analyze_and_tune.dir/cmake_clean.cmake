@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_analyze_and_tune.dir/analyze_and_tune.cpp.o"
+  "CMakeFiles/example_analyze_and_tune.dir/analyze_and_tune.cpp.o.d"
+  "example_analyze_and_tune"
+  "example_analyze_and_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_analyze_and_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

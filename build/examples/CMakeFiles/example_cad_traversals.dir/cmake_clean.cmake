@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cad_traversals.dir/cad_traversals.cpp.o"
+  "CMakeFiles/example_cad_traversals.dir/cad_traversals.cpp.o.d"
+  "example_cad_traversals"
+  "example_cad_traversals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cad_traversals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

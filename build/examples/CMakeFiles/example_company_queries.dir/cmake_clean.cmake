@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_company_queries.dir/company_queries.cpp.o"
+  "CMakeFiles/example_company_queries.dir/company_queries.cpp.o.d"
+  "example_company_queries"
+  "example_company_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_company_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

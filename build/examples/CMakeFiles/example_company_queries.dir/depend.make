@@ -1,0 +1,2 @@
+# Empty dependencies file for example_company_queries.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_extend_optimizer.dir/extend_optimizer.cpp.o"
+  "CMakeFiles/example_extend_optimizer.dir/extend_optimizer.cpp.o.d"
+  "example_extend_optimizer"
+  "example_extend_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_extend_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

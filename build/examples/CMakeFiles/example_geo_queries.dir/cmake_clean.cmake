@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_geo_queries.dir/geo_queries.cpp.o"
+  "CMakeFiles/example_geo_queries.dir/geo_queries.cpp.o.d"
+  "example_geo_queries"
+  "example_geo_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_geo_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

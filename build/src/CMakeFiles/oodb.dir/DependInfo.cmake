@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/binding.cc" "src/CMakeFiles/oodb.dir/algebra/binding.cc.o" "gcc" "src/CMakeFiles/oodb.dir/algebra/binding.cc.o.d"
+  "/root/repo/src/algebra/expr.cc" "src/CMakeFiles/oodb.dir/algebra/expr.cc.o" "gcc" "src/CMakeFiles/oodb.dir/algebra/expr.cc.o.d"
+  "/root/repo/src/algebra/logical_op.cc" "src/CMakeFiles/oodb.dir/algebra/logical_op.cc.o" "gcc" "src/CMakeFiles/oodb.dir/algebra/logical_op.cc.o.d"
+  "/root/repo/src/algebra/logical_props.cc" "src/CMakeFiles/oodb.dir/algebra/logical_props.cc.o" "gcc" "src/CMakeFiles/oodb.dir/algebra/logical_props.cc.o.d"
+  "/root/repo/src/baseline/greedy.cc" "src/CMakeFiles/oodb.dir/baseline/greedy.cc.o" "gcc" "src/CMakeFiles/oodb.dir/baseline/greedy.cc.o.d"
+  "/root/repo/src/catalog/analyze.cc" "src/CMakeFiles/oodb.dir/catalog/analyze.cc.o" "gcc" "src/CMakeFiles/oodb.dir/catalog/analyze.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/oodb.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/oodb.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/paper_catalog.cc" "src/CMakeFiles/oodb.dir/catalog/paper_catalog.cc.o" "gcc" "src/CMakeFiles/oodb.dir/catalog/paper_catalog.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/oodb.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/oodb.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/oodb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/oodb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/oodb.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/oodb.dir/common/strings.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/oodb.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/oodb.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/cost/selectivity.cc" "src/CMakeFiles/oodb.dir/cost/selectivity.cc.o" "gcc" "src/CMakeFiles/oodb.dir/cost/selectivity.cc.o.d"
+  "/root/repo/src/dynamic/dynamic_plans.cc" "src/CMakeFiles/oodb.dir/dynamic/dynamic_plans.cc.o" "gcc" "src/CMakeFiles/oodb.dir/dynamic/dynamic_plans.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/oodb.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/oodb.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/oodb.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/oodb.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/reference.cc" "src/CMakeFiles/oodb.dir/exec/reference.cc.o" "gcc" "src/CMakeFiles/oodb.dir/exec/reference.cc.o.d"
+  "/root/repo/src/exec/tuple.cc" "src/CMakeFiles/oodb.dir/exec/tuple.cc.o" "gcc" "src/CMakeFiles/oodb.dir/exec/tuple.cc.o.d"
+  "/root/repo/src/optimizer.cc" "src/CMakeFiles/oodb.dir/optimizer.cc.o" "gcc" "src/CMakeFiles/oodb.dir/optimizer.cc.o.d"
+  "/root/repo/src/physical/algorithms.cc" "src/CMakeFiles/oodb.dir/physical/algorithms.cc.o" "gcc" "src/CMakeFiles/oodb.dir/physical/algorithms.cc.o.d"
+  "/root/repo/src/physical/enforcers.cc" "src/CMakeFiles/oodb.dir/physical/enforcers.cc.o" "gcc" "src/CMakeFiles/oodb.dir/physical/enforcers.cc.o.d"
+  "/root/repo/src/physical/impl_rules.cc" "src/CMakeFiles/oodb.dir/physical/impl_rules.cc.o" "gcc" "src/CMakeFiles/oodb.dir/physical/impl_rules.cc.o.d"
+  "/root/repo/src/physical/phys_props.cc" "src/CMakeFiles/oodb.dir/physical/phys_props.cc.o" "gcc" "src/CMakeFiles/oodb.dir/physical/phys_props.cc.o.d"
+  "/root/repo/src/physical/physical_op.cc" "src/CMakeFiles/oodb.dir/physical/physical_op.cc.o" "gcc" "src/CMakeFiles/oodb.dir/physical/physical_op.cc.o.d"
+  "/root/repo/src/query/builder.cc" "src/CMakeFiles/oodb.dir/query/builder.cc.o" "gcc" "src/CMakeFiles/oodb.dir/query/builder.cc.o.d"
+  "/root/repo/src/query/simplify.cc" "src/CMakeFiles/oodb.dir/query/simplify.cc.o" "gcc" "src/CMakeFiles/oodb.dir/query/simplify.cc.o.d"
+  "/root/repo/src/query/zql_ast.cc" "src/CMakeFiles/oodb.dir/query/zql_ast.cc.o" "gcc" "src/CMakeFiles/oodb.dir/query/zql_ast.cc.o.d"
+  "/root/repo/src/query/zql_lexer.cc" "src/CMakeFiles/oodb.dir/query/zql_lexer.cc.o" "gcc" "src/CMakeFiles/oodb.dir/query/zql_lexer.cc.o.d"
+  "/root/repo/src/query/zql_parser.cc" "src/CMakeFiles/oodb.dir/query/zql_parser.cc.o" "gcc" "src/CMakeFiles/oodb.dir/query/zql_parser.cc.o.d"
+  "/root/repo/src/rules/expr_rewrites.cc" "src/CMakeFiles/oodb.dir/rules/expr_rewrites.cc.o" "gcc" "src/CMakeFiles/oodb.dir/rules/expr_rewrites.cc.o.d"
+  "/root/repo/src/rules/transformations.cc" "src/CMakeFiles/oodb.dir/rules/transformations.cc.o" "gcc" "src/CMakeFiles/oodb.dir/rules/transformations.cc.o.d"
+  "/root/repo/src/session.cc" "src/CMakeFiles/oodb.dir/session.cc.o" "gcc" "src/CMakeFiles/oodb.dir/session.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/oodb.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/oodb.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/datagen.cc" "src/CMakeFiles/oodb.dir/storage/datagen.cc.o" "gcc" "src/CMakeFiles/oodb.dir/storage/datagen.cc.o.d"
+  "/root/repo/src/storage/disk_model.cc" "src/CMakeFiles/oodb.dir/storage/disk_model.cc.o" "gcc" "src/CMakeFiles/oodb.dir/storage/disk_model.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/oodb.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/oodb.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/CMakeFiles/oodb.dir/storage/object_store.cc.o" "gcc" "src/CMakeFiles/oodb.dir/storage/object_store.cc.o.d"
+  "/root/repo/src/volcano/memo.cc" "src/CMakeFiles/oodb.dir/volcano/memo.cc.o" "gcc" "src/CMakeFiles/oodb.dir/volcano/memo.cc.o.d"
+  "/root/repo/src/volcano/plan.cc" "src/CMakeFiles/oodb.dir/volcano/plan.cc.o" "gcc" "src/CMakeFiles/oodb.dir/volcano/plan.cc.o.d"
+  "/root/repo/src/volcano/search.cc" "src/CMakeFiles/oodb.dir/volcano/search.cc.o" "gcc" "src/CMakeFiles/oodb.dir/volcano/search.cc.o.d"
+  "/root/repo/src/workloads/oo7.cc" "src/CMakeFiles/oodb.dir/workloads/oo7.cc.o" "gcc" "src/CMakeFiles/oodb.dir/workloads/oo7.cc.o.d"
+  "/root/repo/src/workloads/paper_queries.cc" "src/CMakeFiles/oodb.dir/workloads/paper_queries.cc.o" "gcc" "src/CMakeFiles/oodb.dir/workloads/paper_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

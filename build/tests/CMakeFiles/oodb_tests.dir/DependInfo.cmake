@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/binding_test.cc" "tests/CMakeFiles/oodb_tests.dir/binding_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/binding_test.cc.o.d"
+  "/root/repo/tests/catalog_test.cc" "tests/CMakeFiles/oodb_tests.dir/catalog_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/catalog_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/oodb_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/oodb_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/oodb_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/dynamic_test.cc" "tests/CMakeFiles/oodb_tests.dir/dynamic_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/dynamic_test.cc.o.d"
+  "/root/repo/tests/enforcer_test.cc" "tests/CMakeFiles/oodb_tests.dir/enforcer_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/enforcer_test.cc.o.d"
+  "/root/repo/tests/exec_test.cc" "tests/CMakeFiles/oodb_tests.dir/exec_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/exec_test.cc.o.d"
+  "/root/repo/tests/expr_rewrites_test.cc" "tests/CMakeFiles/oodb_tests.dir/expr_rewrites_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/expr_rewrites_test.cc.o.d"
+  "/root/repo/tests/expr_test.cc" "tests/CMakeFiles/oodb_tests.dir/expr_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/expr_test.cc.o.d"
+  "/root/repo/tests/extension_test.cc" "tests/CMakeFiles/oodb_tests.dir/extension_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/extension_test.cc.o.d"
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/oodb_tests.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/fuzz_test.cc.o.d"
+  "/root/repo/tests/greedy_test.cc" "tests/CMakeFiles/oodb_tests.dir/greedy_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/greedy_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/oodb_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/logical_op_test.cc" "tests/CMakeFiles/oodb_tests.dir/logical_op_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/logical_op_test.cc.o.d"
+  "/root/repo/tests/logical_props_test.cc" "tests/CMakeFiles/oodb_tests.dir/logical_props_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/logical_props_test.cc.o.d"
+  "/root/repo/tests/memo_test.cc" "tests/CMakeFiles/oodb_tests.dir/memo_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/memo_test.cc.o.d"
+  "/root/repo/tests/oo7_test.cc" "tests/CMakeFiles/oodb_tests.dir/oo7_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/oo7_test.cc.o.d"
+  "/root/repo/tests/operators_test.cc" "tests/CMakeFiles/oodb_tests.dir/operators_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/operators_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/oodb_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/order_by_test.cc" "tests/CMakeFiles/oodb_tests.dir/order_by_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/order_by_test.cc.o.d"
+  "/root/repo/tests/pruning_test.cc" "tests/CMakeFiles/oodb_tests.dir/pruning_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/pruning_test.cc.o.d"
+  "/root/repo/tests/range_scan_test.cc" "tests/CMakeFiles/oodb_tests.dir/range_scan_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/range_scan_test.cc.o.d"
+  "/root/repo/tests/schema_test.cc" "tests/CMakeFiles/oodb_tests.dir/schema_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/schema_test.cc.o.d"
+  "/root/repo/tests/search_test.cc" "tests/CMakeFiles/oodb_tests.dir/search_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/search_test.cc.o.d"
+  "/root/repo/tests/selectivity_test.cc" "tests/CMakeFiles/oodb_tests.dir/selectivity_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/selectivity_test.cc.o.d"
+  "/root/repo/tests/session_test.cc" "tests/CMakeFiles/oodb_tests.dir/session_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/session_test.cc.o.d"
+  "/root/repo/tests/simplify_test.cc" "tests/CMakeFiles/oodb_tests.dir/simplify_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/simplify_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/oodb_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/oodb_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/test_util.cc.o.d"
+  "/root/repo/tests/transformations_test.cc" "tests/CMakeFiles/oodb_tests.dir/transformations_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/transformations_test.cc.o.d"
+  "/root/repo/tests/zql_test.cc" "tests/CMakeFiles/oodb_tests.dir/zql_test.cc.o" "gcc" "tests/CMakeFiles/oodb_tests.dir/zql_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oodb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
