@@ -5,6 +5,9 @@
 // parse+simplify front end.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+
 #include "src/oodb.h"
 #include "src/workloads/paper_queries.h"
 
@@ -16,16 +19,32 @@ const PaperDb& Db() {
   return db;
 }
 
+/// Asserts the paper's §1 performance goal on the measured wall clock
+/// (SearchStats::optimize_seconds, steady_clock inside the search engine):
+/// exceeding 1 sec fails the benchmark instead of relying on eyeballing.
+void CheckUnderOneSecond(benchmark::State& state, double max_optimize_s) {
+  state.counters["optimize_wall_s_max"] = max_optimize_s;
+  if (max_optimize_s >= 1.0) {
+    state.SkipWithError(("optimize wall clock " +
+                         std::to_string(max_optimize_s) +
+                         "s breaks the paper's <1 sec goal")
+                            .c_str());
+  }
+}
+
 void BM_OptimizePaperQuery(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
+  double max_optimize_s = 0.0;
   for (auto _ : state) {
     QueryContext ctx;
     auto logical = BuildPaperQuery(n, Db(), &ctx);
     Optimizer opt(&Db().catalog);
     auto r = opt.Optimize(**logical, &ctx);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    max_optimize_s = std::max(max_optimize_s, r->stats.optimize_seconds);
     benchmark::DoNotOptimize(r);
   }
+  CheckUnderOneSecond(state, max_optimize_s);
 }
 BENCHMARK(BM_OptimizePaperQuery)->DenseRange(1, 4);
 
@@ -39,6 +58,7 @@ constexpr const char* kComplexQuery =
     "      t.time == 100 && m.name == e.name;";
 
 void BM_OptimizeComplexQuery(benchmark::State& state) {
+  double max_optimize_s = 0.0;
   for (auto _ : state) {
     QueryContext ctx;
     ctx.catalog = &Db().catalog;
@@ -47,8 +67,10 @@ void BM_OptimizeComplexQuery(benchmark::State& state) {
     Optimizer opt(&Db().catalog);
     auto r = opt.Optimize(**logical, &ctx);
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    max_optimize_s = std::max(max_optimize_s, r->stats.optimize_seconds);
     benchmark::DoNotOptimize(r);
   }
+  CheckUnderOneSecond(state, max_optimize_s);
 }
 BENCHMARK(BM_OptimizeComplexQuery);
 

@@ -108,6 +108,10 @@ Status AnalyzeStore(const ObjectStore& store, Catalog* catalog,
       }
     }
   }
+  // Field and index statistics above mutate the catalog directly (not
+  // through a bumping mutator); one final bump covers them so cached plans
+  // keyed on the old statistics can never be served again.
+  catalog->BumpStatsVersion();
   return Status::OK();
 }
 

@@ -21,6 +21,7 @@ Status Catalog::AddSet(const std::string& name, TypeId elem_type,
     }
   }
   collections_.push_back({CollectionId::Set(name, elem_type), cardinality});
+  BumpStatsVersion();
   return Status::OK();
 }
 
@@ -33,6 +34,7 @@ Status Catalog::AddExtent(TypeId type, int64_t cardinality) {
                                  "' already registered");
   }
   collections_.push_back({CollectionId::Extent(type), cardinality});
+  BumpStatsVersion();
   return Status::OK();
 }
 
@@ -67,6 +69,7 @@ Status Catalog::AddIndex(IndexInfo info) {
     }
   }
   indexes_.push_back(std::move(info));
+  BumpStatsVersion();
   return Status::OK();
 }
 
@@ -129,14 +132,20 @@ Result<const IndexInfo*> Catalog::FindIndex(const std::string& name) const {
 
 Status Catalog::SetIndexEnabled(const std::string& name, bool enabled) {
   OODB_ASSIGN_OR_RETURN(IndexInfo * idx, FindIndex(name));
-  idx->enabled = enabled;
+  if (idx->enabled != enabled) {
+    idx->enabled = enabled;
+    BumpStatsVersion();
+  }
   return Status::OK();
 }
 
 Status Catalog::SetCardinality(const CollectionId& id, int64_t cardinality) {
   for (CollectionInfo& c : collections_) {
     if (c.id == id) {
-      c.cardinality = cardinality;
+      if (c.cardinality != cardinality) {
+        c.cardinality = cardinality;
+        BumpStatsVersion();
+      }
       return Status::OK();
     }
   }

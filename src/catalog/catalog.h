@@ -64,6 +64,16 @@ class Catalog {
   Schema& schema() { return schema_; }
   const Schema& schema() const { return schema_; }
 
+  /// Monotonic statistics/metadata version. Every mutation that can change
+  /// an optimizer decision — cardinality updates, index creation or
+  /// enable/disable, collection registration, ANALYZE refreshing field
+  /// statistics — bumps it; the plan cache keys entries by it so a stale
+  /// plan is never served. Code that mutates the schema directly through
+  /// the non-const schema() accessor must call BumpStatsVersion() itself
+  /// (AnalyzeStore does).
+  uint64_t stats_version() const { return stats_version_; }
+  void BumpStatsVersion() { ++stats_version_; }
+
   /// Registers a named set of `elem_type` with `cardinality` elements.
   Status AddSet(const std::string& name, TypeId elem_type, int64_t cardinality);
 
@@ -114,6 +124,7 @@ class Catalog {
   Schema schema_;
   std::vector<CollectionInfo> collections_;
   std::vector<IndexInfo> indexes_;
+  uint64_t stats_version_ = 0;
 };
 
 }  // namespace oodb

@@ -20,7 +20,9 @@
 #include "src/catalog/paper_catalog.h"
 #include "src/exec/executor.h"
 #include "src/optimizer.h"
+#include "src/optimizer/plan_cache.h"
 #include "src/query/builder.h"
+#include "src/query/fingerprint.h"
 #include "src/query/simplify.h"
 #include "src/session.h"
 #include "src/storage/datagen.h"

@@ -1,0 +1,157 @@
+#include "src/optimizer/plan_cache.h"
+
+#include <algorithm>
+
+namespace oodb {
+
+namespace {
+
+/// Rewrites every scalar expression embedded in `node` through `subst`,
+/// sharing untouched subtrees. Costs, cardinalities, and delivered
+/// properties are kept from the cached plan: within one selectivity bucket
+/// they are the approximation the cache trades for not searching.
+PlanNodePtr RebindPlan(const PlanNodePtr& node,
+                       const ExprSubstitution& subst) {
+  std::vector<PlanNodePtr> children;
+  children.reserve(node->children.size());
+  bool changed = false;
+  for (const PlanNodePtr& c : node->children) {
+    PlanNodePtr r = RebindPlan(c, subst);
+    changed |= (r != c);
+    children.push_back(std::move(r));
+  }
+  ScalarExprPtr index_pred = SubstituteExpr(node->op.index_pred, subst);
+  ScalarExprPtr pred = SubstituteExpr(node->op.pred, subst);
+  std::vector<ScalarExprPtr> emit;
+  emit.reserve(node->op.emit.size());
+  bool emit_changed = false;
+  for (const ScalarExprPtr& e : node->op.emit) {
+    ScalarExprPtr s = SubstituteExpr(e, subst);
+    emit_changed |= (s != e);
+    emit.push_back(std::move(s));
+  }
+  if (!changed && index_pred == node->op.index_pred &&
+      pred == node->op.pred && !emit_changed) {
+    return node;
+  }
+  auto out = std::make_shared<PlanNode>(*node);
+  out->children = std::move(children);
+  out->op.index_pred = std::move(index_pred);
+  out->op.pred = std::move(pred);
+  out->op.emit = std::move(emit);
+  return out;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)),
+      per_shard_(0),
+      shards_(std::clamp<size_t>(capacity_, 1, 8)) {
+  per_shard_ = (capacity_ + shards_.size() - 1) / shards_.size();
+}
+
+std::optional<OptimizedQuery> PlanCache::Lookup(
+    const PlanCacheKey& key, uint64_t stats_version, const LogicalExpr& tree,
+    const BindingTable& bindings, const std::vector<Value>& literals) {
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<const CachedPlan> entry;
+  bool stale = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    if (it->second->second->stats_version == stats_version) {
+      entry = it->second->second;
+    } else {
+      stale = true;
+    }
+  }
+  if (stale) {
+    // Stale statistics: reclaim the slot under the exclusive lock (re-check
+    // after the upgrade — a concurrent session may have replaced it); the
+    // caller re-optimizes and re-inserts under the current version.
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end() &&
+        it->second->second->stats_version != stats_version) {
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  // Refresh LRU recency on a sample of hits only: the splice needs the
+  // exclusive lock, and paying it on every hit would serialize concurrent
+  // sessions on the zipfian-hot entry.
+  if ((shard.tick.fetch_add(1, std::memory_order_relaxed) & 15) == 0) {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end() && it->second != shard.lru.begin()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    }
+  }
+
+  // Verify and rebind outside the lock; entries are immutable once stored.
+  ExprSubstitution subst;
+  if (!MatchParameterizedTrees(*entry->tree, entry->bindings, tree, bindings,
+                               &subst)) {
+    // Fingerprint collision (or a caller bug): never serve the plan.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  OptimizedQuery out;
+  out.plan = entry->literals == literals ? entry->plan
+                                         : RebindPlan(entry->plan, subst);
+  out.cost = entry->cost;
+  out.stats = entry->stats;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+void PlanCache::Insert(const PlanCacheKey& key,
+                       std::shared_ptr<const CachedPlan> entry) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // A concurrent session optimized the same query; keep the newer result.
+    it->second->second = std::move(entry);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(entry));
+  shard.index.emplace(key, shard.lru.begin());
+  while (shard.lru.size() > per_shard_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    s.entries += static_cast<int64_t>(shard.lru.size());
+  }
+  return s;
+}
+
+void PlanCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+}  // namespace oodb

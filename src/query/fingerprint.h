@@ -1,0 +1,89 @@
+// Canonical query fingerprinting for the plan cache: a structural 128-bit
+// hash over a *simplified* logical expression tree plus the signatures of
+// the bindings it references. Two queries that simplify to the same
+// canonical shape — regardless of alias names or (optionally) comparison
+// literal values — share a fingerprint and therefore a plan-cache entry.
+//
+// Literal parameterization: constants appearing as comparison operands are
+// hashed as (parameter marker, selectivity bucket) instead of by value, so
+// `age >= 32` and `age >= 40` collide on purpose when the estimator puts
+// them in the same selectivity bucket (plan shape is assumed stable within
+// a bucket; the bucket is half-octave in log2(selectivity), so literals the
+// estimator *can* distinguish — e.g. range predicates after ANALYZE has
+// collected [min, max] — naturally key separately). The literal values are
+// extracted in canonical preorder so a cached plan can be rebound to a new
+// query's literals on a hit.
+#ifndef OODB_QUERY_FINGERPRINT_H_
+#define OODB_QUERY_FINGERPRINT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/algebra/logical_op.h"
+#include "src/volcano/rule.h"
+
+namespace oodb {
+
+/// A 128-bit structural hash. Collisions between distinct canonical query
+/// shapes are treated as practically impossible; the plan cache additionally
+/// verifies structure on every hit (see MatchParameterizedTrees), so a
+/// collision degrades to a cache miss, never to a wrong plan.
+struct Fingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const Fingerprint& o) const {
+    return hi == o.hi && lo == o.lo;
+  }
+};
+
+/// A computed fingerprint plus the parameterized-out literal values in
+/// canonical preorder (empty when parameterization is off).
+struct QueryFingerprint {
+  Fingerprint fp;
+  std::vector<Value> literals;
+};
+
+/// Fingerprints a simplified logical tree built against `ctx`. When
+/// `parameterize_literals` is set, comparison literals are keyed by
+/// selectivity bucket instead of exact value (see file comment); otherwise
+/// every literal is hashed exactly and `literals` stays empty.
+QueryFingerprint FingerprintQuery(const LogicalExpr& tree,
+                                  const QueryContext& ctx,
+                                  bool parameterize_literals);
+
+/// Hash of every OptimizerOptions field that can change the chosen plan
+/// (rule set, extension toggles, cost-model constants). Part of the
+/// plan-cache key so sessions with different configurations never share
+/// entries.
+uint64_t HashOptimizerOptions(const OptimizerOptions& opts);
+
+/// Maps scalar-expression nodes of a cached query's simplified tree to the
+/// corresponding subtrees of a fresh, fingerprint-equal query.
+using ExprSubstitution =
+    std::unordered_map<const ScalarExpr*, ScalarExprPtr>;
+
+/// Walks `cached` and `fresh` in lockstep, verifying they are structurally
+/// identical up to comparison literal values and that their binding tables
+/// carry identical signatures (type / origin / derivation — names are
+/// display-only and ignored). On success fills `subst` with a node-for-node
+/// substitution from `cached`'s scalar expressions to `fresh`'s. Returns
+/// false on any structural mismatch (i.e. a fingerprint collision).
+bool MatchParameterizedTrees(const LogicalExpr& cached,
+                             const BindingTable& cached_bindings,
+                             const LogicalExpr& fresh,
+                             const BindingTable& fresh_bindings,
+                             ExprSubstitution* subst);
+
+/// Rewrites `expr` through `subst`: any node that originated in the cached
+/// query's simplified tree is replaced by the fresh query's corresponding
+/// subtree; connective structure synthesized by optimizer rules around such
+/// nodes is rebuilt. Nodes outside the map (rule-synthesized constants,
+/// which are literal-independent) pass through unchanged.
+ScalarExprPtr SubstituteExpr(const ScalarExprPtr& expr,
+                             const ExprSubstitution& subst);
+
+}  // namespace oodb
+
+#endif  // OODB_QUERY_FINGERPRINT_H_

@@ -1,17 +1,74 @@
 #include "src/session.h"
 
+#include "src/query/fingerprint.h"
+
 namespace oodb {
 
-Result<SessionResult> Session::Query(const std::string& zql) {
+PlanCache* Session::plan_cache() {
+  if (options_.plan_cache != nullptr) return options_.plan_cache.get();
+  if (options_.optimizer.plan_cache_capacity == 0) return nullptr;
+  if (own_cache_ == nullptr) {
+    own_cache_ =
+        std::make_shared<PlanCache>(options_.optimizer.plan_cache_capacity);
+  }
+  return own_cache_.get();
+}
+
+Result<SessionResult> Session::Prepare(const std::string& zql) {
   SessionResult out;
   out.ctx.catalog = catalog_;
   SortSpec order;
   OODB_ASSIGN_OR_RETURN(out.logical, ParseAndSimplify(zql, &out.ctx, &order));
   PhysProps required;
   required.sort = order;
-  Optimizer optimizer(catalog_, options_.optimizer);
-  OODB_ASSIGN_OR_RETURN(
-      out.optimized, optimizer.Optimize(*out.logical, &out.ctx, required));
+
+  PlanCache* cache = plan_cache();
+  if (cache == nullptr) {
+    // Cache off: exactly the seed optimization path.
+    Optimizer optimizer(catalog_, options_.optimizer);
+    OODB_ASSIGN_OR_RETURN(
+        out.optimized, optimizer.Optimize(*out.logical, &out.ctx, required));
+    return out;
+  }
+
+  // Snapshot the version *before* optimizing: if statistics move while we
+  // search, the entry is stored under the old version and can never be
+  // served after the bump.
+  const uint64_t version = catalog_->stats_version();
+  QueryFingerprint qfp =
+      FingerprintQuery(*out.logical, out.ctx,
+                       options_.optimizer.plan_cache_parameterize);
+  PlanCacheKey key{qfp.fp, required,
+                   HashOptimizerOptions(options_.optimizer)};
+
+  if (std::optional<OptimizedQuery> hit = cache->Lookup(
+          key, version, *out.logical, out.ctx.bindings, qfp.literals)) {
+    out.optimized = std::move(*hit);
+    out.optimized.stats.plan_cached = true;
+  } else {
+    Optimizer optimizer(catalog_, options_.optimizer);
+    OODB_ASSIGN_OR_RETURN(
+        out.optimized, optimizer.Optimize(*out.logical, &out.ctx, required));
+    auto entry = std::make_shared<CachedPlan>();
+    entry->plan = out.optimized.plan;
+    entry->cost = out.optimized.cost;
+    entry->stats = out.optimized.stats;
+    entry->stats_version = version;
+    entry->tree = out.logical;
+    entry->bindings = out.ctx.bindings;
+    entry->literals = std::move(qfp.literals);
+    cache->Insert(key, std::move(entry));
+  }
+  PlanCacheStats cs = cache->stats();
+  out.optimized.stats.cache_hits = cs.hits;
+  out.optimized.stats.cache_misses = cs.misses;
+  out.optimized.stats.cache_evictions = cs.evictions;
+  out.optimized.stats.cache_invalidations = cs.invalidations;
+  return out;
+}
+
+Result<SessionResult> Session::Query(const std::string& zql) {
+  OODB_ASSIGN_OR_RETURN(SessionResult out, Prepare(zql));
   OODB_ASSIGN_OR_RETURN(
       out.exec,
       ExecutePlan(*out.optimized.plan, &store_, &out.ctx, options_.exec));
@@ -19,17 +76,18 @@ Result<SessionResult> Session::Query(const std::string& zql) {
 }
 
 Result<std::string> Session::Explain(const std::string& zql) {
-  QueryContext ctx;
-  ctx.catalog = catalog_;
-  SortSpec order;
-  OODB_ASSIGN_OR_RETURN(LogicalExprPtr logical,
-                        ParseAndSimplify(zql, &ctx, &order));
-  PhysProps required;
-  required.sort = order;
-  Optimizer optimizer(catalog_, options_.optimizer);
-  OODB_ASSIGN_OR_RETURN(OptimizedQuery optimized,
-                        optimizer.Optimize(*logical, &ctx, required));
-  return PrintPlan(*optimized.plan, ctx, /*with_costs=*/true);
+  OODB_ASSIGN_OR_RETURN(SessionResult r, Prepare(zql));
+  std::string out;
+  const SearchStats& st = r.optimized.stats;
+  if (st.plan_cached) out += "plan: cached\n";
+  if (plan_cache() != nullptr) {
+    out += "plan cache: hits=" + std::to_string(st.cache_hits) +
+           " misses=" + std::to_string(st.cache_misses) +
+           " evictions=" + std::to_string(st.cache_evictions) +
+           " invalidations=" + std::to_string(st.cache_invalidations) + "\n";
+  }
+  out += PrintPlan(*r.optimized.plan, r.ctx, /*with_costs=*/true);
+  return out;
 }
 
 }  // namespace oodb

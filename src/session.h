@@ -1,6 +1,8 @@
 // Session: the convenience facade bundling a catalog, an object store, and
 // an optimizer into a queryable "database" — parse, simplify, optimize, and
-// execute in one call.
+// execute in one call. Optionally serves repeated queries from a plan cache
+// (private or shared between sessions) keyed by canonical fingerprint and
+// catalog statistics version.
 #ifndef OODB_SESSION_H_
 #define OODB_SESSION_H_
 
@@ -10,6 +12,7 @@
 #include "src/catalog/analyze.h"
 #include "src/exec/executor.h"
 #include "src/optimizer.h"
+#include "src/optimizer/plan_cache.h"
 #include "src/query/simplify.h"
 
 namespace oodb {
@@ -38,6 +41,11 @@ class Session {
     OptimizerOptions optimizer;
     StoreOptions store;
     ExecOptions exec;
+    /// A plan cache shared with other sessions over the *same catalog*
+    /// (the throughput path for concurrent multi-session traffic). When
+    /// null and optimizer.plan_cache_capacity > 0, the session creates a
+    /// private cache of that capacity on first use.
+    std::shared_ptr<PlanCache> plan_cache;
 
     Options() { exec.sample_limit = 1000; }  // keep whole result sets
   };
@@ -50,13 +58,23 @@ class Session {
   Catalog& catalog() { return *catalog_; }
   Options& options() { return options_; }
 
+  /// The cache this session consults, or null when caching is off.
+  PlanCache* plan_cache();
+
+  /// Parses, simplifies, and optimizes a ZQL query without executing it —
+  /// serving the plan from the cache when possible (exec stats stay empty).
+  Result<SessionResult> Prepare(const std::string& zql);
+
   /// Parses, simplifies, optimizes, and executes a ZQL query.
   Result<SessionResult> Query(const std::string& zql);
 
-  /// Optimizes without executing; returns the rendered plan with costs.
+  /// Optimizes without executing; returns the rendered plan with costs,
+  /// annotated with `plan: cached` and the cache counters when the plan
+  /// cache served or recorded it.
   Result<std::string> Explain(const std::string& zql);
 
-  /// Refreshes the catalog's statistics from the stored data.
+  /// Refreshes the catalog's statistics from the stored data (bumps the
+  /// catalog stats_version, invalidating cached plans).
   Status Analyze(AnalyzeOptions options = {}) {
     return AnalyzeStore(store_, catalog_, options);
   }
@@ -65,6 +83,7 @@ class Session {
   Catalog* catalog_;
   Options options_;
   ObjectStore store_;
+  std::shared_ptr<PlanCache> own_cache_;
 };
 
 }  // namespace oodb

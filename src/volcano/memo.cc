@@ -84,6 +84,9 @@ Result<std::pair<MExprId, bool>> Memo::Insert(LogicalOp op,
   for (GroupId& c : children) c = Find(c);
   if (target != kInvalidGroup) target = Find(target);
 
+  // op.Hash() walks predicate/emit expression trees; hash once and carry
+  // the result in the key (KeyEq short-circuits on op_hash before falling
+  // back to the deep LogicalOp comparison).
   MExprKey key{op.Hash(), op, children};
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -109,14 +112,14 @@ Result<std::pair<MExprId, bool>> Memo::Insert(LogicalOp op,
   LogicalMExpr m;
   m.id = id;
   m.group = g;
-  m.op = std::move(op);
+  m.op = std::move(op);  // the key keeps its own copy for the index
   m.children = children;
   mexprs_.push_back(std::move(m));
   groups_[g].mexprs.push_back(id);
   for (GroupId c : children) {
     groups_[Find(c)].parents.push_back(id);
   }
-  index_.emplace(MExprKey{mexprs_[id].op.Hash(), mexprs_[id].op, children}, id);
+  index_.emplace(std::move(key), id);
   return std::make_pair(id, true);
 }
 
@@ -132,7 +135,23 @@ Result<GroupId> Memo::InsertTreeRec(const LogicalExpr& tree) {
   return Find(mexprs_[inserted.first].group);
 }
 
+namespace {
+int CountTreeNodes(const LogicalExpr& tree) {
+  int n = 1;
+  for (const LogicalExprPtr& c : tree.children) n += CountTreeNodes(*c);
+  return n;
+}
+}  // namespace
+
 Result<GroupId> Memo::InsertTree(const LogicalExpr& tree) {
+  // Pre-size the structures from the input: exploration typically grows the
+  // memo to a small multiple of the tree, so reserving here removes the
+  // rehash/realloc churn of the early expansion.
+  int n = CountTreeNodes(tree);
+  groups_.reserve(groups_.size() + n);
+  mexprs_.reserve(mexprs_.size() + 4 * n);
+  parent_link_.reserve(parent_link_.size() + n);
+  index_.reserve(index_.size() + 4 * n);
   return InsertTreeRec(tree);
 }
 

@@ -23,7 +23,20 @@ struct SearchStats {
   int transformation_firings = 0;
   int impl_firings = 0;
   int enforcer_firings = 0;
+  /// Wall-clock (steady_clock) time spent inside the search engine — the
+  /// quantity the paper's "<1 sec on today's workstations" goal bounds.
   double optimize_seconds = 0.0;
+
+  /// True when this result was served from the plan cache instead of a
+  /// fresh search (the firing/expression counters then describe the search
+  /// that originally produced the cached plan).
+  bool plan_cached = false;
+  /// Snapshot of the serving cache's cumulative counters at answer time
+  /// (all zero when no cache is configured).
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_invalidations = 0;
 
   /// Total expressions generated — the exhaustive-search denominator.
   int expressions() const { return logical_mexprs + phys_alternatives; }
@@ -44,6 +57,14 @@ struct OptimizerOptions {
   bool enable_pruning = false;
   /// Emit rule-firing trace to stderr.
   bool trace = false;
+  /// Plan-cache capacity in entries for caches the Session creates on
+  /// demand; 0 (the default) disables caching entirely, preserving the
+  /// seed optimizer's behavior bit for bit.
+  size_t plan_cache_capacity = 0;
+  /// Parameterize comparison literals out of plan-cache keys (selectivity-
+  /// bucketed sharing; see src/query/fingerprint.h). When false every
+  /// literal keys exactly.
+  bool plan_cache_parameterize = true;
 
   bool IsDisabled(const std::string& name) const {
     for (const std::string& d : disabled_rules) {
