@@ -41,7 +41,8 @@ Status AnalyzeStore(const ObjectStore& store, Catalog* catalog,
       stats[t].resize(schema.type(t).fields().size());
     }
     for (Oid oid = 0; oid < store.num_objects(); ++oid) {
-      const ObjectData& obj = store.Peek(oid);
+      OODB_ASSIGN_OR_RETURN(const ObjectData* obj_ptr, store.Peek(oid));
+      const ObjectData& obj = *obj_ptr;
       const TypeDef& td = schema.type(obj.type);
       int ref_set_slot = 0;
       for (FieldId f = 0; f < static_cast<FieldId>(td.fields().size()); ++f) {

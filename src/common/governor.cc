@@ -1,0 +1,119 @@
+#include "src/common/governor.h"
+
+namespace oodb {
+
+QueryGovernor::QueryGovernor(GovernorOptions options)
+    : options_(std::move(options)), armed_at_(std::chrono::steady_clock::now()) {
+  if (options_.deadline_ms > 0.0) {
+    deadline_ = armed_at_ + std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double, std::milli>(
+                                    options_.deadline_ms));
+  }
+}
+
+Status QueryGovernor::Trip(Status status) {
+  if (trip_.ok()) {
+    trip_ = std::move(status);
+    switch (trip_.code()) {
+      case StatusCode::kDeadlineExceeded:
+        ++stats_.deadline_trips;
+        break;
+      case StatusCode::kCancelled:
+        ++stats_.cancel_trips;
+        break;
+      default:
+        ++stats_.budget_trips;
+        break;
+    }
+  }
+  return trip_;
+}
+
+Status QueryGovernor::CheckCancelAndDeadline(const char* where) {
+  if (!trip_.ok()) return trip_;
+  if (options_.cancel != nullptr && options_.cancel->cancel_requested()) {
+    return Trip(Status::Cancelled(std::string("query cancelled (") + where +
+                                  ")"));
+  }
+  if (options_.deadline_ms > 0.0 &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    return Trip(Status::DeadlineExceeded(
+        "deadline of " + std::to_string(options_.deadline_ms) +
+        " ms exceeded (" + where + ")"));
+  }
+  return Status::OK();
+}
+
+Status QueryGovernor::CheckSearch(int64_t memo_groups, int64_t memo_mexprs) {
+  OODB_RETURN_IF_ERROR(CheckCancelAndDeadline("explore"));
+  if (options_.max_memo_groups > 0 && memo_groups > options_.max_memo_groups) {
+    return Trip(Status::BudgetExhausted(
+        "memo group budget exhausted: " + std::to_string(memo_groups) + " > " +
+        std::to_string(options_.max_memo_groups)));
+  }
+  if (options_.max_memo_mexprs > 0 && memo_mexprs > options_.max_memo_mexprs) {
+    return Trip(Status::BudgetExhausted(
+        "memo m-expr budget exhausted: " + std::to_string(memo_mexprs) +
+        " > " + std::to_string(options_.max_memo_mexprs)));
+  }
+  return Status::OK();
+}
+
+Status QueryGovernor::CheckOptimizeEntry() {
+  return CheckCancelAndDeadline("optimize");
+}
+
+Status QueryGovernor::ChargeAlternative() {
+  if (!trip_.ok()) return trip_;
+  ++alternatives_;
+  stats_.alternatives_charged = alternatives_;
+  if (options_.max_phys_alternatives > 0 &&
+      alternatives_ > options_.max_phys_alternatives) {
+    return Trip(Status::BudgetExhausted(
+        "physical-alternative budget exhausted: " +
+        std::to_string(alternatives_) + " > " +
+        std::to_string(options_.max_phys_alternatives)));
+  }
+  return Status::OK();
+}
+
+Status QueryGovernor::CheckExec(int64_t pages_read) {
+  OODB_RETURN_IF_ERROR(CheckCancelAndDeadline("execute"));
+  stats_.pages_charged = pages_read;
+  if (options_.max_exec_pages > 0 && pages_read > options_.max_exec_pages) {
+    return Trip(Status::BudgetExhausted(
+        "simulated I/O budget exhausted: " + std::to_string(pages_read) +
+        " pages > " + std::to_string(options_.max_exec_pages)));
+  }
+  return Status::OK();
+}
+
+Status QueryGovernor::ChargeRows(int64_t n) {
+  if (!trip_.ok()) return trip_;
+  rows_ += n;
+  stats_.rows_charged = rows_;
+  if (options_.max_exec_rows > 0 && rows_ > options_.max_exec_rows) {
+    return Trip(Status::BudgetExhausted(
+        "row budget exhausted: " + std::to_string(rows_) + " > " +
+        std::to_string(options_.max_exec_rows)));
+  }
+  return Status::OK();
+}
+
+Status QueryGovernor::ChargeTrackedBytes(int64_t bytes) {
+  if (!trip_.ok()) return trip_;
+  tracked_bytes_ += bytes;
+  if (tracked_bytes_ > stats_.tracked_bytes_peak) {
+    stats_.tracked_bytes_peak = tracked_bytes_;
+  }
+  if (options_.max_tracked_bytes > 0 &&
+      tracked_bytes_ > options_.max_tracked_bytes) {
+    return Trip(Status::BudgetExhausted(
+        "tracked memory budget exhausted: " + std::to_string(tracked_bytes_) +
+        " bytes > " + std::to_string(options_.max_tracked_bytes)));
+  }
+  return Status::OK();
+}
+
+}  // namespace oodb

@@ -12,8 +12,10 @@
 namespace oodb {
 
 /// Holds either a T or a non-OK Status. Construct from either implicitly.
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a
+/// silently ignored failure.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit
   Result(Status status) : status_(std::move(status)) {  // NOLINT: implicit

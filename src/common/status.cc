@@ -24,6 +24,14 @@ const char* StatusCodeName(StatusCode code) {
       return "TypeError";
     case StatusCode::kPlanError:
       return "PlanError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kBudgetExhausted:
+      return "BudgetExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kStorageFault:
+      return "StorageFault";
   }
   return "Unknown";
 }

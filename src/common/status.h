@@ -22,13 +22,23 @@ enum class StatusCode {
   kParseError,
   kTypeError,
   kPlanError,
+  // Resource-governor and storage-fault categories (see common/governor.h):
+  // queries bounded by a deadline/budget or cancelled cooperatively fail
+  // with these instead of running to exhaustion; injected or real storage
+  // faults surface as kStorageFault at the session boundary.
+  kDeadlineExceeded,
+  kBudgetExhausted,
+  kCancelled,
+  kStorageFault,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy when OK (no allocation).
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides failures (the bug class
+/// behind unchecked AddToSet/BuildIndexes call sites).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -62,6 +72,18 @@ class Status {
   }
   static Status PlanError(std::string msg) {
     return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status StorageFault(std::string msg) {
+    return Status(StatusCode::kStorageFault, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

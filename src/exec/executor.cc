@@ -22,7 +22,7 @@ Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
                               QueryContext* ctx, ExecOptions options) {
   if (options.cold_start) store->ResetSimulation();
   OODB_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> root,
-                        BuildExecTree(plan, store, ctx));
+                        BuildExecTree(plan, store, ctx, options.governor));
   OODB_RETURN_IF_ERROR(root->Open());
   const PhysicalOp* project = FindProject(plan);
 
@@ -32,6 +32,9 @@ Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
     OODB_ASSIGN_OR_RETURN(bool more, root->Next(&t));
     if (!more) break;
     ++stats.rows;
+    if (options.governor != nullptr) {
+      OODB_RETURN_IF_ERROR(options.governor->ChargeRows(1));
+    }
     if (project != nullptr &&
         static_cast<int>(stats.sample_rows.size()) < options.sample_limit) {
       std::vector<Value> row;
@@ -50,6 +53,9 @@ Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
   stats.seq_reads = store->disk().seq_reads();
   stats.random_reads = store->disk().random_reads();
   stats.buffer_hits = store->buffer().hits();
+  if (options.governor != nullptr) {
+    stats.governor = options.governor->stats();
+  }
   return stats;
 }
 

@@ -4,6 +4,7 @@
 #ifndef OODB_EXEC_EXECUTOR_H_
 #define OODB_EXEC_EXECUTOR_H_
 
+#include "src/common/governor.h"
 #include "src/exec/operators.h"
 
 namespace oodb {
@@ -16,6 +17,8 @@ struct ExecStats {
   int64_t seq_reads = 0;
   int64_t random_reads = 0;
   int64_t buffer_hits = 0;
+  /// Governor trip/charge counters (zero when the run was ungoverned).
+  GovernorStats governor;
 
   double sim_total_s() const { return sim_io_s + sim_cpu_s; }
 
@@ -28,6 +31,9 @@ struct ExecOptions {
   bool cold_start = true;
   /// How many projected rows to retain in the stats.
   int sample_limit = 10;
+  /// Per-query resource governor (non-owning; null = ungoverned). Checked
+  /// at every operator Next() and charged per output row.
+  QueryGovernor* governor = nullptr;
 };
 
 /// Executes `plan` to completion.

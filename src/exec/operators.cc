@@ -13,10 +13,27 @@ namespace {
 struct ExecEnv {
   ObjectStore* store;
   QueryContext* ctx;
+  QueryGovernor* governor = nullptr;
 
   SimClock& clock() { return store->clock(); }
   const CostModelOptions& timing() { return store->timing(); }
   int num_bindings() const { return ctx->bindings.size(); }
+
+  /// Cooperative governor checkpoint, called at the top of every operator
+  /// Next(). Free when ungoverned.
+  Status Tick() {
+    if (governor == nullptr) return Status::OK();
+    return governor->CheckExec(store->disk().reads());
+  }
+
+  /// Charges one tuple buffered by a blocking operator (hash build, sort,
+  /// nested-loops buffer, set ops) against the tracked-memory budget.
+  Status ChargeBuffered() {
+    if (governor == nullptr) return Status::OK();
+    return governor->ChargeTrackedBytes(
+        static_cast<int64_t>(num_bindings()) *
+        static_cast<int64_t>(sizeof(Slot)));
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -33,12 +50,13 @@ class FileScanExec : public ExecNode {
   }
 
   Result<bool> Next(Tuple* out) override {
+    OODB_RETURN_IF_ERROR(env_.Tick());
     if (pos_ >= members_->size()) return false;
     Oid oid = (*members_)[pos_++];
-    const ObjectData& obj = env_.store->Read(oid);
+    OODB_ASSIGN_OR_RETURN(const ObjectData* obj, env_.store->Read(oid));
     env_.clock().cpu_s += env_.timing().cpu_scan_tuple_s;
     *out = Tuple(env_.num_bindings());
-    out->slot(op_.binding) = {oid, &obj};
+    out->slot(op_.binding) = {oid, obj};
     return true;
   }
 
@@ -78,11 +96,12 @@ class IndexScanExec : public ExecNode {
   }
 
   Result<bool> Next(Tuple* out) override {
+    OODB_RETURN_IF_ERROR(env_.Tick());
     while (pos_ < matches_.size()) {
       Oid oid = matches_[pos_++];
-      const ObjectData& obj = env_.store->Read(oid);
+      OODB_ASSIGN_OR_RETURN(const ObjectData* obj, env_.store->Read(oid));
       *out = Tuple(env_.num_bindings());
-      out->slot(op_.binding) = {oid, &obj};
+      out->slot(op_.binding) = {oid, obj};
       if (op_.pred) {
         env_.clock().cpu_s += env_.timing().cpu_pred_s;
         OODB_ASSIGN_OR_RETURN(bool pass, EvalPredicate(op_.pred, *out, *env_.ctx));
@@ -115,6 +134,7 @@ class FilterExec : public ExecNode {
   Status Open() override { return child_->Open(); }
 
   Result<bool> Next(Tuple* out) override {
+    OODB_RETURN_IF_ERROR(env_.Tick());
     while (true) {
       OODB_ASSIGN_OR_RETURN(bool more, child_->Next(out));
       if (!more) return false;
@@ -164,6 +184,7 @@ class HashJoinExec : public ExecNode {
       if (!more) break;
       OODB_ASSIGN_OR_RETURN(std::string key, KeyOf(build_keys_, t));
       env_.clock().cpu_s += env_.timing().cpu_hash_build_s;
+      OODB_RETURN_IF_ERROR(env_.ChargeBuffered());
       table_[key].push_back(t);
     }
     left_->Close();
@@ -171,6 +192,7 @@ class HashJoinExec : public ExecNode {
   }
 
   Result<bool> Next(Tuple* out) override {
+    OODB_RETURN_IF_ERROR(env_.Tick());
     while (true) {
       if (bucket_ != nullptr && bucket_pos_ < bucket_->size()) {
         *out = (*bucket_)[bucket_pos_++];
@@ -233,6 +255,7 @@ class AssemblyExec : public ExecNode {
   }
 
   Result<bool> Next(Tuple* out) override {
+    OODB_RETURN_IF_ERROR(env_.Tick());
     while (true) {
       if (pos_ >= batch_.size()) {
         OODB_RETURN_IF_ERROR(FillBatch());
@@ -256,7 +279,9 @@ class AssemblyExec : public ExecNode {
           const std::vector<Oid>* members,
           env_.store->CollectionMembers(CollectionId::Extent(t)));
       for (Oid oid : *members) {
-        pinned_[oid] = &env_.store->Read(oid);  // sequential scan
+        OODB_ASSIGN_OR_RETURN(const ObjectData* obj,
+                              env_.store->Read(oid));  // sequential scan
+        pinned_[oid] = obj;
         env_.clock().cpu_s += env_.timing().cpu_hash_build_s;
       }
     }
@@ -305,9 +330,12 @@ class AssemblyExec : public ExecNode {
         (void)page;
         auto [i, target] = work;
         auto pin = pinned_.find(target);
-        const ObjectData* obj = pin != pinned_.end()
-                                    ? pin->second
-                                    : &env_.store->Read(target);
+        const ObjectData* obj;
+        if (pin != pinned_.end()) {
+          obj = pin->second;
+        } else {
+          OODB_ASSIGN_OR_RETURN(obj, env_.store->Read(target));
+        }
         batch_[i].slot(step.target) = {target, obj};
       }
     }
@@ -336,6 +364,7 @@ class PointerJoinExec : public ExecNode {
   Status Open() override { return child_->Open(); }
 
   Result<bool> Next(Tuple* out) override {
+    OODB_RETURN_IF_ERROR(env_.Tick());
     while (true) {
       OODB_ASSIGN_OR_RETURN(bool more, child_->Next(out));
       if (!more) return false;
@@ -351,8 +380,11 @@ class PointerJoinExec : public ExecNode {
         target = src.obj->ref(step.field);
       }
       env_.clock().cpu_s += env_.timing().cpu_deref_s;
-      if (target == kInvalidOid) continue;  // dangling ref: no match
-      out->slot(step.target) = {target, &env_.store->Read(target)};
+      // Dangling references (invalid OID or not in the store) are no-match,
+      // matching Mat == Join semantics and the reference evaluator.
+      if (target == kInvalidOid || !env_.store->Exists(target)) continue;
+      OODB_ASSIGN_OR_RETURN(const ObjectData* obj, env_.store->Read(target));
+      out->slot(step.target) = {target, obj};
       return true;
     }
   }
@@ -382,6 +414,7 @@ class NestedLoopsExec : public ExecNode {
       OODB_ASSIGN_OR_RETURN(bool more, left_->Next(&t));
       if (!more) break;
       env_.clock().cpu_s += env_.timing().cpu_scan_tuple_s;
+      OODB_RETURN_IF_ERROR(env_.ChargeBuffered());
       buffered_.push_back(std::move(t));
     }
     left_->Close();
@@ -390,6 +423,7 @@ class NestedLoopsExec : public ExecNode {
   }
 
   Result<bool> Next(Tuple* out) override {
+    OODB_RETURN_IF_ERROR(env_.Tick());
     while (true) {
       while (pos_ < buffered_.size()) {
         *out = buffered_[pos_++];
@@ -427,6 +461,7 @@ class UnnestExec : public ExecNode {
   Status Open() override { return child_->Open(); }
 
   Result<bool> Next(Tuple* out) override {
+    OODB_RETURN_IF_ERROR(env_.Tick());
     while (true) {
       if (members_ != nullptr && member_pos_ < members_->size()) {
         *out = current_;
@@ -473,6 +508,7 @@ class ProjectExec : public ExecNode {
   Status Open() override { return child_->Open(); }
 
   Result<bool> Next(Tuple* out) override {
+    OODB_RETURN_IF_ERROR(env_.Tick());
     OODB_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
     env_.clock().cpu_s += env_.timing().cpu_scan_tuple_s;
@@ -514,6 +550,7 @@ class HashSetOpExec : public ExecNode {
       OODB_ASSIGN_OR_RETURN(bool more, left_->Next(&t));
       if (!more) break;
       env_.clock().cpu_s += env_.timing().cpu_hash_build_s;
+      OODB_RETURN_IF_ERROR(env_.ChargeBuffered());
       left_table_.emplace(KeyOf(t), t);
     }
     left_->Close();
@@ -570,6 +607,7 @@ class HashSetOpExec : public ExecNode {
   }
 
   Result<bool> Next(Tuple* out) override {
+    OODB_RETURN_IF_ERROR(env_.Tick());
     if (pos_ >= out_.size()) return false;
     *out = out_[pos_++];
     return true;
@@ -615,6 +653,7 @@ class SortExec : public ExecNode {
           Value v, EvalExpr(*ScalarExpr::Attr(op_.sort.binding, op_.sort.field),
                             t, *env_.ctx));
       env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
+      OODB_RETURN_IF_ERROR(env_.ChargeBuffered());
       keyed.emplace_back(std::move(v), std::move(t));
     }
     child_->Close();
@@ -633,6 +672,7 @@ class SortExec : public ExecNode {
   }
 
   Result<bool> Next(Tuple* out) override {
+    OODB_RETURN_IF_ERROR(env_.Tick());
     if (pos_ >= out_.size()) return false;
     *out = std::move(out_[pos_++]);
     return true;
@@ -677,6 +717,7 @@ class MergeJoinExec : public ExecNode {
   }
 
   Result<bool> Next(Tuple* out) override {
+    OODB_RETURN_IF_ERROR(env_.Tick());
     while (true) {
       if (run_pos_ < run_.size()) {
         *out = run_[run_pos_++];
@@ -742,12 +783,13 @@ class MergeJoinExec : public ExecNode {
 
 Result<std::unique_ptr<ExecNode>> BuildExecTree(const PlanNode& plan,
                                                 ObjectStore* store,
-                                                QueryContext* ctx) {
-  ExecEnv env{store, ctx};
+                                                QueryContext* ctx,
+                                                QueryGovernor* governor) {
+  ExecEnv env{store, ctx, governor};
   std::vector<std::unique_ptr<ExecNode>> children;
   for (const PlanNodePtr& c : plan.children) {
     OODB_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> node,
-                          BuildExecTree(*c, store, ctx));
+                          BuildExecTree(*c, store, ctx, governor));
     children.push_back(std::move(node));
   }
   switch (plan.op.kind) {

@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "src/common/governor.h"
 #include "src/exec/tuple.h"
 #include "src/storage/object_store.h"
 #include "src/volcano/plan.h"
@@ -24,10 +25,14 @@ class ExecNode {
   virtual void Close() = 0;
 };
 
-/// Builds an executable iterator tree from a physical plan.
+/// Builds an executable iterator tree from a physical plan. A non-null
+/// `governor` is checked cooperatively at every operator Next() (including
+/// inside blocking Open() phases, which drain their children through
+/// Next()), so cancellation and deadline/budget trips surface mid-pipeline.
 Result<std::unique_ptr<ExecNode>> BuildExecTree(const PlanNode& plan,
                                                 ObjectStore* store,
-                                                QueryContext* ctx);
+                                                QueryContext* ctx,
+                                                QueryGovernor* governor = nullptr);
 
 }  // namespace oodb
 

@@ -44,7 +44,9 @@ class ReferenceEvaluator {
           }
           // A dangling reference drops the tuple (Mat == Join semantics).
           if (target == kInvalidOid || !store_->Exists(target)) continue;
-          t.slot(expr.op.target) = {target, &store_->Read(target, false)};
+          OODB_ASSIGN_OR_RETURN(const ObjectData* obj,
+                                store_->Read(target, /*charge_io=*/false));
+          t.slot(expr.op.target) = {target, obj};
           out.push_back(std::move(t));
         }
         return out;
@@ -101,7 +103,9 @@ class ReferenceEvaluator {
     out.reserve(members->size());
     for (Oid oid : *members) {
       Tuple t(ctx_.bindings.size());
-      t.slot(op.binding) = {oid, &store_->Read(oid, false)};
+      OODB_ASSIGN_OR_RETURN(const ObjectData* obj,
+                            store_->Read(oid, /*charge_io=*/false));
+      t.slot(op.binding) = {oid, obj};
       out.push_back(std::move(t));
     }
     return out;

@@ -1,8 +1,22 @@
 #include "src/session.h"
 
+#include "src/baseline/greedy.h"
 #include "src/query/fingerprint.h"
 
 namespace oodb {
+
+namespace {
+
+/// True when a governor trip during *planning* may be answered with the
+/// greedy baseline instead of an error: the search ran out of budget or
+/// time, but the query itself is fine. Cancellation and storage faults are
+/// never degraded — the caller asked to stop, or the data is unreadable.
+bool DegradableTrip(StatusCode code) {
+  return code == StatusCode::kBudgetExhausted ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace
 
 PlanCache* Session::plan_cache() {
   if (options_.plan_cache != nullptr) return options_.plan_cache.get();
@@ -14,7 +28,42 @@ PlanCache* Session::plan_cache() {
   return own_cache_.get();
 }
 
+Result<OptimizedQuery> Session::RunOptimizer(const LogicalExpr& input,
+                                             QueryContext* ctx,
+                                             const PhysProps& required) {
+  OptimizerOptions opts = options_.optimizer;
+  opts.governor = governor_.get();
+  Optimizer optimizer(catalog_, std::move(opts));
+  Result<OptimizedQuery> optimized = optimizer.Optimize(input, ctx, required);
+  if (optimized.ok() || governor_ == nullptr) return optimized;
+  const Status& err = optimized.status();
+  if (!DegradableTrip(err.code()) || !options_.governor.degrade_to_greedy) {
+    return optimized;
+  }
+  // Graceful degradation: answer with the greedy baseline plan. If even the
+  // greedy planner cannot handle the query (explicit joins, its own error),
+  // surface the original governor trip, not the fallback's complaint.
+  GreedyOptimizer greedy(catalog_, options_.optimizer.cost);
+  Result<OptimizedQuery> fallback = greedy.Optimize(input, ctx);
+  if (!fallback.ok()) return err;
+  fallback->stats.degraded = true;
+  fallback->stats.degrade_reason = err.message();
+  fallback->stats.governor = governor_->stats();
+  // The tripped governor is sticky; re-arm a fresh one (fresh deadline and
+  // budgets) so the degraded plan gets a real chance to execute.
+  governor_ = std::make_unique<QueryGovernor>(options_.governor);
+  return fallback;
+}
+
 Result<SessionResult> Session::Prepare(const std::string& zql) {
+  if (options_.governor.enabled()) {
+    // Arm a fresh governor per query; the deadline spans optimization and,
+    // when called from Query, execution of this statement.
+    governor_ = std::make_unique<QueryGovernor>(options_.governor);
+  } else {
+    governor_.reset();
+  }
+
   SessionResult out;
   out.ctx.catalog = catalog_;
   SortSpec order;
@@ -25,9 +74,8 @@ Result<SessionResult> Session::Prepare(const std::string& zql) {
   PlanCache* cache = plan_cache();
   if (cache == nullptr) {
     // Cache off: exactly the seed optimization path.
-    Optimizer optimizer(catalog_, options_.optimizer);
-    OODB_ASSIGN_OR_RETURN(
-        out.optimized, optimizer.Optimize(*out.logical, &out.ctx, required));
+    OODB_ASSIGN_OR_RETURN(out.optimized,
+                          RunOptimizer(*out.logical, &out.ctx, required));
     return out;
   }
 
@@ -46,18 +94,22 @@ Result<SessionResult> Session::Prepare(const std::string& zql) {
     out.optimized = std::move(*hit);
     out.optimized.stats.plan_cached = true;
   } else {
-    Optimizer optimizer(catalog_, options_.optimizer);
-    OODB_ASSIGN_OR_RETURN(
-        out.optimized, optimizer.Optimize(*out.logical, &out.ctx, required));
-    auto entry = std::make_shared<CachedPlan>();
-    entry->plan = out.optimized.plan;
-    entry->cost = out.optimized.cost;
-    entry->stats = out.optimized.stats;
-    entry->stats_version = version;
-    entry->tree = out.logical;
-    entry->bindings = out.ctx.bindings;
-    entry->literals = std::move(qfp.literals);
-    cache->Insert(key, std::move(entry));
+    OODB_ASSIGN_OR_RETURN(out.optimized,
+                          RunOptimizer(*out.logical, &out.ctx, required));
+    if (!out.optimized.stats.degraded) {
+      // Degraded plans are a stopgap for *this* statement's exhausted
+      // budget; caching one would keep serving the inferior plan to
+      // fully-budgeted callers.
+      auto entry = std::make_shared<CachedPlan>();
+      entry->plan = out.optimized.plan;
+      entry->cost = out.optimized.cost;
+      entry->stats = out.optimized.stats;
+      entry->stats_version = version;
+      entry->tree = out.logical;
+      entry->bindings = out.ctx.bindings;
+      entry->literals = std::move(qfp.literals);
+      cache->Insert(key, std::move(entry));
+    }
   }
   PlanCacheStats cs = cache->stats();
   out.optimized.stats.cache_hits = cs.hits;
@@ -69,9 +121,10 @@ Result<SessionResult> Session::Prepare(const std::string& zql) {
 
 Result<SessionResult> Session::Query(const std::string& zql) {
   OODB_ASSIGN_OR_RETURN(SessionResult out, Prepare(zql));
+  ExecOptions exec = options_.exec;
+  exec.governor = governor_.get();  // same governor: deadline spans both
   OODB_ASSIGN_OR_RETURN(
-      out.exec,
-      ExecutePlan(*out.optimized.plan, &store_, &out.ctx, options_.exec));
+      out.exec, ExecutePlan(*out.optimized.plan, &store_, &out.ctx, exec));
   return out;
 }
 
@@ -79,12 +132,23 @@ Result<std::string> Session::Explain(const std::string& zql) {
   OODB_ASSIGN_OR_RETURN(SessionResult r, Prepare(zql));
   std::string out;
   const SearchStats& st = r.optimized.stats;
+  if (st.degraded) {
+    out += "plan: degraded(greedy, reason=" + st.degrade_reason + ")\n";
+  }
   if (st.plan_cached) out += "plan: cached\n";
   if (plan_cache() != nullptr) {
     out += "plan cache: hits=" + std::to_string(st.cache_hits) +
            " misses=" + std::to_string(st.cache_misses) +
            " evictions=" + std::to_string(st.cache_evictions) +
            " invalidations=" + std::to_string(st.cache_invalidations) + "\n";
+  }
+  if (governor_ != nullptr) {
+    const GovernorStats& g = st.governor;
+    out += "governor: trips=" + std::to_string(g.trips()) +
+           " deadline=" + std::to_string(g.deadline_trips) +
+           " budget=" + std::to_string(g.budget_trips) +
+           " cancel=" + std::to_string(g.cancel_trips) +
+           " alternatives=" + std::to_string(g.alternatives_charged) + "\n";
   }
   out += PrintPlan(*r.optimized.plan, r.ctx, /*with_costs=*/true);
   return out;

@@ -41,6 +41,13 @@ class Session {
     OptimizerOptions optimizer;
     StoreOptions store;
     ExecOptions exec;
+    /// Per-query resource limits (deadline, budgets, cancellation). The
+    /// default is inert: no governor is constructed and every code path is
+    /// identical to the ungoverned seed. When any limit is set, each
+    /// Prepare/Query arms a fresh QueryGovernor spanning optimization and
+    /// (for Query) execution; optimizer-side trips degrade to the greedy
+    /// baseline planner when `governor.degrade_to_greedy` is true.
+    GovernorOptions governor;
     /// A plan cache shared with other sessions over the *same catalog*
     /// (the throughput path for concurrent multi-session traffic). When
     /// null and optimizer.plan_cache_capacity > 0, the session creates a
@@ -80,10 +87,20 @@ class Session {
   }
 
  private:
+  /// Runs the cost-based optimizer under the active governor; on an
+  /// optimizer budget/deadline trip with degradation enabled, re-plans with
+  /// the greedy baseline and marks the result degraded.
+  Result<OptimizedQuery> RunOptimizer(const LogicalExpr& input,
+                                      QueryContext* ctx,
+                                      const PhysProps& required);
+
   Catalog* catalog_;
   Options options_;
   ObjectStore store_;
   std::shared_ptr<PlanCache> own_cache_;
+  /// Governor for the query currently being prepared/executed; rebuilt at
+  /// each Prepare when options_.governor is enabled, null otherwise.
+  std::unique_ptr<QueryGovernor> governor_;
 };
 
 }  // namespace oodb

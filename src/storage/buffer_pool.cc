@@ -2,12 +2,13 @@
 
 namespace oodb {
 
-void BufferPool::Access(PageId page) {
+Status BufferPool::Access(PageId page) {
+  if (faults_ != nullptr) OODB_RETURN_IF_ERROR(faults_->OnPageAccess(page));
   auto it = index_.find(page);
   if (it != index_.end()) {
     ++hits_;
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+    return Status::OK();
   }
   ++misses_;
   disk_->Read(page);
@@ -17,6 +18,7 @@ void BufferPool::Access(PageId page) {
     index_.erase(lru_.back());
     lru_.pop_back();
   }
+  return Status::OK();
 }
 
 void BufferPool::Reset() {

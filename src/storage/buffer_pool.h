@@ -6,17 +6,23 @@
 #include <unordered_map>
 
 #include "src/storage/disk_model.h"
+#include "src/storage/fault.h"
 
 namespace oodb {
 
 /// LRU page cache: hits are free, misses hit the disk model and may evict.
+/// With a fault injector attached, any access may fail with kStorageFault
+/// before touching the LRU (the page is treated as unreadable media).
 class BufferPool {
  public:
-  BufferPool(DiskModel* disk, int64_t capacity_pages)
-      : disk_(disk), capacity_(capacity_pages) {}
+  BufferPool(DiskModel* disk, int64_t capacity_pages,
+             FaultInjector* faults = nullptr)
+      : disk_(disk), capacity_(capacity_pages), faults_(faults) {}
 
   /// Touches `page`, faulting it in if absent.
-  void Access(PageId page);
+  Status Access(PageId page);
+
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
@@ -28,6 +34,7 @@ class BufferPool {
  private:
   DiskModel* disk_;
   int64_t capacity_;
+  FaultInjector* faults_;
   std::list<PageId> lru_;  // front = most recent
   std::unordered_map<PageId, std::list<PageId>::iterator> index_;
   int64_t hits_ = 0;

@@ -1,0 +1,33 @@
+#include "src/storage/fault.h"
+
+#include <algorithm>
+
+namespace oodb {
+
+Status FaultInjector::OnPageAccess(PageId page) {
+  ++accesses_;
+  if (policy_.fail_every_nth_read > 0 &&
+      accesses_ % policy_.fail_every_nth_read == 0) {
+    return Status::StorageFault(
+        "injected fault on page " + std::to_string(page) + " (read #" +
+        std::to_string(accesses_) + ", every-nth policy)");
+  }
+  if (policy_.fail_probability > 0.0 &&
+      rng_.Bernoulli(policy_.fail_probability)) {
+    return Status::StorageFault(
+        "injected fault on page " + std::to_string(page) + " (read #" +
+        std::to_string(accesses_) + ", probabilistic policy)");
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnObjectRead(Oid oid) {
+  if (std::find(policy_.fail_oids.begin(), policy_.fail_oids.end(), oid) !=
+      policy_.fail_oids.end()) {
+    return Status::StorageFault("injected fault reading oid " +
+                                std::to_string(oid) + " (oid policy)");
+  }
+  return Status::OK();
+}
+
+}  // namespace oodb

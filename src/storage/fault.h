@@ -1,0 +1,71 @@
+// Deterministic storage fault injection. A seeded FaultPolicy on
+// StoreOptions makes BufferPool / ObjectStore reads fail with a typed
+// kStorageFault Status — every Nth page access, with a per-access
+// probability (SplitMix64-seeded, platform-independent), or on specific
+// OIDs — so the executor's Result<> propagation path can be exercised
+// end-to-end: an injected fault must surface as a clean per-query error at
+// the Session boundary, never a crash or a silently truncated result. The
+// injector is reset together with the simulation clock, so the same seed
+// over the same access sequence fails the same page/OID on every run.
+#ifndef OODB_STORAGE_FAULT_H_
+#define OODB_STORAGE_FAULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/storage/disk_model.h"
+#include "src/storage/object.h"
+
+namespace oodb {
+
+/// Fault-injection configuration; inert by default.
+struct FaultPolicy {
+  /// Seed for the per-access probability draw (and any future randomized
+  /// fault kinds). Two runs with the same seed and the same access sequence
+  /// fail identically.
+  uint64_t seed = 0;
+  /// Fail every Nth charged page access (1 = every access). 0 disables.
+  int64_t fail_every_nth_read = 0;
+  /// Independent per-access failure probability in [0, 1). 0 disables.
+  double fail_probability = 0.0;
+  /// Charged reads of these OIDs fail (media error on the object's page).
+  std::vector<Oid> fail_oids;
+
+  bool enabled() const {
+    return fail_every_nth_read > 0 || fail_probability > 0.0 ||
+           !fail_oids.empty();
+  }
+};
+
+/// Per-store injector state: a deterministic access counter plus the seeded
+/// RNG. Reset() rewinds both so each cold-started query replays the same
+/// fault sequence.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPolicy& policy)
+      : policy_(policy), rng_(policy.seed ^ 0x5eedfa017ull) {}
+
+  /// Called on every charged buffer-pool access, before the LRU is touched.
+  Status OnPageAccess(PageId page);
+
+  /// Called on every charged object read, before the page access.
+  Status OnObjectRead(Oid oid);
+
+  void Reset() {
+    accesses_ = 0;
+    rng_ = Rng(policy_.seed ^ 0x5eedfa017ull);
+  }
+
+  const FaultPolicy& policy() const { return policy_; }
+
+ private:
+  FaultPolicy policy_;
+  Rng rng_;
+  int64_t accesses_ = 0;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_STORAGE_FAULT_H_

@@ -9,7 +9,9 @@ ObjectStore::ObjectStore(const Catalog* catalog, StoreOptions options)
     : catalog_(catalog),
       options_(options),
       disk_(&options_.timing, &clock_),
-      buffer_(&disk_, options_.buffer_pages) {
+      faults_(options_.faults),
+      buffer_(&disk_, options_.buffer_pages,
+              options_.faults.enabled() ? &faults_ : nullptr) {
   placement_.resize(catalog_->schema().num_types());
   extents_.resize(catalog_->schema().num_types());
 }
@@ -44,14 +46,17 @@ Oid ObjectStore::Create(TypeId type) {
 }
 
 void ObjectStore::SetValue(Oid oid, FieldId field, Value v) {
+  assert(Exists(oid));
   objects_[oid].values[field] = std::move(v);
 }
 
 void ObjectStore::SetRef(Oid oid, FieldId field, Oid target) {
+  assert(Exists(oid));
   objects_[oid].values[field] = Value::Int(target);
 }
 
 void ObjectStore::AddToRefSet(Oid oid, FieldId field, Oid target) {
+  assert(Exists(oid));
   ObjectData& obj = objects_[oid];
   const TypeDef& td = catalog_->schema().type(obj.type);
   int slot = 0;
@@ -70,9 +75,18 @@ Status ObjectStore::AddToSet(const std::string& set_name, Oid oid) {
   return Status::OK();
 }
 
-const ObjectData& ObjectStore::Read(Oid oid, bool charge_io) {
-  if (charge_io) buffer_.Access(object_page_[oid]);
-  return objects_[oid];
+Result<const ObjectData*> ObjectStore::Read(Oid oid, bool charge_io) {
+  if (!Exists(oid)) {
+    return Status::InvalidArgument("read of invalid oid " +
+                                   std::to_string(oid));
+  }
+  if (charge_io) {
+    if (options_.faults.enabled()) {
+      OODB_RETURN_IF_ERROR(faults_.OnObjectRead(oid));
+    }
+    OODB_RETURN_IF_ERROR(buffer_.Access(object_page_[oid]));
+  }
+  return &objects_[oid];
 }
 
 PageId ObjectStore::PageOf(Oid oid) const { return object_page_[oid]; }
@@ -129,6 +143,13 @@ void ObjectStore::ResetSimulation() {
   clock_.Reset();
   disk_.Reset();
   buffer_.Reset();
+  faults_.Reset();
+}
+
+void ObjectStore::SetFaultPolicy(FaultPolicy policy) {
+  options_.faults = std::move(policy);
+  faults_ = FaultInjector(options_.faults);
+  buffer_.set_fault_injector(options_.faults.enabled() ? &faults_ : nullptr);
 }
 
 }  // namespace oodb

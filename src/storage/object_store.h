@@ -12,6 +12,7 @@
 
 #include "src/catalog/catalog.h"
 #include "src/storage/buffer_pool.h"
+#include "src/storage/fault.h"
 #include "src/storage/index.h"
 #include "src/storage/object.h"
 
@@ -21,6 +22,8 @@ struct StoreOptions {
   CostModelOptions timing;
   /// Buffer pool capacity in pages (default ~4 MB at 4 KiB pages).
   int64_t buffer_pages = 1024;
+  /// Deterministic fault injection on charged reads (inert by default).
+  FaultPolicy faults;
 };
 
 /// The object store.
@@ -45,14 +48,27 @@ class ObjectStore {
 
   // --- reads (charged to the simulated clock unless charge_io = false) ---
 
-  /// Fetches an object, charging a buffer-pool access of its page.
-  const ObjectData& Read(Oid oid, bool charge_io = true);
+  /// Fetches an object, charging a buffer-pool access of its page. Fails
+  /// with kInvalidArgument on a dangling/out-of-range OID and with
+  /// kStorageFault when the fault policy trips on a charged read (uncharged
+  /// reads bypass the storage path and cannot fault).
+  Result<const ObjectData*> Read(Oid oid, bool charge_io = true);
 
   /// Const access without any simulation accounting (statistics, tests).
-  const ObjectData& Peek(Oid oid) const { return objects_[oid]; }
+  /// Bounds-checked: a dangling OID is kInvalidArgument, never UB.
+  Result<const ObjectData*> Peek(Oid oid) const {
+    if (!Exists(oid)) {
+      return Status::InvalidArgument("peek of invalid oid " +
+                                     std::to_string(oid));
+    }
+    return &objects_[oid];
+  }
 
   PageId PageOf(Oid oid) const;
-  TypeId TypeOf(Oid oid) const { return objects_[oid].type; }
+  /// kInvalidType for a dangling OID.
+  TypeId TypeOf(Oid oid) const {
+    return Exists(oid) ? objects_[oid].type : kInvalidType;
+  }
   bool Exists(Oid oid) const {
     return oid >= 0 && oid < static_cast<Oid>(objects_.size());
   }
@@ -69,8 +85,14 @@ class ObjectStore {
   BufferPool& buffer() { return buffer_; }
   const CostModelOptions& timing() const { return options_.timing; }
 
-  /// Clears simulated clock, disk stats, and buffer contents (cold start).
+  /// Clears simulated clock, disk stats, buffer contents, and fault-
+  /// injector state (cold start; a seeded fault policy replays identically).
   void ResetSimulation();
+
+  /// Replaces the fault policy at runtime (ops/testing hook). The injector
+  /// restarts from the new policy's seed.
+  void SetFaultPolicy(FaultPolicy policy);
+  const FaultPolicy& fault_policy() const { return options_.faults; }
 
  private:
   struct TypePlacement {
@@ -83,6 +105,7 @@ class ObjectStore {
   StoreOptions options_;
   SimClock clock_;
   DiskModel disk_;
+  FaultInjector faults_;
   BufferPool buffer_;
 
   std::vector<ObjectData> objects_;

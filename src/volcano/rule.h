@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/governor.h"
 #include "src/cost/cost_model.h"
 #include "src/volcano/memo.h"
 
@@ -38,6 +39,14 @@ struct SearchStats {
   int64_t cache_evictions = 0;
   int64_t cache_invalidations = 0;
 
+  /// True when the cost-based search tripped the resource governor and the
+  /// plan is the greedy baseline's instead (see Session); `degrade_reason`
+  /// carries the trip message. Degraded plans are never cached.
+  bool degraded = false;
+  std::string degrade_reason;
+  /// Governor trip/charge counters for this query (zero when ungoverned).
+  GovernorStats governor;
+
   /// Total expressions generated — the exhaustive-search denominator.
   int expressions() const { return logical_mexprs + phys_alternatives; }
 };
@@ -65,6 +74,11 @@ struct OptimizerOptions {
   /// bucketed sharing; see src/query/fingerprint.h). When false every
   /// literal keys exactly.
   bool plan_cache_parameterize = true;
+  /// Per-query resource governor (non-owning; null = ungoverned). Set by
+  /// Session for each governed query. Deliberately excluded from
+  /// HashOptimizerOptions: a governor never changes which plan wins, it
+  /// only bounds how long the search may run before tripping.
+  QueryGovernor* governor = nullptr;
 
   bool IsDisabled(const std::string& name) const {
     for (const std::string& d : disabled_rules) {

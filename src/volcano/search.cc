@@ -40,6 +40,10 @@ Status SearchEngine::Explore() {
     changed = false;
     // New m-exprs appended during the pass are visited in the same pass.
     for (MExprId m = 0; m < static_cast<MExprId>(memo_.num_mexprs()); ++m) {
+      if (opts_->governor != nullptr) {
+        OODB_RETURN_IF_ERROR(opts_->governor->CheckSearch(
+            memo_.num_groups(), memo_.num_mexprs()));
+      }
       if (static_cast<size_t>(m) >= child_sizes_seen_.size()) {
         child_sizes_seen_.resize(m + 1, -1);
       }
@@ -87,6 +91,9 @@ Status SearchEngine::Explore() {
 Result<PlanNodePtr> SearchEngine::OptimizeGroup(GroupId g, PhysProps required,
                                                 int depth, double limit) {
   if (depth > 100) return Status::PlanError("optimization recursion too deep");
+  if (opts_->governor != nullptr) {
+    OODB_RETURN_IF_ERROR(opts_->governor->CheckOptimizeEntry());
+  }
   if (!opts_->enable_pruning) limit = kNoLimit;
   g = memo_.Find(g);
   // Normalize: only loadable, in-scope bindings can be required in memory.
@@ -136,6 +143,9 @@ Result<PlanNodePtr> SearchEngine::OptimizeGroup(GroupId g, PhysProps required,
       if (stats_ != nullptr) ++stats_->impl_firings;
       for (PhysAlternative& alt : alts) {
         if (stats_ != nullptr) ++stats_->phys_alternatives;
+        if (opts_->governor != nullptr) {
+          OODB_RETURN_IF_ERROR(opts_->governor->ChargeAlternative());
+        }
         if (!alt.delivered.Satisfies(required)) continue;
         double spent = alt.local_cost.total();
         if (spent > upper) continue;
@@ -145,6 +155,11 @@ Result<PlanNodePtr> SearchEngine::OptimizeGroup(GroupId g, PhysProps required,
           Result<PlanNodePtr> child =
               OptimizeGroup(in.group, in.required, depth + 1, upper - spent);
           if (!child.ok()) {
+            // Ordinary failures ("no plan under this limit") just discard
+            // the alternative; a governor trip must abort the whole search.
+            if (IsGovernorStatus(child.status().code())) {
+              return child.status();
+            }
             ok = false;
             break;
           }
@@ -170,12 +185,18 @@ Result<PlanNodePtr> SearchEngine::OptimizeGroup(GroupId g, PhysProps required,
     if (stats_ != nullptr) ++stats_->enforcer_firings;
     for (EnforcerAlt& alt : alts) {
       if (stats_ != nullptr) ++stats_->phys_alternatives;
+      if (opts_->governor != nullptr) {
+        OODB_RETURN_IF_ERROR(opts_->governor->ChargeAlternative());
+      }
       if (alt.child_required == required) continue;  // no progress
       if (!alt.delivered.Satisfies(required)) continue;
       if (alt.local_cost.total() > upper) continue;
       Result<PlanNodePtr> child = OptimizeGroup(
           g, alt.child_required, depth + 1, upper - alt.local_cost.total());
-      if (!child.ok()) continue;
+      if (!child.ok()) {
+        if (IsGovernorStatus(child.status().code())) return child.status();
+        continue;
+      }
       consider(PlanNode::Make(std::move(alt.op), {std::move(child).value()},
                               memo_.group(g).props, alt.delivered,
                               alt.local_cost));
@@ -218,6 +239,9 @@ Result<PlanNodePtr> SearchEngine::Optimize(const LogicalExpr& input,
     stats_->logical_mexprs = memo_.num_mexprs();
     stats_->optimize_seconds +=
         std::chrono::duration<double>(end - start).count();
+    if (opts_->governor != nullptr) {
+      stats_->governor = opts_->governor->stats();
+    }
   }
   return plan;
 }

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "src/storage/datagen.h"
 
 namespace oodb {
@@ -18,6 +20,17 @@ class DatagenTest : public ::testing::Test {
   int64_t SetCard(const char* name) {
     return (*db_.catalog.FindSet(name))->cardinality;
   }
+
+  /// Uncharged read of a known-valid oid (fails the test on error).
+  static const ObjectData& Obj(ObjectStore& store, Oid oid) {
+    Result<const ObjectData*> r = store.Read(oid, /*charge_io=*/false);
+    if (!r.ok()) {
+      ADD_FAILURE() << r.status();
+      std::abort();
+    }
+    return **r;
+  }
+  const ObjectData& Obj(Oid oid) { return Obj(store_, oid); }
 
   PaperDb db_;
   ObjectStore store_;
@@ -56,8 +69,8 @@ TEST_F(DatagenTest, JoeMayorCountMatchesSelectivity) {
   int64_t expected = (SetCard("Cities") + distinct - 1) / distinct;
   int joes = 0;
   for (Oid c : data_.cities) {
-    Oid mayor = store_.Read(c, false).ref(db_.city_mayor);
-    if (store_.Read(mayor, false).value(db_.person_name).s == "Joe") ++joes;
+    Oid mayor = Obj(c).ref(db_.city_mayor);
+    if (Obj(mayor).value(db_.person_name).s == "Joe") ++joes;
   }
   EXPECT_EQ(joes, expected);
 }
@@ -69,7 +82,7 @@ TEST_F(DatagenTest, TaskTimesCoverDistinctValues) {
   auto tasks_set = store_.CollectionMembers(CollectionId::Set("Tasks", db_.task));
   ASSERT_TRUE(tasks_set.ok());
   for (Oid t : **tasks_set) {
-    int64_t v = store_.Read(t, false).value(db_.task_time).i;
+    int64_t v = Obj(t).value(db_.task_time).i;
     EXPECT_GE(v, 1);
     EXPECT_LE(v, times);
     if (v == 1) ++with_time_1;
@@ -83,7 +96,7 @@ TEST_F(DatagenTest, TeamMembersHaveExpectedFanout) {
                    .type(db_.task)
                    .field(db_.task_team_members)
                    .avg_set_card;
-  const ObjectData& t = store_.Read(data_.tasks[0], false);
+  const ObjectData& t = Obj(data_.tasks[0]);
   ASSERT_EQ(t.ref_sets.size(), 1u);
   EXPECT_EQ(static_cast<double>(t.ref_sets[0].size()), avg);
   for (Oid m : t.ref_sets[0]) {
@@ -93,13 +106,12 @@ TEST_F(DatagenTest, TeamMembersHaveExpectedFanout) {
 
 TEST_F(DatagenTest, ReferencesAreValid) {
   for (Oid c : data_.cities) {
-    const ObjectData& city = store_.Read(c, false);
+    const ObjectData& city = Obj(c);
     EXPECT_EQ(store_.TypeOf(city.ref(db_.city_mayor)), db_.person);
     EXPECT_EQ(store_.TypeOf(city.ref(db_.city_country)), db_.country);
   }
   for (Oid d : data_.departments) {
-    EXPECT_EQ(store_.TypeOf(store_.Read(d, false).ref(db_.dept_plant)),
-              db_.plant);
+    EXPECT_EQ(store_.TypeOf(Obj(d).ref(db_.dept_plant)), db_.plant);
   }
 }
 
@@ -114,7 +126,7 @@ TEST_F(DatagenTest, IndexesBuilt) {
 TEST_F(DatagenTest, DallasFractionApproximatelyRespected) {
   int dallas = 0;
   for (Oid p : data_.plants) {
-    if (store_.Read(p, false).value(db_.plant_location).s == "Dallas") {
+    if (Obj(p).value(db_.plant_location).s == "Dallas") {
       ++dallas;
     }
   }
@@ -129,8 +141,8 @@ TEST_F(DatagenTest, DeterministicForSameSeed) {
   // Compare a sample of employees field-by-field.
   for (int i = 0; i < 50; ++i) {
     Oid e = data_.employees[i];
-    const ObjectData& a = store_.Read(e, false);
-    const ObjectData& b = store2.Read(e, false);
+    const ObjectData& a = Obj(e);
+    const ObjectData& b = Obj(store2, e);
     EXPECT_EQ(a.value(db_.emp_name).s, b.value(db_.emp_name).s);
     EXPECT_EQ(a.ref(db_.emp_dept), b.ref(db_.emp_dept));
   }
@@ -139,7 +151,7 @@ TEST_F(DatagenTest, DeterministicForSameSeed) {
 TEST_F(DatagenTest, FredEmployeesExist) {
   int freds = 0;
   for (Oid e : data_.employees) {
-    if (store_.Read(e, false).value(db_.emp_name).s == "Fred") ++freds;
+    if (Obj(e).value(db_.emp_name).s == "Fred") ++freds;
   }
   int64_t distinct =
       db_.catalog.schema().type(db_.employee).field(db_.emp_name).distinct_values;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 
 #include "tests/test_util.h"
@@ -39,7 +40,14 @@ class ExecTest : public ::testing::Test {
     return *std::move(stats);
   }
 
-  const ObjectData& Obj(Oid o) { return store_.Read(o, false); }
+  const ObjectData& Obj(Oid o) {
+    Result<const ObjectData*> r = store_.Read(o, /*charge_io=*/false);
+    if (!r.ok()) {
+      ADD_FAILURE() << r.status();
+      std::abort();
+    }
+    return **r;
+  }
 
   PaperDb db_;
   ObjectStore store_;

@@ -1,0 +1,136 @@
+// Deterministic storage-fault injection: seeded policies produce the same
+// failing page/oid on every run, faults surface as clean per-query
+// kStorageFault errors, and the session stays usable afterwards.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace oodb {
+namespace {
+
+constexpr const char* kScanQuery =
+    "SELECT e.name FROM Employee e IN Employees;";
+constexpr const char* kJoeQuery =
+    "SELECT c.name FROM City c IN Cities WHERE c.mayor.name == \"Joe\";";
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  FaultInjectionTest() : db_(MakePaperCatalog(0.02)) {}
+
+  // Heap-allocated: ObjectStore wires internal pointers at construction and
+  // must never be moved.
+  std::unique_ptr<Session> MakeSession(Session::Options opts = {}) {
+    auto s = std::make_unique<Session>(&db_.catalog, std::move(opts));
+    GenOptions gen;
+    gen.num_plants = 20;
+    EXPECT_TRUE(GeneratePaperData(db_, &s->store(), gen).ok());
+    return s;
+  }
+
+  static Session::Options WithPolicy(FaultPolicy policy) {
+    Session::Options opts;
+    opts.store.faults = std::move(policy);
+    return opts;
+  }
+
+  PaperDb db_;
+};
+
+TEST_F(FaultInjectionTest, EveryNthPolicyFailsDeterministically) {
+  FaultPolicy policy;
+  policy.fail_every_nth_read = 7;
+  std::unique_ptr<Session> s = MakeSession(WithPolicy(policy));
+  auto r = s->Query(kScanQuery);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kStorageFault) << r.status();
+  EXPECT_NE(r.status().message().find("read #7"), std::string::npos)
+      << r.status();
+}
+
+TEST_F(FaultInjectionTest, SameSeedSameFailingPage) {
+  FaultPolicy policy;
+  policy.seed = 42;
+  policy.fail_probability = 0.02;
+  std::unique_ptr<Session> a = MakeSession(WithPolicy(policy));
+  std::unique_ptr<Session> b = MakeSession(WithPolicy(policy));
+  auto ra = a->Query(kScanQuery);
+  auto rb = b->Query(kScanQuery);
+  ASSERT_FALSE(ra.ok());
+  ASSERT_FALSE(rb.ok());
+  EXPECT_EQ(ra.status().code(), StatusCode::kStorageFault);
+  // Two independent stores, same seed: identical failing page and read #.
+  EXPECT_EQ(ra.status().message(), rb.status().message());
+
+  // Cold starts reset the injector, so a repeat replays the same fault.
+  auto again = a->Query(kScanQuery);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().message(), ra.status().message());
+}
+
+TEST_F(FaultInjectionTest, SameSeedSameFailureWithPlanCacheOn) {
+  FaultPolicy policy;
+  policy.seed = 42;
+  policy.fail_probability = 0.02;
+  Session::Options cached = WithPolicy(policy);
+  cached.optimizer.plan_cache_capacity = 16;
+  std::unique_ptr<Session> off = MakeSession(WithPolicy(policy));
+  std::unique_ptr<Session> on = MakeSession(cached);
+
+  auto r_off = off->Query(kScanQuery);
+  auto r_cold = on->Query(kScanQuery);   // cache miss: optimize + execute
+  auto r_warm = on->Query(kScanQuery);   // cache hit: execute only
+  ASSERT_FALSE(r_off.ok());
+  ASSERT_FALSE(r_cold.ok());
+  ASSERT_FALSE(r_warm.ok());
+  // Caching changes how the plan is obtained, never what the (seeded)
+  // storage layer does: all three runs fail identically.
+  EXPECT_EQ(r_off.status().message(), r_cold.status().message());
+  EXPECT_EQ(r_cold.status().message(), r_warm.status().message());
+}
+
+TEST_F(FaultInjectionTest, OidPolicyFailsExactlyThatObject) {
+  std::unique_ptr<Session> s = MakeSession();
+  // Pick a real employee oid from the extent.
+  auto members = s->store().CollectionMembers(
+      CollectionId::Set("Employees", db_.employee));
+  ASSERT_TRUE(members.ok());
+  Oid victim = (**members)[3];
+  FaultPolicy policy;
+  policy.fail_oids = {victim};
+  s->store().SetFaultPolicy(policy);
+
+  auto r = s->Query(kScanQuery);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kStorageFault);
+  EXPECT_NE(
+      r.status().message().find("oid " + std::to_string(victim)),
+      std::string::npos)
+      << r.status();
+}
+
+TEST_F(FaultInjectionTest, SessionSurvivesFaultsAndRecovers) {
+  FaultPolicy policy;
+  policy.fail_every_nth_read = 2;
+  std::unique_ptr<Session> s = MakeSession(WithPolicy(policy));
+  ASSERT_FALSE(s->Query(kScanQuery).ok());
+  ASSERT_FALSE(s->Query(kJoeQuery).ok());
+  // Clearing the policy at runtime rewires the storage layer; the same
+  // session then serves queries normally.
+  s->store().SetFaultPolicy(FaultPolicy{});
+  auto r = s->Query(kJoeQuery);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r->exec.rows, 0);
+}
+
+TEST_F(FaultInjectionTest, UnchargedReadsAreImmune) {
+  // The reference evaluator and catalog ANALYZE use uncharged reads, which
+  // bypass the injector: statistics collection works on a faulty store.
+  FaultPolicy policy;
+  policy.fail_every_nth_read = 1;  // every charged read fails
+  std::unique_ptr<Session> s = MakeSession(WithPolicy(policy));
+  EXPECT_TRUE(s->Analyze().ok());
+  ASSERT_FALSE(s->Query(kScanQuery).ok());
+}
+
+}  // namespace
+}  // namespace oodb

@@ -264,5 +264,70 @@ TEST_P(FuzzTest, OptimizedPlanMatchesReferenceSemantics) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 150));
 
+// Robustness sweep: the same generated queries run under a random fault
+// policy and random tight budgets. Every outcome must be either OK with
+// reference-identical rows, or one of the governor/fault status codes —
+// never a crash, never an untyped error.
+TEST_P(FuzzTest, FaultsAndBudgetsYieldOnlyTypedOutcomes) {
+  QueryGen gen(0x7a11 + static_cast<uint64_t>(GetParam()) * 104729);
+  std::string text = gen.Generate();
+  SCOPED_TRACE(text);
+
+  QueryContext ctx;
+  ctx.catalog = &db_->catalog;
+  SortSpec order;
+  auto logical = ParseAndSimplify(text, &ctx, &order);
+  ASSERT_TRUE(logical.ok()) << logical.status();
+
+  // No-fault ground truth first (uncharged reads bypass the injector, but
+  // the policy is installed only after this completes anyway).
+  auto reference = EvaluateReference(**logical, store_, ctx);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  Rng rng(0xfa57 + static_cast<uint64_t>(GetParam()) * 31337);
+  GovernorOptions gov;
+  if (rng.Bernoulli(0.5)) gov.max_memo_mexprs = 1 + rng.Uniform(200);
+  if (rng.Bernoulli(0.5)) gov.max_exec_rows = 1 + rng.Uniform(500);
+  if (rng.Bernoulli(0.5)) gov.max_exec_pages = 1 + rng.Uniform(100);
+  if (rng.Bernoulli(0.3)) gov.max_tracked_bytes = 1 + rng.Uniform(4096);
+  if (rng.Bernoulli(0.3)) gov.max_phys_alternatives = 1 + rng.Uniform(100);
+  gov.degrade_to_greedy = false;  // trips must surface as typed errors
+
+  FaultPolicy faults;
+  faults.seed = 0xbadd + static_cast<uint64_t>(GetParam());
+  if (rng.Bernoulli(0.5)) faults.fail_every_nth_read = 1 + rng.Uniform(40);
+  if (rng.Bernoulli(0.5)) faults.fail_probability = 0.05;
+  store_->SetFaultPolicy(faults);
+
+  QueryGovernor governor(gov);
+  OptimizerOptions opts = gen.RandomConfig();
+  opts.governor = gov.enabled() ? &governor : nullptr;
+  PhysProps required;
+  required.sort = order;
+  Optimizer opt(&db_->catalog, opts);
+  auto planned = opt.Optimize(**logical, &ctx, required);
+
+  if (!planned.ok()) {
+    store_->SetFaultPolicy(FaultPolicy{});  // restore for later tests
+    EXPECT_TRUE(IsGovernorStatus(planned.status().code()))
+        << planned.status();
+    return;
+  }
+  ExecOptions eo;
+  eo.sample_limit = 1 << 22;
+  eo.governor = opts.governor;
+  auto stats = ExecutePlan(*planned->plan, store_, &ctx, eo);
+  store_->SetFaultPolicy(FaultPolicy{});  // restore for later tests
+
+  if (!stats.ok()) {
+    EXPECT_TRUE(IsGovernorStatus(stats.status().code())) << stats.status();
+    return;
+  }
+  EXPECT_EQ(stats->rows, static_cast<int64_t>(reference->rows.size()));
+  EXPECT_EQ(SortedRows(stats->sample_rows), SortedRows(reference->rows))
+      << "plan:\n"
+      << PrintPlan(*planned->plan, ctx);
+}
+
 }  // namespace
 }  // namespace oodb

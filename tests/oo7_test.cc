@@ -4,6 +4,8 @@
 // Table-1 universe.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "src/exec/reference.h"
 #include "src/workloads/oo7.h"
 #include "tests/test_util.h"
@@ -33,6 +35,16 @@ class Oo7Test : public ::testing::Test {
 
   Oo7Db& db() { return *instance_.db; }
   ObjectStore& store() { return *instance_.store; }
+
+  /// Simulation-free peek of a known-valid oid (fails the test on error).
+  const ObjectData& Obj(Oid oid) {
+    Result<const ObjectData*> r = store().Peek(oid);
+    if (!r.ok()) {
+      ADD_FAILURE() << r.status();
+      std::abort();
+    }
+    return **r;
+  }
 
   struct Ran {
     OptimizedQuery optimized;
@@ -74,8 +86,8 @@ TEST_F(Oo7Test, PopulationMatchesConfiguration) {
 TEST_F(Oo7Test, CompositionLinksAreConsistent) {
   // Every atomic part's partOf points back to a composite that contains it.
   for (Oid a : db().atomic_parts) {
-    Oid comp = store().Peek(a).ref(db().atomic_part_of);
-    const ObjectData& c = store().Peek(comp);
+    Oid comp = Obj(a).ref(db().atomic_part_of);
+    const ObjectData& c = Obj(comp);
     const std::vector<Oid>& parts = c.ref_sets[0];
     EXPECT_NE(std::find(parts.begin(), parts.end(), a), parts.end());
   }
@@ -115,9 +127,9 @@ TEST(Oo7PlanTest, DocTitlePathIndexCollapsesAtScale) {
 TEST_F(Oo7Test, NewerComponentsMatchesBruteForce) {
   int expected = 0;
   for (Oid b : db().base_assemblies) {
-    const ObjectData& base = store().Peek(b);
+    const ObjectData& base = Obj(b);
     for (Oid p : base.ref_sets[0]) {
-      if (store().Peek(p).value(db().comp_build_date).i >
+      if (Obj(p).value(db().comp_build_date).i >
           base.value(db().base_build_date).i) {
         ++expected;
       }

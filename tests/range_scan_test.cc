@@ -97,7 +97,9 @@ TEST_F(RangeScanTest, ExecutionMatchesBruteForce) {
   auto members = store.CollectionMembers(CollectionId::Set("Tasks", db.task));
   ASSERT_TRUE(members.ok());
   for (Oid t : **members) {
-    if (store.Read(t, false).value(db.task_time).i >= 119) ++expected;
+    Result<const ObjectData*> obj = store.Read(t, false);
+    ASSERT_TRUE(obj.ok());
+    if ((*obj)->value(db.task_time).i >= 119) ++expected;
   }
   EXPECT_EQ(stats->rows, expected);
   EXPECT_GT(expected, 0);

@@ -44,25 +44,29 @@ TEST_F(StorageTest, FieldValuesRoundTrip) {
   Oid p = store_.Create(db_.person);
   store_.SetValue(p, db_.person_name, Value::Str("Ada"));
   store_.SetValue(p, db_.person_age, Value::Int(36));
-  const ObjectData& obj = store_.Read(p, /*charge_io=*/false);
-  EXPECT_EQ(obj.value(db_.person_name).s, "Ada");
-  EXPECT_EQ(obj.value(db_.person_age).i, 36);
+  Result<const ObjectData*> obj = store_.Read(p, /*charge_io=*/false);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ((*obj)->value(db_.person_name).s, "Ada");
+  EXPECT_EQ((*obj)->value(db_.person_age).i, 36);
 }
 
 TEST_F(StorageTest, RefsAndRefSets) {
   Oid p = store_.Create(db_.person);
   Oid c = store_.Create(db_.city);
   store_.SetRef(c, db_.city_mayor, p);
-  EXPECT_EQ(store_.Read(c, false).ref(db_.city_mayor), p);
+  Result<const ObjectData*> city = store_.Read(c, false);
+  ASSERT_TRUE(city.ok());
+  EXPECT_EQ((*city)->ref(db_.city_mayor), p);
 
   Oid t = store_.Create(db_.task);
   Oid e1 = store_.Create(db_.employee);
   Oid e2 = store_.Create(db_.employee);
   store_.AddToRefSet(t, db_.task_team_members, e1);
   store_.AddToRefSet(t, db_.task_team_members, e2);
-  const ObjectData& task = store_.Read(t, false);
-  ASSERT_EQ(task.ref_sets.size(), 1u);
-  EXPECT_EQ(task.ref_sets[0], (std::vector<Oid>{e1, e2}));
+  Result<const ObjectData*> task = store_.Read(t, false);
+  ASSERT_TRUE(task.ok());
+  ASSERT_EQ((*task)->ref_sets.size(), 1u);
+  EXPECT_EQ((*task)->ref_sets[0], (std::vector<Oid>{e1, e2}));
 }
 
 TEST_F(StorageTest, ExtentsTrackMembership) {
@@ -88,12 +92,12 @@ TEST_F(StorageTest, NamedSets) {
 TEST_F(StorageTest, ReadChargesBufferAndDisk) {
   Oid p = store_.Create(db_.person);
   store_.ResetSimulation();
-  store_.Read(p);
+  ASSERT_TRUE(store_.Read(p).ok());
   EXPECT_EQ(store_.buffer().misses(), 1);
   EXPECT_EQ(store_.disk().reads(), 1);
   EXPECT_GT(store_.clock().io_s, 0.0);
   // Second read of the same page: buffer hit, no disk I/O.
-  store_.Read(p);
+  ASSERT_TRUE(store_.Read(p).ok());
   EXPECT_EQ(store_.buffer().hits(), 1);
   EXPECT_EQ(store_.disk().reads(), 1);
 }
@@ -174,16 +178,16 @@ TEST(BufferPoolTest, LruEviction) {
   SimClock clock;
   DiskModel disk(&timing, &clock);
   BufferPool pool(&disk, 2);
-  pool.Access(1);
-  pool.Access(2);
-  pool.Access(1);  // 1 is now most recent
-  pool.Access(3);  // evicts 2
+  ASSERT_TRUE(pool.Access(1).ok());
+  ASSERT_TRUE(pool.Access(2).ok());
+  ASSERT_TRUE(pool.Access(1).ok());  // 1 is now most recent
+  ASSERT_TRUE(pool.Access(3).ok());  // evicts 2
   EXPECT_EQ(pool.misses(), 3);
   EXPECT_EQ(pool.hits(), 1);
-  pool.Access(2);  // miss again
+  ASSERT_TRUE(pool.Access(2).ok());  // miss again
   EXPECT_EQ(pool.misses(), 4);
-  pool.Access(1);  // 1 was evicted by the re-fault of 2? No: capacity 2,
-                   // after access(2) resident = {2, 3}; 1 misses.
+  ASSERT_TRUE(pool.Access(1).ok());  // capacity 2: after access(2)
+                                     // resident = {2, 3}; 1 misses.
   EXPECT_EQ(pool.misses(), 5);
   EXPECT_EQ(pool.resident(), 2);
 }
@@ -193,7 +197,7 @@ TEST(BufferPoolTest, ResetClears) {
   SimClock clock;
   DiskModel disk(&timing, &clock);
   BufferPool pool(&disk, 4);
-  pool.Access(1);
+  ASSERT_TRUE(pool.Access(1).ok());
   pool.Reset();
   EXPECT_EQ(pool.hits(), 0);
   EXPECT_EQ(pool.misses(), 0);
