@@ -12,7 +12,7 @@ QueryGovernor::QueryGovernor(GovernorOptions options)
   }
 }
 
-Status QueryGovernor::Trip(Status status) {
+Status QueryGovernor::TripLocked(Status status) {
   if (trip_.ok()) {
     trip_ = std::move(status);
     switch (trip_.code()) {
@@ -30,15 +30,15 @@ Status QueryGovernor::Trip(Status status) {
   return trip_;
 }
 
-Status QueryGovernor::CheckCancelAndDeadline(const char* where) {
+Status QueryGovernor::CheckCancelAndDeadlineLocked(const char* where) {
   if (!trip_.ok()) return trip_;
   if (options_.cancel != nullptr && options_.cancel->cancel_requested()) {
-    return Trip(Status::Cancelled(std::string("query cancelled (") + where +
-                                  ")"));
+    return TripLocked(Status::Cancelled(std::string("query cancelled (") +
+                                        where + ")"));
   }
   if (options_.deadline_ms > 0.0 &&
       std::chrono::steady_clock::now() >= deadline_) {
-    return Trip(Status::DeadlineExceeded(
+    return TripLocked(Status::DeadlineExceeded(
         "deadline of " + std::to_string(options_.deadline_ms) +
         " ms exceeded (" + where + ")"));
   }
@@ -46,14 +46,15 @@ Status QueryGovernor::CheckCancelAndDeadline(const char* where) {
 }
 
 Status QueryGovernor::CheckSearch(int64_t memo_groups, int64_t memo_mexprs) {
-  OODB_RETURN_IF_ERROR(CheckCancelAndDeadline("explore"));
+  std::lock_guard<std::mutex> lock(mu_);
+  OODB_RETURN_IF_ERROR(CheckCancelAndDeadlineLocked("explore"));
   if (options_.max_memo_groups > 0 && memo_groups > options_.max_memo_groups) {
-    return Trip(Status::BudgetExhausted(
+    return TripLocked(Status::BudgetExhausted(
         "memo group budget exhausted: " + std::to_string(memo_groups) + " > " +
         std::to_string(options_.max_memo_groups)));
   }
   if (options_.max_memo_mexprs > 0 && memo_mexprs > options_.max_memo_mexprs) {
-    return Trip(Status::BudgetExhausted(
+    return TripLocked(Status::BudgetExhausted(
         "memo m-expr budget exhausted: " + std::to_string(memo_mexprs) +
         " > " + std::to_string(options_.max_memo_mexprs)));
   }
@@ -61,16 +62,18 @@ Status QueryGovernor::CheckSearch(int64_t memo_groups, int64_t memo_mexprs) {
 }
 
 Status QueryGovernor::CheckOptimizeEntry() {
-  return CheckCancelAndDeadline("optimize");
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckCancelAndDeadlineLocked("optimize");
 }
 
 Status QueryGovernor::ChargeAlternative() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!trip_.ok()) return trip_;
   ++alternatives_;
   stats_.alternatives_charged = alternatives_;
   if (options_.max_phys_alternatives > 0 &&
       alternatives_ > options_.max_phys_alternatives) {
-    return Trip(Status::BudgetExhausted(
+    return TripLocked(Status::BudgetExhausted(
         "physical-alternative budget exhausted: " +
         std::to_string(alternatives_) + " > " +
         std::to_string(options_.max_phys_alternatives)));
@@ -79,10 +82,11 @@ Status QueryGovernor::ChargeAlternative() {
 }
 
 Status QueryGovernor::CheckExec(int64_t pages_read) {
-  OODB_RETURN_IF_ERROR(CheckCancelAndDeadline("execute"));
-  stats_.pages_charged = pages_read;
+  std::lock_guard<std::mutex> lock(mu_);
+  OODB_RETURN_IF_ERROR(CheckCancelAndDeadlineLocked("execute"));
+  if (pages_read > stats_.pages_charged) stats_.pages_charged = pages_read;
   if (options_.max_exec_pages > 0 && pages_read > options_.max_exec_pages) {
-    return Trip(Status::BudgetExhausted(
+    return TripLocked(Status::BudgetExhausted(
         "simulated I/O budget exhausted: " + std::to_string(pages_read) +
         " pages > " + std::to_string(options_.max_exec_pages)));
   }
@@ -90,11 +94,12 @@ Status QueryGovernor::CheckExec(int64_t pages_read) {
 }
 
 Status QueryGovernor::ChargeRows(int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!trip_.ok()) return trip_;
   rows_ += n;
   stats_.rows_charged = rows_;
   if (options_.max_exec_rows > 0 && rows_ > options_.max_exec_rows) {
-    return Trip(Status::BudgetExhausted(
+    return TripLocked(Status::BudgetExhausted(
         "row budget exhausted: " + std::to_string(rows_) + " > " +
         std::to_string(options_.max_exec_rows)));
   }
@@ -102,6 +107,7 @@ Status QueryGovernor::ChargeRows(int64_t n) {
 }
 
 Status QueryGovernor::ChargeTrackedBytes(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!trip_.ok()) return trip_;
   tracked_bytes_ += bytes;
   if (tracked_bytes_ > stats_.tracked_bytes_peak) {
@@ -109,7 +115,7 @@ Status QueryGovernor::ChargeTrackedBytes(int64_t bytes) {
   }
   if (options_.max_tracked_bytes > 0 &&
       tracked_bytes_ > options_.max_tracked_bytes) {
-    return Trip(Status::BudgetExhausted(
+    return TripLocked(Status::BudgetExhausted(
         "tracked memory budget exhausted: " + std::to_string(tracked_bytes_) +
         " bytes > " + std::to_string(options_.max_tracked_bytes)));
   }

@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/common/status.h"
@@ -99,8 +100,9 @@ inline bool IsGovernorStatus(StatusCode code) {
 /// cooperatively from the search engine and executor. Trips are sticky: once
 /// a limit is exceeded every later check returns the same typed Status, so a
 /// trip swallowed by an intermediate recovery path resurfaces at the next
-/// checkpoint. Thread-compatible: one query, one thread (the cancel token is
-/// the only cross-thread channel).
+/// checkpoint. Thread-safe: Exchange workers share one governor, so a trip
+/// on any worker is observed by every other worker (and the consumer) at
+/// its next checkpoint — the sticky trip drains the whole pipeline.
 class QueryGovernor {
  public:
   explicit QueryGovernor(GovernorOptions options);
@@ -116,7 +118,7 @@ class QueryGovernor {
 
   // --- executor-side checkpoints ---
 
-  /// Per-Next() checkpoint: cancellation, deadline, simulated-page budget.
+  /// Per-batch checkpoint: cancellation, deadline, simulated-page budget.
   /// `pages_read` is the store's cumulative disk-read counter.
   Status CheckExec(int64_t pages_read);
   /// Charges `n` output rows against the row budget.
@@ -127,18 +129,27 @@ class QueryGovernor {
   Status ChargeTrackedBytes(int64_t bytes);
 
   const GovernorOptions& options() const { return options_; }
-  const GovernorStats& stats() const { return stats_; }
+  /// Snapshot of the trip/charge counters (copied under the lock).
+  GovernorStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   /// Non-OK after the first trip (the sticky trip status).
-  const Status& trip_status() const { return trip_; }
+  Status trip_status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trip_;
+  }
 
  private:
-  /// Returns the sticky trip, or records `status` as the trip and counts it.
-  Status Trip(Status status);
-  Status CheckCancelAndDeadline(const char* where);
+  /// Returns the sticky trip, or records `status` as the trip and counts
+  /// it. Caller must hold mu_.
+  Status TripLocked(Status status);
+  Status CheckCancelAndDeadlineLocked(const char* where);
 
   GovernorOptions options_;
   std::chrono::steady_clock::time_point armed_at_;
   std::chrono::steady_clock::time_point deadline_;
+  mutable std::mutex mu_;  ///< guards everything below
   Status trip_;  // OK until the first trip, then sticky
   int64_t rows_ = 0;
   int64_t alternatives_ = 0;

@@ -51,6 +51,20 @@ struct CostModelOptions {
 
   /// Memory available to hash tables; hybrid hash join spills beyond this.
   double memory_bytes = 8.0 * 1024 * 1024;
+
+  // --- Batch execution and Exchange (Volcano-style parallelism) ---
+  /// Rows per execution batch (the exec_batch_size knob). Operators amortize
+  /// per-call dispatch, clock updates, and governor checkpoints over this
+  /// many rows.
+  int exec_batch_size = 1024;
+  /// Per-batch overhead of one operator Next() call (virtual dispatch plus
+  /// batch bookkeeping); divided by exec_batch_size it yields the per-tuple
+  /// iteration overhead the batch refactor amortizes away.
+  double cpu_batch_overhead_s = 2.0e-4;
+  /// Spawning/joining one Exchange worker thread (plan startup term).
+  double exchange_startup_s = 2.0e-3;
+  /// Moving one tuple through an Exchange cross-thread batch queue.
+  double exchange_flow_tuple_s = 1.0e-5;
 };
 
 /// A query-plan cost: I/O seconds + CPU seconds. Compared by total.

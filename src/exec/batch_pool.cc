@@ -1,0 +1,36 @@
+#include "src/exec/batch_pool.h"
+
+#include <utility>
+
+namespace oodb {
+
+BatchPool& BatchPool::Instance() {
+  static BatchPool pool;
+  return pool;
+}
+
+TupleBatch BatchPool::Take(int width, size_t capacity) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Newest-first: the most recently returned arena is the most likely to
+    // match the running query's shape (and to still be cache-warm).
+    for (size_t i = pool_.size(); i > 0; --i) {
+      TupleBatch& b = pool_[i - 1];
+      if (b.width() == width && b.capacity() == capacity) {
+        TupleBatch out = std::move(b);
+        pool_.erase(pool_.begin() + static_cast<ptrdiff_t>(i - 1));
+        out.Clear();
+        return out;
+      }
+    }
+  }
+  return TupleBatch(width, capacity);
+}
+
+void BatchPool::Return(TupleBatch&& batch) {
+  if (batch.capacity() == 0) return;  // nothing worth pooling
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_.size() < kMaxPooled) pool_.push_back(std::move(batch));
+}
+
+}  // namespace oodb

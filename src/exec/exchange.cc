@@ -1,0 +1,228 @@
+#include "src/exec/exchange.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/exec/batch_pool.h"
+#include "src/exec/worker_pool.h"
+#include "src/physical/parallel.h"
+
+namespace oodb {
+
+namespace {
+
+/// Bounded MPSC queue of TupleBatches. Producers block when full, the
+/// consumer blocks when empty; Abort() wakes everyone and makes every
+/// subsequent Push/Pop fail, so a dying consumer never strands a producer
+/// (and vice versa).
+class BatchQueue {
+ public:
+  BatchQueue(size_t capacity, int producers)
+      : capacity_(capacity), producers_(producers) {}
+
+  /// False when the queue was aborted (the batch is dropped).
+  ///
+  /// Wakeups are lazy: the consumer is only notified once the queue is at
+  /// least half full (or by ProducerDone/Abort). Notifying on every push
+  /// ping-pongs producer and consumer through the scheduler — on a machine
+  /// with fewer cores than workers each notify wake-preempts the producer,
+  /// costing a context-switch round trip per batch. Batching the wakeups
+  /// keeps everyone correct (a non-empty queue whose producers all exit is
+  /// flushed by ProducerDone; a full queue necessarily crossed the
+  /// threshold) while letting each side run for several batches per slice.
+  bool Push(TupleBatch&& batch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return queue_.size() < capacity_ || abort_; });
+    if (abort_) return false;
+    queue_.push_back(std::move(batch));
+    if (queue_.size() * 2 >= capacity_) not_empty_.notify_one();
+    return true;
+  }
+
+  /// False when every producer finished and the queue is drained, or on
+  /// abort. Producers are re-woken once the queue has drained to half —
+  /// the consumer never blocks while batches remain, so the threshold is
+  /// always reached (see Push on why not per-pop).
+  bool Pop(TupleBatch* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(
+        lock, [&] { return !queue_.empty() || producers_ == 0 || abort_; });
+    if (abort_ || queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    if (queue_.size() * 2 <= capacity_) not_full_.notify_all();
+    return true;
+  }
+
+  void ProducerDone() {
+    std::lock_guard<std::mutex> lock(mu_);
+    --producers_;
+    not_empty_.notify_all();
+  }
+
+  void Abort() {
+    std::lock_guard<std::mutex> lock(mu_);
+    abort_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<TupleBatch> queue_;
+  size_t capacity_;
+  int producers_;
+  bool abort_ = false;
+};
+
+class ExchangeExec : public ExecNode {
+ public:
+  ExchangeExec(ExecEnv env, const PlanNode& plan) : env_(env), plan_(&plan) {}
+
+  ~ExchangeExec() override { Shutdown(); }
+
+  Status Open() override {
+    const PlanNode& child = *plan_->children[0];
+    const PlanNode* driver = FindPartitionableScan(child);
+    int dop = driver != nullptr ? std::max(1, plan_->op.dop) : 1;
+    env_.clock().cpu_s +=
+        env_.timing().exchange_startup_s * static_cast<double>(dop);
+    // Deep (but still bounded) buffering: 16 batches per worker. Producers
+    // that never hit the bound run their whole partition without a blocking
+    // wait — on a machine with fewer cores than workers that turns the
+    // stream into long uninterrupted runs per thread instead of a
+    // block/wake ping-pong per batch, and on larger machines the extra
+    // depth only relaxes backpressure.
+    queue_ = std::make_unique<BatchQueue>(16 * static_cast<size_t>(dop), dop);
+    worker_clocks_.assign(dop, SimClock{});
+    pending_ = dop;
+    for (int w = 0; w < dop; ++w) {
+      WorkerPool::Instance().Submit([this, w, driver, dop] {
+        WorkerMain(w, driver, dop);
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        if (--pending_ == 0) pending_cv_.notify_all();
+      });
+    }
+    return Status::OK();
+  }
+
+  Result<size_t> Next(TupleBatch* out) override {
+    OODB_RETURN_IF_ERROR(env_.Tick());
+    out->Clear();
+    if (done_) return Finish();
+    TupleBatch batch;
+    if (!queue_->Pop(&batch)) {
+      done_ = true;
+      return Finish();
+    }
+    env_.clock().cpu_s += static_cast<double>(batch.size()) *
+                          env_.timing().exchange_flow_tuple_s;
+    // The consumed batch the caller still holds (from the previous Next) is
+    // a retired arena — park it in the pool instead of freeing it, so
+    // steady-state flow allocates nothing.
+    BatchPool::Instance().Return(std::move(*out));
+    *out = std::move(batch);
+    return out->size();
+  }
+
+  void Close() override { Shutdown(); }
+
+ private:
+  void WorkerMain(int w, const PlanNode* driver, int dop) {
+    ExecEnv wenv = env_;
+    wenv.cpu_clock = &worker_clocks_[w];
+    if (driver != nullptr && dop > 1) {
+      wenv.partition_node = driver;
+      wenv.partition_index = w;
+      wenv.partition_count = dop;
+    }
+    Status status = RunWorker(wenv);
+    if (!status.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu_);
+        if (first_error_.ok()) first_error_ = status;
+      }
+      // Wake a consumer blocked on an emptying queue and stop siblings
+      // early: with a governor the sticky trip does this anyway; without
+      // one the abort is the only cross-worker stop signal.
+      queue_->Abort();
+    }
+    queue_->ProducerDone();
+  }
+
+  Status RunWorker(const ExecEnv& wenv) {
+    OODB_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> node,
+                          BuildExecNode(wenv, *plan_->children[0]));
+    OODB_RETURN_IF_ERROR(node->Open());
+    Status status = Status::OK();
+    while (true) {
+      TupleBatch batch =
+          BatchPool::Instance().Take(wenv.num_bindings(), wenv.batch_size);
+      Result<size_t> n = node->Next(&batch);
+      if (!n.ok()) {
+        status = n.status();
+        break;
+      }
+      if (*n == 0) break;
+      if (!queue_->Push(std::move(batch))) break;  // consumer went away
+    }
+    node->Close();
+    return status;
+  }
+
+  /// Waits for the workers (once), merges their private clocks, and reports
+  /// the first worker error — or a clean end of stream.
+  Result<size_t> Finish() {
+    JoinWorkers();
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!first_error_.ok()) return first_error_;
+    return static_cast<size_t>(0);
+  }
+
+  void JoinWorkers() {
+    if (joined_) return;
+    joined_ = true;
+    {
+      std::unique_lock<std::mutex> lock(pending_mu_);
+      pending_cv_.wait(lock, [&] { return pending_ == 0; });
+    }
+    for (const SimClock& c : worker_clocks_) {
+      env_.store->clock().MergeFrom(c);
+    }
+  }
+
+  void Shutdown() {
+    if (queue_ != nullptr && !joined_) queue_->Abort();
+    JoinWorkers();
+  }
+
+
+  ExecEnv env_;
+  const PlanNode* plan_;
+  std::unique_ptr<BatchQueue> queue_;
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  int pending_ = 0;
+  std::vector<SimClock> worker_clocks_;
+  std::mutex error_mu_;
+  Status first_error_;
+  bool done_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ExecNode>> MakeExchangeExec(const ExecEnv& env,
+                                                   const PlanNode& plan) {
+  if (plan.children.size() != 1) {
+    return Status::Internal("exchange requires exactly one child");
+  }
+  return std::unique_ptr<ExecNode>(new ExchangeExec(env, plan));
+}
+
+}  // namespace oodb

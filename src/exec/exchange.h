@@ -1,0 +1,36 @@
+// The Volcano Exchange operator: encapsulated intra-query parallelism
+// behind the unchanged iterator facade (Graefe's "operator model" — the
+// paper's future-work item 5 transfers Volcano's execution concepts, and
+// exchange is the one operator Volcano adds to parallelize all the others
+// without changing them). Open() spawns `dop` worker threads, each running
+// a private copy of the child operator tree; the driver scan of each copy
+// reads a disjoint round-robin slice of its collection, while build sides
+// of hash/nested-loops joins are replicated per worker. Workers push full
+// TupleBatches into a bounded multi-producer single-consumer queue;
+// Next() pops one batch at a time, so the parent cannot tell an Exchange
+// from any other operator.
+//
+// Accounting: each worker charges CPU to a private SimClock merged into the
+// store's clock after the join (I/O is charged by the shared disk model
+// under its own mutex). A governor trip on any worker is sticky in the
+// shared QueryGovernor, so every other worker trips at its next checkpoint
+// and the whole pipeline drains; the first error is reported from Next().
+#ifndef OODB_EXEC_EXCHANGE_H_
+#define OODB_EXEC_EXCHANGE_H_
+
+#include <memory>
+
+#include "src/exec/operators.h"
+
+namespace oodb {
+
+/// Builds the Exchange executor for plan node `plan` (op.kind == kExchange,
+/// one child: the worker plan template). Falls back to a single
+/// unpartitioned worker when no partitionable driver scan exists in the
+/// child (the result stays correct; it just is not parallel).
+Result<std::unique_ptr<ExecNode>> MakeExchangeExec(const ExecEnv& env,
+                                                   const PlanNode& plan);
+
+}  // namespace oodb
+
+#endif  // OODB_EXEC_EXCHANGE_H_

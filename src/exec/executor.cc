@@ -1,5 +1,10 @@
 #include "src/exec/executor.h"
 
+#include <algorithm>
+#include <utility>
+
+#include "src/exec/batch_pool.h"
+
 namespace oodb {
 
 namespace {
@@ -16,36 +21,64 @@ const PhysicalOp* FindProject(const PlanNode& node) {
   return nullptr;
 }
 
+int MaxDop(const PlanNode& node) {
+  int dop = node.op.kind == PhysOpKind::kExchange ? std::max(1, node.op.dop) : 1;
+  for (const PlanNodePtr& c : node.children) dop = std::max(dop, MaxDop(*c));
+  return dop;
+}
+
 }  // namespace
 
 Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
                               QueryContext* ctx, ExecOptions options) {
   if (options.cold_start) store->ResetSimulation();
+  ExecEnv env;
+  env.store = store;
+  env.ctx = ctx;
+  env.governor = options.governor;
+  env.batch_size = options.batch_size > 0
+                       ? static_cast<size_t>(options.batch_size)
+                       : static_cast<size_t>(std::max(
+                             1, store->timing().exec_batch_size));
   OODB_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> root,
-                        BuildExecTree(plan, store, ctx, options.governor));
+                        BuildExecNode(env, plan));
   OODB_RETURN_IF_ERROR(root->Open());
   const PhysicalOp* project = FindProject(plan);
 
   ExecStats stats;
-  Tuple t;
+  stats.batch_size = static_cast<int>(env.batch_size);
+  stats.dop = MaxDop(plan);
+  TupleBatch batch =
+      BatchPool::Instance().Take(env.num_bindings(), env.batch_size);
   while (true) {
-    OODB_ASSIGN_OR_RETURN(bool more, root->Next(&t));
-    if (!more) break;
-    ++stats.rows;
-    if (options.governor != nullptr) {
-      OODB_RETURN_IF_ERROR(options.governor->ChargeRows(1));
+    Result<size_t> next = root->Next(&batch);
+    if (!next.ok()) {
+      BatchPool::Instance().Return(std::move(batch));
+      return next.status();
     }
-    if (project != nullptr &&
-        static_cast<int>(stats.sample_rows.size()) < options.sample_limit) {
-      std::vector<Value> row;
-      for (const ScalarExprPtr& e : project->emit) {
-        OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, t, *ctx));
-        row.push_back(std::move(v));
+    size_t n = *next;
+    if (n == 0) break;
+    stats.rows += static_cast<int64_t>(n);
+    if (options.governor != nullptr) {
+      OODB_RETURN_IF_ERROR(
+          options.governor->ChargeRows(static_cast<int64_t>(n)));
+    }
+    if (project != nullptr) {
+      for (size_t i = 0;
+           i < n && static_cast<int>(stats.sample_rows.size()) <
+                        options.sample_limit;
+           ++i) {
+        std::vector<Value> row;
+        for (const ScalarExprPtr& e : project->emit) {
+          OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, batch.ref(i), *ctx));
+          row.push_back(std::move(v));
+        }
+        stats.sample_rows.push_back(std::move(row));
       }
-      stats.sample_rows.push_back(std::move(row));
     }
   }
   root->Close();
+  BatchPool::Instance().Return(std::move(batch));
 
   stats.sim_io_s = store->clock().io_s;
   stats.sim_cpu_s = store->clock().cpu_s;

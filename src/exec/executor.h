@@ -17,6 +17,11 @@ struct ExecStats {
   int64_t seq_reads = 0;
   int64_t random_reads = 0;
   int64_t buffer_hits = 0;
+  /// Rows per batch the pipeline ran with.
+  int batch_size = 0;
+  /// Degree of parallelism: the maximum Exchange dop in the plan (1 when
+  /// the plan is serial).
+  int dop = 1;
   /// Governor trip/charge counters (zero when the run was ungoverned).
   GovernorStats governor;
 
@@ -31,8 +36,12 @@ struct ExecOptions {
   bool cold_start = true;
   /// How many projected rows to retain in the stats.
   int sample_limit = 10;
+  /// Rows per execution batch. 0 means the store's timing knob
+  /// (exec_batch_size); 1 degenerates to tuple-at-a-time iteration.
+  int batch_size = 0;
   /// Per-query resource governor (non-owning; null = ungoverned). Checked
-  /// at every operator Next() and charged per output row.
+  /// at every operator Next() — i.e. per batch — and charged per output
+  /// batch.
   QueryGovernor* governor = nullptr;
 };
 

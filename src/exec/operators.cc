@@ -1,63 +1,89 @@
 #include "src/exec/operators.h"
 
 #include <algorithm>
-#include <deque>
 #include <map>
+#include <optional>
 #include <unordered_map>
+#include <utility>
+
+#include "src/exec/exchange.h"
 
 namespace oodb {
 
 namespace {
-
-/// Shared state for all nodes of one executing plan.
-struct ExecEnv {
-  ObjectStore* store;
-  QueryContext* ctx;
-  QueryGovernor* governor = nullptr;
-
-  SimClock& clock() { return store->clock(); }
-  const CostModelOptions& timing() { return store->timing(); }
-  int num_bindings() const { return ctx->bindings.size(); }
-
-  /// Cooperative governor checkpoint, called at the top of every operator
-  /// Next(). Free when ungoverned.
-  Status Tick() {
-    if (governor == nullptr) return Status::OK();
-    return governor->CheckExec(store->disk().reads());
-  }
-
-  /// Charges one tuple buffered by a blocking operator (hash build, sort,
-  /// nested-loops buffer, set ops) against the tracked-memory budget.
-  Status ChargeBuffered() {
-    if (governor == nullptr) return Status::OK();
-    return governor->ChargeTrackedBytes(
-        static_cast<int64_t>(num_bindings()) *
-        static_cast<int64_t>(sizeof(Slot)));
-  }
-};
 
 // ---------------------------------------------------------------------------
 // File Scan
 // ---------------------------------------------------------------------------
 class FileScanExec : public ExecNode {
  public:
-  FileScanExec(ExecEnv env, const PhysicalOp& op) : env_(env), op_(op) {}
+  /// A specialized `filter` (with `fused_pred` keeping its constants alive
+  /// and `conjuncts` counting its terms for cost charging) runs inside the
+  /// scan loop: objects are tested straight off the storage pointer and
+  /// rejected rows are never materialized into the batch — no slot writes,
+  /// no separate filter pass, no compaction. Sim-clock charges are the same
+  /// as a scan feeding a FilterExec, so only wall time changes.
+  FileScanExec(ExecEnv env, const PhysicalOp& op, bool partitioned,
+               FilterProgram filter = FilterProgram(),
+               ScalarExprPtr fused_pred = nullptr, double conjuncts = 0)
+      : env_(env), op_(op), partitioned_(partitioned),
+        filter_(std::move(filter)), fused_pred_(std::move(fused_pred)),
+        conjuncts_(conjuncts) {}
 
   Status Open() override {
     OODB_ASSIGN_OR_RETURN(members_, env_.store->CollectionMembers(op_.coll));
+    // Contiguous chunk per worker: members are in page order, so chunking
+    // preserves the long same-page runs ReadMany batches into single
+    // buffer accesses (a round-robin stride would cut every run by the
+    // worker count).
     pos_ = 0;
+    end_ = members_->size();
+    if (partitioned_) {
+      size_t w = static_cast<size_t>(env_.partition_index);
+      size_t k = static_cast<size_t>(env_.partition_count);
+      pos_ = end_ * w / k;
+      end_ = end_ * (w + 1) / k;
+    }
     return Status::OK();
   }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<size_t> Next(TupleBatch* out) override {
     OODB_RETURN_IF_ERROR(env_.Tick());
-    if (pos_ >= members_->size()) return false;
-    Oid oid = (*members_)[pos_++];
-    OODB_ASSIGN_OR_RETURN(const ObjectData* obj, env_.store->Read(oid));
-    env_.clock().cpu_s += env_.timing().cpu_scan_tuple_s;
-    *out = Tuple(env_.num_bindings());
-    out->slot(op_.binding) = {oid, obj};
-    return true;
+    out->Clear();
+    const bool fused = filter_.specialized();
+    double cpu = 0.0;
+    // Gather OIDs in scan order, then resolve them with one batched storage
+    // call: members are in page order, so ReadMany charges one buffer
+    // access per page run instead of one per object. With a fused filter
+    // the loop keeps refilling until the batch is full or the chunk ends,
+    // so callers never see a pre-EOS empty batch.
+    while (!out->full() && pos_ < end_) {
+      scratch_oids_.clear();
+      size_t want = out->capacity() - out->size();
+      while (scratch_oids_.size() < want && pos_ < end_) {
+        scratch_oids_.push_back((*members_)[pos_++]);
+      }
+      size_t n = scratch_oids_.size();
+      scratch_objs_.resize(n);
+      OODB_RETURN_IF_ERROR(
+          env_.store->ReadMany(scratch_oids_.data(), n, scratch_objs_.data()));
+      cpu += static_cast<double>(n) *
+             (env_.timing().cpu_scan_tuple_s +
+              conjuncts_ * env_.timing().cpu_pred_s);
+      for (size_t i = 0; i < n; ++i) {
+        if (fused) {
+          // The batch gather exposes upcoming objects' pointers well in
+          // advance; request row i+16's predicate fields now so their miss
+          // resolves before its conjuncts run.
+          if (i + 16 < n) filter_.PrefetchFields(*scratch_objs_[i + 16]);
+          if (!filter_.EvalSteps(*scratch_objs_[i])) continue;
+        }
+        out->AppendRow().slot(op_.binding) = {scratch_oids_[i],
+                                              scratch_objs_[i]};
+      }
+    }
+    env_.clock().cpu_s += cpu;
+    return out->size();
   }
 
   void Close() override {}
@@ -65,8 +91,15 @@ class FileScanExec : public ExecNode {
  private:
   ExecEnv env_;
   PhysicalOp op_;
+  bool partitioned_;
+  FilterProgram filter_;
+  ScalarExprPtr fused_pred_;
+  double conjuncts_;
   const std::vector<Oid>* members_ = nullptr;
   size_t pos_ = 0;
+  size_t end_ = 0;
+  std::vector<Oid> scratch_oids_;
+  std::vector<const ObjectData*> scratch_objs_;
 };
 
 // ---------------------------------------------------------------------------
@@ -74,7 +107,8 @@ class FileScanExec : public ExecNode {
 // ---------------------------------------------------------------------------
 class IndexScanExec : public ExecNode {
  public:
-  IndexScanExec(ExecEnv env, const PhysicalOp& op) : env_(env), op_(op) {}
+  IndexScanExec(ExecEnv env, const PhysicalOp& op, bool partitioned)
+      : env_(env), op_(op), partitioned_(partitioned) {}
 
   Status Open() override {
     OODB_ASSIGN_OR_RETURN(const StoredIndex* idx,
@@ -89,27 +123,39 @@ class IndexScanExec : public ExecNode {
     CmpOp cmp = const_on_left ? ReverseCmp(key.cmp_op()) : key.cmp_op();
     matches_ = idx->Scan(cmp, v);
     pos_ = 0;
+    end_ = matches_.size();
+    if (partitioned_) {
+      size_t w = static_cast<size_t>(env_.partition_index);
+      size_t k = static_cast<size_t>(env_.partition_count);
+      pos_ = end_ * w / k;
+      end_ = end_ * (w + 1) / k;
+    }
     env_.clock().cpu_s += env_.timing().index_probe_s +
                           static_cast<double>(matches_.size()) *
                               env_.timing().index_leaf_s;
     return Status::OK();
   }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<size_t> Next(TupleBatch* out) override {
     OODB_RETURN_IF_ERROR(env_.Tick());
-    while (pos_ < matches_.size()) {
+    out->Clear();
+    double cpu = 0.0;
+    while (!out->full() && pos_ < end_) {
       Oid oid = matches_[pos_++];
       OODB_ASSIGN_OR_RETURN(const ObjectData* obj, env_.store->Read(oid));
-      *out = Tuple(env_.num_bindings());
-      out->slot(op_.binding) = {oid, obj};
+      TupleRow row = out->AppendRow();
+      row.slot(op_.binding) = {oid, obj};
       if (op_.pred) {
-        env_.clock().cpu_s += env_.timing().cpu_pred_s;
-        OODB_ASSIGN_OR_RETURN(bool pass, EvalPredicate(op_.pred, *out, *env_.ctx));
-        if (!pass) continue;
+        cpu += env_.timing().cpu_pred_s;
+        OODB_ASSIGN_OR_RETURN(bool pass,
+                              EvalPredicate(op_.pred, row, *env_.ctx));
+        if (!pass) out->Truncate(out->size() - 1);
       }
-      return true;
     }
-    return false;
+    env_.clock().cpu_s += cpu;
+    // A fully filtered batch must not read as EOS: keep pulling.
+    if (out->empty() && pos_ < end_) return Next(out);
+    return out->size();
   }
 
   void Close() override {}
@@ -117,12 +163,14 @@ class IndexScanExec : public ExecNode {
  private:
   ExecEnv env_;
   PhysicalOp op_;
+  bool partitioned_;
   std::vector<Oid> matches_;
   size_t pos_ = 0;
+  size_t end_ = 0;
 };
 
 // ---------------------------------------------------------------------------
-// Filter
+// Filter: pulls child batches into `out` and compacts passing rows in place.
 // ---------------------------------------------------------------------------
 class FilterExec : public ExecNode {
  public:
@@ -133,14 +181,36 @@ class FilterExec : public ExecNode {
 
   Status Open() override { return child_->Open(); }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<size_t> Next(TupleBatch* out) override {
     OODB_RETURN_IF_ERROR(env_.Tick());
+    // Kernel path: batches big enough to amortize predicate analysis run
+    // the compiled attr-cmp-const steps; small batches (and predicates the
+    // analyzer can't specialize) stay on the interpreter.
+    bool kernel = out->capacity() >= FilterProgram::kMinKernelRows;
+    if (kernel && !analyzed_) {
+      program_ = FilterProgram::Analyze(op_.pred);
+      analyzed_ = true;
+    }
+    kernel = kernel && program_.specialized();
     while (true) {
-      OODB_ASSIGN_OR_RETURN(bool more, child_->Next(out));
-      if (!more) return false;
-      env_.clock().cpu_s += conjuncts_ * env_.timing().cpu_pred_s;
-      OODB_ASSIGN_OR_RETURN(bool pass, EvalPredicate(op_.pred, *out, *env_.ctx));
-      if (pass) return true;
+      OODB_ASSIGN_OR_RETURN(size_t n, child_->Next(out));
+      if (n == 0) return 0;
+      env_.clock().cpu_s +=
+          conjuncts_ * env_.timing().cpu_pred_s * static_cast<double>(n);
+      size_t kept = 0;
+      if (kernel) {
+        OODB_ASSIGN_OR_RETURN(kept, program_.EvalBatch(out, n, *env_.ctx));
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          OODB_ASSIGN_OR_RETURN(
+              bool pass, EvalPredicate(op_.pred, out->ref(i), *env_.ctx));
+          if (!pass) continue;
+          if (i != kept) out->CopyRow(kept, i);
+          ++kept;
+        }
+        out->Truncate(kept);
+      }
+      if (kept > 0) return kept;  // never a pre-EOS empty batch
     }
   }
 
@@ -151,6 +221,8 @@ class FilterExec : public ExecNode {
   PhysicalOp op_;
   std::unique_ptr<ExecNode> child_;
   double conjuncts_;
+  FilterProgram program_;
+  bool analyzed_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -161,7 +233,8 @@ class HashJoinExec : public ExecNode {
   HashJoinExec(ExecEnv env, const PhysicalOp& op, BindingSet left_scope,
                std::unique_ptr<ExecNode> left, std::unique_ptr<ExecNode> right)
       : env_(env), op_(op), left_scope_(left_scope), left_(std::move(left)),
-        right_(std::move(right)) {
+        right_(std::move(right)),
+        probe_batch_(env_.num_bindings(), env_.batch_size) {
     // Split each equality conjunct into (build-side expr, probe-side expr).
     for (const ScalarExprPtr& c : ScalarExpr::SplitConjuncts(op_.pred)) {
       const ScalarExprPtr& l = c->children()[0];
@@ -174,46 +247,183 @@ class HashJoinExec : public ExecNode {
         probe_keys_.push_back(l);
       }
     }
+    // Single-key joins get a direct probe extractor: the two shapes the
+    // simplified algebra produces are b.f (attr) and b (identity).
+    if (probe_keys_.size() == 1) {
+      const ScalarExpr& p = *probe_keys_[0];
+      if (p.kind() == ScalarExpr::Kind::kAttr) {
+        probe_kind_ = ProbeKind::kAttrField;
+        probe_binding_ = p.binding();
+        probe_field_ = p.field();
+      } else if (p.kind() == ScalarExpr::Kind::kSelf) {
+        probe_kind_ = ProbeKind::kSelfRef;
+        probe_binding_ = p.binding();
+      }
+    }
   }
 
   Status Open() override {
     OODB_RETURN_IF_ERROR(left_->Open());
+    BatchReader reader(left_.get(), env_.num_bindings(), env_.batch_size);
     Tuple t;
+    // Single-key build sides are buffered with their key Values first; if
+    // every key is numerically integral the table is rebuilt as an
+    // open-addressing int64 map (no per-probe string materialization).
+    // KeyString() gives ints and integral doubles the same encoding and
+    // null/string keys distinct prefixes, so the int table preserves the
+    // string table's match semantics exactly.
+    bool single = build_keys_.size() == 1;
+    bool all_int = single;
+    std::vector<Tuple> rows;
+    std::vector<Value> vals;
     while (true) {
-      OODB_ASSIGN_OR_RETURN(bool more, left_->Next(&t));
+      OODB_ASSIGN_OR_RETURN(bool more, reader.Next(&t));
       if (!more) break;
-      OODB_ASSIGN_OR_RETURN(std::string key, KeyOf(build_keys_, t));
-      env_.clock().cpu_s += env_.timing().cpu_hash_build_s;
-      OODB_RETURN_IF_ERROR(env_.ChargeBuffered());
-      table_[key].push_back(t);
+      if (single) {
+        OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*build_keys_[0], t, *env_.ctx));
+        env_.clock().cpu_s += env_.timing().cpu_hash_build_s;
+        OODB_RETURN_IF_ERROR(env_.ChargeBuffered());
+        int64_t unused;
+        all_int = all_int && AsIntKey(v, &unused);
+        vals.push_back(std::move(v));
+        rows.push_back(t);
+      } else {
+        OODB_ASSIGN_OR_RETURN(std::string key, KeyOf(build_keys_, t));
+        env_.clock().cpu_s += env_.timing().cpu_hash_build_s;
+        OODB_RETURN_IF_ERROR(env_.ChargeBuffered());
+        table_[key].push_back(t);
+      }
     }
     left_->Close();
+    if (single) {
+      if (all_int) {
+        size_t cap = 16;
+        while (cap * 7 < rows.size() * 10 + 10) cap <<= 1;  // load <= ~0.7
+        int_keys_.assign(cap, 0);
+        int_slot_.assign(cap, -1);
+        int_mask_ = cap - 1;
+        for (size_t r = 0; r < rows.size(); ++r) {
+          int64_t k = 0;
+          AsIntKey(vals[r], &k);
+          size_t pos = IntHash(k) & int_mask_;
+          while (int_slot_[pos] != -1 && int_keys_[pos] != k) {
+            pos = (pos + 1) & int_mask_;
+          }
+          if (int_slot_[pos] == -1) {
+            int_slot_[pos] = static_cast<int32_t>(buckets_.size());
+            int_keys_[pos] = k;
+            buckets_.emplace_back();
+          }
+          buckets_[int_slot_[pos]].push_back(std::move(rows[r]));
+        }
+        int_mode_ = true;
+      } else {
+        for (size_t r = 0; r < rows.size(); ++r) {
+          table_[vals[r].KeyString() + "|"].push_back(std::move(rows[r]));
+        }
+      }
+    }
     return right_->Open();
   }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<size_t> Next(TupleBatch* out) override {
     OODB_RETURN_IF_ERROR(env_.Tick());
-    while (true) {
-      if (bucket_ != nullptr && bucket_pos_ < bucket_->size()) {
-        *out = (*bucket_)[bucket_pos_++];
-        out->MergeFrom(probe_tuple_);
-        return true;
+    out->Clear();
+    double cpu = 0.0;
+    const size_t out_width = static_cast<size_t>(out->width());
+    while (!out->full()) {
+      // Drain pending matches of the current probe row first — also the
+      // resume point when the previous call filled up mid-bucket.
+      if (bucket_ != nullptr) {
+        const size_t bn = bucket_->size();
+        while (bucket_pos_ < bn && !out->full()) {
+          const Tuple& bt = (*bucket_)[bucket_pos_++];
+          // Build tuples normally span every binding, so the CopyFrom
+          // overwrites the whole row and the AppendRow clear is redundant.
+          TupleRow row = bt.slots.size() >= out_width ? out->AppendRowRaw()
+                                                      : out->AppendRow();
+          row.CopyFrom(bt);
+          row.MergeFrom(probe_batch_.ref(probe_pos_));
+        }
+        if (bucket_pos_ < bn) break;  // out is full, bucket not yet done
+        bucket_ = nullptr;
+        ++probe_pos_;
       }
-      OODB_ASSIGN_OR_RETURN(bool more, right_->Next(&probe_tuple_));
-      if (!more) return false;
-      env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
-      OODB_ASSIGN_OR_RETURN(std::string key, KeyOf(probe_keys_, probe_tuple_));
-      auto it = table_.find(key);
-      bucket_ = it == table_.end() ? nullptr : &it->second;
-      bucket_pos_ = 0;
+      if (probe_pos_ >= probe_batch_.size()) {
+        if (probe_eos_) break;
+        OODB_ASSIGN_OR_RETURN(size_t n, right_->Next(&probe_batch_));
+        probe_pos_ = 0;
+        if (n == 0) {
+          probe_eos_ = true;
+          break;
+        }
+      }
+      // March probe rows until one matches; a miss costs only the probe.
+      const size_t pn = probe_batch_.size();
+      while (probe_pos_ < pn) {
+        cpu += env_.timing().cpu_hash_probe_s;
+        if (int_mode_) {
+          int64_t k = 0;
+          bool have_key = false;
+          TupleRef pr = probe_batch_.ref(probe_pos_);
+          switch (probe_kind_) {
+            case ProbeKind::kAttrField: {
+              // Same pointer-chase pattern as the fused scan filter: the
+              // key field lives in the probe object's own heap block, so
+              // request a row 8 ahead before reading this one.
+              if (probe_pos_ + 8 < pn) {
+                const Slot& pf =
+                    probe_batch_.ref(probe_pos_ + 8).slot(probe_binding_);
+                if (pf.obj != nullptr) {
+                  __builtin_prefetch(&pf.obj->value(probe_field_));
+                }
+              }
+              const Slot& s = pr.slot(probe_binding_);
+              if (!s.loaded()) {
+                env_.clock().cpu_s += cpu;
+                return Status::Internal(
+                    "attribute read on component not present in memory: " +
+                    env_.ctx->bindings.def(probe_binding_).name);
+              }
+              have_key = AsIntKey(s.obj->value(probe_field_), &k);
+              break;
+            }
+            case ProbeKind::kSelfRef:
+              k = pr.slot(probe_binding_).ref;
+              have_key = true;
+              break;
+            case ProbeKind::kGeneric: {
+              OODB_ASSIGN_OR_RETURN(Value v,
+                                    EvalExpr(*probe_keys_[0], pr, *env_.ctx));
+              have_key = AsIntKey(v, &k);
+              break;
+            }
+          }
+          bucket_ = have_key ? IntProbe(k) : nullptr;
+        } else {
+          OODB_ASSIGN_OR_RETURN(
+              std::string key, KeyOf(probe_keys_, probe_batch_.ref(probe_pos_)));
+          auto it = table_.find(key);
+          bucket_ = it == table_.end() ? nullptr : &it->second;
+        }
+        if (bucket_ != nullptr) {
+          bucket_pos_ = 0;
+          break;
+        }
+        ++probe_pos_;
+      }
     }
+    env_.clock().cpu_s += cpu;
+    return out->size();
   }
 
   void Close() override { right_->Close(); }
 
  private:
+  enum class ProbeKind { kGeneric, kAttrField, kSelfRef };
+
   Result<std::string> KeyOf(const std::vector<ScalarExprPtr>& exprs,
-                            const Tuple& t) {
+                            TupleRef t) {
     std::string key;
     for (const ScalarExprPtr& e : exprs) {
       OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, t, *env_.ctx));
@@ -223,13 +433,54 @@ class HashJoinExec : public ExecNode {
     return key;
   }
 
+  /// Numeric join-key normalization: true for ints and integral doubles
+  /// (the same values KeyString() encodes as "i<n>").
+  static bool AsIntKey(const Value& v, int64_t* out) {
+    if (v.kind == Value::Kind::kInt) {
+      *out = v.i;
+      return true;
+    }
+    if (v.kind == Value::Kind::kDouble &&
+        v.d == static_cast<double>(static_cast<int64_t>(v.d))) {
+      *out = static_cast<int64_t>(v.d);
+      return true;
+    }
+    return false;
+  }
+
+  static size_t IntHash(int64_t k) {
+    uint64_t h = static_cast<uint64_t>(k) * 0x9e3779b97f4a7c15ull;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+
+  const std::vector<Tuple>* IntProbe(int64_t k) const {
+    size_t pos = IntHash(k) & int_mask_;
+    while (int_slot_[pos] != -1) {
+      if (int_keys_[pos] == k) return &buckets_[int_slot_[pos]];
+      pos = (pos + 1) & int_mask_;
+    }
+    return nullptr;
+  }
+
   ExecEnv env_;
   PhysicalOp op_;
   BindingSet left_scope_;
   std::unique_ptr<ExecNode> left_, right_;
   std::vector<ScalarExprPtr> build_keys_, probe_keys_;
   std::unordered_map<std::string, std::vector<Tuple>> table_;
-  Tuple probe_tuple_;
+  // Int64 fast path (single all-integer build key): open-addressing table
+  // mapping key -> index into buckets_.
+  bool int_mode_ = false;
+  std::vector<int64_t> int_keys_;
+  std::vector<int32_t> int_slot_;
+  size_t int_mask_ = 0;
+  std::vector<std::vector<Tuple>> buckets_;
+  ProbeKind probe_kind_ = ProbeKind::kGeneric;
+  BindingId probe_binding_ = kInvalidBinding;
+  FieldId probe_field_ = kInvalidField;
+  TupleBatch probe_batch_;
+  size_t probe_pos_ = 0;
+  bool probe_eos_ = false;
   const std::vector<Tuple>* bucket_ = nullptr;
   size_t bucket_pos_ = 0;
 };
@@ -250,22 +501,24 @@ class AssemblyExec : public ExecNode {
 
   Status Open() override {
     OODB_RETURN_IF_ERROR(child_->Open());
+    reader_.emplace(child_.get(), env_.num_bindings(), env_.batch_size);
     if (op_.warm_start) OODB_RETURN_IF_ERROR(WarmStart());
     return Status::OK();
   }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<size_t> Next(TupleBatch* out) override {
     OODB_RETURN_IF_ERROR(env_.Tick());
-    while (true) {
-      if (pos_ >= batch_.size()) {
-        OODB_RETURN_IF_ERROR(FillBatch());
-        if (batch_.empty()) return false;
+    out->Clear();
+    while (!out->full()) {
+      if (pos_ >= window_rows_.size()) {
+        OODB_RETURN_IF_ERROR(FillWindow());
+        if (window_rows_.empty()) break;
       }
       size_t i = pos_++;
       if (dropped_[i]) continue;  // dangling reference: no match
-      *out = std::move(batch_[i]);
-      return true;
+      out->AppendRow().CopyFrom(window_rows_[i]);
     }
+    return out->size();
   }
 
   void Close() override { child_->Close(); }
@@ -288,28 +541,28 @@ class AssemblyExec : public ExecNode {
     return Status::OK();
   }
 
-  Status FillBatch() {
-    batch_.clear();
+  Status FillWindow() {
+    window_rows_.clear();
     pos_ = 0;
     Tuple t;
-    while (static_cast<int>(batch_.size()) < window_) {
-      OODB_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
+    while (static_cast<int>(window_rows_.size()) < window_) {
+      OODB_ASSIGN_OR_RETURN(bool more, reader_->Next(&t));
       if (!more) break;
-      batch_.push_back(std::move(t));
+      window_rows_.push_back(std::move(t));
     }
-    dropped_.assign(batch_.size(), false);
-    if (batch_.empty()) return Status::OK();
+    dropped_.assign(window_rows_.size(), false);
+    if (window_rows_.empty()) return Status::OK();
 
     for (const MatStep& step : op_.mats) {
-      // Gather the references of this step across the batch.
+      // Gather the references of this step across the window.
       std::vector<std::pair<PageId, std::pair<size_t, Oid>>> pending;
-      for (size_t i = 0; i < batch_.size(); ++i) {
+      for (size_t i = 0; i < window_rows_.size(); ++i) {
         if (dropped_[i]) continue;
         Oid target;
         if (step.field == kInvalidField) {
-          target = batch_[i].slot(step.source).ref;
+          target = window_rows_[i].slot(step.source).ref;
         } else {
-          const Slot& src = batch_[i].slot(step.source);
+          const Slot& src = window_rows_[i].slot(step.source);
           if (!src.loaded()) {
             return Status::Internal(
                 "assembly source not present in memory: " +
@@ -336,7 +589,7 @@ class AssemblyExec : public ExecNode {
         } else {
           OODB_ASSIGN_OR_RETURN(obj, env_.store->Read(target));
         }
-        batch_[i].slot(step.target) = {target, obj};
+        window_rows_[i].slot(step.target) = {target, obj};
       }
     }
     return Status::OK();
@@ -345,15 +598,18 @@ class AssemblyExec : public ExecNode {
   ExecEnv env_;
   PhysicalOp op_;
   std::unique_ptr<ExecNode> child_;
+  std::optional<BatchReader> reader_;
   int window_;
-  std::vector<Tuple> batch_;
+  std::vector<Tuple> window_rows_;
   std::vector<bool> dropped_;
   size_t pos_ = 0;
   std::unordered_map<Oid, const ObjectData*> pinned_;
 };
 
 // ---------------------------------------------------------------------------
-// Pointer Join: per-tuple dereference, no batching.
+// Pointer Join: dereferences in place over the child's batch, compacting
+// away dangling references (no-match, matching Mat == Join semantics and
+// the reference evaluator).
 // ---------------------------------------------------------------------------
 class PointerJoinExec : public ExecNode {
  public:
@@ -363,29 +619,35 @@ class PointerJoinExec : public ExecNode {
 
   Status Open() override { return child_->Open(); }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<size_t> Next(TupleBatch* out) override {
     OODB_RETURN_IF_ERROR(env_.Tick());
+    const MatStep& step = op_.mats[0];
     while (true) {
-      OODB_ASSIGN_OR_RETURN(bool more, child_->Next(out));
-      if (!more) return false;
-      const MatStep& step = op_.mats[0];
-      Oid target;
-      if (step.field == kInvalidField) {
-        target = out->slot(step.source).ref;
-      } else {
-        const Slot& src = out->slot(step.source);
-        if (!src.loaded()) {
-          return Status::Internal("pointer join source not in memory");
+      OODB_ASSIGN_OR_RETURN(size_t n, child_->Next(out));
+      if (n == 0) return 0;
+      env_.clock().cpu_s +=
+          static_cast<double>(n) * env_.timing().cpu_deref_s;
+      size_t kept = 0;
+      for (size_t i = 0; i < n; ++i) {
+        TupleRow row = out->row(i);
+        Oid target;
+        if (step.field == kInvalidField) {
+          target = row.slot(step.source).ref;
+        } else {
+          const Slot& src = row.slot(step.source);
+          if (!src.loaded()) {
+            return Status::Internal("pointer join source not in memory");
+          }
+          target = src.obj->ref(step.field);
         }
-        target = src.obj->ref(step.field);
+        if (target == kInvalidOid || !env_.store->Exists(target)) continue;
+        OODB_ASSIGN_OR_RETURN(const ObjectData* obj, env_.store->Read(target));
+        if (i != kept) out->CopyRow(kept, i);
+        out->row(kept).slot(step.target) = {target, obj};
+        ++kept;
       }
-      env_.clock().cpu_s += env_.timing().cpu_deref_s;
-      // Dangling references (invalid OID or not in the store) are no-match,
-      // matching Mat == Join semantics and the reference evaluator.
-      if (target == kInvalidOid || !env_.store->Exists(target)) continue;
-      OODB_ASSIGN_OR_RETURN(const ObjectData* obj, env_.store->Read(target));
-      out->slot(step.target) = {target, obj};
-      return true;
+      out->Truncate(kept);
+      if (kept > 0) return kept;
     }
   }
 
@@ -405,38 +667,58 @@ class NestedLoopsExec : public ExecNode {
   NestedLoopsExec(ExecEnv env, const PhysicalOp& op,
                   std::unique_ptr<ExecNode> left,
                   std::unique_ptr<ExecNode> right)
-      : env_(env), op_(op), left_(std::move(left)), right_(std::move(right)) {}
+      : env_(env), op_(op), left_(std::move(left)), right_(std::move(right)),
+        right_batch_(env_.num_bindings(), env_.batch_size) {}
 
   Status Open() override {
     OODB_RETURN_IF_ERROR(left_->Open());
+    BatchReader reader(left_.get(), env_.num_bindings(), env_.batch_size);
     Tuple t;
     while (true) {
-      OODB_ASSIGN_OR_RETURN(bool more, left_->Next(&t));
+      OODB_ASSIGN_OR_RETURN(bool more, reader.Next(&t));
       if (!more) break;
       env_.clock().cpu_s += env_.timing().cpu_scan_tuple_s;
       OODB_RETURN_IF_ERROR(env_.ChargeBuffered());
       buffered_.push_back(std::move(t));
     }
     left_->Close();
-    pos_ = buffered_.size();  // no right tuple yet
+    left_pos_ = buffered_.size();  // no right tuple yet
     return right_->Open();
   }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<size_t> Next(TupleBatch* out) override {
     OODB_RETURN_IF_ERROR(env_.Tick());
-    while (true) {
-      while (pos_ < buffered_.size()) {
-        *out = buffered_[pos_++];
-        out->MergeFrom(right_tuple_);
-        env_.clock().cpu_s += env_.timing().cpu_pred_s;
-        OODB_ASSIGN_OR_RETURN(bool pass,
-                              EvalPredicate(op_.pred, *out, *env_.ctx));
-        if (pass) return true;
+    out->Clear();
+    double cpu = 0.0;
+    while (!out->full()) {
+      if (!have_right_ || left_pos_ >= buffered_.size()) {
+        if (have_right_) ++right_pos_;
+        if (right_pos_ >= right_batch_.size()) {
+          if (right_eos_) break;
+          have_right_ = false;
+          OODB_ASSIGN_OR_RETURN(size_t n, right_->Next(&right_batch_));
+          right_pos_ = 0;
+          if (n == 0) {
+            right_eos_ = true;
+            break;
+          }
+        }
+        have_right_ = true;
+        left_pos_ = 0;
+        continue;
       }
-      OODB_ASSIGN_OR_RETURN(bool more, right_->Next(&right_tuple_));
-      if (!more) return false;
-      pos_ = 0;
+      // Speculative append: materialize the candidate, keep it if it passes.
+      TupleRow row = out->AppendRow();
+      row.CopyFrom(buffered_[left_pos_++]);
+      row.MergeFrom(right_batch_.ref(right_pos_));
+      cpu += env_.timing().cpu_pred_s;
+      OODB_ASSIGN_OR_RETURN(bool pass, EvalPredicate(op_.pred, row, *env_.ctx));
+      if (!pass) out->Truncate(out->size() - 1);
     }
+    env_.clock().cpu_s += cpu;
+    // All candidates failed but inputs remain: keep pulling.
+    if (out->empty() && !right_eos_) return Next(out);
+    return out->size();
   }
 
   void Close() override { right_->Close(); }
@@ -446,8 +728,11 @@ class NestedLoopsExec : public ExecNode {
   PhysicalOp op_;
   std::unique_ptr<ExecNode> left_, right_;
   std::vector<Tuple> buffered_;
-  size_t pos_ = 0;
-  Tuple right_tuple_;
+  size_t left_pos_ = 0;
+  TupleBatch right_batch_;
+  size_t right_pos_ = 0;
+  bool have_right_ = false;
+  bool right_eos_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -456,22 +741,37 @@ class NestedLoopsExec : public ExecNode {
 class UnnestExec : public ExecNode {
  public:
   UnnestExec(ExecEnv env, const PhysicalOp& op, std::unique_ptr<ExecNode> child)
-      : env_(env), op_(op), child_(std::move(child)) {}
+      : env_(env), op_(op), child_(std::move(child)),
+        in_batch_(env_.num_bindings(), env_.batch_size) {}
 
   Status Open() override { return child_->Open(); }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<size_t> Next(TupleBatch* out) override {
     OODB_RETURN_IF_ERROR(env_.Tick());
-    while (true) {
+    out->Clear();
+    double cpu = 0.0;
+    while (!out->full()) {
       if (members_ != nullptr && member_pos_ < members_->size()) {
-        *out = current_;
-        out->slot(op_.target) = {(*members_)[member_pos_++], nullptr};
-        env_.clock().cpu_s += env_.timing().cpu_unnest_s;
-        return true;
+        TupleRow row = out->AppendRow();
+        row.CopyFrom(in_batch_.ref(in_pos_));
+        row.slot(op_.target) = {(*members_)[member_pos_++], nullptr};
+        cpu += env_.timing().cpu_unnest_s;
+        continue;
       }
-      OODB_ASSIGN_OR_RETURN(bool more, child_->Next(&current_));
-      if (!more) return false;
-      const Slot& src = current_.slot(op_.source);
+      members_ = nullptr;
+      if (have_in_) ++in_pos_;
+      if (in_pos_ >= in_batch_.size()) {
+        if (in_eos_) break;
+        have_in_ = false;
+        OODB_ASSIGN_OR_RETURN(size_t n, child_->Next(&in_batch_));
+        in_pos_ = 0;
+        if (n == 0) {
+          in_eos_ = true;
+          break;
+        }
+      }
+      have_in_ = true;
+      const Slot& src = in_batch_.ref(in_pos_).slot(op_.source);
       if (!src.loaded()) {
         return Status::Internal("unnest source not present in memory");
       }
@@ -483,6 +783,10 @@ class UnnestExec : public ExecNode {
       members_ = &src.obj->ref_sets[slot];
       member_pos_ = 0;
     }
+    env_.clock().cpu_s += cpu;
+    // Every input row had an empty set but inputs remain: keep pulling.
+    if (out->empty() && !in_eos_) return Next(out);
+    return out->size();
   }
 
   void Close() override { child_->Close(); }
@@ -491,7 +795,10 @@ class UnnestExec : public ExecNode {
   ExecEnv env_;
   PhysicalOp op_;
   std::unique_ptr<ExecNode> child_;
-  Tuple current_;
+  TupleBatch in_batch_;
+  size_t in_pos_ = 0;
+  bool have_in_ = false;
+  bool in_eos_ = false;
   const std::vector<Oid>* members_ = nullptr;
   size_t member_pos_ = 0;
 };
@@ -503,24 +810,58 @@ class ProjectExec : public ExecNode {
  public:
   ProjectExec(ExecEnv env, const PhysicalOp& op,
               std::unique_ptr<ExecNode> child)
-      : env_(env), op_(op), child_(std::move(child)) {}
+      : env_(env), op_(op), child_(std::move(child)) {
+    // Batch kernel: when every emit expression is a plain attribute or
+    // identity, validation reduces to "is the attribute's component
+    // loaded" — no per-row expression interpretation or Value copies.
+    specialized_ = true;
+    for (const ScalarExprPtr& e : op_.emit) {
+      if (e->kind() == ScalarExpr::Kind::kAttr) {
+        check_loaded_.push_back(e->binding());
+      } else if (e->kind() != ScalarExpr::Kind::kSelf) {
+        specialized_ = false;
+        check_loaded_.clear();
+        break;
+      }
+    }
+    std::sort(check_loaded_.begin(), check_loaded_.end());
+    check_loaded_.erase(
+        std::unique(check_loaded_.begin(), check_loaded_.end()),
+        check_loaded_.end());
+  }
 
   Status Open() override { return child_->Open(); }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<size_t> Next(TupleBatch* out) override {
     OODB_RETURN_IF_ERROR(env_.Tick());
-    OODB_ASSIGN_OR_RETURN(bool more, child_->Next(out));
-    if (!more) return false;
-    env_.clock().cpu_s += env_.timing().cpu_scan_tuple_s;
+    OODB_ASSIGN_OR_RETURN(size_t n, child_->Next(out));
+    if (n == 0) return 0;
+    env_.clock().cpu_s +=
+        static_cast<double>(n) * env_.timing().cpu_scan_tuple_s;
     // Validate that every emitted attribute's component is loaded — the
     // executor evaluates the emit list from the final tuples (a Sort
     // enforcer may sit above), but the property violation should surface
     // here, at the operator that required the loads.
-    for (const ScalarExprPtr& e : op_.emit) {
-      OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, *out, *env_.ctx));
-      (void)v;
+    if (specialized_ && out->capacity() >= FilterProgram::kMinKernelRows) {
+      for (size_t i = 0; i < n; ++i) {
+        TupleRef r = out->ref(i);
+        for (BindingId b : check_loaded_) {
+          if (!r.slot(b).loaded()) {
+            return Status::Internal(
+                "attribute read on component not present in memory: " +
+                env_.ctx->bindings.def(b).name);
+          }
+        }
+      }
+      return n;
     }
-    return true;
+    for (size_t i = 0; i < n; ++i) {
+      for (const ScalarExprPtr& e : op_.emit) {
+        OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, out->ref(i), *env_.ctx));
+        (void)v;
+      }
+    }
+    return n;
   }
 
   void Close() override { child_->Close(); }
@@ -529,6 +870,8 @@ class ProjectExec : public ExecNode {
   ExecEnv env_;
   PhysicalOp op_;
   std::unique_ptr<ExecNode> child_;
+  bool specialized_ = false;
+  std::vector<BindingId> check_loaded_;
 };
 
 // ---------------------------------------------------------------------------
@@ -544,10 +887,13 @@ class HashSetOpExec : public ExecNode {
   Status Open() override {
     OODB_RETURN_IF_ERROR(left_->Open());
     OODB_RETURN_IF_ERROR(right_->Open());
+    BatchReader left_reader(left_.get(), env_.num_bindings(), env_.batch_size);
+    BatchReader right_reader(right_.get(), env_.num_bindings(),
+                             env_.batch_size);
     Tuple t;
     // Materialize the left side keyed by identity.
     while (true) {
-      OODB_ASSIGN_OR_RETURN(bool more, left_->Next(&t));
+      OODB_ASSIGN_OR_RETURN(bool more, left_reader.Next(&t));
       if (!more) break;
       env_.clock().cpu_s += env_.timing().cpu_hash_build_s;
       OODB_RETURN_IF_ERROR(env_.ChargeBuffered());
@@ -563,7 +909,7 @@ class HashSetOpExec : public ExecNode {
         }
         std::map<std::string, Tuple> seen;
         while (true) {
-          OODB_ASSIGN_OR_RETURN(bool more, right_->Next(&t));
+          OODB_ASSIGN_OR_RETURN(bool more, right_reader.Next(&t));
           if (!more) break;
           env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
           std::string k = KeyOf(t);
@@ -577,7 +923,7 @@ class HashSetOpExec : public ExecNode {
       case PhysOpKind::kHashIntersect: {
         std::map<std::string, Tuple> seen;
         while (true) {
-          OODB_ASSIGN_OR_RETURN(bool more, right_->Next(&t));
+          OODB_ASSIGN_OR_RETURN(bool more, right_reader.Next(&t));
           if (!more) break;
           env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
           std::string k = KeyOf(t);
@@ -590,7 +936,7 @@ class HashSetOpExec : public ExecNode {
       }
       default: {  // difference
         while (true) {
-          OODB_ASSIGN_OR_RETURN(bool more, right_->Next(&t));
+          OODB_ASSIGN_OR_RETURN(bool more, right_reader.Next(&t));
           if (!more) break;
           env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
           left_table_.erase(KeyOf(t));
@@ -606,11 +952,13 @@ class HashSetOpExec : public ExecNode {
     return Status::OK();
   }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<size_t> Next(TupleBatch* out) override {
     OODB_RETURN_IF_ERROR(env_.Tick());
-    if (pos_ >= out_.size()) return false;
-    *out = out_[pos_++];
-    return true;
+    out->Clear();
+    while (!out->full() && pos_ < out_.size()) {
+      out->AppendRow().CopyFrom(out_[pos_++]);
+    }
+    return out->size();
   }
 
   void Close() override {}
@@ -644,10 +992,11 @@ class SortExec : public ExecNode {
 
   Status Open() override {
     OODB_RETURN_IF_ERROR(child_->Open());
+    BatchReader reader(child_.get(), env_.num_bindings(), env_.batch_size);
     Tuple t;
     std::vector<std::pair<Value, Tuple>> keyed;
     while (true) {
-      OODB_ASSIGN_OR_RETURN(bool more, child_->Next(&t));
+      OODB_ASSIGN_OR_RETURN(bool more, reader.Next(&t));
       if (!more) break;
       OODB_ASSIGN_OR_RETURN(
           Value v, EvalExpr(*ScalarExpr::Attr(op_.sort.binding, op_.sort.field),
@@ -671,11 +1020,13 @@ class SortExec : public ExecNode {
     return Status::OK();
   }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<size_t> Next(TupleBatch* out) override {
     OODB_RETURN_IF_ERROR(env_.Tick());
-    if (pos_ >= out_.size()) return false;
-    *out = std::move(out_[pos_++]);
-    return true;
+    out->Clear();
+    while (!out->full() && pos_ < out_.size()) {
+      out->AppendRow().CopyFrom(out_[pos_++]);
+    }
+    return out->size();
   }
 
   void Close() override {}
@@ -689,7 +1040,9 @@ class SortExec : public ExecNode {
 };
 
 // ---------------------------------------------------------------------------
-// Merge Join (extension): inputs sorted on the join attributes.
+// Merge Join (extension): inputs sorted on the join attributes. Streams
+// both children through tuple cursors; run-replay state survives across
+// output batches.
 // ---------------------------------------------------------------------------
 class MergeJoinExec : public ExecNode {
  public:
@@ -711,20 +1064,24 @@ class MergeJoinExec : public ExecNode {
   Status Open() override {
     OODB_RETURN_IF_ERROR(left_->Open());
     OODB_RETURN_IF_ERROR(right_->Open());
-    OODB_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_tuple_));
-    OODB_ASSIGN_OR_RETURN(right_valid_, right_->Next(&right_tuple_));
+    left_reader_.emplace(left_.get(), env_.num_bindings(), env_.batch_size);
+    right_reader_.emplace(right_.get(), env_.num_bindings(), env_.batch_size);
+    OODB_ASSIGN_OR_RETURN(left_valid_, left_reader_->Next(&left_tuple_));
+    OODB_ASSIGN_OR_RETURN(right_valid_, right_reader_->Next(&right_tuple_));
     return Status::OK();
   }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<size_t> Next(TupleBatch* out) override {
     OODB_RETURN_IF_ERROR(env_.Tick());
-    while (true) {
+    out->Clear();
+    while (!out->full()) {
       if (run_pos_ < run_.size()) {
-        *out = run_[run_pos_++];
-        out->MergeFrom(left_tuple_for_run_);
+        TupleRow row = out->AppendRow();
+        row.CopyFrom(run_[run_pos_++]);
+        row.MergeFrom(left_tuple_for_run_);
         if (run_pos_ >= run_.size()) {
           // Advance left; if its key equals the run key, replay the run.
-          OODB_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_tuple_));
+          OODB_ASSIGN_OR_RETURN(left_valid_, left_reader_->Next(&left_tuple_));
           if (left_valid_) {
             OODB_ASSIGN_OR_RETURN(Value lk,
                                   EvalExpr(*left_key_, left_tuple_, *env_.ctx));
@@ -734,17 +1091,19 @@ class MergeJoinExec : public ExecNode {
             }
           }
         }
-        return true;
+        continue;
       }
-      if (!left_valid_ || !right_valid_) return false;
-      OODB_ASSIGN_OR_RETURN(Value lk, EvalExpr(*left_key_, left_tuple_, *env_.ctx));
-      OODB_ASSIGN_OR_RETURN(Value rk, EvalExpr(*right_key_, right_tuple_, *env_.ctx));
+      if (!left_valid_ || !right_valid_) break;
+      OODB_ASSIGN_OR_RETURN(Value lk,
+                            EvalExpr(*left_key_, left_tuple_, *env_.ctx));
+      OODB_ASSIGN_OR_RETURN(Value rk,
+                            EvalExpr(*right_key_, right_tuple_, *env_.ctx));
       env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
       int cmp = lk.Compare(rk);
       if (cmp < 0) {
-        OODB_ASSIGN_OR_RETURN(left_valid_, left_->Next(&left_tuple_));
+        OODB_ASSIGN_OR_RETURN(left_valid_, left_reader_->Next(&left_tuple_));
       } else if (cmp > 0) {
-        OODB_ASSIGN_OR_RETURN(right_valid_, right_->Next(&right_tuple_));
+        OODB_ASSIGN_OR_RETURN(right_valid_, right_reader_->Next(&right_tuple_));
       } else {
         // Collect the right-side run with this key.
         run_.clear();
@@ -752,14 +1111,16 @@ class MergeJoinExec : public ExecNode {
         run_key_ = rk;
         left_tuple_for_run_ = left_tuple_;
         while (right_valid_) {
-          OODB_ASSIGN_OR_RETURN(Value k,
-                                EvalExpr(*right_key_, right_tuple_, *env_.ctx));
+          OODB_ASSIGN_OR_RETURN(
+              Value k, EvalExpr(*right_key_, right_tuple_, *env_.ctx));
           if (!(k == run_key_)) break;
           run_.push_back(right_tuple_);
-          OODB_ASSIGN_OR_RETURN(right_valid_, right_->Next(&right_tuple_));
+          OODB_ASSIGN_OR_RETURN(right_valid_,
+                                right_reader_->Next(&right_tuple_));
         }
       }
     }
+    return out->size();
   }
 
   void Close() override {
@@ -771,6 +1132,7 @@ class MergeJoinExec : public ExecNode {
   ExecEnv env_;
   PhysicalOp op_;
   std::unique_ptr<ExecNode> left_, right_;
+  std::optional<BatchReader> left_reader_, right_reader_;
   ScalarExprPtr left_key_, right_key_;
   Tuple left_tuple_, right_tuple_, left_tuple_for_run_;
   bool left_valid_ = false, right_valid_ = false;
@@ -781,22 +1143,56 @@ class MergeJoinExec : public ExecNode {
 
 }  // namespace
 
-Result<std::unique_ptr<ExecNode>> BuildExecTree(const PlanNode& plan,
-                                                ObjectStore* store,
-                                                QueryContext* ctx,
-                                                QueryGovernor* governor) {
-  ExecEnv env{store, ctx, governor};
+Result<std::unique_ptr<ExecNode>> BuildExecNode(const ExecEnv& env,
+                                                const PlanNode& plan) {
+  // The optimizer cascades one Filter node per pushed-down conjunct; running
+  // them as separate operators costs a full batch pass (and a virtual Next
+  // per batch) per conjunct. Execution collapses a chain of consecutive
+  // Filters into one combined conjunction, then either fuses it into the
+  // file scan below (when the batch kernel applies and every conjunct reads
+  // the scan's binding) or runs it as a single FilterExec pass. The chain's
+  // input is built from the first non-Filter descendant, so a
+  // partition_node match on the scan below still fires.
+  if (plan.op.kind == PhysOpKind::kFilter && plan.op.pred != nullptr) {
+    std::vector<ScalarExprPtr> conjuncts;
+    const PlanNode* node = &plan;
+    while (node->op.kind == PhysOpKind::kFilter && node->op.pred != nullptr) {
+      std::vector<ScalarExprPtr> cs = ScalarExpr::SplitConjuncts(node->op.pred);
+      conjuncts.insert(conjuncts.end(), cs.begin(), cs.end());
+      node = node->children[0].get();
+    }
+    double ncon = static_cast<double>(conjuncts.size());
+    ScalarExprPtr combined = ScalarExpr::CombineConjuncts(std::move(conjuncts));
+    if (node->op.kind == PhysOpKind::kFileScan &&
+        env.batch_size >= FilterProgram::kMinKernelRows) {
+      FilterProgram prog = FilterProgram::Analyze(combined);
+      if (prog.specialized() && prog.SingleBinding(node->op.binding)) {
+        bool part = env.partition_node == node && env.partition_count > 1;
+        return std::unique_ptr<ExecNode>(new FileScanExec(
+            env, node->op, part, std::move(prog), combined, ncon));
+      }
+    }
+    OODB_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> input,
+                          BuildExecNode(env, *node));
+    PhysicalOp merged = plan.op;
+    merged.pred = combined;
+    return std::unique_ptr<ExecNode>(
+        new FilterExec(env, merged, std::move(input)));
+  }
   std::vector<std::unique_ptr<ExecNode>> children;
   for (const PlanNodePtr& c : plan.children) {
     OODB_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> node,
-                          BuildExecTree(*c, store, ctx, governor));
+                          BuildExecNode(env, *c));
     children.push_back(std::move(node));
   }
+  bool partitioned = env.partition_node == &plan && env.partition_count > 1;
   switch (plan.op.kind) {
     case PhysOpKind::kFileScan:
-      return std::unique_ptr<ExecNode>(new FileScanExec(env, plan.op));
+      return std::unique_ptr<ExecNode>(
+          new FileScanExec(env, plan.op, partitioned));
     case PhysOpKind::kIndexScan:
-      return std::unique_ptr<ExecNode>(new IndexScanExec(env, plan.op));
+      return std::unique_ptr<ExecNode>(
+          new IndexScanExec(env, plan.op, partitioned));
     case PhysOpKind::kFilter:
       return std::unique_ptr<ExecNode>(
           new FilterExec(env, plan.op, std::move(children[0])));
@@ -832,8 +1228,21 @@ Result<std::unique_ptr<ExecNode>> BuildExecTree(const PlanNode& plan,
     case PhysOpKind::kNestedLoops:
       return std::unique_ptr<ExecNode>(new NestedLoopsExec(
           env, plan.op, std::move(children[0]), std::move(children[1])));
+    case PhysOpKind::kExchange:
+      return MakeExchangeExec(env, plan);
   }
   return Status::Unimplemented("no executor for operator");
+}
+
+Result<std::unique_ptr<ExecNode>> BuildExecTree(const PlanNode& plan,
+                                                ObjectStore* store,
+                                                QueryContext* ctx,
+                                                QueryGovernor* governor) {
+  ExecEnv env;
+  env.store = store;
+  env.ctx = ctx;
+  env.governor = governor;
+  return BuildExecNode(env, plan);
 }
 
 }  // namespace oodb

@@ -3,6 +3,14 @@
 // "query execution concepts and algorithms from the Volcano query execution
 // module" (the paper's future-work item 5), closing the loop so optimized
 // plans can actually run.
+//
+// Operators are batch-at-a-time: Next() fills a caller-owned TupleBatch and
+// returns the number of rows produced. A return of 0 means end of stream
+// and is sticky; short non-empty batches are legal mid-stream (a selective
+// filter still loops internally so it never returns an empty batch before
+// EOS). Batching amortizes virtual dispatch, governor checkpoints, and
+// simulated-clock updates over exec_batch_size rows, and is the unit of
+// transfer through the Exchange operator's cross-thread queues.
 #ifndef OODB_EXEC_OPERATORS_H_
 #define OODB_EXEC_OPERATORS_H_
 
@@ -20,10 +28,101 @@ class ExecNode {
  public:
   virtual ~ExecNode() = default;
   virtual Status Open() = 0;
-  /// Produces the next tuple; returns false at end of stream.
-  virtual Result<bool> Next(Tuple* out) = 0;
+  /// Clears `out` and fills it with up to out->capacity() rows. Returns the
+  /// number of rows produced; 0 is end of stream (sticky).
+  virtual Result<size_t> Next(TupleBatch* out) = 0;
   virtual void Close() = 0;
 };
+
+/// Shared state for all nodes of one executing (sub-)plan. Exchange builds
+/// one ExecEnv per worker: the store/ctx/governor are shared (each
+/// internally synchronized), while `cpu_clock` points at a worker-private
+/// SimClock merged into the store's clock after the worker joins, and the
+/// partition fields carve the driver scan into disjoint contiguous chunks.
+struct ExecEnv {
+  ObjectStore* store = nullptr;
+  QueryContext* ctx = nullptr;
+  QueryGovernor* governor = nullptr;
+
+  /// Clock receiving operator CPU charges. Null means the store's shared
+  /// clock (single-threaded execution); Exchange workers substitute a
+  /// private clock so CPU accounting never races.
+  SimClock* cpu_clock = nullptr;
+
+  /// Rows per batch for every operator of this tree (the exec_batch_size
+  /// knob; capacity of internal child-facing batches).
+  size_t batch_size = TupleBatch::kDefaultCapacity;
+
+  /// Partitioning for Exchange workers: the scan built from the plan node
+  /// at address `partition_node` yields the contiguous chunk
+  /// [n*w/k, n*(w+1)/k) of its n members, where w = partition_index and
+  /// k = partition_count. Contiguous chunks (rather than a round-robin
+  /// stride) keep each worker's reads on long same-page runs, since members
+  /// are clustered in creation order. Null means no partitioning (every
+  /// scan reads everything).
+  const PlanNode* partition_node = nullptr;
+  int partition_index = 0;
+  int partition_count = 1;
+
+  SimClock& clock() const {
+    return cpu_clock != nullptr ? *cpu_clock : store->clock();
+  }
+  const CostModelOptions& timing() const { return store->timing(); }
+  int num_bindings() const { return ctx->bindings.size(); }
+
+  /// Cooperative governor checkpoint, called once per operator Next() —
+  /// i.e. at batch granularity. Free when ungoverned.
+  Status Tick() const {
+    if (governor == nullptr) return Status::OK();
+    return governor->CheckExec(store->disk().reads());
+  }
+
+  /// Charges `rows` tuples buffered by a blocking operator (hash build,
+  /// sort, nested-loops buffer, set ops) against the tracked-memory budget.
+  Status ChargeBuffered(int64_t rows = 1) const {
+    if (governor == nullptr) return Status::OK();
+    return governor->ChargeTrackedBytes(rows *
+                                        static_cast<int64_t>(num_bindings()) *
+                                        static_cast<int64_t>(sizeof(Slot)));
+  }
+};
+
+/// Adapts a batch-producing child to tuple-at-a-time consumption for
+/// blocking operators (hash build, sort, set ops) and the merge join's
+/// streaming cursors. Owns the child-facing batch; each Next() copies one
+/// row out, so the returned tuple survives batch refills.
+class BatchReader {
+ public:
+  BatchReader(ExecNode* child, int width, size_t batch_size)
+      : child_(child), batch_(width, batch_size) {}
+
+  /// Copies the next row into *out; returns false at end of stream.
+  Result<bool> Next(Tuple* out) {
+    if (pos_ >= batch_.size()) {
+      if (eos_) return false;
+      OODB_ASSIGN_OR_RETURN(size_t n, child_->Next(&batch_));
+      pos_ = 0;
+      if (n == 0) {
+        eos_ = true;
+        return false;
+      }
+    }
+    out->AssignFrom(batch_.ref(pos_++));
+    return true;
+  }
+
+ private:
+  ExecNode* child_;
+  TupleBatch batch_;
+  size_t pos_ = 0;
+  bool eos_ = false;
+};
+
+/// Builds one executable iterator (sub-)tree under `env`. Exposed (rather
+/// than file-local) so the Exchange operator can build per-worker copies of
+/// its child plan with partitioned ExecEnvs.
+Result<std::unique_ptr<ExecNode>> BuildExecNode(const ExecEnv& env,
+                                                const PlanNode& plan);
 
 /// Builds an executable iterator tree from a physical plan. A non-null
 /// `governor` is checked cooperatively at every operator Next() (including

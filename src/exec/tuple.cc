@@ -2,14 +2,14 @@
 
 namespace oodb {
 
-void Tuple::MergeFrom(const Tuple& other) {
-  if (slots.size() < other.slots.size()) slots.resize(other.slots.size());
-  for (size_t i = 0; i < other.slots.size(); ++i) {
+void Tuple::MergeFrom(TupleRef other) {
+  if (slots.size() < other.width) slots.resize(other.width);
+  for (size_t i = 0; i < other.width; ++i) {
     if (other.slots[i].present()) slots[i] = other.slots[i];
   }
 }
 
-Result<Value> EvalExpr(const ScalarExpr& expr, const Tuple& tuple,
+Result<Value> EvalExpr(const ScalarExpr& expr, TupleRef tuple,
                        const QueryContext& ctx) {
   switch (expr.kind()) {
     case ScalarExpr::Kind::kAttr: {
@@ -57,11 +57,103 @@ Result<Value> EvalExpr(const ScalarExpr& expr, const Tuple& tuple,
   return Status::Internal("unhandled expression kind");
 }
 
-Result<bool> EvalPredicate(const ScalarExprPtr& pred, const Tuple& tuple,
+Result<bool> EvalPredicate(const ScalarExprPtr& pred, TupleRef tuple,
                            const QueryContext& ctx) {
   if (!pred) return true;
   OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*pred, tuple, ctx));
   return v.i != 0;
+}
+
+FilterProgram FilterProgram::Analyze(const ScalarExprPtr& pred) {
+  FilterProgram prog;
+  if (!pred) return prog;
+  std::vector<ScalarExprPtr> conjuncts = ScalarExpr::SplitConjuncts(pred);
+  prog.steps_.reserve(conjuncts.size());
+  for (const ScalarExprPtr& c : conjuncts) {
+    if (c->kind() != ScalarExpr::Kind::kCmp) return prog;
+    const ScalarExpr& l = *c->children()[0];
+    const ScalarExpr& r = *c->children()[1];
+    CmpStep step;
+    if (l.kind() == ScalarExpr::Kind::kAttr &&
+        r.kind() == ScalarExpr::Kind::kConst) {
+      step = {l.binding(), l.field(), c->cmp_op(), &r.value()};
+    } else if (l.kind() == ScalarExpr::Kind::kConst &&
+               r.kind() == ScalarExpr::Kind::kAttr) {
+      step = {r.binding(), r.field(), ReverseCmp(c->cmp_op()), &l.value()};
+    } else {
+      return prog;  // unspecializable conjunct; specialized_ stays false
+    }
+    prog.steps_.push_back(step);
+  }
+  prog.specialized_ = true;
+  return prog;
+}
+
+bool FilterProgram::StepPass(const CmpStep& step, const Value& l) {
+  const Value& r = *step.constant;
+  if (l.kind == Value::Kind::kInt && r.kind == Value::Kind::kInt) {
+    // The common case — integer field vs integer literal — compares
+    // without touching Value dispatch at all.
+    return EvalCmp(step.op, l.i < r.i ? -1 : (l.i == r.i ? 0 : 1));
+  }
+  if (step.op == CmpOp::kEq) return l == r;
+  if (step.op == CmpOp::kNe) return !(l == r);
+  return EvalCmp(step.op, l.Compare(r));
+}
+
+bool FilterProgram::SingleBinding(BindingId b) const {
+  for (const CmpStep& step : steps_) {
+    if (step.binding != b) return false;
+  }
+  return true;
+}
+
+bool FilterProgram::EvalSteps(const ObjectData& obj) const {
+  for (const CmpStep& step : steps_) {
+    if (!StepPass(step, obj.value(step.field))) return false;
+  }
+  return true;
+}
+
+Result<bool> FilterProgram::Eval(TupleRef row, const QueryContext& ctx) const {
+  for (const CmpStep& step : steps_) {
+    const Slot& s = row.slot(step.binding);
+    if (!s.loaded()) {
+      return Status::Internal(
+          "attribute read on component not present in memory: " +
+          ctx.bindings.def(step.binding).name);
+    }
+    if (!StepPass(step, s.obj->value(step.field))) return false;
+  }
+  return true;
+}
+
+Result<size_t> FilterProgram::EvalBatch(TupleBatch* batch, size_t n,
+                                        const QueryContext& ctx) const {
+  const CmpStep* steps = steps_.data();
+  size_t num_steps = steps_.size();
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    TupleRef row = batch->ref(i);
+    bool pass = true;
+    for (size_t s = 0; s < num_steps; ++s) {
+      const Slot& slot = row.slot(steps[s].binding);
+      if (!slot.loaded()) {
+        return Status::Internal(
+            "attribute read on component not present in memory: " +
+            ctx.bindings.def(steps[s].binding).name);
+      }
+      if (!StepPass(steps[s], slot.obj->value(steps[s].field))) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    if (i != kept) batch->CopyRow(kept, i);
+    ++kept;
+  }
+  batch->Truncate(kept);
+  return kept;
 }
 
 }  // namespace oodb

@@ -5,9 +5,19 @@
 // fails loudly if a plan tries to read a field of an unloaded component,
 // which makes execution an end-to-end check of the optimizer's property
 // machinery.
+//
+// Batch layout: operators exchange TupleBatch objects — a fixed-capacity
+// batch of rows over a single flat Slot arena (row-major, column count =
+// number of bindings). The arena is allocated once per operator and rows
+// are recycled across Next() calls, so steady-state execution performs no
+// per-tuple heap allocation; a row is addressed as a (Slot*, width) view
+// and a column of one binding is a strided walk over the arena, which keeps
+// the layout friendly to columnar-style per-batch loops.
 #ifndef OODB_EXEC_TUPLE_H_
 #define OODB_EXEC_TUPLE_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "src/algebra/expr.h"
@@ -24,6 +34,23 @@ struct Slot {
   bool loaded() const { return obj != nullptr; }
 };
 
+struct Tuple;
+
+/// Read-only view of one row — either an owning Tuple or a TupleBatch row.
+/// Passed by value (pointer + width); never outlives the storage it views.
+struct TupleRef {
+  const Slot* slots = nullptr;
+  size_t width = 0;
+
+  TupleRef() = default;
+  TupleRef(const Slot* s, size_t w) : slots(s), width(w) {}
+  TupleRef(const Tuple& t);  // implicit: Tuple evaluates wherever a row does
+
+  const Slot& slot(BindingId b) const { return slots[b]; }
+};
+
+/// Owning row used where tuples must outlive their source batch (hash-join
+/// build tables, sort buffers, nested-loops buffers, set-op materialization).
 struct Tuple {
   std::vector<Slot> slots;
 
@@ -31,19 +58,174 @@ struct Tuple {
   Slot& slot(BindingId b) { return slots[b]; }
   const Slot& slot(BindingId b) const { return slots[b]; }
 
+  /// Replaces this tuple's contents with a copy of `row`.
+  void AssignFrom(TupleRef row) {
+    slots.assign(row.slots, row.slots + row.width);
+  }
+
   /// Merges the occupied slots of `other` into this tuple.
-  void MergeFrom(const Tuple& other);
+  void MergeFrom(TupleRef other);
 };
 
-/// Evaluates a scalar expression against a tuple. Booleans are encoded as
+inline TupleRef::TupleRef(const Tuple& t)
+    : slots(t.slots.data()), width(t.slots.size()) {}
+
+/// Mutable view of one TupleBatch row. The batch owns the storage; the view
+/// is invalidated by Clear()/refill of its batch.
+struct TupleRow {
+  Slot* slots = nullptr;
+  size_t width = 0;
+
+  Slot& slot(BindingId b) { return slots[b]; }
+  const Slot& slot(BindingId b) const { return slots[b]; }
+  operator TupleRef() const { return TupleRef(slots, width); }
+
+  void Clear() { std::fill(slots, slots + width, Slot{}); }
+
+  /// Copies the first min(width, src.width) slots of `src` into this row.
+  void CopyFrom(TupleRef src) {
+    std::copy(src.slots, src.slots + std::min(width, src.width), slots);
+  }
+
+  /// Merges the occupied slots of `other` into this row.
+  void MergeFrom(TupleRef other) {
+    size_t n = std::min(width, other.width);
+    for (size_t i = 0; i < n; ++i) {
+      if (other.slots[i].present()) slots[i] = other.slots[i];
+    }
+  }
+};
+
+/// A fixed-capacity batch of rows over one flat Slot arena. `width` is the
+/// number of bindings (columns); row i occupies slots [i*width, (i+1)*width).
+class TupleBatch {
+ public:
+  /// Default rows per batch (the exec_batch_size knob's default).
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  TupleBatch() = default;
+  TupleBatch(int width, size_t capacity)
+      : width_(width),
+        capacity_(capacity),
+        slots_(static_cast<size_t>(width) * capacity) {}
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  int width() const { return width_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= capacity_; }
+
+  TupleRow row(size_t i) {
+    return TupleRow{slots_.data() + i * width_, static_cast<size_t>(width_)};
+  }
+  TupleRef ref(size_t i) const {
+    return TupleRef(slots_.data() + i * width_, static_cast<size_t>(width_));
+  }
+
+  /// Appends a cleared row and returns a view of it. The arena is fixed, so
+  /// this never allocates; callers must not append past capacity().
+  TupleRow AppendRow() {
+    TupleRow r = row(size_++);
+    r.Clear();
+    return r;
+  }
+
+  /// Appends a row WITHOUT clearing it — for emit paths that immediately
+  /// overwrite every slot (a full-width CopyFrom). Rows are recycled across
+  /// Next() calls, so skipping the clear anywhere else leaks stale slots.
+  TupleRow AppendRowRaw() { return row(size_++); }
+
+  /// Overwrites row `dst` with row `src` (filter/compaction step).
+  void CopyRow(size_t dst, size_t src) {
+    std::copy(slots_.data() + src * width_,
+              slots_.data() + (src + 1) * width_, slots_.data() + dst * width_);
+  }
+
+  void Clear() { size_ = 0; }
+  /// Drops rows past `n` (after in-place compaction).
+  void Truncate(size_t n) { size_ = n; }
+
+ private:
+  int width_ = 0;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+  std::vector<Slot> slots_;
+};
+
+/// Evaluates a scalar expression against a row. Booleans are encoded as
 /// Value::Int(0/1). Returns Internal if an attribute's component is not
 /// loaded (a plan/property bug).
-Result<Value> EvalExpr(const ScalarExpr& expr, const Tuple& tuple,
+Result<Value> EvalExpr(const ScalarExpr& expr, TupleRef tuple,
                        const QueryContext& ctx);
 
 /// Evaluates a predicate to a boolean.
-Result<bool> EvalPredicate(const ScalarExprPtr& pred, const Tuple& tuple,
+Result<bool> EvalPredicate(const ScalarExprPtr& pred, TupleRef tuple,
                            const QueryContext& ctx);
+
+/// A predicate specialized for tight-loop batch evaluation. Analyze()
+/// recognizes conjunctions of `attr <cmp> const` conjuncts and compiles
+/// them to direct slot/field comparisons against the stored Value —
+/// no interpreter recursion, no Result/Value copies per conjunct. Any
+/// other shape yields specialized() == false and callers fall back to
+/// EvalPredicate row by row.
+///
+/// Analysis walks the expression and allocates the step vector, which
+/// costs about as much as interpreting the predicate once — it only pays
+/// for itself amortized over a batch. kMinKernelRows is that break-even
+/// point: below it (and in particular at batch size 1, the
+/// tuple-at-a-time degeneration) interpretation is the faster plan and
+/// callers should not analyze at all.
+class FilterProgram {
+ public:
+  static constexpr size_t kMinKernelRows = 8;
+
+  static FilterProgram Analyze(const ScalarExprPtr& pred);
+
+  bool specialized() const { return specialized_; }
+
+  /// True when every compiled step reads binding `b` — the condition for
+  /// fusing the program into the scan that produces that binding.
+  bool SingleBinding(BindingId b) const;
+
+  /// Evaluates the compiled conjuncts directly against one loaded object —
+  /// the scan-fusion path, where rows are filtered before they are ever
+  /// materialized into a batch. No error case: the object is in hand.
+  bool EvalSteps(const ObjectData& obj) const;
+
+  /// Requests the exact cache lines EvalSteps will read from `obj` — one
+  /// per step field. Each object's field array is its own heap block, so
+  /// at scan working-set sizes the first touch is a miss; issuing the
+  /// request a dozen rows ahead takes it off the critical path.
+  void PrefetchFields(const ObjectData& obj) const {
+    for (const CmpStep& step : steps_) {
+      __builtin_prefetch(&obj.value(step.field));
+    }
+  }
+
+  /// Evaluates the compiled conjuncts against `row`. Mirrors EvalPredicate
+  /// exactly, including the loud Internal error on an unloaded component.
+  Result<bool> Eval(TupleRef row, const QueryContext& ctx) const;
+
+  /// Selection over rows [0, n) of `batch`, compacting passing rows in
+  /// place and truncating; returns the kept count. One Result for the
+  /// whole batch — the inner loop is pure comparisons, which is where the
+  /// kernel's speedup over row-at-a-time Eval() calls comes from.
+  Result<size_t> EvalBatch(TupleBatch* batch, size_t n,
+                           const QueryContext& ctx) const;
+
+ private:
+  struct CmpStep {
+    BindingId binding = kInvalidBinding;
+    FieldId field = kInvalidField;
+    CmpOp op = CmpOp::kEq;
+    const Value* constant = nullptr;  // points into the (shared) expr tree
+  };
+
+  static bool StepPass(const CmpStep& step, const Value& l);
+
+  bool specialized_ = false;
+  std::vector<CmpStep> steps_;
+};
 
 }  // namespace oodb
 

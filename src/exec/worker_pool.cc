@@ -1,0 +1,45 @@
+#include "src/exec/worker_pool.h"
+
+#include <utility>
+
+namespace oodb {
+
+WorkerPool& WorkerPool::Instance() {
+  static WorkerPool pool;
+  return pool;
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(fn));
+    if (idle_ == 0) threads_.emplace_back(&WorkerPool::Loop, this);
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    ++idle_;
+    cv_.wait(lock, [&] { return !tasks_.empty() || stop_; });
+    --idle_;
+    if (stop_) return;
+    std::function<void()> task = std::move(tasks_.front());
+    tasks_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
+}  // namespace oodb

@@ -2,6 +2,7 @@
 
 #include "src/physical/enforcers.h"
 #include "src/physical/impl_rules.h"
+#include "src/physical/parallel.h"
 #include "src/rules/transformations.h"
 
 namespace oodb {
@@ -30,6 +31,9 @@ Result<OptimizedQuery> Optimizer::Optimize(const LogicalExpr& input,
   OptimizedQuery out;
   OODB_ASSIGN_OR_RETURN(out.plan,
                         engine.Optimize(input, required, &out.stats));
+  if (options_.max_dop > 1) {
+    out.plan = PlantExchanges(out.plan, cost_model, options_.max_dop);
+  }
   out.cost = out.plan->total_cost;
   return out;
 }

@@ -120,4 +120,16 @@ Cost MergeJoinCost(const CostModel& cm, double left_card, double right_card) {
   return Cost::Cpu((left_card + right_card) * cm.opts().cpu_pred_s);
 }
 
+Cost BatchOverheadCpu(const CostModel& cm, double card) {
+  double batch = static_cast<double>(std::max(1, cm.opts().exec_batch_size));
+  return Cost::Cpu(std::ceil(card / batch) * cm.opts().cpu_batch_overhead_s);
+}
+
+Cost ExchangeCost(const CostModel& cm, double out_card, int dop) {
+  Cost c = Cost::Cpu(cm.opts().exchange_startup_s * static_cast<double>(dop) +
+                     out_card * cm.opts().exchange_flow_tuple_s);
+  c += BatchOverheadCpu(cm, out_card);
+  return c;
+}
+
 }  // namespace oodb

@@ -64,6 +64,14 @@ Cost MergeJoinCost(const CostModel& cm, double left_card, double right_card);
 Cost NestedLoopsCost(const CostModel& cm, double left_card, double left_bytes,
                      double right_card);
 
+/// Per-batch iteration overhead of driving `card` rows through one
+/// operator boundary at the configured exec_batch_size.
+Cost BatchOverheadCpu(const CostModel& cm, double card);
+
+/// Exchange at degree `dop`: worker startup/teardown, per-tuple queue flow,
+/// and per-batch dispatch over the consumed stream.
+Cost ExchangeCost(const CostModel& cm, double out_card, int dop);
+
 }  // namespace oodb
 
 #endif  // OODB_PHYSICAL_ALGORITHMS_H_

@@ -1,0 +1,111 @@
+#include "src/physical/parallel.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "src/physical/algorithms.h"
+
+namespace oodb {
+
+namespace {
+
+/// CPU of the driver chain from `node` down to (and including) `driver` —
+/// the work each Exchange worker performs on its own partition slice.
+/// Everything off this chain (hash builds, nested-loops buffers) is
+/// replicated per worker and therefore not divided by dop.
+double DriverChainCpu(const PlanNode& node, const PlanNode* driver) {
+  double cpu = node.local_cost.cpu_s;
+  if (&node == driver) return cpu;
+  switch (node.op.kind) {
+    case PhysOpKind::kFilter:
+    case PhysOpKind::kAlgProject:
+    case PhysOpKind::kAlgUnnest:
+    case PhysOpKind::kPointerJoin:
+    case PhysOpKind::kAssembly:
+      return cpu + DriverChainCpu(*node.children[0], driver);
+    case PhysOpKind::kHybridHashJoin:
+    case PhysOpKind::kNestedLoops:
+      return cpu + DriverChainCpu(*node.children[1], driver);
+    default:
+      return cpu;  // unreachable when `driver` was found below `node`
+  }
+}
+
+}  // namespace
+
+const PlanNode* FindPartitionableScan(const PlanNode& plan) {
+  switch (plan.op.kind) {
+    case PhysOpKind::kFileScan:
+    case PhysOpKind::kIndexScan:
+      return &plan;
+    case PhysOpKind::kFilter:
+    case PhysOpKind::kAlgProject:
+    case PhysOpKind::kAlgUnnest:
+    case PhysOpKind::kPointerJoin:
+    case PhysOpKind::kAssembly:
+      return FindPartitionableScan(*plan.children[0]);
+    case PhysOpKind::kHybridHashJoin:  // build replicated, probe partitioned
+    case PhysOpKind::kNestedLoops:     // buffer replicated, right partitioned
+      return FindPartitionableScan(*plan.children[1]);
+    default:
+      // Sort, merge join, and set ops depend on seeing the whole (ordered)
+      // input; a nested exchange partitions for itself.
+      return nullptr;
+  }
+}
+
+PlanNodePtr PlantExchanges(PlanNodePtr plan, const CostModel& cm,
+                           int max_dop) {
+  if (max_dop <= 1 || plan == nullptr) return plan;
+
+  // Descend through a root Sort enforcer: it consumes its whole input
+  // before emitting, so unordered (exchanged) input below it is harmless.
+  if (plan->op.kind == PhysOpKind::kSort) {
+    PlanNodePtr child = PlantExchanges(plan->children[0], cm, max_dop);
+    if (child == plan->children[0]) return plan;
+    return PlanNode::Make(plan->op, {std::move(child)}, plan->logical,
+                          plan->delivered, plan->local_cost);
+  }
+
+  // An ordered delivery reaching the consumer (e.g. an index scan
+  // satisfying ORDER BY with no Sort above) must not be shuffled away.
+  if (plan->delivered.sort.IsSorted()) return plan;
+
+  const PlanNode* driver = FindPartitionableScan(*plan);
+  if (driver == nullptr) return plan;
+
+  double total_cpu = plan->total_cost.cpu_s;
+  double chain_cpu = DriverChainCpu(*plan, driver);
+  double out_card = plan->logical.card;
+  double best_cpu = total_cpu;  // est(1): the serial plan
+  int best_dop = 1;
+  for (int dop = 2; dop <= max_dop; ++dop) {
+    double est = (total_cpu - chain_cpu) +
+                 chain_cpu / static_cast<double>(dop) +
+                 ExchangeCost(cm, out_card, dop).cpu_s;
+    if (est < best_cpu) {
+      best_cpu = est;
+      best_dop = dop;
+    }
+  }
+  if (best_dop <= 1) return plan;
+
+  // Built by hand (not PlanNode::Make): the Exchange's total cost is the
+  // anticipated *response time* est(best_dop), which is less than the
+  // child's summed work — its local cost is the (negative) speedup net of
+  // startup and flow overhead.
+  auto ex = std::make_shared<PlanNode>();
+  ex->op.kind = PhysOpKind::kExchange;
+  ex->op.dop = best_dop;
+  ex->op.partition_binding = driver->op.binding;
+  ex->logical = plan->logical;
+  ex->delivered = plan->delivered;
+  ex->delivered.sort = SortSpec{};  // workers interleave: order is lost
+  ex->total_cost = Cost{plan->total_cost.io_s, best_cpu};
+  ex->local_cost = Cost{0.0, best_cpu - total_cpu};
+  ex->children.push_back(std::move(plan));
+  return ex;
+}
+
+}  // namespace oodb

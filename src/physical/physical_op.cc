@@ -34,6 +34,8 @@ const char* PhysOpKindName(PhysOpKind kind) {
       return "Merge Join";
     case PhysOpKind::kNestedLoops:
       return "Nested Loops";
+    case PhysOpKind::kExchange:
+      return "Exchange";
   }
   return "?";
 }
@@ -89,6 +91,13 @@ std::string PhysicalOp::ToString(const QueryContext& ctx) const {
     case PhysOpKind::kSort: {
       const BindingDef& sb = b.def(sort.binding);
       return name + " " + sb.name + "." + s.type(sb.type).field(sort.field).name;
+    }
+    case PhysOpKind::kExchange: {
+      std::string out = name + " [dop " + std::to_string(dop);
+      if (partition_binding != kInvalidBinding) {
+        out += ", partition " + b.def(partition_binding).name;
+      }
+      return out + "]";
     }
   }
   return name;

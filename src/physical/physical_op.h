@@ -28,6 +28,7 @@ enum class PhysOpKind {
   kSort,           ///< sort enforcer (extension)
   kMergeJoin,      ///< merge join on sorted inputs (extension)
   kNestedLoops,    ///< nested-loops join (cartesian-capable fallback)
+  kExchange,       ///< Volcano exchange: intra-query parallelism (extension)
 };
 
 const char* PhysOpKindName(PhysOpKind kind);
@@ -81,6 +82,13 @@ struct PhysicalOp {
 
   // kSort / kMergeJoin
   SortSpec sort;
+
+  // kExchange: degree of parallelism (worker count) and, within the child
+  // template, which descendant scan each worker partitions round-robin.
+  int dop = 1;
+  /// Binding of the partitioned driver scan (display/fingerprint only; the
+  /// planner re-locates the scan node when building workers).
+  BindingId partition_binding = kInvalidBinding;
 
   std::string ToString(const QueryContext& ctx) const;
 };

@@ -185,11 +185,14 @@ uint64_t HashOptimizerOptions(const OptimizerOptions& opts) {
                    c.cpu_hash_build_s, c.cpu_hash_probe_s, c.cpu_unnest_s,
                    c.cpu_copy_byte_s, c.cpu_deref_s, c.index_probe_s,
                    c.index_leaf_s, c.assembly_window_discount_floor,
-                   c.memory_bytes}) {
+                   c.memory_bytes, c.cpu_batch_overhead_s,
+                   c.exchange_startup_s, c.exchange_flow_tuple_s}) {
     h.Mix(std::bit_cast<uint64_t>(v));
   }
   h.Mix(static_cast<uint64_t>(c.assembly_window));
   h.Mix(static_cast<uint64_t>(c.yao_page_faults));
+  h.Mix(static_cast<uint64_t>(c.exec_batch_size));
+  h.Mix(static_cast<uint64_t>(opts.max_dop));
   h.Mix(opts.disabled_rules.size());
   for (const std::string& r : opts.disabled_rules) h.MixStr(r);
   h.Mix((static_cast<uint64_t>(opts.enable_warm_start_assembly) << 2) |

@@ -1,5 +1,7 @@
 #include "src/session.h"
 
+#include <algorithm>
+
 #include "src/baseline/greedy.h"
 #include "src/query/fingerprint.h"
 
@@ -14,6 +16,15 @@ namespace {
 bool DegradableTrip(StatusCode code) {
   return code == StatusCode::kBudgetExhausted ||
          code == StatusCode::kDeadlineExceeded;
+}
+
+/// Maximum Exchange degree of parallelism anywhere in the plan (1 = serial).
+int PlanMaxDop(const PlanNode& node) {
+  int dop = node.op.kind == PhysOpKind::kExchange ? node.op.dop : 1;
+  for (const PlanNodePtr& c : node.children) {
+    dop = std::max(dop, PlanMaxDop(*c));
+  }
+  return dop;
 }
 
 }  // namespace
@@ -149,6 +160,14 @@ Result<std::string> Session::Explain(const std::string& zql) {
            " budget=" + std::to_string(g.budget_trips) +
            " cancel=" + std::to_string(g.cancel_trips) +
            " alternatives=" + std::to_string(g.alternatives_charged) + "\n";
+  }
+  int dop = PlanMaxDop(*r.optimized.plan);
+  if (dop > 1) {
+    int batch = options_.exec.batch_size > 0
+                    ? options_.exec.batch_size
+                    : std::max(1, store_.timing().exec_batch_size);
+    out += "exec: batch=" + std::to_string(batch) +
+           " dop=" + std::to_string(dop) + "\n";
   }
   out += PrintPlan(*r.optimized.plan, r.ctx, /*with_costs=*/true);
   return out;

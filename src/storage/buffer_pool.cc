@@ -4,13 +4,17 @@ namespace oodb {
 
 Status BufferPool::Access(PageId page) {
   if (faults_ != nullptr) OODB_RETURN_IF_ERROR(faults_->OnPageAccess(page));
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(page);
   if (it != index_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     lru_.splice(lru_.begin(), lru_, it->second);
     return Status::OK();
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // The disk read stays inside the critical section so that the miss, its
+  // arm movement, and the eviction are one atomic event — concurrent
+  // workers observe a consistent LRU and a serializable read sequence.
   disk_->Read(page);
   lru_.push_front(page);
   index_[page] = lru_.begin();
@@ -22,9 +26,11 @@ Status BufferPool::Access(PageId page) {
 }
 
 void BufferPool::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
-  hits_ = misses_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace oodb

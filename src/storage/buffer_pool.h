@@ -2,7 +2,9 @@
 #ifndef OODB_STORAGE_BUFFER_POOL_H_
 #define OODB_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 #include "src/storage/disk_model.h"
@@ -13,20 +15,29 @@ namespace oodb {
 /// LRU page cache: hits are free, misses hit the disk model and may evict.
 /// With a fault injector attached, any access may fail with kStorageFault
 /// before touching the LRU (the page is treated as unreadable media).
+///
+/// Thread safety: Access() may be called concurrently from Exchange worker
+/// threads — the LRU structure is guarded by a mutex and the hit/miss
+/// statistics are atomic (readable lock-free while workers run). Reset()
+/// and set_fault_injector() are configuration calls and must not race with
+/// in-flight accesses.
 class BufferPool {
  public:
   BufferPool(DiskModel* disk, int64_t capacity_pages,
              FaultInjector* faults = nullptr)
       : disk_(disk), capacity_(capacity_pages), faults_(faults) {}
 
-  /// Touches `page`, faulting it in if absent.
+  /// Touches `page`, faulting it in if absent. Thread-safe.
   Status Access(PageId page);
 
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
-  int64_t resident() const { return static_cast<int64_t>(lru_.size()); }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t resident() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(lru_.size());
+  }
   int64_t capacity() const { return capacity_; }
 
   void Reset();
@@ -35,10 +46,11 @@ class BufferPool {
   DiskModel* disk_;
   int64_t capacity_;
   FaultInjector* faults_;
+  mutable std::mutex mu_;  ///< guards lru_ / index_ (and the miss disk read)
   std::list<PageId> lru_;  // front = most recent
   std::unordered_map<PageId, std::list<PageId>::iterator> index_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
 };
 
 }  // namespace oodb

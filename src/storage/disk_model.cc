@@ -6,13 +6,14 @@
 namespace oodb {
 
 void DiskModel::Read(PageId page) {
+  std::lock_guard<std::mutex> lock(mu_);
   bool sequential = position_ != kInvalidPage &&
                     (page == position_ || page == position_ + 1);
   if (sequential) {
-    ++seq_reads_;
+    seq_reads_.fetch_add(1, std::memory_order_relaxed);
     clock_->io_s += timing_->seq_io_s;
   } else {
-    ++random_reads_;
+    random_reads_.fetch_add(1, std::memory_order_relaxed);
     // Short forward seeks (the elevator pattern) cost less than full random
     // repositioning: interpolate between sequential and random cost on a
     // log scale of the seek distance.

@@ -5,7 +5,9 @@
 #ifndef OODB_STORAGE_DISK_MODEL_H_
 #define OODB_STORAGE_DISK_MODEL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 
 #include "src/cost/cost_model.h"
 
@@ -15,42 +17,65 @@ using PageId = int64_t;
 inline constexpr PageId kInvalidPage = -1;
 
 /// Accumulates simulated I/O and CPU time during execution.
+///
+/// Thread-compatible, not thread-safe: each thread charges its own SimClock.
+/// The store clock's io_s is only written by DiskModel::Read (serialized by
+/// the disk mutex); Exchange workers charge CPU to private clocks that are
+/// merged after the workers are joined.
 struct SimClock {
   double io_s = 0.0;
   double cpu_s = 0.0;
 
   double total() const { return io_s + cpu_s; }
   void Reset() { io_s = cpu_s = 0.0; }
+  void MergeFrom(const SimClock& o) {
+    io_s += o.io_s;
+    cpu_s += o.cpu_s;
+  }
 };
 
 /// The disk-arm model. A read of page p is *sequential* if p immediately
 /// follows the previous read (or re-reads it), otherwise *random*. Assembly's
 /// elevator pattern benefits automatically: refs sorted by page produce
 /// short forward seeks which are charged an interpolated cost.
+///
+/// Thread safety: Read() serializes on an internal mutex (there is one disk
+/// arm; concurrent readers contend for it exactly as real spindles do). The
+/// read counters are atomic so statistics can be sampled lock-free.
 class DiskModel {
  public:
   DiskModel(const CostModelOptions* timing, SimClock* clock)
       : timing_(timing), clock_(clock) {}
 
-  /// Records a physical read of `page`.
+  /// Records a physical read of `page`. Thread-safe.
   void Read(PageId page);
 
-  int64_t reads() const { return seq_reads_ + random_reads_; }
-  int64_t seq_reads() const { return seq_reads_; }
-  int64_t random_reads() const { return random_reads_; }
-  PageId position() const { return position_; }
+  int64_t reads() const { return seq_reads() + random_reads(); }
+  int64_t seq_reads() const {
+    return seq_reads_.load(std::memory_order_relaxed);
+  }
+  int64_t random_reads() const {
+    return random_reads_.load(std::memory_order_relaxed);
+  }
+  PageId position() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return position_;
+  }
 
   void Reset() {
-    seq_reads_ = random_reads_ = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    seq_reads_.store(0, std::memory_order_relaxed);
+    random_reads_.store(0, std::memory_order_relaxed);
     position_ = kInvalidPage;
   }
 
  private:
   const CostModelOptions* timing_;
   SimClock* clock_;
+  mutable std::mutex mu_;  ///< guards position_ and clock_->io_s
   PageId position_ = kInvalidPage;
-  int64_t seq_reads_ = 0;
-  int64_t random_reads_ = 0;
+  std::atomic<int64_t> seq_reads_{0};
+  std::atomic<int64_t> random_reads_{0};
 };
 
 }  // namespace oodb

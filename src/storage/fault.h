@@ -11,6 +11,7 @@
 #define OODB_STORAGE_FAULT_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -42,18 +43,37 @@ struct FaultPolicy {
 /// Per-store injector state: a deterministic access counter plus the seeded
 /// RNG. Reset() rewinds both so each cold-started query replays the same
 /// fault sequence.
+///
+/// Thread safety: the access counter and RNG draw are serialized on a
+/// mutex, so concurrent Exchange workers never corrupt the state. With one
+/// reader the fault sequence is fully deterministic; with DOP > 1 the
+/// *interleaving* of accesses is scheduling-dependent, so only OID-targeted
+/// faults (order-independent) are deterministic across parallel runs.
 class FaultInjector {
  public:
   explicit FaultInjector(const FaultPolicy& policy)
       : policy_(policy), rng_(policy.seed ^ 0x5eedfa017ull) {}
 
   /// Called on every charged buffer-pool access, before the LRU is touched.
+  /// Thread-safe.
   Status OnPageAccess(PageId page);
 
   /// Called on every charged object read, before the page access.
+  /// Thread-safe (reads only the immutable policy).
   Status OnObjectRead(Oid oid);
 
   void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    accesses_ = 0;
+    rng_ = Rng(policy_.seed ^ 0x5eedfa017ull);
+  }
+
+  /// Replaces the policy and rewinds the injector (the mutex member makes
+  /// the injector non-assignable; this is the runtime-reconfiguration
+  /// entry point). Must not race with in-flight accesses.
+  void SetPolicy(const FaultPolicy& policy) {
+    std::lock_guard<std::mutex> lock(mu_);
+    policy_ = policy;
     accesses_ = 0;
     rng_ = Rng(policy_.seed ^ 0x5eedfa017ull);
   }
@@ -62,6 +82,7 @@ class FaultInjector {
 
  private:
   FaultPolicy policy_;
+  std::mutex mu_;  ///< guards accesses_ and rng_
   Rng rng_;
   int64_t accesses_ = 0;
 };

@@ -89,6 +89,36 @@ Result<const ObjectData*> ObjectStore::Read(Oid oid, bool charge_io) {
   return &objects_[oid];
 }
 
+Status ObjectStore::ReadMany(const Oid* oids, size_t n,
+                             const ObjectData** out) {
+  if (options_.faults.enabled()) {
+    // Faulted reads keep per-object access granularity so the injector's
+    // deterministic access counter advances exactly as in n Read() calls.
+    for (size_t i = 0; i < n; ++i) {
+      OODB_ASSIGN_OR_RETURN(out[i], Read(oids[i]));
+    }
+    return Status::OK();
+  }
+  size_t i = 0;
+  while (i < n) {
+    Oid oid = oids[i];
+    if (!Exists(oid)) {
+      return Status::InvalidArgument("read of invalid oid " +
+                                     std::to_string(oid));
+    }
+    // One charged access covers the whole run of objects on this page.
+    PageId page = object_page_[oid];
+    OODB_RETURN_IF_ERROR(buffer_.Access(page));
+    out[i] = &objects_[oid];
+    for (++i; i < n; ++i) {
+      Oid next = oids[i];
+      if (!Exists(next) || object_page_[next] != page) break;
+      out[i] = &objects_[next];
+    }
+  }
+  return Status::OK();
+}
+
 PageId ObjectStore::PageOf(Oid oid) const { return object_page_[oid]; }
 
 Result<const std::vector<Oid>*> ObjectStore::CollectionMembers(
@@ -148,7 +178,7 @@ void ObjectStore::ResetSimulation() {
 
 void ObjectStore::SetFaultPolicy(FaultPolicy policy) {
   options_.faults = std::move(policy);
-  faults_ = FaultInjector(options_.faults);
+  faults_.SetPolicy(options_.faults);
   buffer_.set_fault_injector(options_.faults.enabled() ? &faults_ : nullptr);
 }
 

@@ -52,7 +52,29 @@ class ObjectStore {
   /// with kInvalidArgument on a dangling/out-of-range OID and with
   /// kStorageFault when the fault policy trips on a charged read (uncharged
   /// reads bypass the storage path and cannot fault).
+  ///
+  /// Thread safety (audited for Exchange workers): population (Create /
+  /// SetValue / AddToSet / BuildIndexes) must complete before execution
+  /// starts; during execution `objects_`, `object_page_`, `sets_`,
+  /// `extents_`, and `indexes_` are immutable, so concurrent Read()s only
+  /// share the fault injector, the buffer pool, and the disk model — each
+  /// internally synchronized with atomic statistics. Returned ObjectData
+  /// pointers are stable (no eviction of object memory; the buffer pool
+  /// only simulates page residency).
   Result<const ObjectData*> Read(Oid oid, bool charge_io = true);
+
+  /// Batched read of `n` OIDs into `out[0..n)` — the vectorized scan path.
+  /// Objects are clustered by type in creation order, so a scan batch
+  /// touches long runs of the same page; this charges ONE buffer-pool
+  /// access per such run (a page fetch materializes every object on the
+  /// page) instead of one per object, taking the pool mutex once per run.
+  /// Page-fault sequence — and therefore misses, simulated I/O time, and
+  /// pages_read — is identical to n individual Read() calls; only the hit
+  /// counter reflects run-granular accesses. When a fault policy is active
+  /// the loop degrades to exactly n individual charged reads so the
+  /// injector's every-Nth-access and per-OID semantics stay bit-identical
+  /// to the tuple-at-a-time era. Thread-safe (same audit as Read).
+  Status ReadMany(const Oid* oids, size_t n, const ObjectData** out);
 
   /// Const access without any simulation accounting (statistics, tests).
   /// Bounds-checked: a dangling OID is kInvalidArgument, never UB.

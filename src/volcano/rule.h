@@ -64,6 +64,11 @@ struct OptimizerOptions {
   /// paper's unevaluated "mechanisms for heuristic guidance and pruning").
   /// Plans remain optimal; only search effort shrinks.
   bool enable_pruning = false;
+  /// Maximum Exchange degree of parallelism the post-optimization
+  /// parallelization pass (src/physical/parallel.h) may plant. 1 (the
+  /// default) skips the pass entirely, preserving the seed's serial plans
+  /// bit for bit; the pass picks the cheapest dop in [1, max_dop] per plan.
+  int max_dop = 1;
   /// Emit rule-firing trace to stderr.
   bool trace = false;
   /// Plan-cache capacity in entries for caches the Session creates on

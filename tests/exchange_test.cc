@@ -1,0 +1,355 @@
+// Exchange / batch-execution parity suite (`ctest -L parallel`; CI repeats
+// it under TSan). The correctness oracle is the reference evaluator: every
+// randomized OO7 query must produce the identical result multiset
+// tuple-at-a-time (batch 1), batched (batch 1024), and parallel (DOP 4),
+// including under injected storage faults and governor trips — a worker
+// failure must drain the whole pipeline and surface as one typed error,
+// never a crash, a hang, or a silently short result.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/exec/reference.h"
+#include "src/physical/parallel.h"
+#include "src/workloads/oo7.h"
+#include "tests/test_util.h"
+
+namespace oodb {
+namespace {
+
+Oo7Options ParallelConfig() {
+  Oo7Options o;
+  o.complex_per_module = 3;
+  o.base_per_complex = 5;
+  o.components_per_base = 3;
+  o.num_composite_parts = 25;
+  o.atomic_per_composite = 8;
+  o.num_build_dates = 10;
+  o.num_doc_titles = 5;
+  return o;
+}
+
+/// Randomized OO7 queries: scans, explicit joins, set-valued unnest chains,
+/// path expressions over the documentation index, and ordered deliveries.
+std::string RandomOo7Query(Rng& rng) {
+  switch (rng.Uniform(8)) {
+    case 0:
+      return "SELECT a.id, a.x FROM AtomicPart a IN AtomicParts WHERE a.x > " +
+             std::to_string(rng.UniformRange(0, 999)) + ";";
+    case 1:
+      return "SELECT a.id FROM AtomicPart a IN AtomicParts "
+             "WHERE a.x > a.y && a.buildDate >= " +
+             std::to_string(rng.UniformRange(0, 9)) + ";";
+    case 2:
+      return "SELECT a.id, p.id FROM AtomicPart a IN AtomicParts, "
+             "CompositePart p IN CompositeParts "
+             "WHERE a.partOf == p && p.buildDate >= " +
+             std::to_string(rng.UniformRange(0, 9)) + ";";
+    case 3:
+      return kOo7QueryNewerComponents;
+    case 4:
+      return kOo7QueryTraversal;
+    case 5:
+      return Oo7QueryByDocTitle("Doc" +
+                                std::to_string(rng.UniformRange(0, 4)));
+    case 6:
+      return "SELECT a.id, a.partOf.buildDate FROM AtomicPart a IN "
+             "AtomicParts WHERE a.partOf.documentation.title == \"Doc" +
+             std::to_string(rng.UniformRange(0, 4)) + "\";";
+    default:
+      return "SELECT b.id, b.buildDate FROM BaseAssembly b IN BaseAssemblies "
+             "WHERE b.buildDate >= " +
+             std::to_string(rng.UniformRange(0, 9)) +
+             " ORDER BY b.buildDate;";
+  }
+}
+
+class ExchangeTest : public ::testing::TestWithParam<int> {
+ protected:
+  static Oo7Instance* instance_;
+
+  static void SetUpTestSuite() {
+    auto r = MakeOo7(ParallelConfig());
+    ASSERT_TRUE(r.ok()) << r.status();
+    instance_ = new Oo7Instance(std::move(r).value());
+  }
+  static void TearDownTestSuite() {
+    delete instance_;
+    instance_ = nullptr;
+  }
+
+  static Catalog& catalog() { return instance_->db->catalog; }
+  static ObjectStore& store() { return *instance_->store; }
+
+  struct Planned {
+    QueryContext ctx;
+    LogicalExprPtr logical;
+    PlanNodePtr plan;
+  };
+
+  static Planned Plan(const std::string& text, int max_dop = 1) {
+    Planned out;
+    out.ctx.catalog = &catalog();
+    SortSpec order;
+    auto logical = ParseAndSimplify(text, &out.ctx, &order);
+    EXPECT_TRUE(logical.ok()) << logical.status() << "\n" << text;
+    out.logical = *logical;
+    OptimizerOptions opts;
+    opts.max_dop = max_dop;
+    PhysProps required;
+    required.sort = order;
+    Optimizer opt(&catalog(), std::move(opts));
+    auto planned = opt.Optimize(*out.logical, &out.ctx, required);
+    EXPECT_TRUE(planned.ok()) << planned.status() << "\n" << text;
+    out.plan = planned->plan;
+    return out;
+  }
+
+  static Result<ExecStats> Exec(Planned& p, int batch_size,
+                                QueryGovernor* governor = nullptr) {
+    ExecOptions eo;
+    eo.sample_limit = 1 << 22;
+    eo.batch_size = batch_size;
+    eo.governor = governor;
+    return ExecutePlan(*p.plan, &store(), &p.ctx, eo);
+  }
+
+  static std::vector<std::string> SortedRows(
+      const std::vector<std::vector<Value>>& rows) {
+    std::vector<std::string> out;
+    for (const std::vector<Value>& row : rows) {
+      std::string s;
+      for (const Value& v : row) {
+        s += v.ToString();
+        s += '|';
+      }
+      out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  static int CountExchanges(const PlanNode& plan) {
+    std::vector<PhysOpKind> kinds = testing::PlanKinds(plan);
+    return static_cast<int>(
+        std::count(kinds.begin(), kinds.end(), PhysOpKind::kExchange));
+  }
+
+  static int MaxDopOf(const PlanNode& node) {
+    int dop = node.op.kind == PhysOpKind::kExchange ? node.op.dop : 1;
+    for (const PlanNodePtr& c : node.children) {
+      dop = std::max(dop, MaxDopOf(*c));
+    }
+    return dop;
+  }
+};
+
+Oo7Instance* ExchangeTest::instance_ = nullptr;
+
+TEST_F(ExchangeTest, DefaultPlansStaySerial) {
+  Planned p = Plan(kOo7QueryTraversal);  // max_dop defaults to 1
+  EXPECT_EQ(CountExchanges(*p.plan), 0);
+}
+
+TEST_F(ExchangeTest, PlantsExchangeWhenProfitable) {
+  Planned p = Plan("SELECT a.id FROM AtomicPart a IN AtomicParts "
+                   "WHERE a.x > a.y;",
+                   /*max_dop=*/4);
+  ASSERT_EQ(CountExchanges(*p.plan), 1) << PrintPlan(*p.plan, p.ctx);
+  int dop = MaxDopOf(*p.plan);
+  EXPECT_GE(dop, 2);
+  EXPECT_LE(dop, 4);
+
+  auto stats = Exec(p, /*batch_size=*/0);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->dop, dop);
+  EXPECT_GT(stats->batch_size, 1);
+
+  auto reference = EvaluateReference(*p.logical, &store(), p.ctx);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  EXPECT_EQ(SortedRows(stats->sample_rows), SortedRows(reference->rows));
+}
+
+TEST_F(ExchangeTest, OrderedDeliveryStaysCorrectUnderParallelism) {
+  // The parallelization pass descends through the root Sort enforcer; the
+  // Exchange below it destroys no ordering because Sort consumes its whole
+  // input before emitting.
+  Planned p = Plan("SELECT a.id, a.x FROM AtomicPart a IN AtomicParts "
+                   "WHERE a.x > 100 ORDER BY a.x;",
+                   /*max_dop=*/4);
+  auto stats = Exec(p, /*batch_size=*/0);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  for (size_t i = 1; i < stats->sample_rows.size(); ++i) {
+    EXPECT_LE(stats->sample_rows[i - 1][1].i, stats->sample_rows[i][1].i);
+  }
+  auto reference = EvaluateReference(*p.logical, &store(), p.ctx);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  EXPECT_EQ(SortedRows(stats->sample_rows), SortedRows(reference->rows));
+}
+
+TEST_P(ExchangeTest, BatchAndDopConfigurationsMatchReference) {
+  Rng rng(0xec4a + static_cast<uint64_t>(GetParam()) * 6151);
+  std::string text = RandomOo7Query(rng);
+  SCOPED_TRACE(text);
+
+  Planned serial = Plan(text, /*max_dop=*/1);
+  Planned par = Plan(text, /*max_dop=*/4);
+
+  auto reference = EvaluateReference(*serial.logical, &store(), serial.ctx);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  std::vector<std::string> expect = SortedRows(reference->rows);
+
+  struct Config {
+    Planned* planned;
+    int batch;
+    const char* label;
+  } configs[] = {
+      {&serial, 1, "serial batch=1 (tuple-at-a-time era)"},
+      {&serial, 1024, "serial batch=1024"},
+      {&par, 64, "dop=4 batch=64"},
+      {&par, 1024, "dop=4 batch=1024"},
+  };
+  for (Config& c : configs) {
+    SCOPED_TRACE(c.label);
+    auto stats = Exec(*c.planned, c.batch);
+    ASSERT_TRUE(stats.ok()) << stats.status() << "\nplan:\n"
+                            << PrintPlan(*c.planned->plan, c.planned->ctx);
+    EXPECT_EQ(stats->rows, static_cast<int64_t>(reference->rows.size()));
+    EXPECT_EQ(SortedRows(stats->sample_rows), expect)
+        << "plan:\n" << PrintPlan(*c.planned->plan, c.planned->ctx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExchangeTest, ::testing::Range(0, 40));
+
+TEST_F(ExchangeTest, OidFaultParityAcrossDop) {
+  // OID-targeted faults are order-independent, so serial and parallel runs
+  // must agree exactly: both fail with kStorageFault (a worker trip drains
+  // the pipeline), and removing the policy restores identical results.
+  const std::string text =
+      "SELECT a.id FROM AtomicPart a IN AtomicParts WHERE a.x > a.y;";
+  Planned serial = Plan(text, /*max_dop=*/1);
+  Planned par = Plan(text, /*max_dop=*/4);
+  ASSERT_GE(CountExchanges(*par.plan), 1);
+
+  FaultPolicy faults;
+  faults.fail_oids = {instance_->db->atomic_parts[7]};
+  store().SetFaultPolicy(faults);
+
+  auto serial_stats = Exec(serial, 1024);
+  auto par_stats = Exec(par, 1024);
+  store().SetFaultPolicy(FaultPolicy{});
+
+  ASSERT_FALSE(serial_stats.ok());
+  ASSERT_FALSE(par_stats.ok());
+  EXPECT_EQ(serial_stats.status().code(), StatusCode::kStorageFault);
+  EXPECT_EQ(par_stats.status().code(), StatusCode::kStorageFault);
+
+  // Clean runs after the policy reset agree again.
+  auto clean_serial = Exec(serial, 1024);
+  auto clean_par = Exec(par, 1024);
+  ASSERT_TRUE(clean_serial.ok()) << clean_serial.status();
+  ASSERT_TRUE(clean_par.ok()) << clean_par.status();
+  EXPECT_EQ(SortedRows(clean_serial->sample_rows),
+            SortedRows(clean_par->sample_rows));
+}
+
+TEST_F(ExchangeTest, RandomFaultsYieldTypedOutcomesUnderDop) {
+  // Probabilistic faults are not order-deterministic with DOP > 1; the
+  // contract is weaker but still strict: either a clean reference-identical
+  // result or a typed storage fault — never a crash or a short read.
+  const std::string text = kOo7QueryNewerComponents;
+  Planned par = Plan(text, /*max_dop=*/4);
+  auto reference = EvaluateReference(*par.logical, &store(), par.ctx);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  for (int trial = 0; trial < 10; ++trial) {
+    FaultPolicy faults;
+    faults.seed = 0xfee1 + static_cast<uint64_t>(trial);
+    faults.fail_probability = 0.02;
+    store().SetFaultPolicy(faults);
+    auto stats = Exec(par, 1024);
+    store().SetFaultPolicy(FaultPolicy{});
+    if (stats.ok()) {
+      EXPECT_EQ(SortedRows(stats->sample_rows), SortedRows(reference->rows));
+    } else {
+      EXPECT_EQ(stats.status().code(), StatusCode::kStorageFault)
+          << stats.status();
+    }
+  }
+}
+
+TEST_F(ExchangeTest, GovernorRowBudgetTripsUnderDop) {
+  Planned par = Plan(
+      "SELECT a.id, a.x FROM AtomicPart a IN AtomicParts WHERE a.x >= 0;",
+      /*max_dop=*/4);
+  ASSERT_GE(CountExchanges(*par.plan), 1);
+
+  GovernorOptions gov;
+  gov.max_exec_rows = 10;
+  QueryGovernor governor(gov);
+  auto stats = Exec(par, 64, &governor);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kBudgetExhausted)
+      << stats.status();
+  EXPECT_GE(governor.stats().budget_trips, 1);
+}
+
+TEST_F(ExchangeTest, CrossThreadCancellationDuringExchange) {
+  Planned par = Plan(kOo7QueryTraversal, /*max_dop=*/4);
+
+  // Pre-cancelled: the run must observe the token and fail typed.
+  {
+    GovernorOptions gov;
+    gov.cancel = std::make_shared<CancelToken>();
+    gov.cancel->RequestCancel();
+    QueryGovernor governor(gov);
+    auto stats = Exec(par, 64, &governor);
+    ASSERT_FALSE(stats.ok());
+    EXPECT_EQ(stats.status().code(), StatusCode::kCancelled) << stats.status();
+  }
+
+  // Cancelled from another thread mid-flight: either the query finished
+  // first (OK) or it observed the cancellation — both are legal; crashes,
+  // hangs, and untyped errors are not. Exercises the cross-thread trip
+  // path under TSan.
+  {
+    GovernorOptions gov;
+    gov.cancel = std::make_shared<CancelToken>();
+    QueryGovernor governor(gov);
+    std::thread canceller([token = gov.cancel] { token->RequestCancel(); });
+    auto stats = Exec(par, 64, &governor);
+    canceller.join();
+    if (!stats.ok()) {
+      EXPECT_EQ(stats.status().code(), StatusCode::kCancelled)
+          << stats.status();
+    }
+  }
+}
+
+TEST_F(ExchangeTest, ExplainAnnotatesBatchAndDop) {
+  std::unique_ptr<Oo7Db> db = MakeOo7Catalog(ParallelConfig());
+  const std::string text =
+      "SELECT a.id FROM AtomicPart a IN AtomicParts WHERE a.x > a.y;";
+
+  Session::Options serial_opts;
+  Session serial(&db->catalog, serial_opts);
+  auto serial_explain = serial.Explain(text);
+  ASSERT_TRUE(serial_explain.ok()) << serial_explain.status();
+  EXPECT_EQ(serial_explain->find("exec:"), std::string::npos);
+  EXPECT_EQ(serial_explain->find("Exchange"), std::string::npos);
+
+  Session::Options par_opts;
+  par_opts.optimizer.max_dop = 4;
+  Session par(&db->catalog, par_opts);
+  auto par_explain = par.Explain(text);
+  ASSERT_TRUE(par_explain.ok()) << par_explain.status();
+  EXPECT_NE(par_explain->find("exec: batch=1024 dop="), std::string::npos)
+      << *par_explain;
+  EXPECT_NE(par_explain->find("Exchange"), std::string::npos) << *par_explain;
+}
+
+}  // namespace
+}  // namespace oodb
