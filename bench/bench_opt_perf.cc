@@ -122,6 +122,41 @@ void BM_OptimizeJoinChain(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimizeJoinChain)->DenseRange(2, 5);
 
+// Post-optimization static verification (memo + plan walks) is on by
+// default in Debug builds; it must stay cheap enough to leave there. This
+// benchmark optimizes the four paper queries with verification off and on,
+// interleaved so clock drift hits both passes equally, and fails if the
+// verified pass costs more than 5% extra optimize wall time.
+void BM_VerifyOverhead(benchmark::State& state) {
+  double verified_s = 0.0;
+  double plain_s = 0.0;
+  for (auto _ : state) {
+    for (int pass = 0; pass < 2; ++pass) {
+      OptimizerOptions opts;
+      opts.verify_plans = pass == 1;
+      for (int n = 1; n <= 4; ++n) {
+        QueryContext ctx;
+        auto logical = BuildPaperQuery(n, Db(), &ctx);
+        Optimizer opt(&Db().catalog, opts);
+        auto r = opt.Optimize(**logical, &ctx);
+        if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+        (pass == 1 ? verified_s : plain_s) += r->stats.optimize_seconds;
+      }
+    }
+  }
+  double overhead = plain_s > 0.0 ? (verified_s - plain_s) / plain_s : 0.0;
+  state.counters["verify_overhead_pct"] = 100.0 * overhead;
+  // Only assert once enough optimize time accumulated for the ratio to be
+  // signal rather than scheduler noise.
+  if (plain_s > 0.05 && overhead > 0.05) {
+    state.SkipWithError(("plan verification adds " +
+                         std::to_string(100.0 * overhead) +
+                         "% optimize-time overhead (budget: 5%)")
+                            .c_str());
+  }
+}
+BENCHMARK(BM_VerifyOverhead)->MinTime(0.2);
+
 }  // namespace
 }  // namespace oodb
 

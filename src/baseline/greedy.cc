@@ -4,6 +4,7 @@
 
 #include "src/cost/selectivity.h"
 #include "src/physical/algorithms.h"
+#include "src/physical/enforcers.h"
 
 namespace oodb {
 
@@ -256,22 +257,46 @@ Result<OptimizedQuery> GreedyOptimizer::Optimize(const LogicalExpr& input,
     BindingSet needs = LoadRequirements(q.emit, *ctx);
     if (!plan->delivered.in_memory.ContainsAll(needs)) {
       // Load whatever the projection still needs with one final assembly.
-      BindingSet missing = needs.Minus(plan->delivered.in_memory);
+      // Steps come from PlanAssemblySteps so sources precede their targets
+      // and intermediate chain objects are loaded too, not just the read
+      // ends (a step dereferencing an unloaded source faults at runtime).
+      BindingSet to_load = needs.Minus(plan->delivered.in_memory);
       PhysicalOp assemble;
       assemble.kind = PhysOpKind::kAssembly;
-      for (BindingId b : missing.ToVector()) {
-        const BindingDef& d = ctx->bindings.def(b);
-        assemble.mats.push_back(MatStep{d.parent, d.via_field, b});
+      for (;;) {
+        BindingSet need_below;
+        assemble.mats = PlanAssemblySteps(to_load, *ctx, &need_below);
+        if (assemble.mats.empty()) {
+          return Status::PlanError(
+              "greedy planner cannot assemble projection inputs");
+        }
+        BindingSet unmet = need_below.Minus(plan->delivered.in_memory);
+        if (unmet.Empty()) break;
+        to_load = to_load.Union(unmet);
       }
       PhysProps delivered = plan->delivered;
-      delivered.in_memory = delivered.in_memory.Union(missing);
+      for (const MatStep& s : assemble.mats) delivered.in_memory.Add(s.target);
       Cost cost = AssemblyCost(cost_model_, catalog, ctx->bindings,
                                plan->logical.card, assemble.mats, 0, false);
       plan = PlanNode::Make(std::move(assemble), {plan}, props, delivered,
                             cost);
     }
+    // The projection discards the chain scope: its output is the emit
+    // expressions' bindings only, and it delivers at most what remains both
+    // loaded below and loadable in that narrowed scope.
+    LogicalProps out_props = props;
+    out_props.scope = needs;
+    for (const ScalarExprPtr& e : q.emit) {
+      if (e != nullptr) {
+        out_props.scope = out_props.scope.Union(e->ReferencedBindings());
+      }
+    }
+    PhysProps out_delivered = plan->delivered;
+    out_delivered.in_memory = plan->delivered.in_memory.Intersect(
+        LoadableBindings(out_props.scope, *ctx));
     Cost cost = AlgProjectCost(cost_model_, props.card, props.tuple_bytes);
-    plan = PlanNode::Make(std::move(op), {plan}, props, plan->delivered, cost);
+    plan = PlanNode::Make(std::move(op), {plan}, out_props, out_delivered,
+                          cost);
   }
 
   OptimizedQuery out;

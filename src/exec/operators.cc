@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/exec/exchange.h"
+#include "src/verify/verify.h"
 
 namespace oodb {
 
@@ -1155,14 +1156,19 @@ Result<std::unique_ptr<ExecNode>> BuildExecNode(const ExecEnv& env,
   // partition_node match on the scan below still fires.
   if (plan.op.kind == PhysOpKind::kFilter && plan.op.pred != nullptr) {
     std::vector<ScalarExprPtr> conjuncts;
+    std::vector<ScalarExprPtr> chain_preds;
     const PlanNode* node = &plan;
     while (node->op.kind == PhysOpKind::kFilter && node->op.pred != nullptr) {
+      chain_preds.push_back(node->op.pred);
       std::vector<ScalarExprPtr> cs = ScalarExpr::SplitConjuncts(node->op.pred);
       conjuncts.insert(conjuncts.end(), cs.begin(), cs.end());
       node = node->children[0].get();
     }
     double ncon = static_cast<double>(conjuncts.size());
     ScalarExprPtr combined = ScalarExpr::CombineConjuncts(std::move(conjuncts));
+    // The fusion must preserve the chain's conjunct multiset exactly: a
+    // dropped or rewritten term silently changes query results.
+    OODB_RETURN_IF_ERROR(VerifyFusedConjuncts(chain_preds, combined));
     if (node->op.kind == PhysOpKind::kFileScan &&
         env.batch_size >= FilterProgram::kMinKernelRows) {
       FilterProgram prog = FilterProgram::Analyze(combined);

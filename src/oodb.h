@@ -26,5 +26,6 @@
 #include "src/query/simplify.h"
 #include "src/session.h"
 #include "src/storage/datagen.h"
+#include "src/verify/verify.h"
 
 #endif  // OODB_OODB_H_

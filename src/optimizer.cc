@@ -4,6 +4,7 @@
 #include "src/physical/impl_rules.h"
 #include "src/physical/parallel.h"
 #include "src/rules/transformations.h"
+#include "src/verify/verify.h"
 
 namespace oodb {
 
@@ -35,6 +36,20 @@ Result<OptimizedQuery> Optimizer::Optimize(const LogicalExpr& input,
     out.plan = PlantExchanges(out.plan, cost_model, options_.max_dop);
   }
   out.cost = out.plan->total_cost;
+  if (options_.verify_plans) {
+    // Soft-fail: a violation marks the result as suspect (Explain surfaces
+    // it, the Session refuses to cache it) but the plan is still returned —
+    // the verifier guards against optimizer bugs, and a diagnosable plan
+    // beats an opaque error.
+    VerifyReport memo_report = VerifyMemoReport(engine.memo());
+    VerifyReport plan_report = VerifyPlanReport(*out.plan, *ctx);
+    out.stats.verified = true;
+    out.stats.verify_error = memo_report.ToString();
+    if (!plan_report.ok()) {
+      if (!out.stats.verify_error.empty()) out.stats.verify_error += "\n";
+      out.stats.verify_error += plan_report.ToString();
+    }
+  }
   return out;
 }
 

@@ -198,6 +198,10 @@ uint64_t HashOptimizerOptions(const OptimizerOptions& opts) {
   h.Mix((static_cast<uint64_t>(opts.enable_warm_start_assembly) << 2) |
         (static_cast<uint64_t>(opts.enable_merge_join) << 1) |
         static_cast<uint64_t>(opts.enable_pruning));
+  // Deliberately unmixed: `governor` and `verify_plans`. Neither changes
+  // which plan wins — the governor only bounds search effort, and the
+  // verifier only inspects the result — so sessions differing in them
+  // should share cache entries.
   Fingerprint f = h.Get();
   return f.hi ^ (f.lo * 0x9e3779b97f4a7c15ull);
 }

@@ -4,6 +4,7 @@
 
 #include "src/baseline/greedy.h"
 #include "src/query/fingerprint.h"
+#include "src/verify/verify.h"
 
 namespace oodb {
 
@@ -60,6 +61,14 @@ Result<OptimizedQuery> Session::RunOptimizer(const LogicalExpr& input,
   fallback->stats.degraded = true;
   fallback->stats.degrade_reason = err.message();
   fallback->stats.governor = governor_->stats();
+  if (options_.optimizer.verify_plans && fallback->plan != nullptr) {
+    // The greedy path bypasses the optimizer's verification hook; hold its
+    // plan to the same standard (this is exactly how the greedy planner's
+    // projection-scope bug was found).
+    fallback->stats.verified = true;
+    fallback->stats.verify_error =
+        VerifyPlanReport(*fallback->plan, *ctx).ToString();
+  }
   // The tripped governor is sticky; re-arm a fresh one (fresh deadline and
   // budgets) so the degraded plan gets a real chance to execute.
   governor_ = std::make_unique<QueryGovernor>(options_.governor);
@@ -107,10 +116,13 @@ Result<SessionResult> Session::Prepare(const std::string& zql) {
   } else {
     OODB_ASSIGN_OR_RETURN(out.optimized,
                           RunOptimizer(*out.logical, &out.ctx, required));
-    if (!out.optimized.stats.degraded) {
+    if (!out.optimized.stats.degraded &&
+        out.optimized.stats.verify_error.empty()) {
       // Degraded plans are a stopgap for *this* statement's exhausted
       // budget; caching one would keep serving the inferior plan to
-      // fully-budgeted callers.
+      // fully-budgeted callers. Plans the verifier flagged are never
+      // cached either: a corrupt plan served from cache would outlive the
+      // statement that exposed the bug.
       auto entry = std::make_shared<CachedPlan>();
       entry->plan = out.optimized.plan;
       entry->cost = out.optimized.cost;
@@ -147,6 +159,9 @@ Result<std::string> Session::Explain(const std::string& zql) {
     out += "plan: degraded(greedy, reason=" + st.degrade_reason + ")\n";
   }
   if (st.plan_cached) out += "plan: cached\n";
+  if (!st.verify_error.empty()) {
+    out += "verify: FAILED\n" + st.verify_error + "\n";
+  }
   if (plan_cache() != nullptr) {
     out += "plan cache: hits=" + std::to_string(st.cache_hits) +
            " misses=" + std::to_string(st.cache_misses) +

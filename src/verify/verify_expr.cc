@@ -1,0 +1,333 @@
+// Report plumbing + the logical-expression layer of the verifier: scalar
+// type discipline, binding scoping, and operator validity over whole trees.
+#include "src/verify/verify.h"
+
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace oodb {
+
+std::string VerifyViolation::ToString() const {
+  return "[" + invariant + "] at " + path + ": " + detail;
+}
+
+void VerifyReport::Add(const char* invariant_id, std::string path,
+                       std::string detail) {
+  violations_.push_back(
+      VerifyViolation{invariant_id, std::move(path), std::move(detail)});
+}
+
+bool VerifyReport::Has(const char* invariant_id) const {
+  for (const VerifyViolation& v : violations_) {
+    if (v.invariant == invariant_id) return true;
+  }
+  return false;
+}
+
+Status VerifyReport::ToStatus() const {
+  if (ok()) return Status::OK();
+  std::string msg = violations_[0].ToString();
+  if (violations_.size() > 1) {
+    msg += " (+" + std::to_string(violations_.size() - 1) + " more)";
+  }
+  return Status::PlanError(std::move(msg));
+}
+
+std::string VerifyReport::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(violations_.size());
+  for (const VerifyViolation& v : violations_) lines.push_back(v.ToString());
+  return Join(lines, "\n");
+}
+
+const char* ScalarTypeName(ScalarType t) {
+  switch (t) {
+    case ScalarType::kBool:
+      return "bool";
+    case ScalarType::kInt:
+      return "int";
+    case ScalarType::kDouble:
+      return "double";
+    case ScalarType::kString:
+      return "string";
+    case ScalarType::kRef:
+      return "ref";
+    case ScalarType::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsNumeric(ScalarType t) {
+  return t == ScalarType::kInt || t == ScalarType::kDouble;
+}
+
+}  // namespace
+
+bool IsTruthyConstant(const ScalarExpr& expr) {
+  return expr.kind() == ScalarExpr::Kind::kConst &&
+         expr.value().kind == Value::Kind::kInt;
+}
+
+namespace {
+
+/// Are two operand types comparable with `op`? kUnknown compares with
+/// anything (a violation already fired where it arose, or it is a typed
+/// null, which compares false at runtime rather than erring).
+bool Comparable(ScalarType l, ScalarType r, CmpOp op) {
+  if (l == ScalarType::kUnknown || r == ScalarType::kUnknown) return true;
+  if (l == ScalarType::kBool || r == ScalarType::kBool) return false;
+  if (IsNumeric(l) && IsNumeric(r)) return true;
+  if (l != r) return false;
+  // Same kind: strings order fine; references only support (in)equality.
+  if (l == ScalarType::kRef) return op == CmpOp::kEq || op == CmpOp::kNe;
+  return true;
+}
+
+}  // namespace
+
+ScalarType CheckScalarExpr(const ScalarExpr& expr, BindingSet scope,
+                           const QueryContext& ctx, const std::string& path,
+                           VerifyReport* report) {
+  const BindingTable& bindings = ctx.bindings;
+  switch (expr.kind()) {
+    case ScalarExpr::Kind::kAttr: {
+      if (!bindings.has(expr.binding())) {
+        report->Add(invariant::kExprBinding, path,
+                    "attribute read of unknown binding id " +
+                        std::to_string(expr.binding()));
+        return ScalarType::kUnknown;
+      }
+      const BindingDef& def = bindings.def(expr.binding());
+      if (!scope.Contains(expr.binding())) {
+        report->Add(invariant::kExprScope, path,
+                    "attribute read of binding '" + def.name +
+                        "' which is not in scope");
+        return ScalarType::kUnknown;
+      }
+      const TypeDef& type = ctx.schema().type(def.type);
+      if (!type.has_field(expr.field())) {
+        report->Add(invariant::kExprField, path,
+                    "binding '" + def.name + "' of type " + type.name() +
+                        " has no field id " + std::to_string(expr.field()));
+        return ScalarType::kUnknown;
+      }
+      switch (type.field(expr.field()).kind) {
+        case FieldKind::kInt:
+          return ScalarType::kInt;
+        case FieldKind::kDouble:
+          return ScalarType::kDouble;
+        case FieldKind::kString:
+          return ScalarType::kString;
+        case FieldKind::kRef:
+          return ScalarType::kRef;
+        case FieldKind::kRefSet:
+          report->Add(invariant::kExprSetField, path,
+                      "set-valued field '" + type.field(expr.field()).name +
+                          "' of '" + def.name +
+                          "' used in scalar position (must be Unnest-ed)");
+          return ScalarType::kUnknown;
+      }
+      return ScalarType::kUnknown;
+    }
+    case ScalarExpr::Kind::kSelf: {
+      if (!bindings.has(expr.binding())) {
+        report->Add(invariant::kExprBinding, path,
+                    "self reference to unknown binding id " +
+                        std::to_string(expr.binding()));
+        return ScalarType::kUnknown;
+      }
+      if (!scope.Contains(expr.binding())) {
+        report->Add(invariant::kExprScope, path,
+                    "self reference to binding '" +
+                        bindings.def(expr.binding()).name +
+                        "' which is not in scope");
+        return ScalarType::kUnknown;
+      }
+      return ScalarType::kRef;
+    }
+    case ScalarExpr::Kind::kConst:
+      switch (expr.value().kind) {
+        case Value::Kind::kInt:
+          return ScalarType::kInt;
+        case Value::Kind::kDouble:
+          return ScalarType::kDouble;
+        case Value::Kind::kString:
+          return ScalarType::kString;
+        case Value::Kind::kNull:
+          return ScalarType::kUnknown;  // typed null: comparable to anything
+      }
+      return ScalarType::kUnknown;
+    case ScalarExpr::Kind::kCmp: {
+      if (expr.children().size() != 2) {
+        report->Add(invariant::kExprShape, path,
+                    "comparison with " +
+                        std::to_string(expr.children().size()) +
+                        " operands (want 2)");
+        return ScalarType::kBool;
+      }
+      ScalarType l =
+          CheckScalarExpr(*expr.children()[0], scope, ctx, path, report);
+      ScalarType r =
+          CheckScalarExpr(*expr.children()[1], scope, ctx, path, report);
+      if (!Comparable(l, r, expr.cmp_op())) {
+        report->Add(invariant::kExprCmpType, path,
+                    std::string("comparison '") + CmpOpName(expr.cmp_op()) +
+                        "' of incompatible operand types " +
+                        ScalarTypeName(l) + " vs " + ScalarTypeName(r));
+      }
+      return ScalarType::kBool;
+    }
+    case ScalarExpr::Kind::kAnd:
+    case ScalarExpr::Kind::kOr: {
+      const char* name = expr.kind() == ScalarExpr::Kind::kAnd ? "and" : "or";
+      if (expr.children().empty()) {
+        report->Add(invariant::kExprShape, path,
+                    std::string("empty '") + name + "' expression");
+      }
+      for (const ScalarExprPtr& c : expr.children()) {
+        ScalarType t = CheckScalarExpr(*c, scope, ctx, path, report);
+        if (t != ScalarType::kBool && t != ScalarType::kUnknown &&
+            !IsTruthyConstant(*c)) {
+          report->Add(invariant::kExprBoolOperand, path,
+                      std::string("'") + name + "' operand of type " +
+                          ScalarTypeName(t) + " (want bool)");
+        }
+      }
+      return ScalarType::kBool;
+    }
+    case ScalarExpr::Kind::kNot: {
+      if (expr.children().size() != 1) {
+        report->Add(invariant::kExprShape, path,
+                    "negation with " + std::to_string(expr.children().size()) +
+                        " operands (want 1)");
+        return ScalarType::kBool;
+      }
+      ScalarType t =
+          CheckScalarExpr(*expr.children()[0], scope, ctx, path, report);
+      if (t != ScalarType::kBool && t != ScalarType::kUnknown) {
+        report->Add(invariant::kExprBoolOperand, path,
+                    std::string("'not' operand of type ") + ScalarTypeName(t) +
+                        " (want bool)");
+      }
+      return ScalarType::kBool;
+    }
+  }
+  return ScalarType::kUnknown;
+}
+
+namespace {
+
+/// Checks a predicate in boolean position: well-typed and boolean-rooted.
+void CheckPredicate(const ScalarExprPtr& pred, BindingSet scope,
+                    const QueryContext& ctx, const std::string& path,
+                    VerifyReport* report) {
+  if (pred == nullptr) return;  // the op-level check reports missing preds
+  ScalarType t = CheckScalarExpr(*pred, scope, ctx, path, report);
+  if (t != ScalarType::kBool && t != ScalarType::kUnknown &&
+      !IsTruthyConstant(*pred)) {
+    report->Add(invariant::kExprPredBool, path,
+                std::string("predicate of type ") + ScalarTypeName(t) +
+                    " (want bool)");
+  }
+}
+
+/// Bottom-up walk: validates each operator against its children's scopes
+/// (LogicalOp::Validate covers scoping, Mat/Unnest catalog types, join
+/// disjointness) and type-checks the operator's expressions. Returns the
+/// subtree scope, best-effort even after violations.
+BindingSet WalkLogical(const LogicalExpr& expr, const QueryContext& ctx,
+                       const std::string& path, VerifyReport* report) {
+  std::vector<BindingSet> child_scopes;
+  child_scopes.reserve(expr.children.size());
+  for (size_t i = 0; i < expr.children.size(); ++i) {
+    std::string child_path = path + "/";
+    if (expr.children.size() > 1) child_path += std::to_string(i) + ":";
+    child_path += LogicalOpKindName(expr.children[i]->op.kind);
+    child_scopes.push_back(
+        WalkLogical(*expr.children[i], ctx, child_path, report));
+  }
+
+  if (static_cast<int>(expr.children.size()) != expr.op.Arity()) {
+    report->Add(invariant::kLogicalOp, path,
+                std::string(LogicalOpKindName(expr.op.kind)) + " has " +
+                    std::to_string(expr.children.size()) +
+                    " children (want " + std::to_string(expr.op.Arity()) +
+                    ")");
+    return BindingSet();
+  }
+  if (Status st = expr.op.Validate(ctx, child_scopes); !st.ok()) {
+    report->Add(invariant::kLogicalOp, path, st.message());
+  }
+
+  BindingSet scope;
+  for (const BindingSet& s : child_scopes) scope = scope.Union(s);
+  switch (expr.op.kind) {
+    case LogicalOpKind::kSelect:
+    case LogicalOpKind::kJoin:
+      CheckPredicate(expr.op.pred, scope, ctx, path, report);
+      break;
+    case LogicalOpKind::kProject:
+      for (const ScalarExprPtr& e : expr.op.emit) {
+        if (e != nullptr) CheckScalarExpr(*e, scope, ctx, path, report);
+      }
+      break;
+    default:
+      break;
+  }
+  return expr.op.OutputBindings(child_scopes);
+}
+
+}  // namespace
+
+VerifyReport VerifyExprReport(const LogicalExpr& expr,
+                              const QueryContext& ctx) {
+  VerifyReport report;
+  WalkLogical(expr, ctx, LogicalOpKindName(expr.op.kind), &report);
+  return report;
+}
+
+Status VerifyExpr(const LogicalExpr& expr, const QueryContext& ctx) {
+  return VerifyExprReport(expr, ctx).ToStatus();
+}
+
+Status VerifyFusedConjuncts(const std::vector<ScalarExprPtr>& chain_preds,
+                            const ScalarExprPtr& fused) {
+  std::vector<ScalarExprPtr> want;
+  for (const ScalarExprPtr& p : chain_preds) {
+    for (ScalarExprPtr& c : ScalarExpr::SplitConjuncts(p)) {
+      want.push_back(std::move(c));
+    }
+  }
+  std::vector<ScalarExprPtr> got = ScalarExpr::SplitConjuncts(fused);
+  if (want.size() != got.size()) {
+    return Status::PlanError(
+        std::string("[") + invariant::kPlanFusion +
+        "] at Filter: fused predicate has " + std::to_string(got.size()) +
+        " conjuncts, the collapsed chain had " + std::to_string(want.size()));
+  }
+  // Order-insensitive multiset match: every chain conjunct must appear in
+  // the fused predicate exactly as many times as in the chain.
+  std::vector<bool> used(got.size(), false);
+  for (const ScalarExprPtr& w : want) {
+    bool matched = false;
+    for (size_t i = 0; i < got.size(); ++i) {
+      if (!used[i] && ExprPtrEquals(w, got[i])) {
+        used[i] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return Status::PlanError(std::string("[") + invariant::kPlanFusion +
+                               "] at Filter: fused predicate dropped or "
+                               "rewrote a conjunct of the collapsed chain");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace oodb

@@ -99,7 +99,15 @@ class Memo {
   int num_groups() const;        ///< live (representative) groups
   int num_mexprs() const { return static_cast<int>(mexprs_.size()); }
 
+  /// Total groups ever created, including ones merged away by union-find.
+  /// Raw iteration for the verifier; use Find() to test liveness.
+  int num_raw_groups() const { return static_cast<int>(groups_.size()); }
+  /// Group slot `g` without union-find canonicalization (merged-away slots
+  /// have empty mexprs). Verifier use only; prefer group().
+  const Group& raw_group(GroupId g) const { return groups_[g]; }
+
   QueryContext* ctx() { return ctx_; }
+  const QueryContext* ctx() const { return ctx_; }
 
   /// Debug dump of all groups and expressions.
   std::string ToString() const;

@@ -15,6 +15,14 @@
 
 namespace oodb {
 
+/// Build-configured default for OptimizerOptions::verify_plans (the
+/// OODB_VERIFY_PLANS CMake option; on by default in Debug builds).
+#ifdef OODB_VERIFY_PLANS_DEFAULT
+inline constexpr bool kVerifyPlansDefault = true;
+#else
+inline constexpr bool kVerifyPlansDefault = false;
+#endif
+
 /// Search statistics reported per optimization (Table 2's "Optim. Time" and
 /// "% of Exh. Search" columns derive from these).
 struct SearchStats {
@@ -46,6 +54,15 @@ struct SearchStats {
   std::string degrade_reason;
   /// Governor trip/charge counters for this query (zero when ungoverned).
   GovernorStats governor;
+
+  /// True when the static verifier (src/verify/) ran over the memo and the
+  /// winning plan after this optimization.
+  bool verified = false;
+  /// Non-empty when verification found violations: one diagnostic per line,
+  /// each "[invariant] at operator/path: detail". A non-empty value marks
+  /// the plan as suspect — the Session refuses to cache it and Explain
+  /// surfaces the diagnostics.
+  std::string verify_error;
 
   /// Total expressions generated — the exhaustive-search denominator.
   int expressions() const { return logical_mexprs + phys_alternatives; }
@@ -79,6 +96,11 @@ struct OptimizerOptions {
   /// bucketed sharing; see src/query/fingerprint.h). When false every
   /// literal keys exactly.
   bool plan_cache_parameterize = true;
+  /// Run the static verifier (src/verify/) over the memo and winning plan
+  /// after every optimization, recording violations in
+  /// SearchStats::verify_error. Like `governor`, deliberately excluded from
+  /// HashOptimizerOptions: verification never changes which plan wins.
+  bool verify_plans = kVerifyPlansDefault;
   /// Per-query resource governor (non-owning; null = ungoverned). Set by
   /// Session for each governed query. Deliberately excluded from
   /// HashOptimizerOptions: a governor never changes which plan wins, it

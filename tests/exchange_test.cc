@@ -98,11 +98,14 @@ class ExchangeTest : public ::testing::TestWithParam<int> {
     out.logical = *logical;
     OptimizerOptions opts;
     opts.max_dop = max_dop;
+    opts.verify_plans = true;
     PhysProps required;
     required.sort = order;
     Optimizer opt(&catalog(), std::move(opts));
     auto planned = opt.Optimize(*out.logical, &out.ctx, required);
     EXPECT_TRUE(planned.ok()) << planned.status() << "\n" << text;
+    EXPECT_TRUE(planned->stats.verify_error.empty())
+        << text << "\n" << planned->stats.verify_error;
     out.plan = planned->plan;
     return out;
   }

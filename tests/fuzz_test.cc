@@ -142,6 +142,8 @@ class QueryGen {
     if (rng_.Bernoulli(0.2)) opts.enable_warm_start_assembly = true;
     if (rng_.Bernoulli(0.2)) opts.enable_merge_join = true;
     if (rng_.Bernoulli(0.3)) opts.enable_pruning = true;
+    // Every fuzzed configuration doubles as a verifier false-positive probe.
+    opts.verify_plans = true;
     return opts;
   }
 
@@ -249,6 +251,10 @@ TEST_P(FuzzTest, OptimizedPlanMatchesReferenceSemantics) {
   Optimizer opt(&db_->catalog, opts);
   auto planned = opt.Optimize(**logical, &ctx, required);
   ASSERT_TRUE(planned.ok()) << planned.status();
+  EXPECT_TRUE(planned->stats.verify_error.empty())
+      << "verifier flagged the winning plan:\n"
+      << planned->stats.verify_error << "\nplan:\n"
+      << PrintPlan(*planned->plan, ctx);
 
   ExecOptions eo;
   eo.sample_limit = 1 << 22;

@@ -57,9 +57,12 @@ class Oo7Test : public ::testing::Test {
     out.ctx.catalog = &db().catalog;
     auto logical = ParseAndSimplify(text, &out.ctx);
     EXPECT_TRUE(logical.ok()) << logical.status();
+    opts.verify_plans = true;
     Optimizer opt(&db().catalog, std::move(opts));
     auto planned = opt.Optimize(**logical, &out.ctx);
     EXPECT_TRUE(planned.ok()) << planned.status();
+    EXPECT_TRUE(planned->stats.verify_error.empty())
+        << text << "\n" << planned->stats.verify_error;
     out.optimized = *planned;
     auto stats = ExecutePlan(*planned->plan, &store(), &out.ctx);
     EXPECT_TRUE(stats.ok()) << stats.status() << "\n"

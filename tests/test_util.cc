@@ -27,10 +27,16 @@ OptimizedQuery MustOptimize(int n, const PaperDb& db, QueryContext* ctx,
   Result<LogicalExprPtr> logical = BuildPaperQuery(n, db, ctx);
   EXPECT_TRUE(logical.ok()) << logical.status();
   if (!logical.ok()) std::abort();
+  // Tests always run the static verifier, whatever the build default: every
+  // plan any test optimizes doubles as a verifier false-positive probe.
+  opts.verify_plans = true;
   Optimizer opt(&db.catalog, std::move(opts));
   Result<OptimizedQuery> r = opt.Optimize(**logical, ctx);
   EXPECT_TRUE(r.ok()) << r.status();
   if (!r.ok()) std::abort();
+  EXPECT_TRUE(r->stats.verify_error.empty())
+      << "paper query " << n << " failed verification:\n"
+      << r->stats.verify_error;
   return *std::move(r);
 }
 

@@ -1,0 +1,241 @@
+// Unit tests for the static verifier (src/verify/): clean IRs pass, the
+// expression type/scoping checks catch malformed trees, fused-filter
+// conjunct drift is detected, and the optimizer/session wiring surfaces
+// violations without caching flagged plans. The seeded-corruption matrix
+// lives in verify_mutation_test.cc.
+#include "src/verify/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "src/physical/enforcers.h"
+#include "src/physical/impl_rules.h"
+#include "src/rules/transformations.h"
+#include "src/volcano/search.h"
+#include "tests/test_util.h"
+
+namespace oodb {
+namespace {
+
+using testing::MustOptimize;
+
+class VerifyTest : public ::testing::Test {
+ protected:
+  VerifyTest() : db_(MakePaperCatalog()) { ctx_.catalog = &db_.catalog; }
+
+  PaperDb db_;
+  QueryContext ctx_;
+};
+
+// --- logical expression verification ---
+
+TEST_F(VerifyTest, CleanSelectPasses) {
+  BindingId c = ctx_.bindings.AddGet("c", db_.city);
+  LogicalExprPtr tree = LogicalExpr::Make(
+      LogicalOp::Select(ScalarExpr::AttrEqStr(c, db_.city_name, "Dallas")),
+      {LogicalExpr::Make(
+          LogicalOp::Get(CollectionId::Set("Cities", db_.city), c))});
+  VerifyReport report = VerifyExprReport(*tree, ctx_);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_TRUE(VerifyExpr(*tree, ctx_).ok());
+}
+
+TEST_F(VerifyTest, OutOfScopePredicateIsFlagged) {
+  BindingId c = ctx_.bindings.AddGet("c", db_.city);
+  BindingId other = ctx_.bindings.AddGet("other", db_.person);
+  // Predicate reads `other`, but only `c` is in scope below the Select.
+  LogicalExprPtr tree = LogicalExpr::Make(
+      LogicalOp::Select(ScalarExpr::AttrEqStr(other, db_.person_name, "Joe")),
+      {LogicalExpr::Make(
+          LogicalOp::Get(CollectionId::Set("Cities", db_.city), c))});
+  VerifyReport report = VerifyExprReport(*tree, ctx_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.Has(invariant::kExprScope)) << report.ToString();
+  // LogicalOp::Validate catches the same drift at the operator level.
+  EXPECT_TRUE(report.Has(invariant::kLogicalOp)) << report.ToString();
+  EXPECT_FALSE(VerifyExpr(*tree, ctx_).ok());
+}
+
+TEST_F(VerifyTest, CmpTypeMismatchIsFlagged) {
+  BindingId c = ctx_.bindings.AddGet("c", db_.city);
+  // city.name is a string; comparing it to an integer cannot be right.
+  LogicalExprPtr tree = LogicalExpr::Make(
+      LogicalOp::Select(ScalarExpr::Cmp(CmpOp::kEq,
+                                        ScalarExpr::Attr(c, db_.city_name),
+                                        ScalarExpr::Const(Value::Int(7)))),
+      {LogicalExpr::Make(
+          LogicalOp::Get(CollectionId::Set("Cities", db_.city), c))});
+  VerifyReport report = VerifyExprReport(*tree, ctx_);
+  EXPECT_TRUE(report.Has(invariant::kExprCmpType)) << report.ToString();
+}
+
+TEST_F(VerifyTest, UnknownFieldIsFlagged) {
+  BindingId c = ctx_.bindings.AddGet("c", db_.city);
+  LogicalExprPtr tree = LogicalExpr::Make(
+      LogicalOp::Select(ScalarExpr::AttrEqInt(c, FieldId{991}, 7)),
+      {LogicalExpr::Make(
+          LogicalOp::Get(CollectionId::Set("Cities", db_.city), c))});
+  VerifyReport report = VerifyExprReport(*tree, ctx_);
+  EXPECT_TRUE(report.Has(invariant::kExprField)) << report.ToString();
+}
+
+TEST_F(VerifyTest, SetValuedFieldInScalarPositionIsFlagged) {
+  BindingId t = ctx_.bindings.AddGet("t", db_.task);
+  // task.team_members is a set of references; it has no scalar value.
+  LogicalExprPtr tree = LogicalExpr::Make(
+      LogicalOp::Select(ScalarExpr::AttrEqInt(t, db_.task_team_members, 1)),
+      {LogicalExpr::Make(
+          LogicalOp::Get(CollectionId::Set("Tasks", db_.task), t))});
+  VerifyReport report = VerifyExprReport(*tree, ctx_);
+  EXPECT_TRUE(report.Has(invariant::kExprSetField)) << report.ToString();
+}
+
+TEST_F(VerifyTest, MatTargetTypeMismatchIsFlagged) {
+  BindingId c = ctx_.bindings.AddGet("c", db_.city);
+  // city.mayor references a Person; binding the target as a Task lies.
+  BindingId m = ctx_.bindings.AddMat("c.mayor", db_.task, c, db_.city_mayor);
+  LogicalExprPtr tree = LogicalExpr::Make(
+      LogicalOp::Mat(c, db_.city_mayor, m),
+      {LogicalExpr::Make(
+          LogicalOp::Get(CollectionId::Set("Cities", db_.city), c))});
+  VerifyReport report = VerifyExprReport(*tree, ctx_);
+  EXPECT_TRUE(report.Has(invariant::kLogicalOp)) << report.ToString();
+}
+
+TEST_F(VerifyTest, TruthyConstantPredicateIsAccepted) {
+  BindingId c = ctx_.bindings.AddGet("c", db_.city);
+  // Cross joins carry a constant `1` predicate; boolean position accepts it.
+  LogicalExprPtr tree = LogicalExpr::Make(
+      LogicalOp::Select(ScalarExpr::Const(Value::Int(1))),
+      {LogicalExpr::Make(
+          LogicalOp::Get(CollectionId::Set("Cities", db_.city), c))});
+  VerifyReport report = VerifyExprReport(*tree, ctx_);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// --- report plumbing ---
+
+TEST_F(VerifyTest, ReportToStatusCarriesFirstViolationAndCount) {
+  VerifyReport report;
+  EXPECT_TRUE(report.ToStatus().ok());
+  report.Add(invariant::kPlanSort, "Sort/File Scan", "first");
+  report.Add(invariant::kPlanScope, "Sort", "second");
+  Status st = report.ToStatus();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("[plan-sort-not-established]"),
+            std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("Sort/File Scan"), std::string::npos);
+  EXPECT_NE(st.message().find("(+1 more)"), std::string::npos);
+  EXPECT_TRUE(report.Has(invariant::kPlanSort));
+  EXPECT_FALSE(report.Has(invariant::kPlanExchange));
+}
+
+// --- fused-filter conjunct preservation ---
+
+TEST_F(VerifyTest, FusedConjunctsExactAndReorderedPass) {
+  BindingId c = ctx_.bindings.AddGet("c", db_.city);
+  ScalarExprPtr a = ScalarExpr::AttrEqStr(c, db_.city_name, "Dallas");
+  ScalarExprPtr b = ScalarExpr::AttrCmpInt(c, db_.city_population, CmpOp::kGt,
+                                           100);
+  EXPECT_TRUE(
+      VerifyFusedConjuncts({a, b}, ScalarExpr::And({a, b})).ok());
+  // Fusion may reorder conjuncts; only the multiset must survive.
+  EXPECT_TRUE(
+      VerifyFusedConjuncts({a, b}, ScalarExpr::And({b, a})).ok());
+}
+
+TEST_F(VerifyTest, FusedConjunctDropAndRewriteAreFlagged) {
+  BindingId c = ctx_.bindings.AddGet("c", db_.city);
+  ScalarExprPtr a = ScalarExpr::AttrEqStr(c, db_.city_name, "Dallas");
+  ScalarExprPtr b = ScalarExpr::AttrCmpInt(c, db_.city_population, CmpOp::kGt,
+                                           100);
+  ScalarExprPtr rewritten = ScalarExpr::AttrCmpInt(c, db_.city_population,
+                                                   CmpOp::kGe, 100);
+  Status dropped = VerifyFusedConjuncts({a, b}, a);
+  ASSERT_FALSE(dropped.ok());
+  EXPECT_NE(dropped.message().find("plan-fusion-conjunct-drift"),
+            std::string::npos)
+      << dropped.message();
+  Status changed = VerifyFusedConjuncts({a, b}, ScalarExpr::And({a, rewritten}));
+  EXPECT_FALSE(changed.ok());
+}
+
+// --- memo + plan verification over real optimizations ---
+
+TEST_F(VerifyTest, PaperQueryMemosAndPlansVerifyClean) {
+  for (int n = 1; n <= 4; ++n) {
+    QueryContext ctx;
+    ctx.catalog = &db_.catalog;
+    Result<LogicalExprPtr> logical = BuildPaperQuery(n, db_, &ctx);
+    ASSERT_TRUE(logical.ok()) << logical.status();
+    CostModel cm{CostModelOptions{}};
+    OptimizerOptions opts;
+    SearchEngine engine(&ctx, &cm, &opts);
+    for (auto& rule : MakeDefaultTransformations()) {
+      engine.AddTransformation(std::move(rule));
+    }
+    for (auto& rule : MakeDefaultImplRules()) {
+      engine.AddImplRule(std::move(rule));
+    }
+    for (auto& enf : MakeDefaultEnforcers()) {
+      engine.AddEnforcer(std::move(enf));
+    }
+    SearchStats stats;
+    Result<PlanNodePtr> plan = engine.Optimize(**logical, PhysProps{}, &stats);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    VerifyReport memo_report = VerifyMemoReport(engine.memo());
+    EXPECT_TRUE(memo_report.ok())
+        << "query " << n << " memo:\n" << memo_report.ToString();
+    VerifyReport plan_report = VerifyPlanReport(**plan, ctx);
+    EXPECT_TRUE(plan_report.ok())
+        << "query " << n << " plan:\n" << plan_report.ToString();
+  }
+}
+
+TEST_F(VerifyTest, OptimizerRecordsVerificationInStats) {
+  QueryContext ctx;
+  ctx.catalog = &db_.catalog;
+  OptimizerOptions opts;
+  opts.verify_plans = true;
+  OptimizedQuery q = MustOptimize(1, db_, &ctx, opts);
+  EXPECT_TRUE(q.stats.verified);
+  EXPECT_TRUE(q.stats.verify_error.empty()) << q.stats.verify_error;
+}
+
+TEST_F(VerifyTest, OptimizerSkipsVerificationWhenDisabled) {
+  QueryContext ctx;
+  ctx.catalog = &db_.catalog;
+  Result<LogicalExprPtr> logical = BuildPaperQuery(1, db_, &ctx);
+  ASSERT_TRUE(logical.ok());
+  OptimizerOptions opts;
+  opts.verify_plans = false;
+  Optimizer opt(&db_.catalog, std::move(opts));
+  Result<OptimizedQuery> q = opt.Optimize(**logical, &ctx);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_FALSE(q->stats.verified);
+  EXPECT_TRUE(q->stats.verify_error.empty());
+}
+
+// Regression for the greedy planner's final-projection bugs: its root
+// Alg-Project used to carry the whole chain scope (instead of the emit
+// expressions') and its catch-up assembly emitted steps in binding-id order
+// without loading intermediate chain objects. The verifier now holds the
+// greedy baseline to the same invariants as the Volcano search.
+TEST_F(VerifyTest, GreedyPlansVerifyClean) {
+  for (int n = 1; n <= 4; ++n) {
+    QueryContext ctx;
+    ctx.catalog = &db_.catalog;
+    Result<LogicalExprPtr> logical = BuildPaperQuery(n, db_, &ctx);
+    ASSERT_TRUE(logical.ok()) << logical.status();
+    GreedyOptimizer greedy(&db_.catalog, CostModelOptions{});
+    Result<OptimizedQuery> q = greedy.Optimize(**logical, &ctx);
+    ASSERT_TRUE(q.ok()) << "query " << n << ": " << q.status();
+    VerifyReport report = VerifyPlanReport(*q->plan, ctx);
+    EXPECT_TRUE(report.ok())
+        << "greedy query " << n << ":\n" << report.ToString() << "\n"
+        << PrintPlan(*q->plan, ctx);
+  }
+}
+
+}  // namespace
+}  // namespace oodb
