@@ -113,6 +113,7 @@ Status AnalyzeStore(const ObjectStore& store, Catalog* catalog,
   // through a bumping mutator); one final bump covers them so cached plans
   // keyed on the old statistics can never be served again.
   catalog->BumpStatsVersion();
+  catalog->MarkStatsMeasured();
   return Status::OK();
 }
 

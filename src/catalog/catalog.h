@@ -74,6 +74,14 @@ class Catalog {
   uint64_t stats_version() const { return stats_version_; }
   void BumpStatsVersion() { ++stats_version_; }
 
+  /// True once field statistics were *measured* from stored data (ANALYZE)
+  /// rather than declared with the schema. The selectivity estimator only
+  /// trusts per-field distinct counts for un-indexed equality predicates
+  /// after measurement; declared-only catalogs keep the paper's 10% default
+  /// (§4), preserving the published Figure 6 / Table 2 plans.
+  bool stats_measured() const { return stats_measured_; }
+  void MarkStatsMeasured() { stats_measured_ = true; }
+
   /// Registers a named set of `elem_type` with `cardinality` elements.
   Status AddSet(const std::string& name, TypeId elem_type, int64_t cardinality);
 
@@ -125,6 +133,7 @@ class Catalog {
   std::vector<CollectionInfo> collections_;
   std::vector<IndexInfo> indexes_;
   uint64_t stats_version_ = 0;
+  bool stats_measured_ = false;
 };
 
 }  // namespace oodb

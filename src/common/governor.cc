@@ -1,6 +1,37 @@
 #include "src/common/governor.h"
 
+#include "src/common/metrics.h"
+
 namespace oodb {
+
+namespace {
+
+/// Process-wide trip counters by kind (per-query counts live in
+/// GovernorStats). Resolved once; counters are never deallocated.
+struct GovernorMetrics {
+  Counter* deadline_trips;
+  Counter* cancel_trips;
+  Counter* budget_trips;
+
+  static const GovernorMetrics& Get() {
+    static const GovernorMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      GovernorMetrics m;
+      m.deadline_trips = r.counter("oodb_governor_deadline_trips_total",
+                                   "Queries stopped at their deadline.");
+      m.cancel_trips = r.counter("oodb_governor_cancel_trips_total",
+                                 "Queries stopped by cancellation.");
+      m.budget_trips =
+          r.counter("oodb_governor_budget_trips_total",
+                    "Queries stopped by a resource budget (memo, "
+                    "alternatives, rows, pages, or tracked bytes).");
+      return m;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 QueryGovernor::QueryGovernor(GovernorOptions options)
     : options_(std::move(options)), armed_at_(std::chrono::steady_clock::now()) {
@@ -18,12 +49,15 @@ Status QueryGovernor::TripLocked(Status status) {
     switch (trip_.code()) {
       case StatusCode::kDeadlineExceeded:
         ++stats_.deadline_trips;
+        GovernorMetrics::Get().deadline_trips->Increment();
         break;
       case StatusCode::kCancelled:
         ++stats_.cancel_trips;
+        GovernorMetrics::Get().cancel_trips->Increment();
         break;
       default:
         ++stats_.budget_trips;
+        GovernorMetrics::Get().budget_trips->Increment();
         break;
     }
   }

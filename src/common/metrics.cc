@@ -1,0 +1,60 @@
+#include "src/common/metrics.h"
+
+#include <sstream>
+
+namespace oodb {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<CounterEntry>& e = counters_[name];
+  if (e == nullptr) {
+    e = std::make_unique<CounterEntry>();
+    e->help = help;
+  }
+  return &e->counter;
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<GaugeEntry>& e = gauges_[name];
+  if (e == nullptr) {
+    e = std::make_unique<GaugeEntry>();
+    e->help = help;
+  }
+  return &e->gauge;
+}
+
+std::string MetricsRegistry::TextSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, e] : counters_) {
+    if (!e->help.empty()) os << "# HELP " << name << " " << e->help << "\n";
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << e->counter.value() << "\n";
+  }
+  for (const auto& [name, e] : gauges_) {
+    if (!e->help.empty()) os << "# HELP " << name << " " << e->help << "\n";
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " " << e->gauge.value() << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : counters_) {
+    e->counter.value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, e] : gauges_) {
+    e->gauge.value_.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace oodb

@@ -1,0 +1,84 @@
+// Process-wide Prometheus-style metrics: monotonic counters and gauges
+// registered by name in a global registry, snapshot-dumpable in the text
+// exposition format. Instruments the long-lived subsystems (Session, plan
+// cache, governor, BufferPool, WorkerPool) so tests and benches can observe
+// cumulative behavior without threading stats structs through every call.
+//
+// Hot-path cost: one relaxed atomic add per event. Lookup by name takes a
+// mutex, so instrumented call sites resolve their Counter*/Gauge* once (at
+// construction or function-local static) and cache the pointer — registered
+// metrics are never deallocated, so cached pointers stay valid for the
+// process lifetime (ResetForTest zeroes values in place).
+#ifndef OODB_COMMON_METRICS_H_
+#define OODB_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace oodb {
+
+/// A monotonically increasing counter (Prometheus `counter` type).
+class Counter {
+ public:
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> value_{0};
+};
+
+/// A settable instantaneous value (Prometheus `gauge` type).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<double> value_{0.0};
+};
+
+/// Name-keyed registry of counters and gauges. All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every built-in subsystem reports into.
+  static MetricsRegistry& Global();
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  /// `help` is recorded on creation (later calls may pass empty).
+  Counter* counter(const std::string& name, const std::string& help = "");
+  Gauge* gauge(const std::string& name, const std::string& help = "");
+
+  /// Prometheus text exposition format: `# HELP` / `# TYPE` preamble per
+  /// metric, then `name value`, in lexicographic name order.
+  std::string TextSnapshot() const;
+
+  /// Zeroes every registered metric in place (pointers remain valid).
+  /// Intended for tests that assert absolute values.
+  void ResetForTest();
+
+ private:
+  struct CounterEntry {
+    std::string help;
+    Counter counter;
+  };
+  struct GaugeEntry {
+    std::string help;
+    Gauge gauge;
+  };
+
+  mutable std::mutex mu_;  ///< guards registration maps, not the values
+  std::map<std::string, std::unique_ptr<CounterEntry>> counters_;
+  std::map<std::string, std::unique_ptr<GaugeEntry>> gauges_;
+};
+
+}  // namespace oodb
+
+#endif  // OODB_COMMON_METRICS_H_

@@ -45,6 +45,20 @@ double SelectivityEstimator::EstimateConjunct(const ScalarExprPtr& e) const {
         if (idx != nullptr && idx->distinct_keys > 0) {
           return 1.0 / static_cast<double>(idx->distinct_keys);
         }
+        // No assisting index, but ANALYZE may have measured the field's key
+        // population: 1/distinct is the textbook equality estimate. The
+        // blanket 10% default over-estimated high-cardinality equality
+        // predicates by orders of magnitude (EXPLAIN ANALYZE showed 16x
+        // drift on OO7's `a.x == c` — x has 1000 distinct values). Gated on
+        // measurement: declared-only catalogs keep the paper's §4 default,
+        // preserving the published Figure 6 / Table 2 plan shapes.
+        if (ctx_->catalog->stats_measured() && attr->field() != kInvalidField) {
+          const BindingDef& b = ctx_->bindings.def(attr->binding());
+          const FieldDef& f = ctx_->schema().type(b.type).field(attr->field());
+          if (f.distinct_values > 0) {
+            return 1.0 / static_cast<double>(f.distinct_values);
+          }
+        }
       }
       return kDefaultSelectivity;
     }

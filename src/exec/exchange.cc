@@ -9,6 +9,7 @@
 #include "src/exec/batch_pool.h"
 #include "src/exec/worker_pool.h"
 #include "src/physical/parallel.h"
+#include "src/trace/exec_profile.h"
 
 namespace oodb {
 
@@ -100,6 +101,16 @@ class ExchangeExec : public ExecNode {
     // depth only relaxes backpressure.
     queue_ = std::make_unique<BatchQueue>(16 * static_cast<size_t>(dop), dop);
     worker_clocks_.assign(dop, SimClock{});
+    if (env_.profile != nullptr) {
+      // One private profile per worker, merged at join like the clocks.
+      // Workers never attribute I/O per node (store-shared counters race
+      // while siblings run); their CPU deltas come off the private clock.
+      worker_profiles_.clear();
+      for (int w = 0; w < dop; ++w) {
+        worker_profiles_.push_back(std::make_unique<ExecProfile>());
+        worker_profiles_.back()->set_io_timed(false);
+      }
+    }
     pending_ = dop;
     for (int w = 0; w < dop; ++w) {
       WorkerPool::Instance().Submit([this, w, driver, dop] {
@@ -136,6 +147,8 @@ class ExchangeExec : public ExecNode {
   void WorkerMain(int w, const PlanNode* driver, int dop) {
     ExecEnv wenv = env_;
     wenv.cpu_clock = &worker_clocks_[w];
+    wenv.profile =
+        worker_profiles_.empty() ? nullptr : worker_profiles_[w].get();
     if (driver != nullptr && dop > 1) {
       wenv.partition_node = driver;
       wenv.partition_index = w;
@@ -194,6 +207,22 @@ class ExchangeExec : public ExecNode {
     for (const SimClock& c : worker_clocks_) {
       env_.store->clock().MergeFrom(c);
     }
+    if (env_.profile != nullptr) {
+      // Workers are joined: their profiles are quiescent and the wait above
+      // ordered their writes before these reads. Fold per-node counters
+      // into the consumer's profile and record per-worker utilization on
+      // this Exchange node.
+      const PlanNode* child = plan_->children[0].get();
+      for (size_t w = 0; w < worker_profiles_.size(); ++w) {
+        const OpProfile* root = worker_profiles_[w]->Find(child);
+        WorkerUtilization u;
+        u.worker = static_cast<int>(w);
+        u.rows = root != nullptr ? root->rows : 0;
+        u.cpu_s = worker_clocks_[w].cpu_s;
+        env_.profile->AddWorker(plan_, u);
+        env_.profile->MergeFrom(*worker_profiles_[w]);
+      }
+    }
   }
 
   void Shutdown() {
@@ -209,6 +238,7 @@ class ExchangeExec : public ExecNode {
   std::condition_variable pending_cv_;
   int pending_ = 0;
   std::vector<SimClock> worker_clocks_;
+  std::vector<std::unique_ptr<ExecProfile>> worker_profiles_;
   std::mutex error_mu_;
   Status first_error_;
   bool done_ = false;

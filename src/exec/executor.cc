@@ -1,6 +1,7 @@
 #include "src/exec/executor.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "src/exec/batch_pool.h"
@@ -27,6 +28,16 @@ int MaxDop(const PlanNode& node) {
   return dop;
 }
 
+/// CI lever: OODB_FORCE_ANALYZE=1 turns every execution into an analyzed
+/// one, proving the instrumentation never skews results. Read once.
+bool ForceAnalyze() {
+  static const bool forced = [] {
+    const char* v = std::getenv("OODB_FORCE_ANALYZE");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return forced;
+}
+
 }  // namespace
 
 Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
@@ -40,6 +51,20 @@ Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
                        ? static_cast<size_t>(options.batch_size)
                        : static_cast<size_t>(std::max(
                              1, store->timing().exec_batch_size));
+  std::shared_ptr<ExecProfile> profile;
+  if (options.profile != nullptr) {
+    env.profile = options.profile;
+  } else if (options.analyze || ForceAnalyze()) {
+    profile = std::make_shared<ExecProfile>();
+    env.profile = profile.get();
+  }
+  if (env.profile != nullptr) {
+    // Per-node I/O / buffer deltas read store-shared counters, which is
+    // only race-free while no Exchange worker thread runs concurrently —
+    // even a dop=1 Exchange pipelines its single worker against this
+    // thread, so the gate is "no Exchange anywhere", not MaxDop.
+    env.profile->set_io_timed(CountOps(plan, PhysOpKind::kExchange) == 0);
+  }
   OODB_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> root,
                         BuildExecNode(env, plan));
   OODB_RETURN_IF_ERROR(root->Open());
@@ -89,6 +114,7 @@ Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
   if (options.governor != nullptr) {
     stats.governor = options.governor->stats();
   }
+  stats.profile = std::move(profile);
   return stats;
 }
 

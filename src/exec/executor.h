@@ -4,8 +4,11 @@
 #ifndef OODB_EXEC_EXECUTOR_H_
 #define OODB_EXEC_EXECUTOR_H_
 
+#include <memory>
+
 #include "src/common/governor.h"
 #include "src/exec/operators.h"
+#include "src/trace/exec_profile.h"
 
 namespace oodb {
 
@@ -29,6 +32,11 @@ struct ExecStats {
 
   /// Projected output rows (first `sample_limit` only).
   std::vector<std::vector<Value>> sample_rows;
+
+  /// Per-operator runtime counters (EXPLAIN ANALYZE); null unless the run
+  /// was analyzed (ExecOptions::analyze / ExecOptions::profile /
+  /// OODB_FORCE_ANALYZE).
+  std::shared_ptr<ExecProfile> profile;
 };
 
 struct ExecOptions {
@@ -43,6 +51,18 @@ struct ExecOptions {
   /// at every operator Next() — i.e. per batch — and charged per output
   /// batch.
   QueryGovernor* governor = nullptr;
+  /// Collect per-operator runtime counters (EXPLAIN ANALYZE). Off by
+  /// default: the serial execution path is then bit-identical to the
+  /// uninstrumented one. The environment variable OODB_FORCE_ANALYZE=1
+  /// (read once per process) forces this on for every run — the CI lever
+  /// proving instrumentation never changes results.
+  bool analyze = false;
+  /// Caller-owned collector for analyzed runs (implies `analyze`). Useful
+  /// when the caller needs the partial profile even if execution fails
+  /// mid-plan (ExecutePlan returns only a Status then) — e.g. rendering a
+  /// governor-tripped EXPLAIN ANALYZE. Null: ExecutePlan allocates one and
+  /// returns it in ExecStats::profile.
+  ExecProfile* profile = nullptr;
 };
 
 /// Executes `plan` to completion.

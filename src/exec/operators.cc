@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/exec/exchange.h"
+#include "src/trace/exec_profile.h"
 #include "src/verify/verify.h"
 
 namespace oodb {
@@ -131,8 +132,15 @@ class IndexScanExec : public ExecNode {
       pos_ = end_ * w / k;
       end_ = end_ * (w + 1) / k;
     }
+    // Charge leaf traversal for this scan's slice only: under Exchange each
+    // of the k workers opens its own copy of the index scan, and charging
+    // the full match count from every worker would bill the leaf CPU k
+    // times for the same logical index read once the private clocks merge
+    // at join. The per-worker probe (root descent) is real work each worker
+    // does; the disjoint [pos_, end_) slices sum to exactly the serial leaf
+    // charge.
     env_.clock().cpu_s += env_.timing().index_probe_s +
-                          static_cast<double>(matches_.size()) *
+                          static_cast<double>(end_ - pos_) *
                               env_.timing().index_leaf_s;
     return Status::OK();
   }
@@ -1142,10 +1150,85 @@ class MergeJoinExec : public ExecNode {
   Value run_key_;
 };
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Stats decorator (EXPLAIN ANALYZE): transparently wraps any operator and
+// records rows/batches plus simulated-time deltas into the ExecEnv's
+// profile, keyed by the plan node the operator was built from. Counters are
+// inclusive of the subtree (the deltas span the inner call, children
+// included); the wrapped profile is thread-private (see exec_profile.h), so
+// recording is plain stores. I/O-side deltas read store-shared state and
+// are only taken when the profile is io_timed() — i.e. on serial plans,
+// where no worker can be mutating the disk/buffer counters concurrently.
+// ---------------------------------------------------------------------------
+class StatsExec : public ExecNode {
+ public:
+  StatsExec(const ExecEnv& env, const PlanNode* node,
+            std::unique_ptr<ExecNode> inner)
+      : env_(env), inner_(std::move(inner)),
+        prof_(env.profile->Register(node)) {}
 
-Result<std::unique_ptr<ExecNode>> BuildExecNode(const ExecEnv& env,
-                                                const PlanNode& plan) {
+  Status Open() override {
+    // Blocking operators (hash build, sort, set ops) do their heavy work in
+    // Open — span it so their time lands on the right node.
+    Snapshot before = Take();
+    Status status = inner_->Open();
+    Record(before);
+    return status;
+  }
+
+  Result<size_t> Next(TupleBatch* out) override {
+    Snapshot before = Take();
+    Result<size_t> n = inner_->Next(out);
+    Record(before);
+    if (n.ok() && *n > 0) {
+      prof_->rows += static_cast<int64_t>(*n);
+      ++prof_->batches;
+    }
+    return n;
+  }
+
+  void Close() override { inner_->Close(); }
+
+ private:
+  struct Snapshot {
+    double cpu_s = 0.0;
+    double io_s = 0.0;
+    int64_t pages = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+  };
+
+  Snapshot Take() const {
+    Snapshot s;
+    s.cpu_s = env_.clock().cpu_s;
+    if (env_.profile->io_timed()) {
+      s.io_s = env_.store->clock().io_s;
+      s.pages = env_.store->disk().reads();
+      s.hits = env_.store->buffer().hits();
+      s.misses = env_.store->buffer().misses();
+    }
+    return s;
+  }
+
+  void Record(const Snapshot& before) {
+    prof_->cpu_s += env_.clock().cpu_s - before.cpu_s;
+    if (env_.profile->io_timed()) {
+      prof_->io_s += env_.store->clock().io_s - before.io_s;
+      prof_->pages_read += env_.store->disk().reads() - before.pages;
+      prof_->buffer_hits += env_.store->buffer().hits() - before.hits;
+      prof_->buffer_misses += env_.store->buffer().misses() - before.misses;
+    }
+  }
+
+  ExecEnv env_;
+  std::unique_ptr<ExecNode> inner_;
+  OpProfile* prof_;
+};
+
+/// The real operator factory. Recursive construction goes through
+/// BuildExecNode so children get their own stats decorators when profiling.
+Result<std::unique_ptr<ExecNode>> BuildExecNodeImpl(const ExecEnv& env,
+                                                    const PlanNode& plan) {
   // The optimizer cascades one Filter node per pushed-down conjunct; running
   // them as separate operators costs a full batch pass (and a virtual Next
   // per batch) per conjunct. Execution collapses a chain of consecutive
@@ -1238,6 +1321,21 @@ Result<std::unique_ptr<ExecNode>> BuildExecNode(const ExecEnv& env,
       return MakeExchangeExec(env, plan);
   }
   return Status::Unimplemented("no executor for operator");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ExecNode>> BuildExecNode(const ExecEnv& env,
+                                                const PlanNode& plan) {
+  OODB_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> node,
+                        BuildExecNodeImpl(env, plan));
+  if (env.profile != nullptr) {
+    // Keyed by &plan: a fused filter chain records under the chain's top
+    // node (the nodes it absorbed have no operator of their own and render
+    // as "(fused)" in the ANALYZE tree).
+    node = std::make_unique<StatsExec>(env, &plan, std::move(node));
+  }
+  return node;
 }
 
 Result<std::unique_ptr<ExecNode>> BuildExecTree(const PlanNode& plan,

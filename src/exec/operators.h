@@ -23,6 +23,8 @@
 
 namespace oodb {
 
+class ExecProfile;
+
 /// The iterator interface.
 class ExecNode {
  public:
@@ -52,6 +54,13 @@ struct ExecEnv {
   /// Rows per batch for every operator of this tree (the exec_batch_size
   /// knob; capacity of internal child-facing batches).
   size_t batch_size = TupleBatch::kDefaultCapacity;
+
+  /// EXPLAIN ANALYZE collector (null = off, the zero-overhead default: no
+  /// decorators are built and every code path is bit-identical). When set,
+  /// BuildExecNode wraps each operator in a recording decorator writing
+  /// into this profile; Exchange workers substitute a private profile
+  /// merged at join, mirroring `cpu_clock`.
+  ExecProfile* profile = nullptr;
 
   /// Partitioning for Exchange workers: the scan built from the plan node
   /// at address `partition_node` yields the contiguous chunk

@@ -2,7 +2,33 @@
 
 #include <utility>
 
+#include "src/common/metrics.h"
+
 namespace oodb {
+
+namespace {
+
+/// Pool activity for the metrics snapshot: cumulative tasks and the
+/// high-water thread count. Resolved once; metrics are never deallocated.
+struct PoolMetrics {
+  Counter* tasks;
+  Gauge* threads;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      PoolMetrics m;
+      m.tasks = r.counter("oodb_worker_pool_tasks_total",
+                          "Tasks submitted to the shared worker pool.");
+      m.threads = r.gauge("oodb_worker_pool_threads",
+                          "Threads the shared worker pool has spawned.");
+      return m;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 WorkerPool& WorkerPool::Instance() {
   static WorkerPool pool;
@@ -19,10 +45,14 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::Submit(std::function<void()> fn) {
+  PoolMetrics::Get().tasks->Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push_back(std::move(fn));
-    if (idle_ == 0) threads_.emplace_back(&WorkerPool::Loop, this);
+    if (idle_ == 0) {
+      threads_.emplace_back(&WorkerPool::Loop, this);
+      PoolMetrics::Get().threads->Set(static_cast<double>(threads_.size()));
+    }
   }
   cv_.notify_one();
 }

@@ -16,6 +16,7 @@
 #define OODB_OODB_H_
 
 #include "src/baseline/greedy.h"
+#include "src/common/metrics.h"
 #include "src/dynamic/dynamic_plans.h"
 #include "src/catalog/paper_catalog.h"
 #include "src/exec/executor.h"
@@ -26,6 +27,7 @@
 #include "src/query/simplify.h"
 #include "src/session.h"
 #include "src/storage/datagen.h"
+#include "src/trace/opt_trace.h"
 #include "src/verify/verify.h"
 
 #endif  // OODB_OODB_H_

@@ -4,6 +4,7 @@
 #include "src/physical/impl_rules.h"
 #include "src/physical/parallel.h"
 #include "src/rules/transformations.h"
+#include "src/trace/opt_trace.h"
 #include "src/verify/verify.h"
 
 namespace oodb {
@@ -48,6 +49,13 @@ Result<OptimizedQuery> Optimizer::Optimize(const LogicalExpr& input,
     if (!plan_report.ok()) {
       if (!out.stats.verify_error.empty()) out.stats.verify_error += "\n";
       out.stats.verify_error += plan_report.ToString();
+    }
+    if (options_.trace_sink != nullptr) {
+      OptEvent ev;
+      ev.kind = OptEventKind::kVerifyOutcome;
+      ev.detail = out.stats.verify_error.empty() ? "ok"
+                                                 : out.stats.verify_error;
+      options_.trace_sink->Record(std::move(ev));
     }
   }
   return out;

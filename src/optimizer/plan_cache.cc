@@ -2,9 +2,39 @@
 
 #include <algorithm>
 
+#include "src/common/metrics.h"
+
 namespace oodb {
 
 namespace {
+
+/// Global (cross-cache) counters mirroring the per-cache atomics, so the
+/// metrics snapshot sees aggregate cache behavior without enumerating
+/// caches. Resolved once; registered counters are never deallocated.
+struct CacheMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+  Counter* invalidations;
+
+  static const CacheMetrics& Get() {
+    static const CacheMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      CacheMetrics m;
+      m.hits = r.counter("oodb_plan_cache_hits_total",
+                         "Plan-cache lookups served a plan.");
+      m.misses = r.counter("oodb_plan_cache_misses_total",
+                           "Plan-cache lookups that fell through.");
+      m.evictions = r.counter("oodb_plan_cache_evictions_total",
+                              "Entries evicted by LRU capacity pressure.");
+      m.invalidations =
+          r.counter("oodb_plan_cache_invalidations_total",
+                    "Entries dropped for stale catalog statistics.");
+      return m;
+    }();
+    return m;
+  }
+};
 
 /// Rewrites every scalar expression embedded in `node` through `subst`,
 /// sharing untouched subtrees. Costs, cardinalities, and delivered
@@ -62,6 +92,7 @@ std::optional<OptimizedQuery> PlanCache::Lookup(
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
+      CacheMetrics::Get().misses->Increment();
       return std::nullopt;
     }
     if (it->second->second->stats_version == stats_version) {
@@ -81,8 +112,10 @@ std::optional<OptimizedQuery> PlanCache::Lookup(
       shard.lru.erase(it->second);
       shard.index.erase(it);
       invalidations_.fetch_add(1, std::memory_order_relaxed);
+      CacheMetrics::Get().invalidations->Increment();
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::Get().misses->Increment();
     return std::nullopt;
   }
   // Refresh LRU recency on a sample of hits only: the splice needs the
@@ -102,6 +135,7 @@ std::optional<OptimizedQuery> PlanCache::Lookup(
                                &subst)) {
     // Fingerprint collision (or a caller bug): never serve the plan.
     misses_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::Get().misses->Increment();
     return std::nullopt;
   }
   OptimizedQuery out;
@@ -110,6 +144,7 @@ std::optional<OptimizedQuery> PlanCache::Lookup(
   out.cost = entry->cost;
   out.stats = entry->stats;
   hits_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::Get().hits->Increment();
   return out;
 }
 
@@ -130,6 +165,7 @@ void PlanCache::Insert(const PlanCacheKey& key,
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::Get().evictions->Increment();
   }
 }
 

@@ -40,9 +40,22 @@ struct Hash128 {
 /// Quantizes a selectivity estimate into a half-octave bucket: literals the
 /// estimator maps to selectivities within ~1.19x of each other share a
 /// bucket and therefore (by assumption) a plan shape.
+///
+/// Computed from the exact binary decomposition (frexp), not floating-point
+/// log2: libm implementations round log2 differently in the last ulp, and a
+/// selectivity sitting on a half-octave boundary (any power of two, or
+/// sqrt(1/2) scaled by one) would then bucket differently across platforms —
+/// and the bucket feeds the plan-cache fingerprint, which must be
+/// bit-deterministic. floor semantics: bucket k covers [2^(k/2), 2^((k+1)/2)).
 int64_t SelectivityBucket(double sel) {
   if (!(sel > 0.0)) return INT64_MIN;
-  return llround(std::log2(sel) * 2.0);
+  // Nearest double to sqrt(1/2), the mantissa's half-octave split point.
+  constexpr double kSqrtHalf = 0.70710678118654752440;
+  int exp = 0;
+  double mantissa = std::frexp(sel, &exp);  // sel = mantissa * 2^exp, exact
+  // floor(2*log2(sel)): mantissa in [0.5, 1) contributes half-octave -2 or
+  // -1 relative to 2^exp depending on which side of sqrt(1/2) it falls.
+  return 2 * (static_cast<int64_t>(exp) - 1) + (mantissa >= kSqrtHalf ? 1 : 0);
 }
 
 /// True when `child` of `parent` is a parameterizable literal: a constant

@@ -3,12 +3,45 @@
 #include <algorithm>
 
 #include "src/baseline/greedy.h"
+#include "src/common/metrics.h"
+#include "src/common/strings.h"
 #include "src/query/fingerprint.h"
+#include "src/trace/exec_profile.h"
 #include "src/verify/verify.h"
 
 namespace oodb {
 
 namespace {
+
+/// Session counters, resolved once (registered metrics are never
+/// deallocated, so the cached pointers outlive every session).
+struct SessionMetrics {
+  Counter* prepares;
+  Counter* queries;
+  Counter* analyzes;
+  Counter* degraded;
+  Counter* cache_served;
+
+  static const SessionMetrics& Get() {
+    static const SessionMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      SessionMetrics m;
+      m.prepares = r.counter("oodb_session_prepares_total",
+                             "Statements parsed and optimized.");
+      m.queries = r.counter("oodb_session_queries_total",
+                            "Statements executed to completion.");
+      m.analyzes = r.counter("oodb_session_analyze_total",
+                             "EXPLAIN ANALYZE renderings.");
+      m.degraded = r.counter(
+          "oodb_session_degraded_total",
+          "Governor-tripped searches answered by the greedy baseline.");
+      m.cache_served = r.counter("oodb_session_plan_cache_served_total",
+                                 "Prepares answered from the plan cache.");
+      return m;
+    }();
+    return m;
+  }
+};
 
 /// True when a governor trip during *planning* may be answered with the
 /// greedy baseline instead of an error: the search ran out of budget or
@@ -76,6 +109,7 @@ Result<OptimizedQuery> Session::RunOptimizer(const LogicalExpr& input,
 }
 
 Result<SessionResult> Session::Prepare(const std::string& zql) {
+  SessionMetrics::Get().prepares->Increment();
   if (options_.governor.enabled()) {
     // Arm a fresh governor per query; the deadline spans optimization and,
     // when called from Query, execution of this statement.
@@ -96,6 +130,9 @@ Result<SessionResult> Session::Prepare(const std::string& zql) {
     // Cache off: exactly the seed optimization path.
     OODB_ASSIGN_OR_RETURN(out.optimized,
                           RunOptimizer(*out.logical, &out.ctx, required));
+    if (out.optimized.stats.degraded) {
+      SessionMetrics::Get().degraded->Increment();
+    }
     return out;
   }
 
@@ -139,11 +176,18 @@ Result<SessionResult> Session::Prepare(const std::string& zql) {
   out.optimized.stats.cache_misses = cs.misses;
   out.optimized.stats.cache_evictions = cs.evictions;
   out.optimized.stats.cache_invalidations = cs.invalidations;
+  if (out.optimized.stats.plan_cached) {
+    SessionMetrics::Get().cache_served->Increment();
+  }
+  if (out.optimized.stats.degraded) {
+    SessionMetrics::Get().degraded->Increment();
+  }
   return out;
 }
 
 Result<SessionResult> Session::Query(const std::string& zql) {
   OODB_ASSIGN_OR_RETURN(SessionResult out, Prepare(zql));
+  SessionMetrics::Get().queries->Increment();
   ExecOptions exec = options_.exec;
   exec.governor = governor_.get();  // same governor: deadline spans both
   OODB_ASSIGN_OR_RETURN(
@@ -151,8 +195,7 @@ Result<SessionResult> Session::Query(const std::string& zql) {
   return out;
 }
 
-Result<std::string> Session::Explain(const std::string& zql) {
-  OODB_ASSIGN_OR_RETURN(SessionResult r, Prepare(zql));
+std::string Session::ExplainHeader(const SessionResult& r) {
   std::string out;
   const SearchStats& st = r.optimized.stats;
   if (st.degraded) {
@@ -184,7 +227,55 @@ Result<std::string> Session::Explain(const std::string& zql) {
     out += "exec: batch=" + std::to_string(batch) +
            " dop=" + std::to_string(dop) + "\n";
   }
-  out += PrintPlan(*r.optimized.plan, r.ctx, /*with_costs=*/true);
+  return out;
+}
+
+Result<std::string> Session::Explain(const std::string& zql) {
+  OODB_ASSIGN_OR_RETURN(SessionResult r, Prepare(zql));
+  return ExplainHeader(r) +
+         PrintPlan(*r.optimized.plan, r.ctx, /*with_costs=*/true);
+}
+
+Result<std::string> Session::ExplainAnalyze(const std::string& zql) {
+  OODB_ASSIGN_OR_RETURN(SessionResult r, Prepare(zql));
+  SessionMetrics::Get().analyzes->Increment();
+  // Caller-owned profile: if execution fails mid-plan (governor trip,
+  // injected fault), ExecutePlan returns only the error Status, but the
+  // operators already recorded into this collector — render what ran.
+  ExecProfile profile;
+  ExecOptions exec = options_.exec;
+  exec.governor = governor_.get();
+  exec.profile = &profile;
+  Result<ExecStats> stats =
+      ExecutePlan(*r.optimized.plan, &store_, &r.ctx, exec);
+
+  std::string out = ExplainHeader(r);
+  if (!stats.ok()) {
+    out += "exec: FAILED(" + stats.status().ToString() + ")";
+    if (governor_ != nullptr) {
+      // ExecutePlan only returns a Status on failure; the live governor
+      // still knows what the partial run charged.
+      const GovernorStats g = governor_->stats();
+      out += " governor_rows=" + std::to_string(g.rows_charged) +
+             " governor_pages=" + std::to_string(g.pages_charged);
+    }
+    out += "\n";
+  }
+  out += RenderAnalyzedPlan(*r.optimized.plan, r.ctx, profile);
+  if (stats.ok()) {
+    out += "analyzed: rows=" + std::to_string(stats->rows) +
+           " sim_io=" + FormatDouble(stats->sim_io_s, 6) +
+           "s sim_cpu=" + FormatDouble(stats->sim_cpu_s, 6) +
+           "s pages=" + std::to_string(stats->pages_read) +
+           " max_drift=" +
+           FormatDouble(MaxDriftRatio(*r.optimized.plan, profile), 2) + "x";
+    if (governor_ != nullptr) {
+      out += " governor_rows=" + std::to_string(stats->governor.rows_charged) +
+             " governor_pages=" +
+             std::to_string(stats->governor.pages_charged);
+    }
+    out += "\n";
+  }
   return out;
 }
 

@@ -80,6 +80,15 @@ class Session {
   /// cache served or recorded it.
   Result<std::string> Explain(const std::string& zql);
 
+  /// EXPLAIN ANALYZE: optimizes *and executes* the query with per-operator
+  /// runtime counters, then renders the plan annotated with estimated vs
+  /// actual cardinality (drift ratio), batches, simulated CPU/I/O seconds,
+  /// buffer traffic (serial plans only — see ExecProfile::io_timed), and
+  /// per-worker utilization under Exchange. When execution fails mid-plan
+  /// (governor trip, injected storage fault) the partial profile is still
+  /// rendered, prefixed with an `exec: FAILED(...)` line.
+  Result<std::string> ExplainAnalyze(const std::string& zql);
+
   /// Refreshes the catalog's statistics from the stored data (bumps the
   /// catalog stats_version, invalidating cached plans).
   Status Analyze(AnalyzeOptions options = {}) {
@@ -93,6 +102,10 @@ class Session {
   Result<OptimizedQuery> RunOptimizer(const LogicalExpr& input,
                                       QueryContext* ctx,
                                       const PhysProps& required);
+
+  /// The annotation lines shared by Explain and ExplainAnalyze (degraded /
+  /// cached / verify / cache counters / governor / exec batch+dop).
+  std::string ExplainHeader(const SessionResult& r);
 
   Catalog* catalog_;
   Options options_;

@@ -1,6 +1,32 @@
 #include "src/storage/buffer_pool.h"
 
+#include "src/common/metrics.h"
+
 namespace oodb {
+
+namespace {
+
+/// Process-wide hit/miss totals across every pool instance (per-pool counts
+/// live in hits()/misses()). Resolved once; counters are never deallocated.
+struct BufferMetrics {
+  Counter* hits;
+  Counter* misses;
+
+  static const BufferMetrics& Get() {
+    static const BufferMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      BufferMetrics m;
+      m.hits = r.counter("oodb_buffer_pool_hits_total",
+                         "Page accesses served from the buffer pool.");
+      m.misses = r.counter("oodb_buffer_pool_misses_total",
+                           "Page accesses that went to the simulated disk.");
+      return m;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 Status BufferPool::Access(PageId page) {
   if (faults_ != nullptr) OODB_RETURN_IF_ERROR(faults_->OnPageAccess(page));
@@ -8,10 +34,12 @@ Status BufferPool::Access(PageId page) {
   auto it = index_.find(page);
   if (it != index_.end()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    BufferMetrics::Get().hits->Increment();
     lru_.splice(lru_.begin(), lru_, it->second);
     return Status::OK();
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  BufferMetrics::Get().misses->Increment();
   // The disk read stays inside the critical section so that the miss, its
   // arm movement, and the eviction are one atomic event — concurrent
   // workers observe a consistent LRU and a serializable read sequence.

@@ -1,0 +1,107 @@
+// EXPLAIN ANALYZE support: per-operator runtime counters collected while a
+// plan executes, merged across Exchange workers at join, and rendered as an
+// annotated plan tree next to the optimizer's estimates.
+//
+// Collection model: when ExecOptions::analyze is on, every exec node built
+// from a plan node is wrapped in a recording decorator keyed by the
+// PlanNode's address. Each ExecProfile instance is written by exactly one
+// thread — the consumer pipeline owns one, and every Exchange worker gets a
+// private instance merged into the consumer's after the worker joins (the
+// same discipline as the per-worker SimClocks) — so recording takes no
+// locks and no atomics, and a dop>1 ANALYZE run is race-free by
+// construction rather than by synchronization.
+//
+// Timing attribution: CPU seconds come from the recording thread's own
+// clock (the store clock when serial, the worker-private clock inside an
+// Exchange) and are always exact. I/O seconds, pages, and buffer hit/miss
+// deltas live on store-shared state that Exchange workers mutate
+// concurrently, so they are attributed per operator only on serial (dop=1)
+// plans — `io_timed()` is false otherwise and the renderer reports those
+// quantities at the query level only. All per-node counters are inclusive
+// of the operator's subtree.
+#ifndef OODB_TRACE_EXEC_PROFILE_H_
+#define OODB_TRACE_EXEC_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/volcano/plan.h"
+
+namespace oodb {
+
+/// Counters for one plan node (inclusive of its subtree).
+struct OpProfile {
+  int64_t rows = 0;     ///< tuples emitted by this operator
+  int64_t batches = 0;  ///< non-empty batches emitted
+  double cpu_s = 0.0;   ///< simulated CPU charged while inside this subtree
+  // Valid only when the owning profile is io_timed() (serial plans):
+  double io_s = 0.0;         ///< simulated I/O seconds
+  int64_t pages_read = 0;    ///< physical page reads (buffer misses)
+  int64_t buffer_hits = 0;   ///< buffer-pool hits
+  int64_t buffer_misses = 0; ///< buffer-pool misses
+
+  void MergeFrom(const OpProfile& other);
+};
+
+/// One Exchange worker's contribution, for DOP utilization reporting.
+struct WorkerUtilization {
+  int worker = 0;
+  int64_t rows = 0;   ///< rows the worker pushed into the exchange queue
+  double cpu_s = 0.0; ///< the worker's private-clock CPU seconds
+};
+
+/// The per-query collection of operator profiles. Written single-threaded
+/// (see file comment); merged across workers after they join.
+class ExecProfile {
+ public:
+  /// Returns this node's counters, creating them on first use. The pointer
+  /// is stable across later registrations.
+  OpProfile* Register(const PlanNode* node);
+
+  /// Null when the node produced no exec operator of its own (a filter
+  /// fused into a chain or into the scan below records under the chain's
+  /// top node).
+  const OpProfile* Find(const PlanNode* node) const;
+
+  /// Whether per-node io/pages/buffer deltas were recorded (serial runs).
+  bool io_timed() const { return io_timed_; }
+  void set_io_timed(bool timed) { io_timed_ = timed; }
+
+  /// Adds `other`'s counters node-by-node (worker merge at Exchange join).
+  void MergeFrom(const ExecProfile& other);
+
+  void AddWorker(const PlanNode* exchange, WorkerUtilization u);
+  const std::vector<WorkerUtilization>* workers(const PlanNode* exchange) const;
+
+  size_t num_ops() const { return ops_.size(); }
+
+ private:
+  std::unordered_map<const PlanNode*, OpProfile> ops_;
+  std::unordered_map<const PlanNode*, std::vector<WorkerUtilization>> workers_;
+  bool io_timed_ = true;
+};
+
+/// Symmetric estimate/actual drift as a >= 1 factor: max/min after clamping
+/// both sides up to one row, so "estimated 0.3, saw 0" reads as no drift
+/// instead of a division artifact. Direction is reported separately (an
+/// estimate above the actual is "over", below is "under").
+double DriftRatio(double estimated, int64_t actual);
+
+/// The worst per-operator cardinality drift across all profiled nodes of
+/// `plan` (1.0 when nothing was profiled) — the ANALYZE diff the estimator
+/// regression tests key on.
+double MaxDriftRatio(const PlanNode& plan, const ExecProfile& profile);
+
+/// Renders the plan tree with per-operator est/actual annotations:
+///   Op ...   [est 21.3 -> act 30 rows (drift 1.41x under), batches 1,
+///             cpu 0.00012s, io 0.32s, pages 160, buf 3820h/160m]
+/// Nodes without their own exec operator are annotated "(fused)"; Exchange
+/// nodes list per-worker rows/CPU utilization beneath.
+std::string RenderAnalyzedPlan(const PlanNode& plan, const QueryContext& ctx,
+                               const ExecProfile& profile);
+
+}  // namespace oodb
+
+#endif  // OODB_TRACE_EXEC_PROFILE_H_

@@ -15,6 +15,8 @@
 
 namespace oodb {
 
+class OptTrace;
+
 /// Build-configured default for OptimizerOptions::verify_plans (the
 /// OODB_VERIFY_PLANS CMake option; on by default in Debug builds).
 #ifdef OODB_VERIFY_PLANS_DEFAULT
@@ -88,6 +90,14 @@ struct OptimizerOptions {
   int max_dop = 1;
   /// Emit rule-firing trace to stderr.
   bool trace = false;
+  /// Structured search-trace sink (src/trace/opt_trace.h): rule firings,
+  /// group exploration, winner replacements, pruned branches, enforcer
+  /// insertions, and the verifier outcome, ring-buffered with text/JSON
+  /// dumps. Non-owning; null (the default) records nothing and keeps the
+  /// search bit-identical. Like `trace`, `governor`, and `verify_plans`,
+  /// deliberately excluded from HashOptimizerOptions: observability never
+  /// changes which plan wins.
+  OptTrace* trace_sink = nullptr;
   /// Plan-cache capacity in entries for caches the Session creates on
   /// demand; 0 (the default) disables caching entirely, preserving the
   /// seed optimizer's behavior bit for bit.

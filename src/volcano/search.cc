@@ -3,6 +3,10 @@
 #include <chrono>
 #include <iostream>
 #include <limits>
+#include <utility>
+
+#include "src/common/strings.h"
+#include "src/trace/opt_trace.h"
 
 namespace oodb {
 
@@ -76,6 +80,18 @@ Status SearchEngine::Explore() {
                         << " " << memo_.mexpr(inserted).op.ToString(*qctx_)
                         << "\n";
             }
+            if (opts_->trace_sink != nullptr) {
+              // Rule firings dominate the event stream; the (group, mexpr)
+              // ids identify the produced expression in the memo without
+              // paying for expression rendering on the hot path (the
+              // stderr `trace` flag prints the rendered form).
+              OptEvent ev;
+              ev.kind = OptEventKind::kRuleFired;
+              ev.rule = rule.name();
+              ev.group = static_cast<int>(target);
+              ev.mexpr = static_cast<int>(inserted);
+              opts_->trace_sink->Record(std::move(ev));
+            }
           }
         }
       }
@@ -121,14 +137,48 @@ Result<PlanNodePtr> SearchEngine::OptimizeGroup(GroupId g, PhysProps required,
     }
     grp.winners.emplace(required, Winner{nullptr, true, true, 0.0});
   }
+  if (opts_->trace_sink != nullptr) {
+    OptEvent ev;
+    ev.kind = OptEventKind::kGroupExplored;
+    ev.group = static_cast<int>(g);
+    ev.detail = required.ToString(*qctx_);
+    opts_->trace_sink->Record(std::move(ev));
+  }
 
   // `upper` is the running branch-and-bound bound: plans costing more are
   // not interesting (either over the caller's limit or beaten by `best`).
   double upper = limit;
   PlanNodePtr best;
+  auto trace_prune = [&](const char* rule_name, double cost,
+                         std::string what) {
+    if (opts_->trace_sink == nullptr) return;
+    OptEvent ev;
+    ev.kind = OptEventKind::kBranchPruned;
+    if (rule_name != nullptr) ev.rule = rule_name;
+    ev.group = static_cast<int>(g);
+    ev.cost = cost;
+    ev.detail = std::move(what);
+    opts_->trace_sink->Record(std::move(ev));
+  };
   auto consider = [&](PlanNodePtr node) {
-    if (node->total_cost.total() > upper) return;
+    if (node->total_cost.total() > upper) {
+      trace_prune(nullptr, node->total_cost.total(),
+                  node->op.ToString(*qctx_) + " over bound " +
+                      FormatDouble(upper, 6));
+      return;
+    }
     upper = node->total_cost.total();
+    if (opts_->trace_sink != nullptr) {
+      // Winner replacements are frequent during costing; the operator kind
+      // plus the new bound tell the cost-trajectory story without paying
+      // for full expression rendering inside the search loop.
+      OptEvent ev;
+      ev.kind = OptEventKind::kWinnerReplaced;
+      ev.group = static_cast<int>(g);
+      ev.cost = upper;
+      ev.op = PhysOpKindName(node->op.kind);
+      opts_->trace_sink->Record(std::move(ev));
+    }
     best = std::move(node);
   };
 
@@ -148,7 +198,11 @@ Result<PlanNodePtr> SearchEngine::OptimizeGroup(GroupId g, PhysProps required,
         }
         if (!alt.delivered.Satisfies(required)) continue;
         double spent = alt.local_cost.total();
-        if (spent > upper) continue;
+        if (spent > upper) {
+          trace_prune(rule->name(), spent,
+                      alt.op.ToString(*qctx_) + " local cost over bound");
+          continue;
+        }
         std::vector<PlanNodePtr> children;
         bool ok = true;
         for (const PhysInput& in : alt.inputs) {
@@ -165,6 +219,10 @@ Result<PlanNodePtr> SearchEngine::OptimizeGroup(GroupId g, PhysProps required,
           }
           spent += (*child)->total_cost.total();
           if (spent > upper) {
+            trace_prune(rule->name(), spent,
+                        alt.op.ToString(*qctx_) +
+                            " children exceed bound after " +
+                            std::to_string(children.size() + 1) + " inputs");
             ok = false;
             break;
           }
@@ -190,12 +248,25 @@ Result<PlanNodePtr> SearchEngine::OptimizeGroup(GroupId g, PhysProps required,
       }
       if (alt.child_required == required) continue;  // no progress
       if (!alt.delivered.Satisfies(required)) continue;
-      if (alt.local_cost.total() > upper) continue;
+      if (alt.local_cost.total() > upper) {
+        trace_prune(enf->name(), alt.local_cost.total(),
+                    alt.op.ToString(*qctx_) + " local cost over bound");
+        continue;
+      }
       Result<PlanNodePtr> child = OptimizeGroup(
           g, alt.child_required, depth + 1, upper - alt.local_cost.total());
       if (!child.ok()) {
         if (IsGovernorStatus(child.status().code())) return child.status();
         continue;
+      }
+      if (opts_->trace_sink != nullptr) {
+        OptEvent ev;
+        ev.kind = OptEventKind::kEnforcerInserted;
+        ev.rule = enf->name();
+        ev.group = static_cast<int>(g);
+        ev.cost = alt.local_cost.total();
+        ev.detail = alt.op.ToString(*qctx_);
+        opts_->trace_sink->Record(std::move(ev));
       }
       consider(PlanNode::Make(std::move(alt.op), {std::move(child).value()},
                               memo_.group(g).props, alt.delivered,

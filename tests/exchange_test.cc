@@ -332,6 +332,106 @@ TEST_F(ExchangeTest, CrossThreadCancellationDuringExchange) {
   }
 }
 
+TEST_F(ExchangeTest, WorkerClockMergeChargesLogicalWorkOnce) {
+  // The accounting identity behind the worker-clock merge: a dop=k run of a
+  // scan+filter+project pipeline does exactly the serial per-row work, plus
+  // k worker startups and one flow charge per tuple crossing the Exchange.
+  // A double-charge anywhere (a worker billing shared work already billed
+  // on another clock) breaks the equality.
+  const std::string text =
+      "SELECT a.id FROM AtomicPart a IN AtomicParts WHERE a.x > a.y;";
+  Planned serial = Plan(text, /*max_dop=*/1);
+  Planned par = Plan(text, /*max_dop=*/4);
+  ASSERT_GE(CountExchanges(*par.plan), 1);
+  int dop = MaxDopOf(*par.plan);
+
+  auto s = Exec(serial, 1024);
+  auto p = Exec(par, 1024);
+  ASSERT_TRUE(s.ok()) << s.status();
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(s->rows, p->rows);
+
+  // Every logical page is read (and missed) exactly once regardless of dop:
+  // workers share the buffer pool, and the store fits without evictions.
+  EXPECT_EQ(s->pages_read, p->pages_read);
+
+  double expected =
+      s->sim_cpu_s +
+      static_cast<double>(dop) * store().timing().exchange_startup_s +
+      static_cast<double>(s->rows) * store().timing().exchange_flow_tuple_s;
+  EXPECT_NEAR(p->sim_cpu_s, expected, 1e-9)
+      << "parallel CPU deviates from serial + exchange overhead: a worker "
+         "is double- or under-charging shared work";
+}
+
+TEST_F(ExchangeTest, PartitionedIndexScanChargesLeavesOnce) {
+  // Regression: IndexScanExec::Open used to charge leaf traversal for the
+  // *full* match count from every worker, billing the same logical index
+  // read k times once the private worker clocks merged. Each worker must
+  // charge only its [pos, end) slice — disjoint slices sum to the serial
+  // leaf charge, and only the per-worker root probe is legitimately
+  // repeated.
+  Planned p;
+  p.ctx.catalog = &catalog();
+  const std::string text =
+      "SELECT b.id FROM BaseAssembly b IN BaseAssemblies "
+      "WHERE b.buildDate >= 3;";
+  auto logical = ParseAndSimplify(text, &p.ctx);
+  ASSERT_TRUE(logical.ok()) << logical.status();
+  p.logical = *logical;
+  OptimizerOptions opts;
+  opts.disabled_rules = {kImplFileScan};  // force the index path
+  opts.verify_plans = true;
+  Optimizer opt(&catalog(), std::move(opts));
+  auto planned = opt.Optimize(*p.logical, &p.ctx);
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  p.plan = planned->plan;
+  ASSERT_EQ(CountOps(*p.plan, PhysOpKind::kIndexScan), 1)
+      << PrintPlan(*p.plan, p.ctx);
+  const PlanNode* driver = FindPartitionableScan(*p.plan);
+  ASSERT_NE(driver, nullptr);
+  ASSERT_EQ(driver->op.kind, PhysOpKind::kIndexScan);
+
+  // Drains the whole plan under `env`, charging CPU to a private clock.
+  auto drain = [&](int w, int k) -> double {
+    SimClock clock;
+    ExecEnv env;
+    env.store = &store();
+    env.ctx = &p.ctx;
+    env.batch_size = 64;
+    env.cpu_clock = &clock;
+    if (k > 1) {
+      env.partition_node = driver;
+      env.partition_index = w;
+      env.partition_count = k;
+    }
+    auto node = BuildExecNode(env, *p.plan);
+    EXPECT_TRUE(node.ok()) << node.status();
+    EXPECT_TRUE((*node)->Open().ok());
+    TupleBatch batch(p.ctx.bindings.size(), 64);
+    while (true) {
+      auto n = (*node)->Next(&batch);
+      EXPECT_TRUE(n.ok()) << n.status();
+      if (!n.ok() || *n == 0) break;
+    }
+    (*node)->Close();
+    return clock.cpu_s;
+  };
+
+  store().ResetSimulation();
+  double serial_cpu = drain(0, 1);
+  constexpr int kWorkers = 4;
+  double partitioned_cpu = 0.0;
+  store().ResetSimulation();
+  for (int w = 0; w < kWorkers; ++w) partitioned_cpu += drain(w, kWorkers);
+
+  // Serial leaf charge once, plus the (kWorkers - 1) extra root probes.
+  EXPECT_NEAR(partitioned_cpu,
+              serial_cpu + (kWorkers - 1) * store().timing().index_probe_s,
+              1e-12)
+      << "partitioned index scans bill shared leaf traversal per worker";
+}
+
 TEST_F(ExchangeTest, ExplainAnnotatesBatchAndDop) {
   std::unique_ptr<Oo7Db> db = MakeOo7Catalog(ParallelConfig());
   const std::string text =

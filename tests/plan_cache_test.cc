@@ -265,5 +265,50 @@ TEST_F(PlanCacheTest, ConcurrentSessionsShareCacheSafely) {
             static_cast<int64_t>(kThreads) * kIters);
 }
 
+// Regression for the selectivity-bucket boundary: the bucket used to come
+// from llround(log2(sel) * 2), whose libm last-ulp jitter made literals
+// sitting exactly on a half-octave edge (powers of two and their sqrt(1/2)
+// multiples) bucket differently across platforms — and llround *rounds*, so
+// selectivities up to 1.19x apart on opposite sides of an edge shared a
+// bucket while same-edge neighbors split. The frexp-based bucket has floor
+// semantics: bucket k covers [2^(k/2), 2^((k+1)/2)) exactly.
+TEST(SelectivityBucketBoundaryTest, EdgeLiteralsBucketByFloorSemantics) {
+  Catalog catalog;
+  Schema& s = catalog.schema();
+  TypeId thing = s.AddType("Thing", 16);
+  FieldDef v;
+  v.name = "v";
+  v.kind = FieldKind::kInt;
+  v.distinct_values = 17;
+  v.min_value = 0;
+  v.max_value = 16;  // range width 16: `x.v >= lit` interpolates to lit/16ths
+  s.mutable_type(thing).AddField(v);
+  ASSERT_TRUE(catalog.AddSet("Things", thing, 100).ok());
+
+  auto fp = [&](int lit) {
+    QueryContext ctx;
+    ctx.catalog = &catalog;
+    auto logical = ParseAndSimplify("SELECT x.v FROM Thing x IN Things "
+                                    "WHERE x.v >= " + std::to_string(lit) +
+                                    ";", &ctx);
+    EXPECT_TRUE(logical.ok()) << logical.status();
+    return FingerprintQuery(**logical, ctx, /*parameterize=*/true).fp;
+  };
+
+  // sel(8) = 1 - 8/16 = 0.5 = 2^-1, exactly on a half-octave edge: it
+  // starts bucket -2 = [0.5, 0.7071). sel(5) = 0.6875 lies inside the same
+  // bucket; sel(9) = 0.4375 lies below the edge in bucket -3. The old
+  // rounding bucket put 0.4375 (log2*2 = -2.39, rounds to -2) WITH 0.5 and
+  // was one libm ulp away from splitting 0.5 itself.
+  EXPECT_EQ(fp(8), fp(5));
+  EXPECT_NE(fp(8), fp(9));
+  // sel(0) clamps to 1.0 = 2^0 — the other exact edge; bucket 0 with
+  // nothing above it in (1.0, 1.19) reachable here, so it only must differ
+  // from bucket -2.
+  EXPECT_NE(fp(0), fp(8));
+  // Determinism across repeated evaluation of the same edge literal.
+  EXPECT_EQ(fp(8), fp(8));
+}
+
 }  // namespace
 }  // namespace oodb
