@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh BENCH_exec.json to the committed
+baseline and fail on a >10% rows/sec regression at any grid point.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.10]
+
+Both the batch/dop grid and the selective (vectorized-vs-row) phase are
+checked point by point, keyed by their configuration. Points present only in
+the fresh file (a newly added configuration) are ignored; points present
+only in the baseline fail loudly — silently dropping a measured
+configuration is itself a regression. Improvements are reported but never
+fail the gate, so the committed baseline only needs refreshing when the
+engine genuinely gets faster.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def keyed_points(doc):
+    """(section, config-key) -> rows_per_sec for every measured point."""
+    points = {}
+    for entry in doc.get("grid", []):
+        points[("grid", f"batch={entry['batch']} dop={entry['dop']}")] = (
+            entry["rows_per_sec"]
+        )
+    for entry in doc.get("selective", []):
+        key = f"dop={entry['dop']} vectorize={entry['vectorize']}"
+        points[("selective", key)] = entry["rows_per_sec"]
+    return points
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max tolerated fractional slowdown per point")
+    args = parser.parse_args()
+
+    base = keyed_points(load(args.baseline))
+    fresh = keyed_points(load(args.fresh))
+
+    failures = []
+    for key, base_rate in sorted(base.items()):
+        section, config = key
+        label = f"{section} {config}"
+        if key not in fresh:
+            failures.append(f"{label}: present in baseline, missing from "
+                            "fresh results")
+            continue
+        fresh_rate = fresh[key]
+        if base_rate <= 0:
+            continue
+        change = (fresh_rate - base_rate) / base_rate
+        status = "ok"
+        if change < -args.threshold:
+            status = "REGRESSION"
+            failures.append(f"{label}: {base_rate} -> {fresh_rate} rows/sec "
+                            f"({change:+.1%}, limit -{args.threshold:.0%})")
+        print(f"{label}: {base_rate} -> {fresh_rate} rows/sec "
+              f"({change:+.1%}) {status}")
+
+    if failures:
+        print(f"\n{len(failures)} bench regression(s) vs {args.baseline}:",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(base)} points within -{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,38 @@
 
 #include <utility>
 
+#include "src/common/metrics.h"
+
 namespace oodb {
+
+namespace {
+
+/// Recycling effectiveness for the metrics snapshot: Take() hits (arena
+/// reused) vs misses (fresh allocation), and arenas parked by Return().
+/// Steady-state execution should show hits climbing and misses flat — the
+/// zero-alloc invariant exec_test asserts. Resolved once; never freed.
+struct BatchPoolMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* recycled;
+
+  static const BatchPoolMetrics& Get() {
+    static const BatchPoolMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      BatchPoolMetrics m;
+      m.hits = r.counter("oodb_batch_pool_hits_total",
+                         "Take() calls served by a pooled arena.");
+      m.misses = r.counter("oodb_batch_pool_misses_total",
+                           "Take() calls that allocated a fresh arena.");
+      m.recycled = r.counter("oodb_batch_pool_recycled_total",
+                             "Arenas parked for reuse by Return().");
+      return m;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 BatchPool& BatchPool::Instance() {
   static BatchPool pool;
@@ -20,17 +51,22 @@ TupleBatch BatchPool::Take(int width, size_t capacity) {
         TupleBatch out = std::move(b);
         pool_.erase(pool_.begin() + static_cast<ptrdiff_t>(i - 1));
         out.Clear();
+        BatchPoolMetrics::Get().hits->Increment();
         return out;
       }
     }
   }
+  BatchPoolMetrics::Get().misses->Increment();
   return TupleBatch(width, capacity);
 }
 
 void BatchPool::Return(TupleBatch&& batch) {
   if (batch.capacity() == 0) return;  // nothing worth pooling
   std::lock_guard<std::mutex> lock(mu_);
-  if (pool_.size() < kMaxPooled) pool_.push_back(std::move(batch));
+  if (pool_.size() < kMaxPooled) {
+    pool_.push_back(std::move(batch));
+    BatchPoolMetrics::Get().recycled->Increment();
+  }
 }
 
 }  // namespace oodb

@@ -182,6 +182,10 @@ class ExchangeExec : public ExecNode {
         break;
       }
       if (*n == 0) break;
+      // Serialization point: a selection-marked batch compacts here, once,
+      // before crossing the queue — consumers see contiguous rows and the
+      // flow-tuple charge below stays per *live* row.
+      batch.Compact();
       if (!queue_->Push(std::move(batch))) break;  // consumer went away
     }
     node->Close();

@@ -38,6 +38,16 @@ bool ForceAnalyze() {
   return forced;
 }
 
+/// Process default for columnar execution (OODB_VECTORIZE=1). Read once;
+/// ExecOptions::vectorize overrides per run.
+bool EnvVectorize() {
+  static const bool on = [] {
+    const char* v = std::getenv("OODB_VECTORIZE");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return on;
+}
+
 }  // namespace
 
 Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
@@ -51,6 +61,8 @@ Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
                        ? static_cast<size_t>(options.batch_size)
                        : static_cast<size_t>(std::max(
                              1, store->timing().exec_batch_size));
+  env.vectorize =
+      options.vectorize < 0 ? EnvVectorize() : options.vectorize != 0;
   std::shared_ptr<ExecProfile> profile;
   if (options.profile != nullptr) {
     env.profile = options.profile;
@@ -89,13 +101,16 @@ Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
           options.governor->ChargeRows(static_cast<int64_t>(n)));
     }
     if (project != nullptr) {
+      // active_ref: the root batch may carry a selection vector (columnar
+      // mode); n counts live rows and sampling must follow the same list.
       for (size_t i = 0;
            i < n && static_cast<int>(stats.sample_rows.size()) <
                         options.sample_limit;
            ++i) {
         std::vector<Value> row;
         for (const ScalarExprPtr& e : project->emit) {
-          OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, batch.ref(i), *ctx));
+          OODB_ASSIGN_OR_RETURN(Value v,
+                                EvalExpr(*e, batch.active_ref(i), *ctx));
           row.push_back(std::move(v));
         }
         stats.sample_rows.push_back(std::move(row));

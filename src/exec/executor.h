@@ -57,6 +57,12 @@ struct ExecOptions {
   /// (read once per process) forces this on for every run — the CI lever
   /// proving instrumentation never changes results.
   bool analyze = false;
+  /// Columnar vectorized execution: -1 inherits the OODB_VECTORIZE
+  /// environment default (off unless OODB_VECTORIZE=1; read once per
+  /// process), 0 forces the row-at-a-time batch engine, 1 forces columnar.
+  /// Results and simulated costs are identical either way; vectorization
+  /// changes wall-clock time only.
+  int vectorize = -1;
   /// Caller-owned collector for analyzed runs (implies `analyze`). Useful
   /// when the caller needs the partial profile even if execution fails
   /// mid-plan (ExecutePlan returns only a Status then) — e.g. rendering a

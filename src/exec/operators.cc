@@ -46,6 +46,17 @@ class FileScanExec : public ExecNode {
       pos_ = end_ * w / k;
       end_ = end_ * (w + 1) / k;
     }
+    // Columnar lowering of the fused filter: each conjunct runs as one
+    // branchless compare-and-select pass over the store's dense by-OID
+    // projection of its field, so rejected rows cost one indexed load + one
+    // compare instead of a per-object pointer chase through EvalSteps.
+    // I/O is untouched — the batch still reads every member through
+    // ReadMany, charging the same page runs — and survivors append exactly
+    // as before, so vectorize on/off differ in wall clock only.
+    if (env_.vectorize && filter_.specialized()) {
+      projs_ = filter_.StepProjections(env_.store, *env_.ctx);
+      vectorized_ = filter_.Vectorizable(projs_);
+    }
     return Status::OK();
   }
 
@@ -54,24 +65,33 @@ class FileScanExec : public ExecNode {
     out->Clear();
     const bool fused = filter_.specialized();
     double cpu = 0.0;
-    // Gather OIDs in scan order, then resolve them with one batched storage
-    // call: members are in page order, so ReadMany charges one buffer
+    // Resolve OIDs in scan order with one batched storage call per chunk:
+    // the chunk is a contiguous slice of the member vector (no gather
+    // copy), and members are in page order, so ReadMany charges one buffer
     // access per page run instead of one per object. With a fused filter
     // the loop keeps refilling until the batch is full or the chunk ends,
     // so callers never see a pre-EOS empty batch.
     while (!out->full() && pos_ < end_) {
-      scratch_oids_.clear();
       size_t want = out->capacity() - out->size();
-      while (scratch_oids_.size() < want && pos_ < end_) {
-        scratch_oids_.push_back((*members_)[pos_++]);
-      }
-      size_t n = scratch_oids_.size();
+      size_t n = std::min(want, end_ - pos_);
+      const Oid* oids = members_->data() + pos_;
+      pos_ += n;
       scratch_objs_.resize(n);
-      OODB_RETURN_IF_ERROR(
-          env_.store->ReadMany(scratch_oids_.data(), n, scratch_objs_.data()));
+      OODB_RETURN_IF_ERROR(env_.store->ReadMany(oids, n, scratch_objs_.data()));
       cpu += static_cast<double>(n) *
              (env_.timing().cpu_scan_tuple_s +
               conjuncts_ * env_.timing().cpu_pred_s);
+      if (vectorized_) {
+        scratch_sel_.resize(n);
+        size_t cnt =
+            filter_.ScanSelect(oids, n, projs_,
+                               scratch_sel_.data());
+        for (size_t k = 0; k < cnt; ++k) {
+          size_t i = scratch_sel_[k];
+          out->AppendRow().slot(op_.binding) = {oids[i], scratch_objs_[i]};
+        }
+        continue;
+      }
       for (size_t i = 0; i < n; ++i) {
         if (fused) {
           // The batch gather exposes upcoming objects' pointers well in
@@ -80,8 +100,7 @@ class FileScanExec : public ExecNode {
           if (i + 16 < n) filter_.PrefetchFields(*scratch_objs_[i + 16]);
           if (!filter_.EvalSteps(*scratch_objs_[i])) continue;
         }
-        out->AppendRow().slot(op_.binding) = {scratch_oids_[i],
-                                              scratch_objs_[i]};
+        out->AppendRow().slot(op_.binding) = {oids[i], scratch_objs_[i]};
       }
     }
     env_.clock().cpu_s += cpu;
@@ -100,8 +119,11 @@ class FileScanExec : public ExecNode {
   const std::vector<Oid>* members_ = nullptr;
   size_t pos_ = 0;
   size_t end_ = 0;
-  std::vector<Oid> scratch_oids_;
   std::vector<const ObjectData*> scratch_objs_;
+  // Columnar fused-filter state (vectorize on, every step projectable).
+  bool vectorized_ = false;
+  std::vector<const ColumnProjection*> projs_;
+  std::vector<uint16_t> scratch_sel_;
 };
 
 // ---------------------------------------------------------------------------
@@ -201,6 +223,7 @@ class FilterExec : public ExecNode {
       analyzed_ = true;
     }
     kernel = kernel && program_.specialized();
+    if (env_.vectorize) return NextVectorized(out, kernel);
     while (true) {
       OODB_ASSIGN_OR_RETURN(size_t n, child_->Next(out));
       if (n == 0) return 0;
@@ -223,6 +246,55 @@ class FilterExec : public ExecNode {
     }
   }
 
+  /// Columnar mode: survivors are *marked* in the batch's selection vector
+  /// instead of being moved — each conjunct is one branchless kernel pass
+  /// over an extracted typed column, and physical compaction is deferred to
+  /// whoever actually needs contiguous rows (pipeline breakers, Exchange).
+  /// Falls back to per-row evaluation — still selection-marking, so
+  /// downstream sees one shape — when the batch is too small to amortize
+  /// extraction (vector_extract_min_rows), when a column can't be typed, or
+  /// when the predicate didn't specialize.
+  Result<size_t> NextVectorized(TupleBatch* out, bool kernel) {
+    if (kernel && !projs_ready_) {
+      projs_ = program_.StepProjections(env_.store, *env_.ctx);
+      projs_ready_ = true;
+    }
+    const size_t min_rows = static_cast<size_t>(
+        std::max(1, env_.timing().vector_extract_min_rows));
+    while (true) {
+      OODB_ASSIGN_OR_RETURN(size_t n, child_->Next(out));
+      if (n == 0) return 0;
+      env_.clock().cpu_s +=
+          conjuncts_ * env_.timing().cpu_pred_s * static_cast<double>(n);
+      if (kernel && n >= min_rows) {
+        OODB_ASSIGN_OR_RETURN(
+            bool ran, program_.EvalBatchColumnar(out, projs_, *env_.ctx));
+        if (ran) {
+          if (out->active() > 0) return out->active();
+          continue;  // all rows filtered: pull the next child batch
+        }
+      }
+      // Per-row fallback, refining the selection in place (writes trail
+      // reads, and surviving indices stay ascending).
+      const bool had_sel = out->has_selection();
+      uint16_t* sel = out->MutableSelection();
+      size_t kept = 0;
+      for (size_t k = 0; k < n; ++k) {
+        size_t i = had_sel ? sel[k] : k;
+        bool pass;
+        if (kernel) {
+          OODB_ASSIGN_OR_RETURN(pass, program_.Eval(out->ref(i), *env_.ctx));
+        } else {
+          OODB_ASSIGN_OR_RETURN(
+              pass, EvalPredicate(op_.pred, out->ref(i), *env_.ctx));
+        }
+        if (pass) sel[kept++] = static_cast<uint16_t>(i);
+      }
+      out->SetSelection(kept);
+      if (kept > 0) return kept;
+    }
+  }
+
   void Close() override { child_->Close(); }
 
  private:
@@ -232,6 +304,10 @@ class FilterExec : public ExecNode {
   double conjuncts_;
   FilterProgram program_;
   bool analyzed_ = false;
+  // Columnar mode: per-step store projections, resolved once (lazily, so
+  // non-vectorized runs never touch the projection cache).
+  bool projs_ready_ = false;
+  std::vector<const ColumnProjection*> projs_;
 };
 
 // ---------------------------------------------------------------------------
@@ -274,7 +350,7 @@ class HashJoinExec : public ExecNode {
   Status Open() override {
     OODB_RETURN_IF_ERROR(left_->Open());
     BatchReader reader(left_.get(), env_.num_bindings(), env_.batch_size);
-    Tuple t;
+    TupleRef t;
     // Single-key build sides are buffered with their key Values first; if
     // every key is numerically integral the table is rebuilt as an
     // open-addressing int64 map (no per-probe string materialization).
@@ -283,10 +359,14 @@ class HashJoinExec : public ExecNode {
     // string table's match semantics exactly.
     bool single = build_keys_.size() == 1;
     bool all_int = single;
-    std::vector<Tuple> rows;
+    build_width_ = static_cast<size_t>(env_.num_bindings());
     std::vector<Value> vals;
     while (true) {
-      OODB_ASSIGN_OR_RETURN(bool more, reader.Next(&t));
+      // Single-key rows are buffered straight off the child batch view into
+      // one contiguous slot arena — one width-sized copy, zero per-row
+      // allocations (an owning Tuple per row costs a heap block each; see
+      // DESIGN "Columnar execution" for the measured build-side effect).
+      OODB_ASSIGN_OR_RETURN(bool more, reader.NextRef(&t));
       if (!more) break;
       if (single) {
         OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*build_keys_[0], t, *env_.ctx));
@@ -295,41 +375,58 @@ class HashJoinExec : public ExecNode {
         int64_t unused;
         all_int = all_int && AsIntKey(v, &unused);
         vals.push_back(std::move(v));
-        rows.push_back(t);
+        build_slots_.insert(build_slots_.end(), t.slots,
+                            t.slots + build_width_);
       } else {
         OODB_ASSIGN_OR_RETURN(std::string key, KeyOf(build_keys_, t));
         env_.clock().cpu_s += env_.timing().cpu_hash_build_s;
         OODB_RETURN_IF_ERROR(env_.ChargeBuffered());
-        table_[key].push_back(t);
+        table_[key].emplace_back(t);
       }
     }
     left_->Close();
     if (single) {
+      const size_t nrows = vals.size();
       if (all_int) {
         size_t cap = 16;
-        while (cap * 7 < rows.size() * 10 + 10) cap <<= 1;  // load <= ~0.7
+        while (cap * 7 < nrows * 10 + 10) cap <<= 1;  // load <= ~0.7
         int_keys_.assign(cap, 0);
         int_slot_.assign(cap, -1);
         int_mask_ = cap - 1;
-        for (size_t r = 0; r < rows.size(); ++r) {
+        build_next_.assign(nrows, -1);
+        // Rows of one key form a head/next chain through the arena instead
+        // of a per-bucket vector. Inserting in reverse build order makes
+        // each head-prepend leave the chain in forward build order, so the
+        // drain emits matches in exactly the old bucket order.
+        for (size_t r = nrows; r > 0; --r) {
+          size_t i = r - 1;
           int64_t k = 0;
-          AsIntKey(vals[r], &k);
+          AsIntKey(vals[i], &k);
           size_t pos = IntHash(k) & int_mask_;
           while (int_slot_[pos] != -1 && int_keys_[pos] != k) {
             pos = (pos + 1) & int_mask_;
           }
-          if (int_slot_[pos] == -1) {
-            int_slot_[pos] = static_cast<int32_t>(buckets_.size());
-            int_keys_[pos] = k;
-            buckets_.emplace_back();
-          }
-          buckets_[int_slot_[pos]].push_back(std::move(rows[r]));
+          build_next_[i] = int_slot_[pos];
+          int_slot_[pos] = static_cast<int32_t>(i);
+          int_keys_[pos] = k;
         }
         int_mode_ = true;
       } else {
-        for (size_t r = 0; r < rows.size(); ++r) {
-          table_[vals[r].KeyString() + "|"].push_back(std::move(rows[r]));
+        for (size_t r = 0; r < nrows; ++r) {
+          table_[vals[r].KeyString() + "|"].push_back(
+              Tuple(ArenaRef(static_cast<int32_t>(r))));
         }
+      }
+    }
+    // Vectorized probe: per refilled batch, gather the key column, hash
+    // every live probe row, and resolve its bucket up front — the march
+    // loop then walks a precomputed pointer array. Direct-extractor shapes
+    // only; the generic evaluator stays per-row.
+    if (env_.vectorize && int_mode_ && probe_kind_ != ProbeKind::kGeneric) {
+      vectorized_probe_ = true;
+      if (probe_kind_ == ProbeKind::kAttrField) {
+        probe_proj_ = env_.store->Projection(
+            env_.ctx->bindings.def(probe_binding_).type, probe_field_);
       }
     }
     return right_->Open();
@@ -343,22 +440,36 @@ class HashJoinExec : public ExecNode {
     while (!out->full()) {
       // Drain pending matches of the current probe row first — also the
       // resume point when the previous call filled up mid-bucket.
-      if (bucket_ != nullptr) {
+      if (build_row_ >= 0) {
+        // Int mode: walk the arena chain. Arena rows span every binding,
+        // so the CopyFrom overwrites the whole row and the AppendRow clear
+        // is redundant.
+        while (build_row_ >= 0 && !out->full()) {
+          TupleRef bt = ArenaRef(build_row_);
+          TupleRow row = bt.width >= out_width ? out->AppendRowRaw()
+                                               : out->AppendRow();
+          row.CopyFrom(bt);
+          row.MergeFrom(probe_batch_.active_ref(probe_pos_));
+          build_row_ = build_next_[static_cast<size_t>(build_row_)];
+        }
+        if (build_row_ >= 0) break;  // out is full, chain not yet done
+        ++probe_pos_;
+      } else if (bucket_ != nullptr) {
         const size_t bn = bucket_->size();
         while (bucket_pos_ < bn && !out->full()) {
           const Tuple& bt = (*bucket_)[bucket_pos_++];
-          // Build tuples normally span every binding, so the CopyFrom
-          // overwrites the whole row and the AppendRow clear is redundant.
           TupleRow row = bt.slots.size() >= out_width ? out->AppendRowRaw()
                                                       : out->AppendRow();
           row.CopyFrom(bt);
-          row.MergeFrom(probe_batch_.ref(probe_pos_));
+          row.MergeFrom(probe_batch_.active_ref(probe_pos_));
         }
         if (bucket_pos_ < bn) break;  // out is full, bucket not yet done
         bucket_ = nullptr;
         ++probe_pos_;
       }
-      if (probe_pos_ >= probe_batch_.size()) {
+      // probe_pos_ walks the batch's *live* rows (the right child may hand
+      // over a selection-marked batch in columnar mode).
+      if (probe_pos_ >= probe_batch_.active()) {
         if (probe_eos_) break;
         OODB_ASSIGN_OR_RETURN(size_t n, right_->Next(&probe_batch_));
         probe_pos_ = 0;
@@ -366,15 +477,34 @@ class HashJoinExec : public ExecNode {
           probe_eos_ = true;
           break;
         }
+        if (vectorized_probe_) {
+          Status precomputed = PrecomputeBuckets();
+          if (!precomputed.ok()) {
+            env_.clock().cpu_s += cpu;
+            return precomputed;
+          }
+        }
       }
       // March probe rows until one matches; a miss costs only the probe.
-      const size_t pn = probe_batch_.size();
+      const size_t pn = probe_batch_.active();
+      if (have_buckets_) {
+        // Vectorized: chain heads were resolved in one batch pass at
+        // refill; the per-row probe charge still lands here, as each row
+        // marches.
+        while (probe_pos_ < pn) {
+          cpu += env_.timing().cpu_hash_probe_s;
+          build_row_ = probe_buckets_[probe_pos_];
+          if (build_row_ >= 0) break;
+          ++probe_pos_;
+        }
+        continue;
+      }
       while (probe_pos_ < pn) {
         cpu += env_.timing().cpu_hash_probe_s;
         if (int_mode_) {
           int64_t k = 0;
           bool have_key = false;
-          TupleRef pr = probe_batch_.ref(probe_pos_);
+          TupleRef pr = probe_batch_.active_ref(probe_pos_);
           switch (probe_kind_) {
             case ProbeKind::kAttrField: {
               // Same pointer-chase pattern as the fused scan filter: the
@@ -382,7 +512,7 @@ class HashJoinExec : public ExecNode {
               // request a row 8 ahead before reading this one.
               if (probe_pos_ + 8 < pn) {
                 const Slot& pf =
-                    probe_batch_.ref(probe_pos_ + 8).slot(probe_binding_);
+                    probe_batch_.active_ref(probe_pos_ + 8).slot(probe_binding_);
                 if (pf.obj != nullptr) {
                   __builtin_prefetch(&pf.obj->value(probe_field_));
                 }
@@ -408,16 +538,18 @@ class HashJoinExec : public ExecNode {
               break;
             }
           }
-          bucket_ = have_key ? IntProbe(k) : nullptr;
+          build_row_ = have_key ? IntProbe(k) : -1;
+          if (build_row_ >= 0) break;
         } else {
           OODB_ASSIGN_OR_RETURN(
-              std::string key, KeyOf(probe_keys_, probe_batch_.ref(probe_pos_)));
+              std::string key,
+              KeyOf(probe_keys_, probe_batch_.active_ref(probe_pos_)));
           auto it = table_.find(key);
           bucket_ = it == table_.end() ? nullptr : &it->second;
-        }
-        if (bucket_ != nullptr) {
-          bucket_pos_ = 0;
-          break;
+          if (bucket_ != nullptr) {
+            bucket_pos_ = 0;
+            break;
+          }
         }
         ++probe_pos_;
       }
@@ -462,13 +594,73 @@ class HashJoinExec : public ExecNode {
     return static_cast<size_t>(h ^ (h >> 32));
   }
 
-  const std::vector<Tuple>* IntProbe(int64_t k) const {
+  /// Head row index of key `k`'s chain, or -1 on a miss.
+  int32_t IntProbe(int64_t k) const {
     size_t pos = IntHash(k) & int_mask_;
     while (int_slot_[pos] != -1) {
-      if (int_keys_[pos] == k) return &buckets_[int_slot_[pos]];
+      if (int_keys_[pos] == k) return int_slot_[pos];
       pos = (pos + 1) & int_mask_;
     }
-    return nullptr;
+    return -1;
+  }
+
+  /// View of arena row `r` (always full binding width).
+  TupleRef ArenaRef(int32_t r) const {
+    return TupleRef(
+        build_slots_.data() + static_cast<size_t>(r) * build_width_,
+        build_width_);
+  }
+
+  /// Vectorized probe setup, once per refilled probe batch: extract the key
+  /// column (one gather pass), then hash and bucket-resolve every live row
+  /// with the next lookups' table lines prefetched — the classic
+  /// batch-hash + gather-probe split, which overlaps the table's cache
+  /// misses instead of serializing them row by row. Leaves have_buckets_
+  /// false (per-row march takes over) when the column can't be typed.
+  /// Errors on an unloaded key component among live rows, exactly as the
+  /// per-row march would when it reached that row.
+  Status PrecomputeBuckets() {
+    have_buckets_ = false;
+    const size_t pn = probe_batch_.active();
+    const ColumnView* col =
+        probe_kind_ == ProbeKind::kAttrField
+            ? probe_batch_.ExtractFieldColumn(probe_binding_, probe_field_,
+                                              probe_proj_)
+            : probe_batch_.ExtractOidColumn(probe_binding_);
+    if (col == nullptr) return Status::OK();
+    if (probe_kind_ == ProbeKind::kAttrField && !col->all_loaded) {
+      for (size_t k = 0; k < pn; ++k) {
+        if (!col->loaded_at(probe_batch_.active_index(k))) {
+          return Status::Internal(
+              "attribute read on component not present in memory: " +
+              env_.ctx->bindings.def(probe_binding_).name);
+        }
+      }
+    }
+    probe_buckets_.resize(pn);
+    if (!col->is_real) {
+      const int64_t* keys = col->ints;
+      for (size_t k = 0; k < pn; ++k) {
+        if (k + 8 < pn) {
+          size_t pos =
+              IntHash(keys[probe_batch_.active_index(k + 8)]) & int_mask_;
+          __builtin_prefetch(&int_slot_[pos]);
+          __builtin_prefetch(&int_keys_[pos]);
+        }
+        probe_buckets_[k] = IntProbe(keys[probe_batch_.active_index(k)]);
+      }
+    } else {
+      // Real-valued key column: only integral doubles can match an
+      // all-integer build side (AsIntKey semantics).
+      const double* keys = col->reals;
+      for (size_t k = 0; k < pn; ++k) {
+        double d = keys[probe_batch_.active_index(k)];
+        int64_t v = static_cast<int64_t>(d);
+        probe_buckets_[k] = d == static_cast<double>(v) ? IntProbe(v) : -1;
+      }
+    }
+    have_buckets_ = true;
+    return Status::OK();
   }
 
   ExecEnv env_;
@@ -477,21 +669,32 @@ class HashJoinExec : public ExecNode {
   std::unique_ptr<ExecNode> left_, right_;
   std::vector<ScalarExprPtr> build_keys_, probe_keys_;
   std::unordered_map<std::string, std::vector<Tuple>> table_;
-  // Int64 fast path (single all-integer build key): open-addressing table
-  // mapping key -> index into buckets_.
+  // Int64 fast path (single all-integer build key): build rows live in one
+  // contiguous slot arena (build_width_ slots per row, zero per-row
+  // allocations); the open-addressing table maps key -> head row index and
+  // build_next_ chains same-key rows in build order.
   bool int_mode_ = false;
   std::vector<int64_t> int_keys_;
   std::vector<int32_t> int_slot_;
   size_t int_mask_ = 0;
-  std::vector<std::vector<Tuple>> buckets_;
+  std::vector<Slot> build_slots_;
+  size_t build_width_ = 0;
+  std::vector<int32_t> build_next_;
   ProbeKind probe_kind_ = ProbeKind::kGeneric;
   BindingId probe_binding_ = kInvalidBinding;
   FieldId probe_field_ = kInvalidField;
   TupleBatch probe_batch_;
   size_t probe_pos_ = 0;
   bool probe_eos_ = false;
-  const std::vector<Tuple>* bucket_ = nullptr;
+  const std::vector<Tuple>* bucket_ = nullptr;  // generic-path drain state
   size_t bucket_pos_ = 0;
+  int32_t build_row_ = -1;  // int-mode drain cursor (arena chain)
+  // Vectorized probe (vectorize on + int table + direct key extractor):
+  // probe_buckets_[k] is the resolved chain head of the k-th live row.
+  bool vectorized_probe_ = false;
+  bool have_buckets_ = false;
+  const ColumnProjection* probe_proj_ = nullptr;
+  std::vector<int32_t> probe_buckets_;
 };
 
 // ---------------------------------------------------------------------------
@@ -553,11 +756,11 @@ class AssemblyExec : public ExecNode {
   Status FillWindow() {
     window_rows_.clear();
     pos_ = 0;
-    Tuple t;
+    TupleRef t;
     while (static_cast<int>(window_rows_.size()) < window_) {
-      OODB_ASSIGN_OR_RETURN(bool more, reader_->Next(&t));
+      OODB_ASSIGN_OR_RETURN(bool more, reader_->NextRef(&t));
       if (!more) break;
-      window_rows_.push_back(std::move(t));
+      window_rows_.emplace_back(t);
     }
     dropped_.assign(window_rows_.size(), false);
     if (window_rows_.empty()) return Status::OK();
@@ -636,8 +839,13 @@ class PointerJoinExec : public ExecNode {
       if (n == 0) return 0;
       env_.clock().cpu_s +=
           static_cast<double>(n) * env_.timing().cpu_deref_s;
+      // The deref writes each surviving row's target slot anyway, so this
+      // is a natural compaction point: live rows (under a selection-marked
+      // batch, n counts only those) compact to the front as they resolve.
+      const bool had_sel = out->has_selection();
       size_t kept = 0;
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t k = 0; k < n; ++k) {
+        size_t i = had_sel ? out->active_index(k) : k;
         TupleRow row = out->row(i);
         Oid target;
         if (step.field == kInvalidField) {
@@ -655,6 +863,7 @@ class PointerJoinExec : public ExecNode {
         out->row(kept).slot(step.target) = {target, obj};
         ++kept;
       }
+      out->ClearSelection();
       out->Truncate(kept);
       if (kept > 0) return kept;
     }
@@ -682,13 +891,13 @@ class NestedLoopsExec : public ExecNode {
   Status Open() override {
     OODB_RETURN_IF_ERROR(left_->Open());
     BatchReader reader(left_.get(), env_.num_bindings(), env_.batch_size);
-    Tuple t;
+    TupleRef t;
     while (true) {
-      OODB_ASSIGN_OR_RETURN(bool more, reader.Next(&t));
+      OODB_ASSIGN_OR_RETURN(bool more, reader.NextRef(&t));
       if (!more) break;
       env_.clock().cpu_s += env_.timing().cpu_scan_tuple_s;
       OODB_RETURN_IF_ERROR(env_.ChargeBuffered());
-      buffered_.push_back(std::move(t));
+      buffered_.emplace_back(t);
     }
     left_->Close();
     left_pos_ = buffered_.size();  // no right tuple yet
@@ -702,7 +911,8 @@ class NestedLoopsExec : public ExecNode {
     while (!out->full()) {
       if (!have_right_ || left_pos_ >= buffered_.size()) {
         if (have_right_) ++right_pos_;
-        if (right_pos_ >= right_batch_.size()) {
+        // right_pos_ walks the batch's live rows (selection-aware).
+        if (right_pos_ >= right_batch_.active()) {
           if (right_eos_) break;
           have_right_ = false;
           OODB_ASSIGN_OR_RETURN(size_t n, right_->Next(&right_batch_));
@@ -719,7 +929,7 @@ class NestedLoopsExec : public ExecNode {
       // Speculative append: materialize the candidate, keep it if it passes.
       TupleRow row = out->AppendRow();
       row.CopyFrom(buffered_[left_pos_++]);
-      row.MergeFrom(right_batch_.ref(right_pos_));
+      row.MergeFrom(right_batch_.active_ref(right_pos_));
       cpu += env_.timing().cpu_pred_s;
       OODB_ASSIGN_OR_RETURN(bool pass, EvalPredicate(op_.pred, row, *env_.ctx));
       if (!pass) out->Truncate(out->size() - 1);
@@ -762,14 +972,15 @@ class UnnestExec : public ExecNode {
     while (!out->full()) {
       if (members_ != nullptr && member_pos_ < members_->size()) {
         TupleRow row = out->AppendRow();
-        row.CopyFrom(in_batch_.ref(in_pos_));
+        row.CopyFrom(in_batch_.active_ref(in_pos_));
         row.slot(op_.target) = {(*members_)[member_pos_++], nullptr};
         cpu += env_.timing().cpu_unnest_s;
         continue;
       }
       members_ = nullptr;
       if (have_in_) ++in_pos_;
-      if (in_pos_ >= in_batch_.size()) {
+      // in_pos_ walks the batch's live rows (selection-aware).
+      if (in_pos_ >= in_batch_.active()) {
         if (in_eos_) break;
         have_in_ = false;
         OODB_ASSIGN_OR_RETURN(size_t n, child_->Next(&in_batch_));
@@ -780,7 +991,7 @@ class UnnestExec : public ExecNode {
         }
       }
       have_in_ = true;
-      const Slot& src = in_batch_.ref(in_pos_).slot(op_.source);
+      const Slot& src = in_batch_.active_ref(in_pos_).slot(op_.source);
       if (!src.loaded()) {
         return Status::Internal("unnest source not present in memory");
       }
@@ -851,9 +1062,11 @@ class ProjectExec : public ExecNode {
     // executor evaluates the emit list from the final tuples (a Sort
     // enforcer may sit above), but the property violation should surface
     // here, at the operator that required the loads.
+    // Validation walks live rows only; the selection (if any) passes
+    // through untouched — projection changes no slots.
     if (specialized_ && out->capacity() >= FilterProgram::kMinKernelRows) {
       for (size_t i = 0; i < n; ++i) {
-        TupleRef r = out->ref(i);
+        TupleRef r = out->active_ref(i);
         for (BindingId b : check_loaded_) {
           if (!r.slot(b).loaded()) {
             return Status::Internal(
@@ -866,7 +1079,8 @@ class ProjectExec : public ExecNode {
     }
     for (size_t i = 0; i < n; ++i) {
       for (const ScalarExprPtr& e : op_.emit) {
-        OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, out->ref(i), *env_.ctx));
+        OODB_ASSIGN_OR_RETURN(Value v,
+                              EvalExpr(*e, out->active_ref(i), *env_.ctx));
         (void)v;
       }
     }
@@ -899,14 +1113,14 @@ class HashSetOpExec : public ExecNode {
     BatchReader left_reader(left_.get(), env_.num_bindings(), env_.batch_size);
     BatchReader right_reader(right_.get(), env_.num_bindings(),
                              env_.batch_size);
-    Tuple t;
+    TupleRef t;
     // Materialize the left side keyed by identity.
     while (true) {
-      OODB_ASSIGN_OR_RETURN(bool more, left_reader.Next(&t));
+      OODB_ASSIGN_OR_RETURN(bool more, left_reader.NextRef(&t));
       if (!more) break;
       env_.clock().cpu_s += env_.timing().cpu_hash_build_s;
       OODB_RETURN_IF_ERROR(env_.ChargeBuffered());
-      left_table_.emplace(KeyOf(t), t);
+      left_table_.emplace(KeyOf(t), Tuple(t));
     }
     left_->Close();
 
@@ -918,13 +1132,13 @@ class HashSetOpExec : public ExecNode {
         }
         std::map<std::string, Tuple> seen;
         while (true) {
-          OODB_ASSIGN_OR_RETURN(bool more, right_reader.Next(&t));
+          OODB_ASSIGN_OR_RETURN(bool more, right_reader.NextRef(&t));
           if (!more) break;
           env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
           std::string k = KeyOf(t);
           if (left_table_.count(k) == 0 && seen.count(k) == 0) {
-            seen.emplace(k, t);
-            out_.push_back(t);
+            seen.emplace(k, Tuple(t));
+            out_.emplace_back(t);
           }
         }
         break;
@@ -932,20 +1146,20 @@ class HashSetOpExec : public ExecNode {
       case PhysOpKind::kHashIntersect: {
         std::map<std::string, Tuple> seen;
         while (true) {
-          OODB_ASSIGN_OR_RETURN(bool more, right_reader.Next(&t));
+          OODB_ASSIGN_OR_RETURN(bool more, right_reader.NextRef(&t));
           if (!more) break;
           env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
           std::string k = KeyOf(t);
           if (left_table_.count(k) != 0 && seen.count(k) == 0) {
-            seen.emplace(k, t);
-            out_.push_back(t);
+            seen.emplace(k, Tuple(t));
+            out_.emplace_back(t);
           }
         }
         break;
       }
       default: {  // difference
         while (true) {
-          OODB_ASSIGN_OR_RETURN(bool more, right_reader.Next(&t));
+          OODB_ASSIGN_OR_RETURN(bool more, right_reader.NextRef(&t));
           if (!more) break;
           env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
           left_table_.erase(KeyOf(t));
@@ -973,7 +1187,7 @@ class HashSetOpExec : public ExecNode {
   void Close() override {}
 
  private:
-  std::string KeyOf(const Tuple& t) {
+  std::string KeyOf(TupleRef t) {
     std::string key;
     for (BindingId b : scope_.ToVector()) {
       key += std::to_string(t.slot(b).ref);
@@ -1002,17 +1216,17 @@ class SortExec : public ExecNode {
   Status Open() override {
     OODB_RETURN_IF_ERROR(child_->Open());
     BatchReader reader(child_.get(), env_.num_bindings(), env_.batch_size);
-    Tuple t;
+    TupleRef t;
     std::vector<std::pair<Value, Tuple>> keyed;
     while (true) {
-      OODB_ASSIGN_OR_RETURN(bool more, reader.Next(&t));
+      OODB_ASSIGN_OR_RETURN(bool more, reader.NextRef(&t));
       if (!more) break;
       OODB_ASSIGN_OR_RETURN(
           Value v, EvalExpr(*ScalarExpr::Attr(op_.sort.binding, op_.sort.field),
                             t, *env_.ctx));
       env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
       OODB_RETURN_IF_ERROR(env_.ChargeBuffered());
-      keyed.emplace_back(std::move(v), std::move(t));
+      keyed.emplace_back(std::move(v), Tuple(t));
     }
     child_->Close();
     std::stable_sort(keyed.begin(), keyed.end(),
@@ -1182,6 +1396,10 @@ class StatsExec : public ExecNode {
     Record(before);
     if (n.ok() && *n > 0) {
       prof_->rows += static_cast<int64_t>(*n);
+      // Physical rows in the produced batch: equals `rows` for compact
+      // batches; exceeds it when the operator marked survivors in a
+      // selection vector. The ratio is the operator's selection density.
+      prof_->phys_rows += static_cast<int64_t>(out->size());
       ++prof_->batches;
     }
     return n;
@@ -1256,6 +1474,13 @@ Result<std::unique_ptr<ExecNode>> BuildExecNodeImpl(const ExecEnv& env,
         env.batch_size >= FilterProgram::kMinKernelRows) {
       FilterProgram prog = FilterProgram::Analyze(combined);
       if (prog.specialized() && prog.SingleBinding(node->op.binding)) {
+        // Second leg of the fusion invariant: the *compiled* steps (which
+        // the kernels and EvalSteps actually execute — possibly with
+        // operands re-oriented during analysis) must still reconstruct the
+        // chain's conjunct multiset. Catches compile-side drift the
+        // combined-predicate check above cannot see.
+        OODB_RETURN_IF_ERROR(
+            VerifyFusedConjuncts(chain_preds, prog.ReconstructedPredicate()));
         bool part = env.partition_node == node && env.partition_count > 1;
         return std::unique_ptr<ExecNode>(new FileScanExec(
             env, node->op, part, std::move(prog), combined, ncon));

@@ -55,6 +55,15 @@ struct ExecEnv {
   /// knob; capacity of internal child-facing batches).
   size_t batch_size = TupleBatch::kDefaultCapacity;
 
+  /// Columnar vectorized execution (the OODB_VECTORIZE knob): fused scans
+  /// filter through dense store projections (ScanSelect), non-fused filters
+  /// refine selection vectors over extracted typed columns instead of
+  /// compacting, and the hash-join probe batch-hashes its key column. Off,
+  /// every path is bit-identical to the row-at-a-time batch engine.
+  /// Simulated costs are identical either way — vectorization changes
+  /// wall-clock time only.
+  bool vectorize = false;
+
   /// EXPLAIN ANALYZE collector (null = off, the zero-overhead default: no
   /// decorators are built and every code path is bit-identical). When set,
   /// BuildExecNode wraps each operator in a recording decorator writing
@@ -107,7 +116,21 @@ class BatchReader {
 
   /// Copies the next row into *out; returns false at end of stream.
   Result<bool> Next(Tuple* out) {
-    if (pos_ >= batch_.size()) {
+    TupleRef ref;
+    OODB_ASSIGN_OR_RETURN(bool ok, NextRef(&ref));
+    if (ok) out->AssignFrom(ref);
+    return ok;
+  }
+
+  /// Yields a view of the next live row — valid until the following
+  /// Next/NextRef call. Buffering consumers construct their owning Tuple
+  /// straight from the view (one copy) instead of assigning into a scratch
+  /// tuple and then copying that into the buffer (two copies per row —
+  /// measurable on wide bindings; see DESIGN "Columnar execution").
+  /// Selection-aware: only rows alive under the child batch's selection
+  /// vector are yielded.
+  Result<bool> NextRef(TupleRef* out) {
+    if (pos_ >= batch_.active()) {
       if (eos_) return false;
       OODB_ASSIGN_OR_RETURN(size_t n, child_->Next(&batch_));
       pos_ = 0;
@@ -116,7 +139,7 @@ class BatchReader {
         return false;
       }
     }
-    out->AssignFrom(batch_.ref(pos_++));
+    *out = batch_.active_ref(pos_++);
     return true;
   }
 

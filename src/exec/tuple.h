@@ -10,14 +10,24 @@
 // batch of rows over a single flat Slot arena (row-major, column count =
 // number of bindings). The arena is allocated once per operator and rows
 // are recycled across Next() calls, so steady-state execution performs no
-// per-tuple heap allocation; a row is addressed as a (Slot*, width) view
-// and a column of one binding is a strided walk over the arena, which keeps
-// the layout friendly to columnar-style per-batch loops.
+// per-tuple heap allocation.
+//
+// Columnar view: a batch optionally carries (a) a *selection vector* — a
+// uint16_t index list marking which rows are alive, so filters mark
+// survivors instead of moving Slot rows, with physical compaction deferred
+// to pipeline breakers and Exchange serialization points — and (b) cached
+// *typed column views*: per (binding, field), the column's values gathered
+// once per batch into a contiguous int64/double vector with a presence
+// bitmap, which is what the branchless filter kernels and the vectorized
+// hash-join probe loop over. Both are invisible to row-at-a-time consumers
+// (active()/active_ref() degrade to size()/ref() when no selection is set).
 #ifndef OODB_EXEC_TUPLE_H_
 #define OODB_EXEC_TUPLE_H_
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/algebra/expr.h"
@@ -25,6 +35,9 @@
 #include "src/storage/object.h"
 
 namespace oodb {
+
+struct ColumnProjection;
+class ObjectStore;
 
 struct Slot {
   Oid ref = kInvalidOid;
@@ -55,6 +68,11 @@ struct Tuple {
   std::vector<Slot> slots;
 
   explicit Tuple(int num_bindings = 0) : slots(num_bindings) {}
+  /// Copy-constructs straight from a batch row — one copy, one allocation.
+  /// (The buffering pattern of reading into a reused Tuple and then pushing
+  /// it into a vector costs a second full-width copy per row; see DESIGN
+  /// "Columnar execution" for the measured build-side effect.)
+  explicit Tuple(TupleRef row) : slots(row.slots, row.slots + row.width) {}
   Slot& slot(BindingId b) { return slots[b]; }
   const Slot& slot(BindingId b) const { return slots[b]; }
 
@@ -96,18 +114,38 @@ struct TupleRow {
   }
 };
 
+/// One typed column of a batch: values of (binding, field) over the batch's
+/// physical rows [0, size), gathered into a contiguous vector. Exactly one
+/// of ints/reals is set. `loaded` is a presence bitmap (bit i: row i's slot
+/// holds a loaded component); kernels take the all_loaded fast path and
+/// only walk the bitmap to attribute an error.
+struct ColumnView {
+  const int64_t* ints = nullptr;
+  const double* reals = nullptr;
+  bool is_real = false;
+  bool all_loaded = false;
+  const uint64_t* loaded = nullptr;
+
+  bool loaded_at(size_t i) const {
+    return all_loaded || ((loaded[i >> 6] >> (i & 63)) & 1) != 0;
+  }
+};
+
 /// A fixed-capacity batch of rows over one flat Slot arena. `width` is the
 /// number of bindings (columns); row i occupies slots [i*width, (i+1)*width).
 class TupleBatch {
  public:
   /// Default rows per batch (the exec_batch_size knob's default).
   static constexpr size_t kDefaultCapacity = 1024;
+  /// Selection-vector entries are uint16_t row indices; batch capacity is
+  /// clamped here (the executor never asks for more).
+  static constexpr size_t kMaxCapacity = 65535;
 
   TupleBatch() = default;
   TupleBatch(int width, size_t capacity)
       : width_(width),
-        capacity_(capacity),
-        slots_(static_cast<size_t>(width) * capacity) {}
+        capacity_(std::min(capacity, kMaxCapacity)),
+        slots_(static_cast<size_t>(width) * std::min(capacity, kMaxCapacity)) {}
 
   size_t size() const { return size_; }
   size_t capacity() const { return capacity_; }
@@ -116,11 +154,73 @@ class TupleBatch {
   bool full() const { return size_ >= capacity_; }
 
   TupleRow row(size_t i) {
+    ++epoch_;
     return TupleRow{slots_.data() + i * width_, static_cast<size_t>(width_)};
   }
   TupleRef ref(size_t i) const {
     return TupleRef(slots_.data() + i * width_, static_cast<size_t>(width_));
   }
+
+  // --- selection vector ---
+  // When set, sel()[0..active()) lists the ascending physical indices of
+  // the rows that are alive; the arena itself is untouched. When unset,
+  // every row [0, size) is alive.
+
+  bool has_selection() const { return has_sel_; }
+  /// Rows alive in this batch — what Next() returns and consumers iterate.
+  size_t active() const { return has_sel_ ? sel_size_ : size_; }
+  /// Physical index of the k-th alive row.
+  size_t active_index(size_t k) const { return has_sel_ ? sel_[k] : k; }
+  TupleRef active_ref(size_t k) const { return ref(active_index(k)); }
+  TupleRow active_row(size_t k) { return row(active_index(k)); }
+  const uint16_t* sel() const { return sel_.data(); }
+
+  /// The capacity-sized selection buffer for kernels to fill (in-place
+  /// refinement of the current selection is safe: writes trail reads).
+  /// Does not mark the selection active — call SetSelection after filling.
+  uint16_t* MutableSelection() {
+    if (sel_.size() < capacity_) sel_.resize(capacity_);
+    return sel_.data();
+  }
+  /// Marks the first `n` entries of the selection buffer as the live set.
+  void SetSelection(size_t n) {
+    has_sel_ = true;
+    sel_size_ = n;
+  }
+  void ClearSelection() {
+    has_sel_ = false;
+    sel_size_ = 0;
+  }
+
+  /// Physically compacts the alive rows to the front and drops the
+  /// selection — the lazy compaction at pipeline breakers and Exchange
+  /// serialization points. No-op without a selection.
+  void Compact() {
+    if (!has_sel_) return;
+    for (size_t k = 0; k < sel_size_; ++k) {
+      size_t i = sel_[k];
+      if (i != k) CopyRow(k, i);
+    }
+    size_ = sel_size_;
+    has_sel_ = false;
+    sel_size_ = 0;
+    ++epoch_;
+  }
+
+  // --- typed column views ---
+
+  /// The typed column of (binding, field) over rows [0, size), gathering it
+  /// on first use and caching until the batch's rows change. With a store
+  /// projection the gather is one indexed load per row; without one it
+  /// chases each row's object pointer and infers the column kind from the
+  /// values (returning null — per-row fallback — on a kind mix or a
+  /// non-numeric column).
+  const ColumnView* ExtractFieldColumn(BindingId binding, FieldId field,
+                                       const ColumnProjection* proj);
+
+  /// The OID (self/identity) column of `binding`: ints[i] = slot ref, with
+  /// the presence bitmap tracking present() rather than loaded().
+  const ColumnView* ExtractOidColumn(BindingId binding);
 
   /// Appends a cleared row and returns a view of it. The arena is fixed, so
   /// this never allocates; callers must not append past capacity().
@@ -137,19 +237,52 @@ class TupleBatch {
 
   /// Overwrites row `dst` with row `src` (filter/compaction step).
   void CopyRow(size_t dst, size_t src) {
+    ++epoch_;
     std::copy(slots_.data() + src * width_,
               slots_.data() + (src + 1) * width_, slots_.data() + dst * width_);
   }
 
-  void Clear() { size_ = 0; }
+  void Clear() {
+    size_ = 0;
+    has_sel_ = false;
+    sel_size_ = 0;
+    ++epoch_;
+  }
   /// Drops rows past `n` (after in-place compaction).
-  void Truncate(size_t n) { size_ = n; }
+  void Truncate(size_t n) {
+    size_ = n;
+    ++epoch_;
+  }
 
  private:
+  /// One cached column gather; valid while epoch matches the batch's.
+  struct ColumnCache {
+    BindingId binding = kInvalidBinding;
+    FieldId field = kInvalidField;  // kInvalidField = OID column
+    uint64_t epoch = 0;
+    bool usable = false;  // false: remembered as un-typeable this epoch
+    ColumnView view;
+    std::vector<int64_t> ints;
+    std::vector<double> reals;
+    std::vector<uint64_t> bits;
+  };
+
+  ColumnCache* FindOrAddColumn(BindingId binding, FieldId field, bool* fresh);
+
   int width_ = 0;
   size_t capacity_ = 0;
   size_t size_ = 0;
   std::vector<Slot> slots_;
+
+  std::vector<uint16_t> sel_;
+  size_t sel_size_ = 0;
+  bool has_sel_ = false;
+
+  /// Bumped on every row mutation (not on selection changes); column
+  /// caches self-invalidate by comparing epochs. unique_ptr keeps returned
+  /// ColumnView pointers stable while further columns are extracted.
+  uint64_t epoch_ = 0;
+  std::vector<std::unique_ptr<ColumnCache>> columns_;
 };
 
 /// Evaluates a scalar expression against a row. Booleans are encoded as
@@ -175,6 +308,14 @@ Result<bool> EvalPredicate(const ScalarExprPtr& pred, TupleRef tuple,
 /// point: below it (and in particular at batch size 1, the
 /// tuple-at-a-time degeneration) interpretation is the faster plan and
 /// callers should not analyze at all.
+///
+/// On top of the per-row paths, a specialized program can run *columnar*:
+/// each conjunct becomes one branchless compare-and-select pass over a
+/// typed column, chained by refining the batch's selection vector
+/// (ScanSelect for the fused-scan case, EvalBatchColumnar for batches).
+/// Per-conjunct refinement does exactly the comparisons per row that the
+/// short-circuiting row loop does, so simulated CPU charges are unchanged;
+/// only wall-clock time differs.
 class FilterProgram {
  public:
   static constexpr size_t kMinKernelRows = 8;
@@ -186,6 +327,12 @@ class FilterProgram {
   /// True when every compiled step reads binding `b` — the condition for
   /// fusing the program into the scan that produces that binding.
   bool SingleBinding(BindingId b) const;
+
+  /// Rebuilds the conjunction the compiled steps implement, preserving each
+  /// source conjunct's operand orientation, so the result is structurally
+  /// comparable (VerifyFusedConjuncts) with the predicate that was
+  /// analyzed. Null when not specialized.
+  ScalarExprPtr ReconstructedPredicate() const;
 
   /// Evaluates the compiled conjuncts directly against one loaded object —
   /// the scan-fusion path, where rows are filtered before they are ever
@@ -213,12 +360,45 @@ class FilterProgram {
   Result<size_t> EvalBatch(TupleBatch* batch, size_t n,
                            const QueryContext& ctx) const;
 
+  /// Resolves each step's dense store projection (null entries where the
+  /// field isn't projectable), aligned with the compiled steps — the input
+  /// to Vectorizable/ScanSelect/EvalBatchColumnar. Empty if unspecialized.
+  std::vector<const ColumnProjection*> StepProjections(
+      ObjectStore* store, const QueryContext& ctx) const;
+
+  /// True when every step can run as a columnar kernel over the given
+  /// per-step store projections (projs[s] for steps_[s]): the projection
+  /// exists and is homogeneous. The precondition of ScanSelect.
+  bool Vectorizable(const std::vector<const ColumnProjection*>& projs) const;
+
+  /// Fused-scan columnar selection: fills sel[0..count) with the ascending
+  /// indices in [0, n) of `oids` whose projected field values pass every
+  /// step, reading values straight out of the dense by-OID projections —
+  /// rejected rows are never materialized, matching EvalSteps semantics
+  /// bit for bit. Requires Vectorizable(projs).
+  size_t ScanSelect(const Oid* oids, size_t n,
+                    const std::vector<const ColumnProjection*>& projs,
+                    uint16_t* sel) const;
+
+  /// Columnar selection over a batch: extracts each step's typed column
+  /// (once per batch) and refines the batch's selection vector with one
+  /// branchless kernel pass per conjunct. Returns false — batch untouched —
+  /// when some column cannot be typed (caller falls back to the per-row
+  /// path); errors exactly where the row loop would (an unloaded component
+  /// among rows still alive when its conjunct runs).
+  Result<bool> EvalBatchColumnar(
+      TupleBatch* batch, const std::vector<const ColumnProjection*>& projs,
+      const QueryContext& ctx) const;
+
  private:
   struct CmpStep {
     BindingId binding = kInvalidBinding;
     FieldId field = kInvalidField;
     CmpOp op = CmpOp::kEq;
     const Value* constant = nullptr;  // points into the (shared) expr tree
+    /// True when the source conjunct was written const-cmp-attr (op was
+    /// reversed during analysis); ReconstructedPredicate restores it.
+    bool reversed = false;
   };
 
   static bool StepPass(const CmpStep& step, const Value& l);

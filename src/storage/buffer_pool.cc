@@ -28,29 +28,70 @@ struct BufferMetrics {
 
 }  // namespace
 
+// One page touch with mu_ held: returns true on a hit, false on a miss
+// (after faulting the page in). The disk read stays inside the critical
+// section so that the miss, its arm movement, and the eviction are one
+// atomic event — concurrent workers observe a consistent LRU and a
+// serializable read sequence.
+bool BufferPool::AccessLocked(PageId page) {
+  auto it = index_.find(page);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  disk_->Read(page);
+  if (static_cast<int64_t>(lru_.size()) < capacity_ || lru_.empty()) {
+    lru_.push_front(page);
+  } else {
+    // At capacity every miss evicts: recycle the victim's node in place
+    // (splice tail to head, overwrite) so steady-state churn through a
+    // cold scan allocates nothing. Same eviction order as pop+push.
+    index_.erase(lru_.back());
+    lru_.splice(lru_.begin(), lru_, std::prev(lru_.end()));
+    lru_.front() = page;
+  }
+  index_[page] = lru_.begin();
+  return false;
+}
+
 Status BufferPool::Access(PageId page) {
   if (faults_ != nullptr) OODB_RETURN_IF_ERROR(faults_->OnPageAccess(page));
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(page);
-  if (it != index_.end()) {
+  if (AccessLocked(page)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     BufferMetrics::Get().hits->Increment();
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return Status::OK();
-  }
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  BufferMetrics::Get().misses->Increment();
-  // The disk read stays inside the critical section so that the miss, its
-  // arm movement, and the eviction are one atomic event — concurrent
-  // workers observe a consistent LRU and a serializable read sequence.
-  disk_->Read(page);
-  lru_.push_front(page);
-  index_[page] = lru_.begin();
-  if (static_cast<int64_t>(lru_.size()) > capacity_) {
-    index_.erase(lru_.back());
-    lru_.pop_back();
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    BufferMetrics::Get().misses->Increment();
   }
   return Status::OK();
+}
+
+Status BufferPool::AccessMany(const PageId* pages, size_t n) {
+  if (n == 0) return Status::OK();
+  int64_t hits = 0, misses = 0;
+  Status status = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < n; ++i) {
+      // Per-page fault check in sequence, as n Access() calls would do:
+      // pages before the faulting one are already touched and charged.
+      if (faults_ != nullptr) {
+        status = faults_->OnPageAccess(pages[i]);
+        if (!status.ok()) break;
+      }
+      if (AccessLocked(pages[i])) {
+        ++hits;
+      } else {
+        ++misses;
+      }
+    }
+  }
+  hits_.fetch_add(hits, std::memory_order_relaxed);
+  misses_.fetch_add(misses, std::memory_order_relaxed);
+  if (hits > 0) BufferMetrics::Get().hits->Increment(hits);
+  if (misses > 0) BufferMetrics::Get().misses->Increment(misses);
+  return status;
 }
 
 void BufferPool::Reset() {

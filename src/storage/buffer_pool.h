@@ -30,6 +30,12 @@ class BufferPool {
   /// Touches `page`, faulting it in if absent. Thread-safe.
   Status Access(PageId page);
 
+  /// Touches `n` pages in order under one lock acquisition, with the same
+  /// per-page hit/miss/eviction sequence as n Access() calls — the batched
+  /// entry point for ReadMany's page runs (one lock and one statistics
+  /// update per scan chunk instead of one per page run). Thread-safe.
+  Status AccessMany(const PageId* pages, size_t n);
+
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -43,6 +49,8 @@ class BufferPool {
   void Reset();
 
  private:
+  bool AccessLocked(PageId page);
+
   DiskModel* disk_;
   int64_t capacity_;
   FaultInjector* faults_;

@@ -16,6 +16,54 @@ ObjectStore::ObjectStore(const Catalog* catalog, StoreOptions options)
   extents_.resize(catalog_->schema().num_types());
 }
 
+void ObjectStore::InvalidateColumns() {
+  std::lock_guard<std::mutex> lock(columns_mu_);
+  columns_.clear();
+}
+
+const ColumnProjection* ObjectStore::Projection(TypeId type, FieldId field) {
+  if (!catalog_->schema().has_type(type)) return nullptr;
+  const TypeDef& td = catalog_->schema().type(type);
+  if (field < 0 || field >= static_cast<FieldId>(td.fields().size())) {
+    return nullptr;
+  }
+  FieldKind kind = td.field(field).kind;
+  if (kind == FieldKind::kString || kind == FieldKind::kRefSet) return nullptr;
+
+  std::lock_guard<std::mutex> lock(columns_mu_);
+  auto key = std::make_pair(type, field);
+  auto it = columns_.find(key);
+  if (it != columns_.end()) return it->second.get();
+
+  auto proj = std::make_unique<ColumnProjection>();
+  proj->is_real = kind == FieldKind::kDouble;
+  size_t n = objects_.size();
+  if (proj->is_real) {
+    proj->reals.assign(n, 0.0);
+  } else {
+    proj->ints.assign(n, 0);
+  }
+  Value::Kind want =
+      proj->is_real ? Value::Kind::kDouble : Value::Kind::kInt;
+  for (size_t i = 0; i < n; ++i) {
+    const ObjectData& obj = objects_[i];
+    if (obj.type != type) continue;
+    const Value& v = obj.values[field];
+    if (v.kind != want) {
+      proj->homogeneous = false;
+      continue;
+    }
+    if (proj->is_real) {
+      proj->reals[i] = v.d;
+    } else {
+      proj->ints[i] = v.i;
+    }
+  }
+  const ColumnProjection* out = proj.get();
+  columns_.emplace(key, std::move(proj));
+  return out;
+}
+
 Oid ObjectStore::Create(TypeId type) {
   assert(catalog_->schema().has_type(type));
   const TypeDef& td = catalog_->schema().type(type);
@@ -42,17 +90,20 @@ Oid ObjectStore::Create(TypeId type) {
   objects_.push_back(std::move(obj));
   object_page_.push_back(place.current_page);
   if (catalog_->HasExtent(type)) extents_[type].push_back(oid);
+  InvalidateColumns();
   return oid;
 }
 
 void ObjectStore::SetValue(Oid oid, FieldId field, Value v) {
   assert(Exists(oid));
   objects_[oid].values[field] = std::move(v);
+  InvalidateColumns();
 }
 
 void ObjectStore::SetRef(Oid oid, FieldId field, Oid target) {
   assert(Exists(oid));
   objects_[oid].values[field] = Value::Int(target);
+  InvalidateColumns();
 }
 
 void ObjectStore::AddToRefSet(Oid oid, FieldId field, Oid target) {
@@ -67,6 +118,7 @@ void ObjectStore::AddToRefSet(Oid oid, FieldId field, Oid target) {
   obj.ref_sets[slot].push_back(target);
   // Record the set's cardinality hint in values[field] for generic reads.
   obj.values[field] = Value::Int(static_cast<int64_t>(obj.ref_sets[slot].size()));
+  InvalidateColumns();
 }
 
 Status ObjectStore::AddToSet(const std::string& set_name, Oid oid) {
@@ -99,24 +151,36 @@ Status ObjectStore::ReadMany(const Oid* oids, size_t n,
     }
     return Status::OK();
   }
+  // One charged access covers the whole run of objects on a page; the run
+  // pages are batched through AccessMany so the pool lock and statistics
+  // are touched once per group of runs instead of once per run. Charges
+  // are flushed before reporting a bad OID, so the pages read ahead of the
+  // failure are accounted exactly as per-run Access() calls would.
+  constexpr size_t kMaxRuns = 64;
+  PageId run_pages[kMaxRuns];
+  size_t runs = 0;
   size_t i = 0;
   while (i < n) {
     Oid oid = oids[i];
     if (!Exists(oid)) {
+      OODB_RETURN_IF_ERROR(buffer_.AccessMany(run_pages, runs));
       return Status::InvalidArgument("read of invalid oid " +
                                      std::to_string(oid));
     }
-    // One charged access covers the whole run of objects on this page.
     PageId page = object_page_[oid];
-    OODB_RETURN_IF_ERROR(buffer_.Access(page));
+    run_pages[runs++] = page;
     out[i] = &objects_[oid];
     for (++i; i < n; ++i) {
       Oid next = oids[i];
       if (!Exists(next) || object_page_[next] != page) break;
       out[i] = &objects_[next];
     }
+    if (runs == kMaxRuns) {
+      OODB_RETURN_IF_ERROR(buffer_.AccessMany(run_pages, runs));
+      runs = 0;
+    }
   }
-  return Status::OK();
+  return buffer_.AccessMany(run_pages, runs);
 }
 
 PageId ObjectStore::PageOf(Oid oid) const { return object_page_[oid]; }

@@ -6,6 +6,9 @@
 #ifndef OODB_STORAGE_OBJECT_STORE_H_
 #define OODB_STORAGE_OBJECT_STORE_H_
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +20,28 @@
 #include "src/storage/object.h"
 
 namespace oodb {
+
+/// A dense-by-OID typed projection of one scalar field of one type — the
+/// columnar side of the store that vectorized execution gathers from.
+/// objects_ is an array of structs whose Values live in per-object heap
+/// blocks, so a per-batch field gather pays two dependent pointer chases per
+/// row; this projection pays them once per field, at first use, and every
+/// later gather is a single indexed load into a contiguous typed vector.
+/// Built lazily, cached, and invalidated by population writes. Carries no
+/// simulation accounting: scans still charge their reads through
+/// Read/ReadMany; the projection only replaces the (uncharged) in-memory
+/// Value loads.
+struct ColumnProjection {
+  /// Exactly one of these is populated, both indexed by Oid over the whole
+  /// store (entries for OIDs outside the projected type are zero).
+  std::vector<int64_t> ints;  ///< kInt and kRef fields (refs as OIDs)
+  std::vector<double> reals;  ///< kDouble fields
+  bool is_real = false;
+  /// True when every object of the projected type stores a value of the
+  /// field's declared kind — the datagen invariant. Kernels require it; a
+  /// population with nulls or kind drift keeps the per-row fallback.
+  bool homogeneous = true;
+};
 
 struct StoreOptions {
   CostModelOptions timing;
@@ -99,6 +124,14 @@ class ObjectStore {
   /// Members of a collection in storage (page) order.
   Result<const std::vector<Oid>*> CollectionMembers(const CollectionId& id) const;
 
+  /// The dense typed projection of `field` of `type`, built on first use
+  /// and cached; null when the field is not projectable (string, ref-set,
+  /// or out of range). The returned pointer and its vectors are stable
+  /// until the next population write. Thread-safe: Exchange workers race
+  /// only on the first use of a column; the build is serialized under a
+  /// mutex and later reads see an immutable projection.
+  const ColumnProjection* Projection(TypeId type, FieldId field);
+
   Result<const StoredIndex*> FindIndex(const std::string& name) const;
 
   // --- simulation accounting ---
@@ -138,6 +171,14 @@ class ObjectStore {
   std::unordered_map<std::string, std::vector<Oid>> sets_;
   std::vector<std::vector<Oid>> extents_;  // by type
   std::vector<StoredIndex> indexes_;
+
+  /// Lazily built column projections, keyed by (type, field). Population
+  /// writes clear the cache (projections are rebuilt on next use).
+  std::mutex columns_mu_;
+  std::map<std::pair<TypeId, FieldId>, std::unique_ptr<ColumnProjection>>
+      columns_;
+
+  void InvalidateColumns();
 };
 
 }  // namespace oodb

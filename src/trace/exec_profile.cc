@@ -9,6 +9,7 @@ namespace oodb {
 
 void OpProfile::MergeFrom(const OpProfile& other) {
   rows += other.rows;
+  phys_rows += other.phys_rows;
   batches += other.batches;
   cpu_s += other.cpu_s;
   io_s += other.io_s;
@@ -78,7 +79,17 @@ void RenderRec(const PlanNode& node, const QueryContext& ctx,
                                 ? "under"
                                 : "exact";
     os << " -> act " << p->rows << " rows (drift " << FormatDouble(drift, 2)
-       << "x " << dir << "), batches " << p->batches << ", cpu "
+       << "x " << dir << ")";
+    // Selection density: live rows over physical batch rows. Only shown
+    // when a selection vector actually thinned the stream (columnar mode).
+    if (p->phys_rows > p->rows) {
+      os << ", sel "
+         << FormatDouble(100.0 * static_cast<double>(p->rows) /
+                             static_cast<double>(p->phys_rows),
+                         1)
+         << "%";
+    }
+    os << ", batches " << p->batches << ", cpu "
        << FormatDouble(p->cpu_s, 6) << "s";
     if (profile.io_timed()) {
       os << ", io " << FormatDouble(p->io_s, 6) << "s, pages "

@@ -33,7 +33,12 @@ namespace oodb {
 
 /// Counters for one plan node (inclusive of its subtree).
 struct OpProfile {
-  int64_t rows = 0;     ///< tuples emitted by this operator
+  int64_t rows = 0;     ///< tuples emitted by this operator (live rows)
+  /// Physical rows in the emitted batches: equals `rows` for compact
+  /// batches; exceeds it when the operator marked survivors in a selection
+  /// vector (columnar filters). rows/phys_rows is the operator's selection
+  /// density, rendered as "sel N%" when below 100%.
+  int64_t phys_rows = 0;
   int64_t batches = 0;  ///< non-empty batches emitted
   double cpu_s = 0.0;   ///< simulated CPU charged while inside this subtree
   // Valid only when the owning profile is io_timed() (serial plans):

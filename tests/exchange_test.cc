@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <thread>
 
 #include "src/common/rng.h"
@@ -111,11 +112,13 @@ class ExchangeTest : public ::testing::TestWithParam<int> {
   }
 
   static Result<ExecStats> Exec(Planned& p, int batch_size,
-                                QueryGovernor* governor = nullptr) {
+                                QueryGovernor* governor = nullptr,
+                                int vectorize = -1) {
     ExecOptions eo;
     eo.sample_limit = 1 << 22;
     eo.batch_size = batch_size;
     eo.governor = governor;
+    eo.vectorize = vectorize;
     return ExecutePlan(*p.plan, &store(), &p.ctx, eo);
   }
 
@@ -207,25 +210,88 @@ TEST_P(ExchangeTest, BatchAndDopConfigurationsMatchReference) {
   struct Config {
     Planned* planned;
     int batch;
+    int vectorize;
     const char* label;
   } configs[] = {
-      {&serial, 1, "serial batch=1 (tuple-at-a-time era)"},
-      {&serial, 1024, "serial batch=1024"},
-      {&par, 64, "dop=4 batch=64"},
-      {&par, 1024, "dop=4 batch=1024"},
+      {&serial, 1, -1, "serial batch=1 (tuple-at-a-time era)"},
+      {&serial, 1024, 0, "serial batch=1024 row engine"},
+      {&serial, 1024, 1, "serial batch=1024 vectorized"},
+      {&par, 64, 0, "dop=4 batch=64 row engine"},
+      {&par, 64, 1, "dop=4 batch=64 vectorized"},
+      {&par, 1024, 0, "dop=4 batch=1024 row engine"},
+      {&par, 1024, 1, "dop=4 batch=1024 vectorized"},
   };
+  // Vectorization is a wall-clock-only change: for a fixed plan and batch
+  // size, the columnar engine must deliver the row engine's exact result
+  // multiset AND its exact simulated accounting. Remember the row-engine
+  // stats per (plan, batch) and hold the vectorized run to them.
+  struct Baseline {
+    bool set = false;
+    ExecStats stats;
+  };
+  std::map<std::pair<Planned*, int>, Baseline> row_runs;
   for (Config& c : configs) {
     SCOPED_TRACE(c.label);
-    auto stats = Exec(*c.planned, c.batch);
+    auto stats = Exec(*c.planned, c.batch, nullptr, c.vectorize);
     ASSERT_TRUE(stats.ok()) << stats.status() << "\nplan:\n"
                             << PrintPlan(*c.planned->plan, c.planned->ctx);
     EXPECT_EQ(stats->rows, static_cast<int64_t>(reference->rows.size()));
     EXPECT_EQ(SortedRows(stats->sample_rows), expect)
         << "plan:\n" << PrintPlan(*c.planned->plan, c.planned->ctx);
+    Baseline& base = row_runs[{c.planned, c.batch}];
+    if (c.vectorize == 0) {
+      base.set = true;
+      base.stats = *stats;
+    } else if (c.vectorize == 1 && base.set) {
+      EXPECT_DOUBLE_EQ(stats->sim_cpu_s, base.stats.sim_cpu_s)
+          << "vectorization changed simulated CPU accounting";
+      EXPECT_DOUBLE_EQ(stats->sim_io_s, base.stats.sim_io_s)
+          << "vectorization changed simulated I/O accounting";
+      EXPECT_EQ(stats->pages_read, base.stats.pages_read);
+    }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExchangeTest, ::testing::Range(0, 40));
+
+TEST_F(ExchangeTest, SelectionCrossingExchangePartitionsStaysExact) {
+  // The filter reads an Assembly-loaded binding, so it cannot fuse into the
+  // scan: under vectorization FilterExec marks survivors with a selection
+  // vector, and each worker's batch is physically compacted only at the
+  // Exchange push. Three selectivities stress that boundary — dense
+  // survivors, sparse survivors, and an all-rows-dead batch stream — at a
+  // batch size small enough that selections straddle many pushes and at the
+  // default size.
+  const char* queries[] = {
+      "SELECT a.id FROM AtomicPart a IN AtomicParts "
+      "WHERE a.partOf.buildDate >= 2;",
+      "SELECT a.id FROM AtomicPart a IN AtomicParts "
+      "WHERE a.partOf.buildDate >= 9;",
+      "SELECT a.id FROM AtomicPart a IN AtomicParts "
+      "WHERE a.partOf.buildDate >= 99;",
+  };
+  for (const char* text : queries) {
+    SCOPED_TRACE(text);
+    Planned par = Plan(text, /*max_dop=*/4);
+    ASSERT_GE(CountExchanges(*par.plan), 1) << PrintPlan(*par.plan, par.ctx);
+    auto reference = EvaluateReference(*par.logical, &store(), par.ctx);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    for (int batch : {16, 1024}) {
+      SCOPED_TRACE(batch);
+      auto row = Exec(par, batch, nullptr, /*vectorize=*/0);
+      auto vec = Exec(par, batch, nullptr, /*vectorize=*/1);
+      ASSERT_TRUE(row.ok()) << row.status();
+      ASSERT_TRUE(vec.ok()) << vec.status();
+      EXPECT_EQ(vec->rows, static_cast<int64_t>(reference->rows.size()));
+      EXPECT_EQ(SortedRows(vec->sample_rows), SortedRows(reference->rows))
+          << "plan:\n" << PrintPlan(*par.plan, par.ctx);
+      EXPECT_EQ(row->rows, vec->rows);
+      EXPECT_DOUBLE_EQ(row->sim_cpu_s, vec->sim_cpu_s);
+      EXPECT_DOUBLE_EQ(row->sim_io_s, vec->sim_io_s);
+      EXPECT_EQ(row->pages_read, vec->pages_read);
+    }
+  }
+}
 
 TEST_F(ExchangeTest, OidFaultParityAcrossDop) {
   // OID-targeted faults are order-independent, so serial and parallel runs

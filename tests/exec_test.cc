@@ -4,8 +4,12 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <map>
 #include <set>
 
+#include "src/common/metrics.h"
+#include "src/exec/batch_pool.h"
+#include "src/exec/tuple.h"
 #include "tests/test_util.h"
 
 namespace oodb {
@@ -36,6 +40,20 @@ class ExecTest : public ::testing::Test {
     EXPECT_TRUE(planned.ok()) << planned.status();
     if (plan_out != nullptr) *plan_out = *planned;
     auto stats = ExecutePlan(*planned->plan, &store_, &ctx);
+    EXPECT_TRUE(stats.ok()) << stats.status();
+    return *std::move(stats);
+  }
+
+  /// Run() with explicit execution options (vectorize, batch size, ...).
+  ExecStats RunExec(const std::string& text, const ExecOptions& eo) {
+    QueryContext ctx;
+    ctx.catalog = &db_.catalog;
+    auto logical = ParseAndSimplify(text, &ctx);
+    EXPECT_TRUE(logical.ok()) << logical.status();
+    Optimizer opt(&db_.catalog);
+    auto planned = opt.Optimize(**logical, &ctx);
+    EXPECT_TRUE(planned.ok()) << planned.status();
+    auto stats = ExecutePlan(*planned->plan, &store_, &ctx, eo);
     EXPECT_TRUE(stats.ok()) << stats.status();
     return *std::move(stats);
   }
@@ -246,6 +264,117 @@ TEST_F(ExecTest, WarmRunUsesBuffer) {
   auto stats = ExecutePlan(*planned->plan, &store_, &ctx, warm);
   ASSERT_TRUE(stats.ok());
   EXPECT_GT(stats->buffer_hits, cold.buffer_hits);
+}
+
+TEST_F(ExecTest, SelectionVectorEdgeCases) {
+  TupleBatch batch(/*width=*/2, /*capacity=*/8);
+
+  // Empty batch: nothing active, and Compact is a no-op.
+  EXPECT_EQ(batch.active(), 0u);
+  batch.Compact();
+  EXPECT_EQ(batch.size(), 0u);
+  EXPECT_FALSE(batch.has_selection());
+
+  // All rows filtered: an empty selection hides every row; compaction
+  // leaves an empty batch with the selection dropped.
+  for (Oid o = 0; o < 5; ++o) batch.AppendRow().slot(0).ref = 100 + o;
+  EXPECT_EQ(batch.active(), 5u);
+  batch.MutableSelection();
+  batch.SetSelection(0);
+  EXPECT_TRUE(batch.has_selection());
+  EXPECT_EQ(batch.active(), 0u);
+  batch.Compact();
+  EXPECT_FALSE(batch.has_selection());
+  EXPECT_EQ(batch.size(), 0u);
+
+  // Single survivor in the middle: active views index through the
+  // selection, and compaction moves exactly that row to the front.
+  batch.Clear();
+  for (Oid o = 0; o < 5; ++o) batch.AppendRow().slot(0).ref = 200 + o;
+  uint16_t* sel = batch.MutableSelection();
+  sel[0] = 3;
+  batch.SetSelection(1);
+  EXPECT_EQ(batch.active(), 1u);
+  EXPECT_EQ(batch.active_index(0), 3u);
+  EXPECT_EQ(batch.active_ref(0).slot(0).ref, Oid(203));
+  batch.Compact();
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_FALSE(batch.has_selection());
+  EXPECT_EQ(batch.ref(0).slot(0).ref, Oid(203));
+}
+
+TEST_F(ExecTest, VectorizedAllRowsFilteredMatchesRowEngine) {
+  // No employee is that old: every scan chunk's select kernel produces zero
+  // survivors. Results and simulated accounting must match the row engine
+  // exactly — vectorization is a wall-clock-only change.
+  const char* text =
+      "SELECT e.name FROM Employee e IN Employees WHERE e.age > 100000;";
+  ExecOptions row_eo;
+  row_eo.vectorize = 0;
+  ExecOptions vec_eo;
+  vec_eo.vectorize = 1;
+  ExecStats row = RunExec(text, row_eo);
+  ExecStats vec = RunExec(text, vec_eo);
+  EXPECT_EQ(row.rows, 0);
+  EXPECT_EQ(vec.rows, 0);
+  EXPECT_TRUE(vec.sample_rows.empty());
+  EXPECT_DOUBLE_EQ(row.sim_cpu_s, vec.sim_cpu_s);
+  EXPECT_DOUBLE_EQ(row.sim_io_s, vec.sim_io_s);
+  EXPECT_EQ(row.pages_read, vec.pages_read);
+}
+
+TEST_F(ExecTest, VectorizedSingleSurvivorMatchesRowEngine) {
+  // Pin the predicate to a population value exactly one city has, so the
+  // whole two-step kernel chain leaves a single survivor across every batch
+  // of the scan.
+  std::map<int64_t, int> freq;
+  for (Oid c : data_.cities) ++freq[Obj(c).value(db_.city_population).i];
+  int64_t unique_pop = -1;
+  for (const auto& [pop, n] : freq) {
+    if (n == 1) {
+      unique_pop = pop;
+      break;
+    }
+  }
+  ASSERT_NE(unique_pop, -1) << "dataset has no unique city population";
+  std::string text = "SELECT c.name FROM City c IN Cities WHERE c.population >= " +
+                     std::to_string(unique_pop) + " && c.population <= " +
+                     std::to_string(unique_pop) + ";";
+  ExecOptions row_eo;
+  row_eo.vectorize = 0;
+  ExecOptions vec_eo;
+  vec_eo.vectorize = 1;
+  ExecStats row = RunExec(text, row_eo);
+  ExecStats vec = RunExec(text, vec_eo);
+  EXPECT_EQ(row.rows, 1);
+  EXPECT_EQ(vec.rows, 1);
+  ASSERT_EQ(vec.sample_rows.size(), 1u);
+  ASSERT_EQ(row.sample_rows.size(), 1u);
+  EXPECT_EQ(row.sample_rows[0][0].s, vec.sample_rows[0][0].s);
+  EXPECT_DOUBLE_EQ(row.sim_cpu_s, vec.sim_cpu_s);
+  EXPECT_DOUBLE_EQ(row.sim_io_s, vec.sim_io_s);
+}
+
+TEST_F(ExecTest, BatchPoolSteadyStateAllocatesNothing) {
+  // The executor's drain batch comes from the process-wide BatchPool. After
+  // a warm-up run has parked an arena of this query's shape, repeat
+  // executions must be served entirely from the pool: the miss counter
+  // (fresh arena allocations) stays flat while hits and recycles climb —
+  // the steady-state zero-alloc invariant.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* hits = reg.counter("oodb_batch_pool_hits_total");
+  Counter* misses = reg.counter("oodb_batch_pool_misses_total");
+  Counter* recycled = reg.counter("oodb_batch_pool_recycled_total");
+  Run(kQuery2Text);
+  Run(kQuery2Text);
+  int64_t hits_before = hits->value();
+  int64_t misses_before = misses->value();
+  int64_t recycled_before = recycled->value();
+  Run(kQuery2Text);
+  EXPECT_EQ(misses->value(), misses_before)
+      << "steady-state execution allocated a fresh batch arena";
+  EXPECT_GT(hits->value(), hits_before);
+  EXPECT_GT(recycled->value(), recycled_before);
 }
 
 TEST_F(ExecTest, SetOperationExecution) {

@@ -9,6 +9,7 @@
 
 #include <cmath>
 
+#include "src/exec/tuple.h"
 #include "src/physical/enforcers.h"
 #include "src/physical/impl_rules.h"
 #include "src/rules/transformations.h"
@@ -298,6 +299,67 @@ TEST_F(VerifyMutationTest, RefBindingInMemoryClaimIsRejected) {
   MutablePlan q = Clone(*unnested);
   q.Find(PhysOpKind::kAlgUnnest)->op.field = db_.task_name;
   ExpectViolation(*q.root, invariant::kPlanUnnest);
+}
+
+// --- fused-filter mutations ---
+
+TEST_F(VerifyMutationTest, FusedFilterCompileDriftIsRejected) {
+  // The executor fuses a collapsed Filter chain into the scan below only
+  // after checking that the *compiled* steps — whose operands may have been
+  // re-oriented during analysis — still reconstruct the chain's conjunct
+  // multiset (VerifyFusedConjuncts against ReconstructedPredicate). Baseline
+  // first: a clean compile of a chain containing a reversed conjunct passes.
+  // Then each seeded drift a compiler bug could plausibly introduce must be
+  // rejected with the fusion invariant.
+  BindingId c = ctx_.bindings.AddGet("c", db_.city);
+  std::vector<ScalarExprPtr> chain = {
+      ScalarExpr::AttrCmpInt(c, db_.city_population, CmpOp::kGt, 1000),
+      // Written const-cmp-attr: analysis reverses the operands into a
+      // canonical attr-cmp-const step; reconstruction must restore the
+      // source orientation or the structural match fails.
+      ScalarExpr::Cmp(CmpOp::kLt, ScalarExpr::Const(Value::Int(500)),
+                      ScalarExpr::Attr(c, db_.city_population)),
+  };
+  std::vector<ScalarExprPtr> conjuncts;
+  for (const ScalarExprPtr& p : chain) {
+    for (ScalarExprPtr& e : ScalarExpr::SplitConjuncts(p)) {
+      conjuncts.push_back(std::move(e));
+    }
+  }
+  FilterProgram prog =
+      FilterProgram::Analyze(ScalarExpr::CombineConjuncts(std::move(conjuncts)));
+  ASSERT_TRUE(prog.specialized());
+  EXPECT_TRUE(VerifyFusedConjuncts(chain, prog.ReconstructedPredicate()).ok());
+
+  auto expect_fusion_violation = [&](const ScalarExprPtr& fused) {
+    Status s = VerifyFusedConjuncts(chain, fused);
+    ASSERT_FALSE(s.ok()) << "fused-filter drift not detected";
+    EXPECT_NE(s.message().find(invariant::kPlanFusion), std::string::npos)
+        << s.message();
+  };
+
+  // The compile dropped a conjunct.
+  expect_fusion_violation(chain[0]);
+
+  // A step's constant drifted (1000 -> 1001).
+  {
+    std::vector<ScalarExprPtr> drifted;
+    drifted.push_back(
+        ScalarExpr::AttrCmpInt(c, db_.city_population, CmpOp::kGt, 1001));
+    drifted.push_back(chain[1]);
+    expect_fusion_violation(ScalarExpr::CombineConjuncts(std::move(drifted)));
+  }
+
+  // Orientation not restored: the reversed conjunct reconstructed in
+  // canonical attr-first form is a rewrite of the chain's conjunct, not a
+  // structural match for it.
+  {
+    std::vector<ScalarExprPtr> reoriented;
+    reoriented.push_back(chain[0]);
+    reoriented.push_back(
+        ScalarExpr::AttrCmpInt(c, db_.city_population, CmpOp::kGt, 500));
+    expect_fusion_violation(ScalarExpr::CombineConjuncts(std::move(reoriented)));
+  }
 }
 
 // --- join mutations ---
