@@ -140,6 +140,19 @@ Status QueryGovernor::ChargeRows(int64_t n) {
   return Status::OK();
 }
 
+Status QueryGovernor::ChargeRetry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!trip_.ok()) return trip_;
+  ++retries_;
+  stats_.retries_charged = retries_;
+  if (options_.max_retries > 0 && retries_ > options_.max_retries) {
+    return TripLocked(Status::BudgetExhausted(
+        "retry budget exhausted: " + std::to_string(retries_) + " > " +
+        std::to_string(options_.max_retries)));
+  }
+  return Status::OK();
+}
+
 Status QueryGovernor::ChargeTrackedBytes(int64_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!trip_.ok()) return trip_;

@@ -54,6 +54,12 @@ struct GovernorOptions {
   int64_t max_exec_rows = 0;
   int64_t max_exec_pages = 0;
   int64_t max_tracked_bytes = 0;
+  /// Retry budget: execution re-attempts (Session retry ladder) and
+  /// partition re-executions (Exchange recovery) each charge one retry.
+  /// Exceeding the budget is a terminal kBudgetExhausted. 0 disables the
+  /// budget (retries are then bounded by RetryPolicy / recovery attempt
+  /// caps and the deadline alone).
+  int64_t max_retries = 0;
   /// Optional external cancellation; observed at every governor check.
   std::shared_ptr<CancelToken> cancel;
   /// When an *optimizer* budget or the deadline trips during planning,
@@ -67,7 +73,8 @@ struct GovernorOptions {
   bool enabled() const {
     return deadline_ms > 0.0 || max_memo_groups > 0 || max_memo_mexprs > 0 ||
            max_phys_alternatives > 0 || max_exec_rows > 0 ||
-           max_exec_pages > 0 || max_tracked_bytes > 0 || cancel != nullptr;
+           max_exec_pages > 0 || max_tracked_bytes > 0 || max_retries > 0 ||
+           cancel != nullptr;
   }
 };
 
@@ -81,6 +88,7 @@ struct GovernorStats {
   int64_t pages_charged = 0;
   int64_t alternatives_charged = 0;
   int64_t tracked_bytes_peak = 0;
+  int64_t retries_charged = 0;
 
   int64_t trips() const {
     return deadline_trips + budget_trips + cancel_trips;
@@ -93,7 +101,9 @@ struct GovernorStats {
 inline bool IsGovernorStatus(StatusCode code) {
   return code == StatusCode::kDeadlineExceeded ||
          code == StatusCode::kBudgetExhausted ||
-         code == StatusCode::kCancelled || code == StatusCode::kStorageFault;
+         code == StatusCode::kCancelled ||
+         code == StatusCode::kStorageFault ||
+         code == StatusCode::kWorkerFault;
 }
 
 /// One query's governor. Armed (deadline anchored) at construction; checked
@@ -127,6 +137,9 @@ class QueryGovernor {
   /// tracked-memory budget (a high-water mark; buffers are not credited
   /// back on release).
   Status ChargeTrackedBytes(int64_t bytes);
+  /// Charges one execution re-attempt (Session retry) or partition
+  /// re-execution (Exchange recovery) against the retry budget.
+  Status ChargeRetry();
 
   const GovernorOptions& options() const { return options_; }
   /// Snapshot of the trip/charge counters (copied under the lock).
@@ -154,6 +167,7 @@ class QueryGovernor {
   int64_t rows_ = 0;
   int64_t alternatives_ = 0;
   int64_t tracked_bytes_ = 0;
+  int64_t retries_ = 0;
   GovernorStats stats_;
 };
 

@@ -32,6 +32,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kStorageFault:
       return "StorageFault";
+    case StatusCode::kWorkerFault:
+      return "WorkerFault";
   }
   return "Unknown";
 }

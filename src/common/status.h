@@ -30,6 +30,12 @@ enum class StatusCode {
   kBudgetExhausted,
   kCancelled,
   kStorageFault,
+  // Exec-layer fault category (see exec/exec_fault.h): a parallel worker
+  // died (or was made to die by the injector) mid-pipeline. Transient by
+  // definition — the partition's input is a read-only store — so it is the
+  // retryable class the Exchange recovery path and Session retry ladder
+  // re-execute.
+  kWorkerFault,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -84,6 +90,9 @@ class [[nodiscard]] Status {
   }
   static Status StorageFault(std::string msg) {
     return Status(StatusCode::kStorageFault, std::move(msg));
+  }
+  static Status WorkerFault(std::string msg) {
+    return Status(StatusCode::kWorkerFault, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

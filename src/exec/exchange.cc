@@ -1,11 +1,16 @@
 #include "src/exec/exchange.h"
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <limits>
 #include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/exec/batch_pool.h"
 #include "src/exec/worker_pool.h"
 #include "src/physical/parallel.h"
@@ -15,24 +20,55 @@ namespace oodb {
 
 namespace {
 
+/// Process-wide recovery counters (per-execution counts travel on
+/// ExecFaultStats). Resolved once; never freed.
+struct RecoveryMetrics {
+  Counter* partitions_retried;
+  Counter* partitions_speculated;
+  Counter* duplicate_suppressed;
+
+  static const RecoveryMetrics& Get() {
+    static const RecoveryMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      RecoveryMetrics m;
+      m.partitions_retried = r.counter(
+          "oodb_exec_partitions_retried_total",
+          "Exchange partitions re-executed after a retryable fault.");
+      m.partitions_speculated = r.counter(
+          "oodb_exec_partitions_speculated_total",
+          "Straggling partitions speculatively re-dispatched.");
+      m.duplicate_suppressed = r.counter(
+          "oodb_exec_duplicate_attempts_suppressed_total",
+          "Losing partition attempts whose staged output was discarded.");
+      return m;
+    }();
+    return m;
+  }
+};
+
 /// Bounded MPSC queue of TupleBatches. Producers block when full, the
 /// consumer blocks when empty; Abort() wakes everyone and makes every
 /// subsequent Push/Pop fail, so a dying consumer never strands a producer
-/// (and vice versa).
+/// (and vice versa). Batches stranded in the queue by an abort are parked
+/// back in the BatchPool, never leaked — the pooled-arena invariant holds
+/// across cancelled and faulted queries.
 class BatchQueue {
  public:
   BatchQueue(size_t capacity, int producers)
       : capacity_(capacity), producers_(producers) {}
 
-  /// False when the queue was aborted (the batch is dropped).
+  ~BatchQueue() { DrainToPoolLocked(); }
+
+  /// False when the queue was aborted; the batch is then left untouched in
+  /// the caller's hands (so the caller can pool it).
   ///
   /// Wakeups are lazy: the consumer is only notified once the queue is at
-  /// least half full (or by ProducerDone/Abort). Notifying on every push
-  /// ping-pongs producer and consumer through the scheduler — on a machine
-  /// with fewer cores than workers each notify wake-preempts the producer,
-  /// costing a context-switch round trip per batch. Batching the wakeups
-  /// keeps everyone correct (a non-empty queue whose producers all exit is
-  /// flushed by ProducerDone; a full queue necessarily crossed the
+  /// least half full (or by ProducerDone/Abort/Kick). Notifying on every
+  /// push ping-pongs producer and consumer through the scheduler — on a
+  /// machine with fewer cores than workers each notify wake-preempts the
+  /// producer, costing a context-switch round trip per batch. Batching the
+  /// wakeups keeps everyone correct (a non-empty queue whose producers all
+  /// exit is flushed by ProducerDone; a full queue necessarily crossed the
   /// threshold) while letting each side run for several batches per slice.
   bool Push(TupleBatch&& batch) {
     std::unique_lock<std::mutex> lock(mu_);
@@ -52,11 +88,22 @@ class BatchQueue {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(
         lock, [&] { return !queue_.empty() || producers_ == 0 || abort_; });
-    if (abort_ || queue_.empty()) return false;
-    *out = std::move(queue_.front());
-    queue_.pop_front();
-    if (queue_.size() * 2 <= capacity_) not_full_.notify_all();
-    return true;
+    return PopLocked(out);
+  }
+
+  enum class PopResult { kBatch, kTimeout, kClosed };
+
+  /// Pop with a bounded wait — the recovery-mode consumer loop, which must
+  /// wake periodically to run straggler checks and governor ticks even
+  /// when no producer has delivered anything (a hung worker must never
+  /// hang the consumer past its deadline).
+  PopResult PopFor(TupleBatch* out, double timeout_ms) {
+    std::unique_lock<std::mutex> lock(mu_);
+    bool ready = not_empty_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(timeout_ms),
+        [&] { return !queue_.empty() || producers_ == 0 || abort_; });
+    if (!ready) return PopResult::kTimeout;
+    return PopLocked(out) ? PopResult::kBatch : PopResult::kClosed;
   }
 
   void ProducerDone() {
@@ -65,14 +112,50 @@ class BatchQueue {
     not_empty_.notify_all();
   }
 
+  /// Recovery-mode end of stream: every partition delivered. Any batches
+  /// still queued are drained by subsequent Pop calls, then Pop reports
+  /// closed.
+  void AllProducersDone() {
+    std::lock_guard<std::mutex> lock(mu_);
+    producers_ = 0;
+    not_empty_.notify_all();
+  }
+
+  /// Wakes the consumer regardless of the lazy-notify threshold (a small
+  /// partition-atomic delivery may never half-fill the queue).
+  void Kick() {
+    std::lock_guard<std::mutex> lock(mu_);
+    not_empty_.notify_all();
+  }
+
   void Abort() {
     std::lock_guard<std::mutex> lock(mu_);
     abort_ = true;
+    DrainToPoolLocked();
     not_full_.notify_all();
     not_empty_.notify_all();
   }
 
  private:
+  bool PopLocked(TupleBatch* out) {
+    if (queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    if (queue_.size() * 2 <= capacity_) not_full_.notify_all();
+    return true;
+  }
+
+  /// Returns every queued batch to the BatchPool (caller holds mu_ or has
+  /// exclusive access). In-flight arenas must survive a mid-pipeline abort
+  /// as pooled arenas, or every cancelled/faulted query leaks its queue
+  /// depth in allocations.
+  void DrainToPoolLocked() {
+    while (!queue_.empty()) {
+      BatchPool::Instance().Return(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+
   std::mutex mu_;
   std::condition_variable not_full_, not_empty_;
   std::deque<TupleBatch> queue_;
@@ -89,32 +172,43 @@ class ExchangeExec : public ExecNode {
 
   Status Open() override {
     const PlanNode& child = *plan_->children[0];
-    const PlanNode* driver = FindPartitionableScan(child);
-    int dop = driver != nullptr ? std::max(1, plan_->op.dop) : 1;
+    driver_ = FindPartitionableScan(child);
+    dop_ = driver_ != nullptr ? std::max(1, plan_->op.dop) : 1;
     env_.clock().cpu_s +=
-        env_.timing().exchange_startup_s * static_cast<double>(dop);
+        env_.timing().exchange_startup_s * static_cast<double>(dop_);
+    recover_ = env_.recovery != nullptr && env_.recovery->enabled;
     // Deep (but still bounded) buffering: 16 batches per worker. Producers
     // that never hit the bound run their whole partition without a blocking
     // wait — on a machine with fewer cores than workers that turns the
     // stream into long uninterrupted runs per thread instead of a
     // block/wake ping-pong per batch, and on larger machines the extra
     // depth only relaxes backpressure.
-    queue_ = std::make_unique<BatchQueue>(16 * static_cast<size_t>(dop), dop);
-    worker_clocks_.assign(dop, SimClock{});
+    //
+    // In recovery mode the producer count is not the end-of-stream signal
+    // (attempts are dynamic: retries and speculative re-dispatches); the
+    // consumer closes the queue itself once every partition has delivered.
+    queue_ = std::make_unique<BatchQueue>(
+        16 * static_cast<size_t>(dop_),
+        recover_ ? std::numeric_limits<int>::max() : dop_);
+    if (recover_) {
+      OpenRecovery();
+      return Status::OK();
+    }
+    worker_clocks_.assign(dop_, SimClock{});
     if (env_.profile != nullptr) {
       // One private profile per worker, merged at join like the clocks.
       // Workers never attribute I/O per node (store-shared counters race
       // while siblings run); their CPU deltas come off the private clock.
       worker_profiles_.clear();
-      for (int w = 0; w < dop; ++w) {
+      for (int w = 0; w < dop_; ++w) {
         worker_profiles_.push_back(std::make_unique<ExecProfile>());
         worker_profiles_.back()->set_io_timed(false);
       }
     }
-    pending_ = dop;
-    for (int w = 0; w < dop; ++w) {
-      WorkerPool::Instance().Submit([this, w, driver, dop] {
-        WorkerMain(w, driver, dop);
+    pending_ = dop_;
+    for (int w = 0; w < dop_; ++w) {
+      WorkerPool::Instance().Submit([this, w] {
+        WorkerMain(w);
         std::lock_guard<std::mutex> lock(pending_mu_);
         if (--pending_ == 0) pending_cv_.notify_all();
       });
@@ -126,35 +220,66 @@ class ExchangeExec : public ExecNode {
     OODB_RETURN_IF_ERROR(env_.Tick());
     out->Clear();
     if (done_) return Finish();
+    if (recover_) return NextRecovery(out);
     TupleBatch batch;
     if (!queue_->Pop(&batch)) {
       done_ = true;
       return Finish();
     }
-    env_.clock().cpu_s += static_cast<double>(batch.size()) *
-                          env_.timing().exchange_flow_tuple_s;
-    // The consumed batch the caller still holds (from the previous Next) is
-    // a retired arena — park it in the pool instead of freeing it, so
-    // steady-state flow allocates nothing.
-    BatchPool::Instance().Return(std::move(*out));
-    *out = std::move(batch);
-    return out->size();
+    return Deliver(out, std::move(batch));
   }
 
   void Close() override { Shutdown(); }
 
  private:
-  void WorkerMain(int w, const PlanNode* driver, int dop) {
+  // ------------------------- shared plumbing -------------------------
+
+  /// Hands `batch` to the caller, pooling the arena the caller still holds
+  /// from the previous Next — steady-state flow allocates nothing.
+  Result<size_t> Deliver(TupleBatch* out, TupleBatch&& batch) {
+    env_.clock().cpu_s += static_cast<double>(batch.size()) *
+                          env_.timing().exchange_flow_tuple_s;
+    BatchPool::Instance().Return(std::move(*out));
+    *out = std::move(batch);
+    return out->size();
+  }
+
+  ExecEnv MakeWorkerEnv(SimClock* clock, ExecProfile* profile, int partition,
+                        int attempt) {
     ExecEnv wenv = env_;
-    wenv.cpu_clock = &worker_clocks_[w];
-    wenv.profile =
-        worker_profiles_.empty() ? nullptr : worker_profiles_[w].get();
-    if (driver != nullptr && dop > 1) {
-      wenv.partition_node = driver;
-      wenv.partition_index = w;
-      wenv.partition_count = dop;
+    wenv.cpu_clock = clock;
+    wenv.profile = profile;
+    if (driver_ != nullptr && dop_ > 1) {
+      wenv.partition_node = driver_;
+      wenv.partition_index = partition;
+      wenv.partition_count = dop_;
     }
-    Status status = RunWorker(wenv);
+    wenv.fault_worker = partition;
+    wenv.fault_attempt = env_.fault_attempt + attempt;
+    return wenv;
+  }
+
+  /// Applies an injector action to a worker pipeline: charges the simulated
+  /// straggler delay to the worker's private clock, sleeps the real
+  /// component, and surfaces the injected kill.
+  static Status ApplyFault(const ExecFaultInjector::Action& act,
+                           SimClock* clock) {
+    clock->cpu_s += act.sim_delay_s;
+    if (act.sleep_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(act.sleep_ms));
+    }
+    return act.status;
+  }
+
+  // ----------------------- streaming fast path -----------------------
+
+  void WorkerMain(int w) {
+    ExecEnv wenv = MakeWorkerEnv(
+        &worker_clocks_[w],
+        worker_profiles_.empty() ? nullptr : worker_profiles_[w].get(), w,
+        /*attempt=*/0);
+    Status status = RunWorker(wenv, w);
     if (!status.ok()) {
       {
         std::lock_guard<std::mutex> lock(error_mu_);
@@ -168,7 +293,7 @@ class ExchangeExec : public ExecNode {
     queue_->ProducerDone();
   }
 
-  Status RunWorker(const ExecEnv& wenv) {
+  Status RunWorker(const ExecEnv& wenv, int w) {
     OODB_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> node,
                           BuildExecNode(wenv, *plan_->children[0]));
     OODB_RETURN_IF_ERROR(node->Open());
@@ -179,18 +304,306 @@ class ExchangeExec : public ExecNode {
       Result<size_t> n = node->Next(&batch);
       if (!n.ok()) {
         status = n.status();
+        BatchPool::Instance().Return(std::move(batch));
         break;
       }
-      if (*n == 0) break;
+      if (*n == 0) {
+        BatchPool::Instance().Return(std::move(batch));
+        break;
+      }
       // Serialization point: a selection-marked batch compacts here, once,
       // before crossing the queue — consumers see contiguous rows and the
       // flow-tuple charge below stays per *live* row.
       batch.Compact();
-      if (!queue_->Push(std::move(batch))) break;  // consumer went away
+      if (wenv.exec_faults != nullptr) {
+        status = ApplyFault(
+            wenv.exec_faults->OnBatchBoundary(w, wenv.fault_attempt),
+            wenv.cpu_clock);
+        if (status.ok()) {
+          status = ApplyFault(
+              wenv.exec_faults->OnPush(w, wenv.fault_attempt), wenv.cpu_clock);
+        }
+        if (!status.ok()) {
+          BatchPool::Instance().Return(std::move(batch));
+          break;
+        }
+      }
+      if (!queue_->Push(std::move(batch))) {
+        // Consumer went away (abort): the push left the batch with us.
+        BatchPool::Instance().Return(std::move(batch));
+        break;
+      }
     }
     node->Close();
     return status;
   }
+
+  // ------------------------- recovery mode ---------------------------
+  //
+  // Partition-atomic delivery: each attempt stages its whole chunk's
+  // batches locally and publishes them only after the chunk succeeded,
+  // under a per-partition winner claim. A failed attempt therefore
+  // contributed nothing downstream — re-executing its chunk (legal because
+  // scan partitions are side-effect-free over the read-only store) cannot
+  // duplicate or lose rows. Stragglers are speculatively re-dispatched
+  // (first result wins); the loser's staged output is discarded, and the
+  // winner-claim asserts exactly-once delivery per partition.
+
+  struct PartitionState {
+    int attempts_started = 0;
+    bool winner_claimed = false;
+    bool delivered = false;
+    bool speculated = false;
+    Status last_error;
+    std::chrono::steady_clock::time_point dispatched_at;
+  };
+
+  struct Attempt {
+    int partition = 0;
+    int attempt = 0;
+    bool won = false;
+    SimClock clock;
+    std::unique_ptr<ExecProfile> profile;
+  };
+
+  void OpenRecovery() {
+    parts_.assign(static_cast<size_t>(dop_), PartitionState{});
+    std::lock_guard<std::mutex> lock(part_mu_);
+    for (int p = 0; p < dop_; ++p) DispatchLocked(p, /*speculative=*/false);
+  }
+
+  /// Launches the next attempt of partition `p`. Caller holds part_mu_.
+  void DispatchLocked(int p, bool speculative) {
+    PartitionState& ps = parts_[static_cast<size_t>(p)];
+    int attempt = ps.attempts_started++;
+    ps.dispatched_at = std::chrono::steady_clock::now();
+    attempts_.emplace_back();
+    Attempt* at = &attempts_.back();  // deque: stable across later growth
+    at->partition = p;
+    at->attempt = attempt;
+    if (env_.profile != nullptr) {
+      at->profile = std::make_unique<ExecProfile>();
+      at->profile->set_io_timed(false);
+    }
+    if (speculative) {
+      ps.speculated = true;
+      if (env_.fault_stats != nullptr) {
+        env_.fault_stats->partitions_speculated.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      RecoveryMetrics::Get().partitions_speculated->Increment();
+    }
+    {
+      std::lock_guard<std::mutex> plock(pending_mu_);
+      ++pending_;
+    }
+    WorkerPool::Instance().Submit([this, at] {
+      RunAttempt(*at);
+      std::lock_guard<std::mutex> plock(pending_mu_);
+      if (--pending_ == 0) pending_cv_.notify_all();
+    });
+  }
+
+  void RunAttempt(Attempt& at) {
+    ExecEnv wenv =
+        MakeWorkerEnv(&at.clock, at.profile.get(), at.partition, at.attempt);
+    std::vector<TupleBatch> staged;
+    Status status = RunPartition(wenv, at, &staged);
+
+    bool deliver = false;
+    if (status.ok()) {
+      std::lock_guard<std::mutex> lock(part_mu_);
+      PartitionState& ps = parts_[static_cast<size_t>(at.partition)];
+      // The winner claim is the exactly-once gate: the first successful
+      // attempt of a partition delivers, every other one (a speculative
+      // rival, a retry racing a slow original) is suppressed wholesale.
+      if (!ps.winner_claimed && !shutdown_) {
+        ps.winner_claimed = true;
+        at.won = true;
+        deliver = true;
+      }
+    }
+
+    if (deliver) {
+      bool pushed = true;
+      for (TupleBatch& b : staged) {
+        if (pushed && queue_->Push(std::move(b))) continue;
+        pushed = false;
+        BatchPool::Instance().Return(std::move(b));
+      }
+      staged.clear();
+      std::lock_guard<std::mutex> lock(part_mu_);
+      PartitionState& ps = parts_[static_cast<size_t>(at.partition)];
+      // Delivery invariant (duplicate suppression): a partition is
+      // delivered at most once. A second delivery would mean duplicated
+      // rows downstream — surface it as a hard internal error rather than
+      // silently corrupt results.
+      if (ps.delivered) {
+        std::lock_guard<std::mutex> elock(error_mu_);
+        if (first_error_.ok()) {
+          first_error_ = Status::Internal(
+              "exchange recovery: partition " +
+              std::to_string(at.partition) + " delivered twice");
+        }
+        queue_->Abort();
+        return;
+      }
+      ps.delivered = true;
+      ++delivered_count_;
+      queue_->Kick();
+      return;
+    }
+
+    // Losing or failed attempt: its staged output is suppressed entirely.
+    if (!staged.empty()) {
+      RecoveryMetrics::Get().duplicate_suppressed->Increment();
+    }
+    for (TupleBatch& b : staged) BatchPool::Instance().Return(std::move(b));
+    staged.clear();
+    if (status.ok()) return;  // lost the race; the winner delivered
+
+    std::lock_guard<std::mutex> lock(part_mu_);
+    PartitionState& ps = parts_[static_cast<size_t>(at.partition)];
+    ps.last_error = status;
+    if (ps.winner_claimed || shutdown_) return;
+    if (IsRetryableExecFault(status.code()) &&
+        ps.attempts_started < env_.recovery->max_partition_attempts &&
+        ChargeRetryBudget().ok()) {
+      if (env_.fault_stats != nullptr) {
+        env_.fault_stats->partitions_retried.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      RecoveryMetrics::Get().partitions_retried->Increment();
+      DispatchLocked(at.partition, /*speculative=*/false);
+      return;
+    }
+    // Terminal: no recovery path left for this partition. Surface the
+    // first error and drain the pipeline.
+    {
+      std::lock_guard<std::mutex> elock(error_mu_);
+      if (first_error_.ok()) first_error_ = status;
+    }
+    queue_->Abort();
+  }
+
+  Status ChargeRetryBudget() {
+    if (env_.governor == nullptr) return Status::OK();
+    return env_.governor->ChargeRetry();
+  }
+
+  Status RunPartition(const ExecEnv& wenv, const Attempt& at,
+                      std::vector<TupleBatch>* staged) {
+    OODB_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> node,
+                          BuildExecNode(wenv, *plan_->children[0]));
+    Status status = node->Open();
+    while (status.ok()) {
+      // A rival attempt already won this partition, or the exchange is
+      // shutting down: stop early and discard. Keeps a superseded
+      // straggler from burning a pool thread for the rest of its chunk.
+      {
+        std::lock_guard<std::mutex> lock(part_mu_);
+        const PartitionState& ps = parts_[static_cast<size_t>(at.partition)];
+        if (shutdown_ || ps.winner_claimed) {
+          status = Status::Cancelled("partition attempt superseded");
+          break;
+        }
+      }
+      TupleBatch batch =
+          BatchPool::Instance().Take(wenv.num_bindings(), wenv.batch_size);
+      Result<size_t> n = node->Next(&batch);
+      if (!n.ok()) {
+        status = n.status();
+        BatchPool::Instance().Return(std::move(batch));
+        break;
+      }
+      if (*n == 0) {
+        BatchPool::Instance().Return(std::move(batch));
+        break;
+      }
+      batch.Compact();
+      if (wenv.exec_faults != nullptr) {
+        status = ApplyFault(wenv.exec_faults->OnBatchBoundary(
+                                at.partition, wenv.fault_attempt),
+                            wenv.cpu_clock);
+        if (status.ok()) {
+          status =
+              ApplyFault(wenv.exec_faults->OnPush(at.partition,
+                                                  wenv.fault_attempt),
+                         wenv.cpu_clock);
+        }
+        if (!status.ok()) {
+          BatchPool::Instance().Return(std::move(batch));
+          break;
+        }
+      }
+      staged->push_back(std::move(batch));
+    }
+    node->Close();
+    return status;
+  }
+
+  Result<size_t> NextRecovery(TupleBatch* out) {
+    const double interval =
+        env_.recovery->check_interval_ms > 0.0
+            ? env_.recovery->check_interval_ms
+            : 10.0;
+    while (true) {
+      TupleBatch batch;
+      BatchQueue::PopResult r = queue_->PopFor(&batch, interval);
+      if (r == BatchQueue::PopResult::kBatch) {
+        return Deliver(out, std::move(batch));
+      }
+      if (r == BatchQueue::PopResult::kClosed) {
+        done_ = true;
+        return Finish();
+      }
+      // Timeout tick: bound a hung pipeline by the governor deadline, then
+      // check for end of stream and stragglers.
+      OODB_RETURN_IF_ERROR(env_.Tick());
+      bool all_delivered = false;
+      {
+        std::lock_guard<std::mutex> lock(part_mu_);
+        all_delivered = delivered_count_ == dop_;
+        if (!all_delivered) CheckStragglersLocked();
+      }
+      if (all_delivered) {
+        // Winners set `delivered` only after their last push, so once every
+        // partition reports delivered the queue holds the complete residue;
+        // closing it lets Pop drain then report end of stream.
+        queue_->AllProducersDone();
+      }
+    }
+  }
+
+  /// Speculative re-dispatch of straggling partitions: a partition not
+  /// delivered within straggler_threshold * governor-deadline of its last
+  /// dispatch gets one rival attempt of the same chunk (first result wins).
+  /// Caller holds part_mu_.
+  void CheckStragglersLocked() {
+    if (env_.recovery->straggler_threshold <= 0.0 ||
+        env_.governor == nullptr) {
+      return;
+    }
+    double deadline_ms = env_.governor->options().deadline_ms;
+    if (deadline_ms <= 0.0) return;
+    double threshold_ms = env_.recovery->straggler_threshold * deadline_ms;
+    auto now = std::chrono::steady_clock::now();
+    for (int p = 0; p < dop_; ++p) {
+      PartitionState& ps = parts_[static_cast<size_t>(p)];
+      if (ps.winner_claimed || ps.speculated ||
+          ps.attempts_started >= env_.recovery->max_partition_attempts) {
+        continue;
+      }
+      double waited_ms =
+          std::chrono::duration<double, std::milli>(now - ps.dispatched_at)
+              .count();
+      if (waited_ms < threshold_ms) continue;
+      if (!ChargeRetryBudget().ok()) return;
+      DispatchLocked(p, /*speculative=*/true);
+    }
+  }
+
+  // --------------------------- join/close ----------------------------
 
   /// Waits for the workers (once), merges their private clocks, and reports
   /// the first worker error — or a clean end of stream.
@@ -207,6 +620,10 @@ class ExchangeExec : public ExecNode {
     {
       std::unique_lock<std::mutex> lock(pending_mu_);
       pending_cv_.wait(lock, [&] { return pending_ == 0; });
+    }
+    if (recover_) {
+      JoinRecovery();
+      return;
     }
     for (const SimClock& c : worker_clocks_) {
       env_.store->clock().MergeFrom(c);
@@ -229,20 +646,61 @@ class ExchangeExec : public ExecNode {
     }
   }
 
+  void JoinRecovery() {
+    // All attempts joined (pending_ == 0): attempts_ and parts_ are
+    // quiescent. Every attempt's clock merges — work done by losing
+    // speculative rivals and failed attempts was really done — while only
+    // winning attempts contribute profiles, so ANALYZE row counts reflect
+    // delivered results, not suppressed duplicates.
+    const PlanNode* child = plan_->children[0].get();
+    for (const Attempt& at : attempts_) {
+      env_.store->clock().MergeFrom(at.clock);
+      if (!at.won || env_.profile == nullptr || at.profile == nullptr) {
+        continue;
+      }
+      const OpProfile* root = at.profile->Find(child);
+      WorkerUtilization u;
+      u.worker = at.partition;
+      u.rows = root != nullptr ? root->rows : 0;
+      u.cpu_s = at.clock.cpu_s;
+      env_.profile->AddWorker(plan_, u);
+      env_.profile->MergeFrom(*at.profile);
+    }
+    if (env_.profile != nullptr && env_.fault_stats != nullptr) {
+      env_.profile->AddRecovery(
+          env_.fault_stats->partitions_retried.load(std::memory_order_relaxed),
+          env_.fault_stats->partitions_speculated.load(
+              std::memory_order_relaxed));
+    }
+  }
+
   void Shutdown() {
+    if (recover_) {
+      std::lock_guard<std::mutex> lock(part_mu_);
+      shutdown_ = true;  // running attempts exit at their next boundary
+    }
     if (queue_ != nullptr && !joined_) queue_->Abort();
     JoinWorkers();
   }
 
-
   ExecEnv env_;
   const PlanNode* plan_;
+  const PlanNode* driver_ = nullptr;
+  int dop_ = 1;
+  bool recover_ = false;
   std::unique_ptr<BatchQueue> queue_;
   std::mutex pending_mu_;
   std::condition_variable pending_cv_;
   int pending_ = 0;
   std::vector<SimClock> worker_clocks_;
   std::vector<std::unique_ptr<ExecProfile>> worker_profiles_;
+  std::mutex part_mu_;  ///< guards parts_, attempts_, delivered_count_,
+                        ///< shutdown_ (lock order: part_mu_ before
+                        ///< pending_mu_ / error_mu_)
+  std::vector<PartitionState> parts_;
+  std::deque<Attempt> attempts_;
+  int delivered_count_ = 0;
+  bool shutdown_ = false;
   std::mutex error_mu_;
   Status first_error_;
   bool done_ = false;

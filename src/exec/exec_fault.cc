@@ -1,0 +1,146 @@
+#include "src/exec/exec_fault.h"
+
+#include <cstdlib>
+
+#include "src/common/metrics.h"
+
+namespace oodb {
+
+namespace {
+
+/// Process-wide injected-fault counter (per-execution counts live on the
+/// injector). Resolved once; never freed.
+Counter* InjectedCounter() {
+  static Counter* c = MetricsRegistry::Global().counter(
+      "oodb_exec_faults_injected_total",
+      "Exec-layer faults fired by the injector (worker kills).");
+  return c;
+}
+
+}  // namespace
+
+Result<ExecFaultPolicy> ParseExecFaultSpec(const std::string& spec) {
+  ExecFaultPolicy policy;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string kv = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (kv.empty()) continue;
+    size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("exec fault spec entry without '=': " +
+                                     kv);
+    }
+    std::string key = kv.substr(0, eq);
+    std::string val = kv.substr(eq + 1);
+    char* parse_end = nullptr;
+    double num = std::strtod(val.c_str(), &parse_end);
+    if (parse_end == val.c_str() || *parse_end != '\0') {
+      return Status::InvalidArgument("exec fault spec value not numeric: " +
+                                     kv);
+    }
+    if (key == "seed") {
+      policy.seed = static_cast<uint64_t>(num);
+    } else if (key == "fail_worker") {
+      policy.fail_worker = static_cast<int>(num);
+    } else if (key == "fail_after_batches") {
+      policy.fail_after_batches = static_cast<int64_t>(num);
+    } else if (key == "fail_probability") {
+      policy.fail_probability = num;
+    } else if (key == "fail_attempts") {
+      policy.fail_attempts = static_cast<int>(num);
+    } else if (key == "slow_worker") {
+      policy.slow_worker = static_cast<int>(num);
+    } else if (key == "slow_ms") {
+      policy.slow_ms = num;
+    } else if (key == "slow_sim_s") {
+      policy.slow_sim_s = num;
+    } else if (key == "slow_attempts") {
+      policy.slow_attempts = static_cast<int>(num);
+    } else if (key == "stall_pushes") {
+      policy.stall_pushes = static_cast<int64_t>(num);
+    } else if (key == "stall_ms") {
+      policy.stall_ms = num;
+    } else {
+      return Status::InvalidArgument("unknown exec fault spec key: " + key);
+    }
+  }
+  return policy;
+}
+
+ExecFaultInjector::WorkerState& ExecFaultInjector::StateLocked(int worker,
+                                                               int attempt) {
+  WorkerState& s = workers_[{worker, attempt}];
+  if (!s.rng_seeded) {
+    // Per-site stream: deterministic regardless of thread interleaving.
+    s.rng = Rng(policy_.seed ^
+                (0xfa017ull +
+                 static_cast<uint64_t>(worker) * 0x9e3779b97f4a7c15ull +
+                 static_cast<uint64_t>(attempt) * 0xc2b2ae3d27d4eb4full));
+    s.rng_seeded = true;
+  }
+  return s;
+}
+
+void ExecFaultInjector::CountInjected() {
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  InjectedCounter()->Increment();
+}
+
+ExecFaultInjector::Action ExecFaultInjector::OnBatchBoundary(int worker,
+                                                             int attempt) {
+  Action act;
+  if (!policy_.enabled()) return act;
+  std::lock_guard<std::mutex> lock(mu_);
+  WorkerState& s = StateLocked(worker, attempt);
+  ++s.batches;
+  if (policy_.slow_worker == worker && attempt < policy_.slow_attempts) {
+    act.sleep_ms += policy_.slow_ms;
+    act.sim_delay_s += policy_.slow_sim_s;
+  }
+  // Equality (not >=) fires the deterministic kill exactly once per fault
+  // site (worker, attempt): each re-execution restarts its batch counter,
+  // so every armed attempt dies at the same batch ordinal.
+  if (policy_.fail_worker == worker && attempt < policy_.fail_attempts &&
+      s.batches == policy_.fail_after_batches) {
+    act.status = Status::WorkerFault(
+        "injected worker fault (worker " + std::to_string(worker) +
+        ", batch #" + std::to_string(s.batches) + ", attempt " +
+        std::to_string(attempt) + ")");
+    CountInjected();
+  }
+  return act;
+}
+
+Status ExecFaultInjector::OnTick(int worker, int attempt) {
+  if (policy_.fail_probability <= 0.0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  WorkerState& s = StateLocked(worker, attempt);
+  ++s.ticks;
+  if (attempt < policy_.fail_attempts &&
+      s.rng.Bernoulli(policy_.fail_probability)) {
+    CountInjected();
+    return Status::WorkerFault(
+        "injected worker fault (worker " + std::to_string(worker) +
+        ", tick #" + std::to_string(s.ticks) + ", attempt " +
+        std::to_string(attempt) + ", probabilistic policy)");
+  }
+  return Status::OK();
+}
+
+ExecFaultInjector::Action ExecFaultInjector::OnPush(int worker, int attempt) {
+  Action act;
+  (void)worker;
+  (void)attempt;
+  if (policy_.stall_pushes <= 0) return act;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pushes_ < policy_.stall_pushes) {
+    ++pushes_;
+    act.sleep_ms = policy_.stall_ms;
+  }
+  return act;
+}
+
+}  // namespace oodb

@@ -1,0 +1,186 @@
+// Deterministic exec-layer fault injection and the recovery knobs that
+// tolerate it. The storage layer's FaultPolicy (storage/fault.h) fails
+// charged page reads; this module extends the same seeded, replayable model
+// one layer up, where parallelism lives: a worker pipeline can be made to
+// *die* at a batch boundary (kWorkerFault), to *straggle* (a per-batch
+// wall-clock sleep plus a simulated-clock charge on one worker), or to
+// *stall* its exchange-queue pushes for a bounded number of batches. The
+// injector is threaded through ExecEnv so every operator Next() is a
+// potential fault site (Tick-level probabilistic kills) and every pipeline
+// root batch is a deterministic one.
+//
+// Identity model: a fault site is (worker, attempt). `worker` is the
+// Exchange partition index (0 for serial execution); `attempt` is the sum
+// of the Session-level query attempt and the Exchange-level partition
+// attempt, so a policy with fail_attempts = 1 produces a *transient* fault
+// — attempt 0 dies, every re-execution of the same chunk succeeds — which
+// is exactly the shape recovery and retry must win against. Per-worker
+// counters and RNG streams make the fault sequence independent of thread
+// interleaving: the same policy over the same per-worker access sequence
+// fires identically on every run, at any DOP.
+#ifndef OODB_EXEC_EXEC_FAULT_H_
+#define OODB_EXEC_EXEC_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace oodb {
+
+/// Exec-layer fault configuration; inert by default. Parsable from the
+/// OODB_EXEC_FAULTS environment spec (see ParseExecFaultSpec).
+struct ExecFaultPolicy {
+  /// Seed for the per-worker probabilistic kill streams.
+  uint64_t seed = 0;
+
+  // --- worker failure (kWorkerFault) ---
+  /// Worker index whose pipeline dies (-1 disables the deterministic kill;
+  /// use fail_probability to arm every worker). Fires at the
+  /// `fail_after_batches`-th batch boundary of each attempt of that
+  /// worker's pipeline root, for every attempt below fail_attempts — so a
+  /// transient policy kills attempt 0 and lets the retry run clean, while a
+  /// permanent one kills every re-execution until recovery gives up.
+  int fail_worker = -1;
+  int64_t fail_after_batches = 1;
+  /// Independent per-Tick (operator Next) kill probability in [0, 1), drawn
+  /// from a per-worker RNG stream. 0 disables.
+  double fail_probability = 0.0;
+  /// Attempts [0, fail_attempts) are killed; later attempts of the same
+  /// site run clean. 1 = transient (the recovery-must-win shape); a large
+  /// value = permanent (the typed-terminal-Status shape).
+  int fail_attempts = 1;
+
+  // --- straggler (slow worker) ---
+  /// Worker index that straggles, or -1 for none. Each batch boundary on
+  /// that worker sleeps `slow_ms` of real time and charges `slow_sim_s`
+  /// simulated seconds to the worker's private clock.
+  int slow_worker = -1;
+  double slow_ms = 0.0;
+  double slow_sim_s = 0.0;
+  /// Attempts [0, slow_attempts) straggle; later attempts run at speed (so
+  /// a speculative re-dispatch observably beats the original).
+  int slow_attempts = 1;
+
+  // --- bounded queue stall ---
+  /// The first `stall_pushes` exchange-queue pushes (across all workers)
+  /// each sleep `stall_ms` of real time before entering the queue. Bounded
+  /// by construction: a stall can slow a query, never hang it.
+  int64_t stall_pushes = 0;
+  double stall_ms = 0.0;
+
+  bool enabled() const {
+    return fail_worker >= 0 || fail_probability > 0.0 || slow_worker >= 0 ||
+           stall_pushes > 0;
+  }
+};
+
+/// Parses a "key=value,key=value" spec (the OODB_EXEC_FAULTS format) into a
+/// policy. Keys: seed, fail_worker, fail_after_batches, fail_probability,
+/// fail_attempts, slow_worker, slow_ms, slow_sim_s, slow_attempts,
+/// stall_pushes, stall_ms. Unknown keys are rejected.
+Result<ExecFaultPolicy> ParseExecFaultSpec(const std::string& spec);
+
+/// Aggregated fault/recovery counters for one plan execution, owned by
+/// ExecutePlan and updated by the Exchange recovery path at worker join.
+/// Atomic because losing speculative attempts may still be running when the
+/// consumer reads the totals.
+struct ExecFaultStats {
+  std::atomic<int64_t> partitions_retried{0};
+  std::atomic<int64_t> partitions_speculated{0};
+};
+
+/// Recovery configuration for parallel execution (ExecOptions::recovery).
+/// Off by default: Exchange then runs the streaming fast path, bit-identical
+/// to the non-recoverable engine. On, Exchange switches to partition-atomic
+/// delivery: each worker attempt stages its partition's batches locally and
+/// publishes them only after the whole chunk succeeded, so a failed or
+/// superseded attempt contributes nothing — re-execution is trivially
+/// duplicate-free and exactly-once delivery is asserted per partition.
+struct ExecRecoveryOptions {
+  bool enabled = false;
+  /// Attempts per partition (including the first) before the fault goes
+  /// terminal. >= 1.
+  int max_partition_attempts = 2;
+  /// Straggler threshold as a fraction of the governor deadline: a
+  /// partition not delivered within threshold * deadline_ms of its dispatch
+  /// is speculatively re-dispatched (first result wins, loser suppressed).
+  /// 0, or no governor deadline, disables speculation.
+  double straggler_threshold = 0.0;
+  /// Consumer poll interval while waiting on the queue (straggler checks
+  /// and hang-bounding governor ticks happen at this cadence).
+  double check_interval_ms = 10.0;
+};
+
+/// Per-execution injector. Thread-safe; all state is per-worker so the
+/// fault sequence is interleaving-independent.
+class ExecFaultInjector {
+ public:
+  explicit ExecFaultInjector(const ExecFaultPolicy& policy)
+      : policy_(policy) {}
+
+  /// What a fault site must do: fail (non-OK status), sleep real time
+  /// (straggler/stall), and/or charge simulated seconds.
+  struct Action {
+    Status status;
+    double sleep_ms = 0.0;
+    double sim_delay_s = 0.0;
+  };
+
+  /// Batch boundary at a pipeline root (Exchange worker loop, or the
+  /// executor's drain loop on Exchange-free plans). Deterministic fault
+  /// kinds (fail_after_batches, straggler delay) fire here.
+  Action OnBatchBoundary(int worker, int attempt);
+
+  /// Operator-granularity checkpoint, called from ExecEnv::Tick at every
+  /// Next() — the probabilistic kill site.
+  Status OnTick(int worker, int attempt);
+
+  /// Exchange-queue push boundary (bounded stall).
+  Action OnPush(int worker, int attempt);
+
+  /// Faults actually fired (not delays) — the observability counter.
+  int64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  const ExecFaultPolicy& policy() const { return policy_; }
+
+ private:
+  struct WorkerState {
+    int64_t batches = 0;
+    int64_t ticks = 0;
+    Rng rng{0};
+    bool rng_seeded = false;
+  };
+
+  /// State is keyed by the full fault-site identity (worker, attempt): each
+  /// re-execution of a partition (or of the whole query) restarts its batch
+  /// and tick counters, so deterministic faults fire at the same point of
+  /// *every* attempt the policy arms — not just the first.
+  WorkerState& StateLocked(int worker, int attempt);
+  void CountInjected();
+
+  ExecFaultPolicy policy_;
+  std::mutex mu_;  ///< guards workers_ and pushes_
+  std::map<std::pair<int, int>, WorkerState> workers_;
+  int64_t pushes_ = 0;
+  std::atomic<int64_t> injected_{0};
+};
+
+/// True for the exec-fault classes that re-execution can cure: the
+/// partition's input is a read-only store, so a dead worker (kWorkerFault)
+/// or a transient media error (kStorageFault) may succeed on retry.
+/// Governor trips and cancellation are sticky/terminal by design.
+inline bool IsRetryableExecFault(StatusCode code) {
+  return code == StatusCode::kWorkerFault || code == StatusCode::kStorageFault;
+}
+
+}  // namespace oodb
+
+#endif  // OODB_EXEC_EXEC_FAULT_H_

@@ -1,7 +1,10 @@
 #include "src/exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <thread>
 #include <utility>
 
 #include "src/exec/batch_pool.h"
@@ -48,6 +51,24 @@ bool EnvVectorize() {
   return on;
 }
 
+/// Process-wide exec-fault default (OODB_EXEC_FAULTS spec; read once).
+/// Used only when the per-run policy is left inert. A malformed spec is
+/// reported once and ignored rather than failing every query.
+const ExecFaultPolicy& EnvExecFaults() {
+  static const ExecFaultPolicy policy = [] {
+    const char* v = std::getenv("OODB_EXEC_FAULTS");
+    if (v == nullptr || v[0] == '\0') return ExecFaultPolicy{};
+    Result<ExecFaultPolicy> parsed = ParseExecFaultSpec(v);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "OODB_EXEC_FAULTS ignored: %s\n",
+                   parsed.status().ToString().c_str());
+      return ExecFaultPolicy{};
+    }
+    return *parsed;
+  }();
+  return policy;
+}
+
 }  // namespace
 
 Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
@@ -63,6 +84,19 @@ Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
                              1, store->timing().exec_batch_size));
   env.vectorize =
       options.vectorize < 0 ? EnvVectorize() : options.vectorize != 0;
+  env.no_exchange = options.no_exchange;
+  env.fault_attempt = options.fault_attempt;
+  // Injector and recovery state live on this frame: the root is destroyed
+  // (joining every Exchange worker) before they go out of scope.
+  const ExecFaultPolicy& fault_policy =
+      options.exec_faults.enabled() ? options.exec_faults : EnvExecFaults();
+  ExecFaultInjector injector(fault_policy);
+  if (fault_policy.enabled()) env.exec_faults = &injector;
+  ExecFaultStats fault_stats;
+  if (options.recovery.enabled && !options.no_exchange) {
+    env.recovery = &options.recovery;
+    env.fault_stats = &fault_stats;
+  }
   std::shared_ptr<ExecProfile> profile;
   if (options.profile != nullptr) {
     env.profile = options.profile;
@@ -75,7 +109,8 @@ Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
     // only race-free while no Exchange worker thread runs concurrently —
     // even a dop=1 Exchange pipelines its single worker against this
     // thread, so the gate is "no Exchange anywhere", not MaxDop.
-    env.profile->set_io_timed(CountOps(plan, PhysOpKind::kExchange) == 0);
+    env.profile->set_io_timed(options.no_exchange ||
+                              CountOps(plan, PhysOpKind::kExchange) == 0);
   }
   OODB_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> root,
                         BuildExecNode(env, plan));
@@ -84,7 +119,14 @@ Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
 
   ExecStats stats;
   stats.batch_size = static_cast<int>(env.batch_size);
-  stats.dop = MaxDop(plan);
+  stats.dop = options.no_exchange ? 1 : MaxDop(plan);
+  // On Exchange-free pipelines this drain loop IS the pipeline root, so the
+  // deterministic batch-boundary fault sites (worker kill, straggler delay)
+  // fire here as worker 0; under an Exchange the workers own their batch
+  // boundaries and this loop only consumes.
+  const bool root_fault_sites =
+      env.exec_faults != nullptr &&
+      (options.no_exchange || CountOps(plan, PhysOpKind::kExchange) == 0);
   TupleBatch batch =
       BatchPool::Instance().Take(env.num_bindings(), env.batch_size);
   while (true) {
@@ -95,6 +137,19 @@ Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
     }
     size_t n = *next;
     if (n == 0) break;
+    if (root_fault_sites) {
+      ExecFaultInjector::Action act =
+          injector.OnBatchBoundary(0, options.fault_attempt);
+      env.clock().cpu_s += act.sim_delay_s;
+      if (act.sleep_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(act.sleep_ms));
+      }
+      if (!act.status.ok()) {
+        BatchPool::Instance().Return(std::move(batch));
+        return act.status;
+      }
+    }
     stats.rows += static_cast<int64_t>(n);
     if (options.governor != nullptr) {
       OODB_RETURN_IF_ERROR(
@@ -129,6 +184,11 @@ Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
   if (options.governor != nullptr) {
     stats.governor = options.governor->stats();
   }
+  stats.partitions_retried =
+      fault_stats.partitions_retried.load(std::memory_order_relaxed);
+  stats.partitions_speculated =
+      fault_stats.partitions_speculated.load(std::memory_order_relaxed);
+  stats.faults_injected = injector.injected();
   stats.profile = std::move(profile);
   return stats;
 }

@@ -27,6 +27,12 @@ struct ExecStats {
   int dop = 1;
   /// Governor trip/charge counters (zero when the run was ungoverned).
   GovernorStats governor;
+  /// Fault-tolerance counters for this execution: partitions re-executed
+  /// after a retryable worker/storage fault, speculative straggler
+  /// re-dispatches, and faults the exec-layer injector actually fired.
+  int64_t partitions_retried = 0;
+  int64_t partitions_speculated = 0;
+  int64_t faults_injected = 0;
 
   double sim_total_s() const { return sim_io_s + sim_cpu_s; }
 
@@ -69,6 +75,22 @@ struct ExecOptions {
   /// governor-tripped EXPLAIN ANALYZE. Null: ExecutePlan allocates one and
   /// returns it in ExecStats::profile.
   ExecProfile* profile = nullptr;
+  /// Exec-layer fault injection (inert by default). When left inert, the
+  /// OODB_EXEC_FAULTS environment spec (read once per process; see
+  /// ParseExecFaultSpec for the key=value grammar) supplies a process-wide
+  /// default — the chaos-CI lever.
+  ExecFaultPolicy exec_faults;
+  /// Base attempt number for fault-site identity: the Session retry loop
+  /// passes its attempt index so "fail the first N attempts" policies make
+  /// faults transient across query-level retries too.
+  int fault_attempt = 0;
+  /// Parallel-execution recovery (partition re-execution, straggler
+  /// speculation). Disabled by default: Exchange then runs the streaming
+  /// fast path bit-identical to the non-recoverable engine.
+  ExecRecoveryOptions recovery;
+  /// Degradation-ladder "serial" step: skip every Exchange in the plan and
+  /// run its child unpartitioned on the calling thread.
+  bool no_exchange = false;
 };
 
 /// Executes `plan` to completion.

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "src/common/governor.h"
+#include "src/exec/exec_fault.h"
 #include "src/exec/tuple.h"
 #include "src/storage/object_store.h"
 #include "src/volcano/plan.h"
@@ -82,6 +83,30 @@ struct ExecEnv {
   int partition_index = 0;
   int partition_count = 1;
 
+  /// Exec-layer fault injection (null = off, the zero-cost default: one
+  /// pointer compare per Tick). The injector lives on ExecutePlan's stack
+  /// and outlives every worker of the execution.
+  ExecFaultInjector* exec_faults = nullptr;
+  /// Fault-site identity for the injector: the Exchange partition index
+  /// (0 for serial pipelines) and the attempt number — the Session-level
+  /// query attempt plus the Exchange-level partition attempt, so
+  /// "attempts < N fail" policies shape transient faults at either layer.
+  int fault_worker = 0;
+  int fault_attempt = 0;
+
+  /// Parallel-execution recovery knobs (null/disabled = the streaming
+  /// Exchange fast path, bit-identical to the non-recoverable engine).
+  const ExecRecoveryOptions* recovery = nullptr;
+  /// Per-execution recovery counters, owned by ExecutePlan; updated by the
+  /// Exchange recovery path. Null when recovery is off.
+  ExecFaultStats* fault_stats = nullptr;
+
+  /// Degradation-ladder "serial" step: build the Exchange node's child
+  /// directly (unpartitioned, no worker threads) instead of the Exchange.
+  /// The plan is otherwise executed unchanged, so a plan whose Exchange
+  /// keeps faulting can run serially without re-optimization.
+  bool no_exchange = false;
+
   SimClock& clock() const {
     return cpu_clock != nullptr ? *cpu_clock : store->clock();
   }
@@ -89,8 +114,12 @@ struct ExecEnv {
   int num_bindings() const { return ctx->bindings.size(); }
 
   /// Cooperative governor checkpoint, called once per operator Next() —
-  /// i.e. at batch granularity. Free when ungoverned.
+  /// i.e. at batch granularity. Free when ungoverned; one extra pointer
+  /// compare when exec faults are not injected.
   Status Tick() const {
+    if (exec_faults != nullptr) {
+      OODB_RETURN_IF_ERROR(exec_faults->OnTick(fault_worker, fault_attempt));
+    }
     if (governor == nullptr) return Status::OK();
     return governor->CheckExec(store->disk().reads());
   }

@@ -21,6 +21,21 @@ struct SessionMetrics {
   Counter* analyzes;
   Counter* degraded;
   Counter* cache_served;
+  // Fault-tolerance observability: query-level execution retries and the
+  // degradation-ladder steps actually executed.
+  Counter* exec_retries;
+  Counter* ladder_row;
+  Counter* ladder_serial;
+  Counter* ladder_greedy;
+  // Per-StatusCode terminal failures of executed statements
+  // (Query/ExplainAnalyze after retry): the typed-error budget the chaos
+  // suite audits.
+  Counter* err_storage_fault;
+  Counter* err_worker_fault;
+  Counter* err_deadline;
+  Counter* err_budget;
+  Counter* err_cancelled;
+  Counter* err_other;
 
   static const SessionMetrics& Get() {
     static const SessionMetrics m = [] {
@@ -37,11 +52,52 @@ struct SessionMetrics {
           "Governor-tripped searches answered by the greedy baseline.");
       m.cache_served = r.counter("oodb_session_plan_cache_served_total",
                                  "Prepares answered from the plan cache.");
+      m.exec_retries = r.counter("oodb_session_exec_retries_total",
+                                 "Query-level execution re-attempts.");
+      m.ladder_row = r.counter(
+          "oodb_session_ladder_row_total",
+          "Degradation-ladder attempts executed on the row engine.");
+      m.ladder_serial = r.counter(
+          "oodb_session_ladder_serial_total",
+          "Degradation-ladder attempts executed serially (no Exchange).");
+      m.ladder_greedy = r.counter(
+          "oodb_session_ladder_greedy_total",
+          "Degradation-ladder attempts executed on a greedy re-plan.");
+      m.err_storage_fault =
+          r.counter("oodb_session_error_storage_fault_total",
+                    "Statements failed with kStorageFault after retry.");
+      m.err_worker_fault =
+          r.counter("oodb_session_error_worker_fault_total",
+                    "Statements failed with kWorkerFault after retry.");
+      m.err_deadline =
+          r.counter("oodb_session_error_deadline_exceeded_total",
+                    "Statements failed with kDeadlineExceeded.");
+      m.err_budget =
+          r.counter("oodb_session_error_budget_exhausted_total",
+                    "Statements failed with kBudgetExhausted.");
+      m.err_cancelled = r.counter("oodb_session_error_cancelled_total",
+                                  "Statements failed with kCancelled.");
+      m.err_other = r.counter(
+          "oodb_session_error_other_total",
+          "Statements failed with any other non-OK status.");
       return m;
     }();
     return m;
   }
 };
+
+/// Counts a statement's terminal failure under its StatusCode bucket.
+void CountError(StatusCode code) {
+  const SessionMetrics& m = SessionMetrics::Get();
+  switch (code) {
+    case StatusCode::kStorageFault: m.err_storage_fault->Increment(); break;
+    case StatusCode::kWorkerFault: m.err_worker_fault->Increment(); break;
+    case StatusCode::kDeadlineExceeded: m.err_deadline->Increment(); break;
+    case StatusCode::kBudgetExhausted: m.err_budget->Increment(); break;
+    case StatusCode::kCancelled: m.err_cancelled->Increment(); break;
+    default: m.err_other->Increment(); break;
+  }
+}
 
 /// True when a governor trip during *planning* may be answered with the
 /// greedy baseline instead of an error: the search ran out of budget or
@@ -50,6 +106,38 @@ struct SessionMetrics {
 bool DegradableTrip(StatusCode code) {
   return code == StatusCode::kBudgetExhausted ||
          code == StatusCode::kDeadlineExceeded;
+}
+
+/// Renders the execution attempt trail — one line per attempt with its
+/// ladder step, outcome, fault/recovery counters, and the simulated backoff
+/// charged before the next attempt. Empty on the untried clean path (a
+/// single OK attempt), so ANALYZE output is unchanged unless something
+/// actually went wrong.
+std::string RenderRetryTrail(const std::vector<ExecAttempt>& attempts) {
+  if (attempts.size() <= 1 &&
+      (attempts.empty() || attempts[0].status.ok())) {
+    return "";
+  }
+  std::string out;
+  for (const ExecAttempt& a : attempts) {
+    out += "retry: attempt " + std::to_string(a.attempt) + " step=" + a.step +
+           " status=" + (a.status.ok() ? "OK" : a.status.ToString());
+    if (a.faults_injected > 0) {
+      out += " faults=" + std::to_string(a.faults_injected);
+    }
+    if (a.partitions_retried > 0) {
+      out += " partitions_retried=" + std::to_string(a.partitions_retried);
+    }
+    if (a.partitions_speculated > 0) {
+      out +=
+          " partitions_speculated=" + std::to_string(a.partitions_speculated);
+    }
+    if (a.backoff_s > 0.0) {
+      out += " backoff=" + FormatDouble(a.backoff_s, 6) + "s";
+    }
+    out += "\n";
+  }
+  return out;
 }
 
 /// Maximum Exchange degree of parallelism anywhere in the plan (1 = serial).
@@ -185,13 +273,129 @@ Result<SessionResult> Session::Prepare(const std::string& zql) {
   return out;
 }
 
+Result<ExecStats> Session::ExecuteWithRetry(SessionResult* r,
+                                            ExecProfile* profile) {
+  const RetryPolicy& retry = options_.retry;
+  const int max_attempts = std::max(1, retry.max_attempts);
+  double total_backoff = 0.0;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    ExecOptions opts = options_.exec;
+    opts.governor = governor_.get();  // same governor: deadline spans both
+    opts.fault_attempt = attempt;
+    // Ladder step for this attempt. Step 0 is the configured engine; each
+    // retry steps down one rung (row -> serial -> greedy), never back up.
+    const int step = retry.degrade ? std::min(attempt, 3) : 0;
+    ExecAttempt rec;
+    rec.attempt = attempt;
+    const PlanNode* plan = r->optimized.plan.get();
+    switch (step) {
+      case 0:
+        rec.step = opts.vectorize != 0 ? "vectorized" : "row";
+        break;
+      case 1:
+        opts.vectorize = 0;
+        rec.step = "row";
+        SessionMetrics::Get().ladder_row->Increment();
+        break;
+      case 2:
+        opts.vectorize = 0;
+        opts.no_exchange = true;
+        rec.step = "serial";
+        SessionMetrics::Get().ladder_serial->Increment();
+        break;
+      default: {
+        opts.vectorize = 0;
+        opts.no_exchange = true;
+        // Last rung: abandon the cost-based plan entirely and run the
+        // greedy baseline's plan — a structurally different tree, in case
+        // the failure tracks a plan shape rather than an engine mode. The
+        // successful greedy attempt replaces r->optimized so the rendered
+        // plan is the one that produced the rows; failure to even re-plan
+        // (e.g. explicit joins) re-runs the serial rung instead.
+        GreedyOptimizer greedy(catalog_, options_.optimizer.cost);
+        Result<OptimizedQuery> fallback =
+            greedy.Optimize(*r->logical, &r->ctx);
+        if (fallback.ok()) {
+          fallback->stats.degraded = true;
+          fallback->stats.degrade_reason =
+              "exec retry ladder: " + last.ToString();
+          r->optimized = std::move(*fallback);
+          plan = r->optimized.plan.get();
+          rec.step = "greedy";
+          SessionMetrics::Get().ladder_greedy->Increment();
+        } else {
+          rec.step = "serial";
+          SessionMetrics::Get().ladder_serial->Increment();
+        }
+        break;
+      }
+    }
+    ExecProfile attempt_profile;
+    if (profile != nullptr) opts.profile = &attempt_profile;
+
+    Result<ExecStats> stats = ExecutePlan(*plan, &store_, &r->ctx, opts);
+    const bool terminal = stats.ok() ||
+                          !IsRetryableExecFault(stats.status().code()) ||
+                          attempt + 1 >= max_attempts;
+    rec.status = stats.ok() ? Status::OK() : stats.status();
+    if (stats.ok()) {
+      rec.faults_injected = stats->faults_injected;
+      rec.partitions_retried = stats->partitions_retried;
+      rec.partitions_speculated = stats->partitions_speculated;
+    } else {
+      // ExecutePlan returns only a Status on failure; the attempt profile
+      // still carries what the Exchange recovery path observed.
+      rec.partitions_retried = attempt_profile.partitions_retried();
+      rec.partitions_speculated = attempt_profile.partitions_speculated();
+    }
+    if (terminal) {
+      r->attempts.push_back(std::move(rec));
+      r->retry_backoff_s = total_backoff;
+      // Only the final attempt's profile merges: earlier attempts ran the
+      // same plan nodes and would double-count every operator.
+      if (profile != nullptr) profile->MergeFrom(attempt_profile);
+      return stats;
+    }
+    last = stats.status();
+    // Retry is a governed resource: charge it before re-dispatching, and
+    // let a tripped retry budget end the ladder with its typed Status.
+    if (governor_ != nullptr) {
+      Status charged = governor_->ChargeRetry();
+      if (!charged.ok()) {
+        r->attempts.push_back(std::move(rec));
+        r->retry_backoff_s = total_backoff;
+        if (profile != nullptr) profile->MergeFrom(attempt_profile);
+        return charged;
+      }
+    }
+    // Exponential backoff in simulated time. cold_start resets the
+    // simulated clock per attempt, so backoff accumulates on its own
+    // tally instead of the clock.
+    double backoff =
+        retry.backoff_s * static_cast<double>(int64_t{1} << std::min(attempt, 30));
+    rec.backoff_s = backoff;
+    total_backoff += backoff;
+    r->attempts.push_back(std::move(rec));
+    SessionMetrics::Get().exec_retries->Increment();
+  }
+  return last;  // unreachable: the loop exits through `terminal`
+}
+
 Result<SessionResult> Session::Query(const std::string& zql) {
-  OODB_ASSIGN_OR_RETURN(SessionResult out, Prepare(zql));
+  Result<SessionResult> prepared = Prepare(zql);
+  if (!prepared.ok()) {
+    CountError(prepared.status().code());
+    return prepared.status();
+  }
+  SessionResult out = std::move(*prepared);
   SessionMetrics::Get().queries->Increment();
-  ExecOptions exec = options_.exec;
-  exec.governor = governor_.get();  // same governor: deadline spans both
-  OODB_ASSIGN_OR_RETURN(
-      out.exec, ExecutePlan(*out.optimized.plan, &store_, &out.ctx, exec));
+  Result<ExecStats> stats = ExecuteWithRetry(&out, nullptr);
+  if (!stats.ok()) {
+    CountError(stats.status().code());
+    return stats.status();
+  }
+  out.exec = std::move(*stats);
   return out;
 }
 
@@ -217,7 +421,11 @@ std::string Session::ExplainHeader(const SessionResult& r) {
            " deadline=" + std::to_string(g.deadline_trips) +
            " budget=" + std::to_string(g.budget_trips) +
            " cancel=" + std::to_string(g.cancel_trips) +
-           " alternatives=" + std::to_string(g.alternatives_charged) + "\n";
+           " alternatives=" + std::to_string(g.alternatives_charged);
+    if (g.retries_charged > 0) {
+      out += " retries=" + std::to_string(g.retries_charged);
+    }
+    out += "\n";
   }
   int dop = PlanMaxDop(*r.optimized.plan);
   if (dop > 1) {
@@ -243,13 +451,11 @@ Result<std::string> Session::ExplainAnalyze(const std::string& zql) {
   // injected fault), ExecutePlan returns only the error Status, but the
   // operators already recorded into this collector — render what ran.
   ExecProfile profile;
-  ExecOptions exec = options_.exec;
-  exec.governor = governor_.get();
-  exec.profile = &profile;
-  Result<ExecStats> stats =
-      ExecutePlan(*r.optimized.plan, &store_, &r.ctx, exec);
+  Result<ExecStats> stats = ExecuteWithRetry(&r, &profile);
+  if (!stats.ok()) CountError(stats.status().code());
 
   std::string out = ExplainHeader(r);
+  out += RenderRetryTrail(r.attempts);
   if (!stats.ok()) {
     out += "exec: FAILED(" + stats.status().ToString() + ")";
     if (governor_ != nullptr) {
@@ -273,6 +479,9 @@ Result<std::string> Session::ExplainAnalyze(const std::string& zql) {
       out += " governor_rows=" + std::to_string(stats->governor.rows_charged) +
              " governor_pages=" +
              std::to_string(stats->governor.pages_charged);
+    }
+    if (r.retry_backoff_s > 0.0) {
+      out += " retry_backoff=" + FormatDouble(r.retry_backoff_s, 6) + "s";
     }
     out += "\n";
   }

@@ -17,6 +17,46 @@
 
 namespace oodb {
 
+/// Query-level execution retry (Session::Options::retry). Inert by default
+/// (one attempt, exactly the seed execution path). When armed, a retryable
+/// execution failure (kWorkerFault / kStorageFault — see
+/// IsRetryableExecFault) triggers re-execution with exponential backoff in
+/// *simulated* time (cold_start resets the clock per attempt, so backoff is
+/// tracked as a separate accumulated quantity) down a degradation ladder:
+///   attempt 0: as configured (vectorized)
+///   attempt 1: row engine (vectorize off)
+///   attempt 2: serial (every Exchange skipped; no worker threads)
+///   attempt 3+: greedy-baseline re-plan, executed serially
+/// Each retry is charged to the governor's retry budget; a tripped budget
+/// or a non-retryable failure ends the ladder with that typed Status.
+struct RetryPolicy {
+  /// Total attempts, including the first. 1 = no retry (seed behavior).
+  int max_attempts = 1;
+  /// Base backoff in simulated seconds before the first retry; doubles per
+  /// subsequent retry. Accumulated on SessionResult::retry_backoff_s.
+  double backoff_s = 0.0;
+  /// Walk the degradation ladder across attempts. False: every attempt
+  /// re-runs the original configuration (pure retry).
+  bool degrade = true;
+
+  bool enabled() const { return max_attempts > 1; }
+};
+
+/// One execution attempt's outcome in the Session retry trail: the ladder
+/// step it ran at, its terminal status (OK on success), the fault/recovery
+/// counters it observed, and the simulated backoff charged before the
+/// *next* attempt (0 on the last). Rendered by EXPLAIN ANALYZE so a
+/// recovered query's history is visible on the final profile.
+struct ExecAttempt {
+  int attempt = 0;
+  std::string step;  ///< "vectorized" | "row" | "serial" | "greedy"
+  Status status = Status::OK();
+  int64_t faults_injected = 0;
+  int64_t partitions_retried = 0;
+  int64_t partitions_speculated = 0;
+  double backoff_s = 0.0;
+};
+
 /// The result of Session::Query: the plan, its anticipated cost, and the
 /// executed rows/statistics.
 struct SessionResult {
@@ -24,6 +64,11 @@ struct SessionResult {
   LogicalExprPtr logical;
   OptimizedQuery optimized;
   ExecStats exec;
+  /// Execution attempt history (one entry per attempt; a single OK entry on
+  /// the clean path). Empty when the statement was only prepared.
+  std::vector<ExecAttempt> attempts;
+  /// Total simulated backoff charged across retries.
+  double retry_backoff_s = 0.0;
 
   std::string PlanText(bool with_costs = false) const {
     return PrintPlan(*optimized.plan, ctx, with_costs);
@@ -48,6 +93,9 @@ class Session {
     /// (for Query) execution; optimizer-side trips degrade to the greedy
     /// baseline planner when `governor.degrade_to_greedy` is true.
     GovernorOptions governor;
+    /// Query-level execution retry and degradation ladder. Inert by
+    /// default (single attempt).
+    RetryPolicy retry;
     /// A plan cache shared with other sessions over the *same catalog*
     /// (the throughput path for concurrent multi-session traffic). When
     /// null and optimizer.plan_cache_capacity > 0, the session creates a
@@ -106,6 +154,16 @@ class Session {
   /// The annotation lines shared by Explain and ExplainAnalyze (degraded /
   /// cached / verify / cache counters / governor / exec batch+dop).
   std::string ExplainHeader(const SessionResult& r);
+
+  /// Executes `r`'s plan under options_.retry: re-attempts retryable
+  /// failures down the degradation ladder (see RetryPolicy), recording the
+  /// per-attempt trail on r->attempts. When `profile` is non-null each
+  /// attempt records into a private ExecProfile and only the *final*
+  /// attempt's profile is merged into `profile` (earlier attempts would
+  /// double-count operators). A greedy-step success replaces r->optimized
+  /// with the greedy plan (marked degraded) so the rendered plan is the one
+  /// that actually produced the rows.
+  Result<ExecStats> ExecuteWithRetry(SessionResult* r, ExecProfile* profile);
 
   Catalog* catalog_;
   Options options_;

@@ -377,6 +377,62 @@ TEST_F(ExecTest, BatchPoolSteadyStateAllocatesNothing) {
   EXPECT_GT(recycled->value(), recycled_before);
 }
 
+TEST_F(ExecTest, BatchPoolSteadyStateHoldsUnderCancelAndFault) {
+  // Error paths must return every in-flight arena to the pool: a cancelled
+  // or worker-faulted execution that leaks its drain/queue batches would
+  // deplete the pool and show up here as fresh allocations (misses) on
+  // repeat runs. Same protocol as the clean-path test: warm up twice, then
+  // assert the miss counter stays flat.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* misses = reg.counter("oodb_batch_pool_misses_total");
+
+  // Pre-cancelled governor: the pipeline dies at its first checkpoint.
+  auto run_cancelled = [&] {
+    GovernorOptions gopts;
+    gopts.cancel = std::make_shared<CancelToken>();
+    gopts.cancel->RequestCancel();
+    QueryGovernor governor(gopts);
+    QueryContext ctx;
+    ctx.catalog = &db_.catalog;
+    auto logical = ParseAndSimplify(kQuery2Text, &ctx);
+    ASSERT_TRUE(logical.ok()) << logical.status();
+    Optimizer opt(&db_.catalog);
+    auto planned = opt.Optimize(**logical, &ctx);
+    ASSERT_TRUE(planned.ok()) << planned.status();
+    ExecOptions eo;
+    eo.governor = &governor;
+    auto stats = ExecutePlan(*planned->plan, &store_, &ctx, eo);
+    ASSERT_FALSE(stats.ok());
+    EXPECT_EQ(stats.status().code(), StatusCode::kCancelled);
+  };
+  // Deterministic worker kill at the first root batch boundary.
+  auto run_faulted = [&] {
+    QueryContext ctx;
+    ctx.catalog = &db_.catalog;
+    auto logical = ParseAndSimplify(kQuery2Text, &ctx);
+    ASSERT_TRUE(logical.ok()) << logical.status();
+    Optimizer opt(&db_.catalog);
+    auto planned = opt.Optimize(**logical, &ctx);
+    ASSERT_TRUE(planned.ok()) << planned.status();
+    ExecOptions eo;
+    eo.exec_faults.fail_worker = 0;
+    eo.exec_faults.fail_after_batches = 1;
+    auto stats = ExecutePlan(*planned->plan, &store_, &ctx, eo);
+    ASSERT_FALSE(stats.ok());
+    EXPECT_EQ(stats.status().code(), StatusCode::kWorkerFault);
+  };
+
+  run_cancelled();
+  run_faulted();
+  run_cancelled();
+  run_faulted();
+  int64_t misses_before = misses->value();
+  run_cancelled();
+  run_faulted();
+  EXPECT_EQ(misses->value(), misses_before)
+      << "a cancelled or faulted execution leaked a pooled batch arena";
+}
+
 TEST_F(ExecTest, SetOperationExecution) {
   // Intersection of Cities with itself (via two ranges is not expressible;
   // build the set-op tree directly): |Cities ∩ Cities| = |Cities|.

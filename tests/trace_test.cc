@@ -344,6 +344,48 @@ TEST_F(TraceTest, ExchangeAnalyzeMergesWorkerProfiles) {
   EXPECT_EQ(render.find(", io "), std::string::npos) << render;
 }
 
+TEST_F(TraceTest, RecoveredAnalyzeCountsRetriedPartitionsOnce) {
+  // A transient worker kill under recovery: the retried partition's winning
+  // attempt is the only one whose profile merges, so ANALYZE row counts
+  // reflect delivered rows exactly once, and the recovery line reports the
+  // re-execution.
+  OptimizerOptions opts;
+  opts.max_dop = 4;
+  Planned p = Plan(
+      "SELECT a.id FROM AtomicPart a IN AtomicParts WHERE a.x > a.y;", opts);
+  const PlanNode* exchange = FindExchange(*p.plan);
+  ASSERT_NE(exchange, nullptr) << PrintPlan(*p.plan, p.ctx);
+
+  ExecOptions clean_eo;
+  clean_eo.sample_limit = 1 << 22;
+  auto clean = ExecutePlan(*p.plan, &store(), &p.ctx, clean_eo);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  ExecOptions eo;
+  eo.sample_limit = 1 << 22;
+  eo.analyze = true;
+  eo.batch_size = 64;
+  eo.exec_faults.fail_worker = 1;
+  eo.exec_faults.fail_after_batches = 1;
+  eo.exec_faults.fail_attempts = 1;
+  eo.recovery.enabled = true;
+  eo.recovery.max_partition_attempts = 3;
+  auto stats = ExecutePlan(*p.plan, &store(), &p.ctx, eo);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->rows, clean->rows);
+  EXPECT_GE(stats->partitions_retried, 1);
+  ASSERT_NE(stats->profile, nullptr);
+  EXPECT_EQ(stats->profile->partitions_retried(), stats->partitions_retried);
+  // Exactly-once accounting survives the retry: rows below the exchange
+  // equal the delivered total, not delivered + the killed attempt's rows.
+  const OpProfile* below = stats->profile->Find(exchange->children[0].get());
+  ASSERT_NE(below, nullptr);
+  EXPECT_EQ(below->rows, clean->rows);
+  std::string render = RenderAnalyzedPlan(*p.plan, p.ctx, *stats->profile);
+  EXPECT_NE(render.find("recovery: partitions retried"), std::string::npos)
+      << render;
+}
+
 // ---------------------------------------------------------------------------
 // The satellite estimator regression: EXPLAIN ANALYZE exposed 16x drift on
 // un-indexed equality over a 1000-distinct-value field (est = 10% of 160
@@ -440,6 +482,50 @@ TEST_F(SessionTraceTest, FaultedAnalyzeRendersPartialProfile) {
   EXPECT_NE(out->find("exec: FAILED("), std::string::npos) << *out;
   EXPECT_NE(out->find("[est "), std::string::npos) << *out;
   session.store().SetFaultPolicy(FaultPolicy{});
+}
+
+TEST_F(SessionTraceTest, AnalyzeRendersRetryTrailGolden) {
+  // Deterministic transient fault: attempt 0's pipeline root dies at its
+  // first batch boundary; attempt 1 runs with attempt number 1 >=
+  // fail_attempts and succeeds on the ladder's "row" rung. The rendered
+  // trail is fully deterministic, so match it exactly.
+  Session::Options opts;
+  opts.exec.exec_faults.fail_worker = 0;
+  opts.exec.exec_faults.fail_after_batches = 1;
+  opts.exec.exec_faults.fail_attempts = 1;
+  opts.retry.max_attempts = 3;
+  opts.retry.backoff_s = 0.25;
+  Session session(&db_.catalog, opts);
+  Populate(&session);
+  auto out = session.ExplainAnalyze(
+      "SELECT e.name FROM Employee e IN Employees WHERE e.age >= 40;");
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_NE(out->find("retry: attempt 0 step=vectorized "
+                      "status=WorkerFault: injected worker fault "
+                      "(worker 0, batch #1, attempt 0) backoff=0.25s"),
+            std::string::npos)
+      << *out;
+  EXPECT_NE(out->find("retry: attempt 1 step=row status=OK"),
+            std::string::npos)
+      << *out;
+  EXPECT_NE(out->find("retry_backoff=0.25s"), std::string::npos) << *out;
+  EXPECT_EQ(out->find("exec: FAILED"), std::string::npos) << *out;
+  EXPECT_NE(out->find("analyzed: rows="), std::string::npos) << *out;
+}
+
+TEST_F(SessionTraceTest, CleanRunRendersNoRetryTrail) {
+  // The trail must not pollute ANALYZE output when nothing went wrong,
+  // even with retry armed.
+  Session::Options opts;
+  opts.retry.max_attempts = 3;
+  opts.retry.backoff_s = 0.25;
+  Session session(&db_.catalog, opts);
+  Populate(&session);
+  auto out = session.ExplainAnalyze(
+      "SELECT e.name FROM Employee e IN Employees WHERE e.age >= 40;");
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->find("retry:"), std::string::npos) << *out;
+  EXPECT_EQ(out->find("retry_backoff="), std::string::npos) << *out;
 }
 
 TEST_F(SessionTraceTest, MetricsRegistrySnapshotCoversSubsystems) {
