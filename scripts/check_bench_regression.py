@@ -4,8 +4,11 @@ baseline and fail on a >10% rows/sec regression at any grid point.
 
 Usage: check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.10]
 
-Both the batch/dop grid and the selective (vectorized-vs-row) phase are
-checked point by point, keyed by their configuration. Points present only in
+The batch/dop grid, the selective (vectorized-vs-row) phase, and the
+ordered (sort / top-k) phase are checked point by point, keyed by their
+configuration. Grid and selective points are wall-clock rows/sec (higher is
+better); ordered points are deterministic simulated seconds (lower is
+better), so the threshold flips sign for them. Points present only in
 the fresh file (a newly added configuration) are ignored; points present
 only in the baseline fail loudly — silently dropping a measured
 configuration is itself a regression. Improvements are reported but never
@@ -24,15 +27,18 @@ def load(path):
 
 
 def keyed_points(doc):
-    """(section, config-key) -> rows_per_sec for every measured point."""
+    """(section, config-key) -> (value, unit, higher_is_better)."""
     points = {}
     for entry in doc.get("grid", []):
         points[("grid", f"batch={entry['batch']} dop={entry['dop']}")] = (
-            entry["rows_per_sec"]
+            entry["rows_per_sec"], "rows/sec", True
         )
     for entry in doc.get("selective", []):
         key = f"dop={entry['dop']} vectorize={entry['vectorize']}"
-        points[("selective", key)] = entry["rows_per_sec"]
+        points[("selective", key)] = (entry["rows_per_sec"], "rows/sec", True)
+    for entry in doc.get("ordered", []):
+        key = f"phase={entry['phase']} dop={entry['dop']}"
+        points[("ordered", key)] = (entry["sim_s"], "sim sec", False)
     return points
 
 
@@ -48,23 +54,25 @@ def main():
     fresh = keyed_points(load(args.fresh))
 
     failures = []
-    for key, base_rate in sorted(base.items()):
+    for key, (base_rate, unit, higher_better) in sorted(base.items()):
         section, config = key
         label = f"{section} {config}"
         if key not in fresh:
             failures.append(f"{label}: present in baseline, missing from "
                             "fresh results")
             continue
-        fresh_rate = fresh[key]
+        fresh_rate = fresh[key][0]
         if base_rate <= 0:
             continue
         change = (fresh_rate - base_rate) / base_rate
+        regressed = change < -args.threshold if higher_better \
+            else change > args.threshold
         status = "ok"
-        if change < -args.threshold:
+        if regressed:
             status = "REGRESSION"
-            failures.append(f"{label}: {base_rate} -> {fresh_rate} rows/sec "
-                            f"({change:+.1%}, limit -{args.threshold:.0%})")
-        print(f"{label}: {base_rate} -> {fresh_rate} rows/sec "
+            failures.append(f"{label}: {base_rate} -> {fresh_rate} {unit} "
+                            f"({change:+.1%}, limit {args.threshold:.0%})")
+        print(f"{label}: {base_rate} -> {fresh_rate} {unit} "
               f"({change:+.1%}) {status}")
 
     if failures:

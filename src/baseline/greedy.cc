@@ -78,7 +78,8 @@ void Erase(std::vector<ScalarExprPtr>* conjuncts, const ScalarExprPtr& c) {
 }  // namespace
 
 Result<OptimizedQuery> GreedyOptimizer::Optimize(const LogicalExpr& input,
-                                                 QueryContext* ctx) const {
+                                                 QueryContext* ctx,
+                                                 PhysProps required) const {
   OODB_RETURN_IF_ERROR(ValidateLogicalTree(input, *ctx).status());
   OODB_ASSIGN_OR_RETURN(ChainQuery q, Flatten(input));
   SelectivityEstimator sel(ctx);
@@ -250,11 +251,46 @@ Result<OptimizedQuery> GreedyOptimizer::Optimize(const LogicalExpr& input,
         "greedy planner could not place all predicates (unloaded components)");
   }
 
+  // Enforce a required order / limit with one Sort (or bounded-heap TopK)
+  // over the chain — below the root projection, where the key bindings are
+  // still in scope. Greedy never considers order-aware access paths.
+  auto add_order = [&]() -> Status {
+    if (!required.sort.IsSorted() && required.limit <= 0) return Status::OK();
+    for (const SortKey& k : required.sort.keys) {
+      if (!props.scope.Contains(k.binding)) {
+        return Status::PlanError(
+            "greedy planner: ORDER BY key is out of the query scope");
+      }
+      if (!plan->delivered.in_memory.Contains(k.binding)) {
+        return Status::PlanError(
+            "greedy planner: ORDER BY key binding is not loaded");
+      }
+    }
+    PhysicalOp op;
+    op.kind = required.limit > 0 ? PhysOpKind::kTopK : PhysOpKind::kSort;
+    op.sort = required.sort;
+    op.limit = required.limit;
+    PhysProps delivered = plan->delivered;
+    delivered.sort = required.sort;
+    delivered.limit = required.limit;
+    Cost cost = required.limit > 0
+                    ? TopKCost(cost_model_, props.card, required.limit,
+                               required.sort.IsSorted() ? 0.0 : 1.0)
+                    : SortCost(cost_model_, props.card, props.tuple_bytes);
+    if (required.limit > 0) {
+      props.card =
+          std::min(props.card, static_cast<double>(required.limit));
+    }
+    plan = PlanNode::Make(std::move(op), {plan}, props, delivered, cost);
+    return Status::OK();
+  };
+
   if (q.has_project) {
     PhysicalOp op;
     op.kind = PhysOpKind::kAlgProject;
     op.emit = q.emit;
     BindingSet needs = LoadRequirements(q.emit, *ctx);
+    for (const SortKey& k : required.sort.keys) needs.Add(k.binding);
     if (!plan->delivered.in_memory.ContainsAll(needs)) {
       // Load whatever the projection still needs with one final assembly.
       // Steps come from PlanAssemblySteps so sources precede their targets
@@ -281,6 +317,7 @@ Result<OptimizedQuery> GreedyOptimizer::Optimize(const LogicalExpr& input,
       plan = PlanNode::Make(std::move(assemble), {plan}, props, delivered,
                             cost);
     }
+    OODB_RETURN_IF_ERROR(add_order());
     // The projection discards the chain scope: its output is the emit
     // expressions' bindings only, and it delivers at most what remains both
     // loaded below and loadable in that narrowed scope.
@@ -297,6 +334,8 @@ Result<OptimizedQuery> GreedyOptimizer::Optimize(const LogicalExpr& input,
     Cost cost = AlgProjectCost(cost_model_, props.card, props.tuple_bytes);
     plan = PlanNode::Make(std::move(op), {plan}, out_props, out_delivered,
                           cost);
+  } else {
+    OODB_RETURN_IF_ERROR(add_order());
   }
 
   OptimizedQuery out;

@@ -22,8 +22,12 @@ class GreedyOptimizer {
   explicit GreedyOptimizer(const Catalog* catalog, CostModelOptions cost = {})
       : catalog_(catalog), cost_model_(cost) {}
 
-  Result<OptimizedQuery> Optimize(const LogicalExpr& input,
-                                  QueryContext* ctx) const;
+  /// `required` carries the query-level sort order / limit; greedy enforces
+  /// it with a single Sort (or TopK) below the root projection, never
+  /// considering order-aware access paths — that contrast with the
+  /// cost-based planner is the point of the baseline.
+  Result<OptimizedQuery> Optimize(const LogicalExpr& input, QueryContext* ctx,
+                                  PhysProps required = {}) const;
 
  private:
   const Catalog* catalog_;

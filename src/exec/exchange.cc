@@ -177,6 +177,8 @@ class ExchangeExec : public ExecNode {
     env_.clock().cpu_s +=
         env_.timing().exchange_startup_s * static_cast<double>(dop_);
     recover_ = env_.recovery != nullptr && env_.recovery->enabled;
+    merge_ = plan_->op.merge;
+    if (merge_) return OpenMerge();
     // Deep (but still bounded) buffering: 16 batches per worker. Producers
     // that never hit the bound run their whole partition without a blocking
     // wait — on a machine with fewer cores than workers that turns the
@@ -220,6 +222,7 @@ class ExchangeExec : public ExecNode {
     OODB_RETURN_IF_ERROR(env_.Tick());
     out->Clear();
     if (done_) return Finish();
+    if (merge_) return NextMerge(out);
     if (recover_) return NextRecovery(out);
     TupleBatch batch;
     if (!queue_->Pop(&batch)) {
@@ -336,6 +339,274 @@ class ExchangeExec : public ExecNode {
     }
     node->Close();
     return status;
+  }
+
+  // --------------------- order-preserving merge ----------------------
+  //
+  // op.merge: each worker's partition is a contiguous chunk of the driver
+  // scan and the child plan sorts it (or top-k's it) locally, so every
+  // per-worker stream arrives in op.sort order. Instead of the shared
+  // interleaving queue, each worker pushes into its own FIFO and the
+  // consumer runs a k-way merge over the stream heads — ties go to the
+  // lower partition index, which together with contiguous partitioning and
+  // stable per-partition sorts reproduces the *global* stable sort order
+  // exactly. op.limit > 0 stops the merge after k rows (each producer was
+  // already limited to k by its local TopK; the merge re-truncates the
+  // union).
+  //
+  // Fault recovery composes differently here: staged partition-atomic
+  // delivery into a shared queue would lose stream identity, so a merge
+  // worker retries its own partition inline (fresh pipeline per attempt,
+  // staging batches until the attempt succeeds) and only then publishes to
+  // its queue. Straggler speculation is not applied to merge exchanges.
+
+  struct MergeCursor {
+    TupleBatch batch;
+    size_t pos = 0;
+    bool open = false;       ///< batch holds rows (pos < batch.size())
+    bool exhausted = false;  ///< stream closed and drained
+    std::vector<Value> keys; ///< sort keys of the current row
+  };
+
+  Status OpenMerge() {
+    for (const SortKey& k : plan_->op.sort.keys) {
+      key_exprs_.push_back(ScalarExpr::Attr(k.binding, k.field));
+    }
+    queues_.clear();
+    for (int w = 0; w < dop_; ++w) {
+      queues_.push_back(std::make_unique<BatchQueue>(16, /*producers=*/1));
+    }
+    cursors_ = std::vector<MergeCursor>(static_cast<size_t>(dop_));
+    worker_clocks_.assign(dop_, SimClock{});
+    if (env_.profile != nullptr) {
+      worker_profiles_.clear();
+      for (int w = 0; w < dop_; ++w) {
+        worker_profiles_.push_back(std::make_unique<ExecProfile>());
+        worker_profiles_.back()->set_io_timed(false);
+      }
+      env_.profile->Register(plan_)->merge_streams = dop_;
+    }
+    pending_ = dop_;
+    for (int w = 0; w < dop_; ++w) {
+      WorkerPool::Instance().Submit([this, w] {
+        MergeWorkerMain(w);
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        if (--pending_ == 0) pending_cv_.notify_all();
+      });
+    }
+    return Status::OK();
+  }
+
+  void MergeWorkerMain(int w) {
+    BatchQueue* queue = queues_[static_cast<size_t>(w)].get();
+    Status status;
+    int attempt = 0;
+    while (true) {
+      ExecEnv wenv = MakeWorkerEnv(
+          &worker_clocks_[w],
+          worker_profiles_.empty() ? nullptr : worker_profiles_[w].get(), w,
+          attempt);
+      if (!worker_profiles_.empty() && attempt > 0) {
+        // Fresh profile per attempt: only the successful attempt's counters
+        // survive, so ANALYZE reflects delivered rows, not failed tries.
+        worker_profiles_[w] = std::make_unique<ExecProfile>();
+        worker_profiles_[w]->set_io_timed(false);
+        wenv.profile = worker_profiles_[w].get();
+      }
+      status = recover_ ? RunMergeWorkerStaged(wenv, w, queue)
+                        : RunMergeWorkerStreaming(wenv, w, queue);
+      if (status.ok()) break;
+      if (recover_ && IsRetryableExecFault(status.code()) &&
+          attempt + 1 < env_.recovery->max_partition_attempts &&
+          ChargeRetryBudget().ok()) {
+        ++attempt;
+        if (env_.fault_stats != nullptr) {
+          env_.fault_stats->partitions_retried.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        RecoveryMetrics::Get().partitions_retried->Increment();
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(error_mu_);
+        if (first_error_.ok()) first_error_ = status;
+      }
+      AbortAllQueues();
+      break;
+    }
+    queue->ProducerDone();
+  }
+
+  /// One streaming pass over the worker's partition into its own queue
+  /// (recovery off: a fault surfaces to the consumer, as on the fast path).
+  Status RunMergeWorkerStreaming(const ExecEnv& wenv, int w,
+                                 BatchQueue* queue) {
+    OODB_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> node,
+                          BuildExecNode(wenv, *plan_->children[0]));
+    OODB_RETURN_IF_ERROR(node->Open());
+    Status status = Status::OK();
+    while (true) {
+      TupleBatch batch =
+          BatchPool::Instance().Take(wenv.num_bindings(), wenv.batch_size);
+      Result<size_t> n = node->Next(&batch);
+      if (!n.ok() || *n == 0) {
+        if (!n.ok()) status = n.status();
+        BatchPool::Instance().Return(std::move(batch));
+        break;
+      }
+      batch.Compact();
+      if (wenv.exec_faults != nullptr) {
+        status = ApplyFault(
+            wenv.exec_faults->OnBatchBoundary(w, wenv.fault_attempt),
+            wenv.cpu_clock);
+        if (status.ok()) {
+          status = ApplyFault(wenv.exec_faults->OnPush(w, wenv.fault_attempt),
+                              wenv.cpu_clock);
+        }
+        if (!status.ok()) {
+          BatchPool::Instance().Return(std::move(batch));
+          break;
+        }
+      }
+      if (!queue->Push(std::move(batch))) {
+        BatchPool::Instance().Return(std::move(batch));
+        break;
+      }
+    }
+    node->Close();
+    return status;
+  }
+
+  /// One attempt of the worker's partition, staged: batches publish to the
+  /// queue only after the whole partition succeeded, so an inline retry
+  /// after a mid-stream fault cannot duplicate rows in the stream.
+  Status RunMergeWorkerStaged(const ExecEnv& wenv, int w, BatchQueue* queue) {
+    OODB_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> node,
+                          BuildExecNode(wenv, *plan_->children[0]));
+    Status status = node->Open();
+    std::vector<TupleBatch> staged;
+    while (status.ok()) {
+      TupleBatch batch =
+          BatchPool::Instance().Take(wenv.num_bindings(), wenv.batch_size);
+      Result<size_t> n = node->Next(&batch);
+      if (!n.ok() || *n == 0) {
+        if (!n.ok()) status = n.status();
+        BatchPool::Instance().Return(std::move(batch));
+        break;
+      }
+      batch.Compact();
+      if (wenv.exec_faults != nullptr) {
+        status = ApplyFault(
+            wenv.exec_faults->OnBatchBoundary(w, wenv.fault_attempt),
+            wenv.cpu_clock);
+        if (status.ok()) {
+          status = ApplyFault(wenv.exec_faults->OnPush(w, wenv.fault_attempt),
+                              wenv.cpu_clock);
+        }
+        if (!status.ok()) {
+          BatchPool::Instance().Return(std::move(batch));
+          break;
+        }
+      }
+      staged.push_back(std::move(batch));
+    }
+    node->Close();
+    if (status.ok()) {
+      for (TupleBatch& b : staged) {
+        if (!queue->Push(std::move(b))) {
+          BatchPool::Instance().Return(std::move(b));
+        }
+      }
+    } else {
+      for (TupleBatch& b : staged) BatchPool::Instance().Return(std::move(b));
+    }
+    return status;
+  }
+
+  /// Advances cursor `w` to its next row, blocking on the worker's queue at
+  /// batch boundaries; refreshes the cached sort keys.
+  Status AdvanceCursor(int w) {
+    MergeCursor& c = cursors_[static_cast<size_t>(w)];
+    if (c.open) ++c.pos;
+    while (!c.exhausted && (!c.open || c.pos >= c.batch.size())) {
+      TupleBatch next;
+      if (queues_[static_cast<size_t>(w)]->Pop(&next)) {
+        if (c.open) BatchPool::Instance().Return(std::move(c.batch));
+        c.batch = std::move(next);
+        c.pos = 0;
+        c.open = c.batch.size() > 0;
+      } else {
+        if (c.open) BatchPool::Instance().Return(std::move(c.batch));
+        c.open = false;
+        c.exhausted = true;
+      }
+    }
+    if (c.exhausted) return Status::OK();
+    TupleRef row = c.batch.ref(c.pos);
+    c.keys.clear();
+    for (const ScalarExprPtr& e : key_exprs_) {
+      OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, row, *env_.ctx));
+      c.keys.push_back(std::move(v));
+    }
+    return Status::OK();
+  }
+
+  Result<size_t> NextMerge(TupleBatch* out) {
+    if (!merge_primed_) {
+      merge_primed_ = true;
+      for (int w = 0; w < dop_; ++w) {
+        cursors_[static_cast<size_t>(w)].pos = 0;
+        OODB_RETURN_IF_ERROR(AdvanceCursor(w));
+      }
+    }
+    const std::vector<SortKey>& keys = plan_->op.sort.keys;
+    const int64_t limit = plan_->op.limit;
+    const double row_cpu_s =
+        env_.timing().exchange_flow_tuple_s +
+        Log2Ceil(dop_) * env_.timing().cpu_pred_s;
+    while (!out->full()) {
+      if (limit > 0 && merge_emitted_ >= limit) break;
+      // Linear tournament over the stream heads: strictly-less replaces the
+      // running best, so equal keys keep the lowest partition index.
+      int best = -1;
+      for (int w = 0; w < dop_; ++w) {
+        const MergeCursor& c = cursors_[static_cast<size_t>(w)];
+        if (c.exhausted) continue;
+        if (best < 0) {
+          best = w;
+          continue;
+        }
+        const MergeCursor& b = cursors_[static_cast<size_t>(best)];
+        for (size_t i = 0; i < keys.size(); ++i) {
+          int cmp = c.keys[i].Compare(b.keys[i]);
+          if (cmp == 0) continue;
+          if (keys[i].desc ? cmp > 0 : cmp < 0) best = w;
+          break;
+        }
+      }
+      if (best < 0) break;  // every stream drained
+      MergeCursor& c = cursors_[static_cast<size_t>(best)];
+      out->AppendRowRaw().CopyFrom(c.batch.ref(c.pos));
+      env_.clock().cpu_s += row_cpu_s;
+      ++merge_emitted_;
+      OODB_RETURN_IF_ERROR(AdvanceCursor(best));
+    }
+    if (out->size() > 0) return out->size();
+    // End of stream: the limit was reached or every stream drained. Workers
+    // still producing past a reached limit are cut loose by the abort.
+    if (limit > 0 && merge_emitted_ >= limit) AbortAllQueues();
+    done_ = true;
+    return Finish();
+  }
+
+  static double Log2Ceil(int n) {
+    double log = 1.0;
+    while ((1 << static_cast<int>(log)) < std::max(n, 2)) log += 1.0;
+    return log;
+  }
+
+  void AbortAllQueues() {
+    for (std::unique_ptr<BatchQueue>& q : queues_) q->Abort();
   }
 
   // ------------------------- recovery mode ---------------------------
@@ -621,7 +892,7 @@ class ExchangeExec : public ExecNode {
       std::unique_lock<std::mutex> lock(pending_mu_);
       pending_cv_.wait(lock, [&] { return pending_ == 0; });
     }
-    if (recover_) {
+    if (recover_ && !merge_) {
       JoinRecovery();
       return;
     }
@@ -675,11 +946,14 @@ class ExchangeExec : public ExecNode {
   }
 
   void Shutdown() {
-    if (recover_) {
+    if (recover_ && !merge_) {
       std::lock_guard<std::mutex> lock(part_mu_);
       shutdown_ = true;  // running attempts exit at their next boundary
     }
-    if (queue_ != nullptr && !joined_) queue_->Abort();
+    if (!joined_) {
+      if (queue_ != nullptr) queue_->Abort();
+      AbortAllQueues();
+    }
     JoinWorkers();
   }
 
@@ -688,7 +962,14 @@ class ExchangeExec : public ExecNode {
   const PlanNode* driver_ = nullptr;
   int dop_ = 1;
   bool recover_ = false;
+  bool merge_ = false;
   std::unique_ptr<BatchQueue> queue_;
+  // Merge-mode state (consumer thread only, except the queues):
+  std::vector<std::unique_ptr<BatchQueue>> queues_;  ///< one FIFO per worker
+  std::vector<MergeCursor> cursors_;
+  std::vector<ScalarExprPtr> key_exprs_;
+  bool merge_primed_ = false;
+  int64_t merge_emitted_ = 0;
   std::mutex pending_mu_;
   std::condition_variable pending_cv_;
   int pending_ = 0;

@@ -4,11 +4,17 @@
 // exchange is the one operator Volcano adds to parallelize all the others
 // without changing them). Open() spawns `dop` worker threads, each running
 // a private copy of the child operator tree; the driver scan of each copy
-// reads a disjoint round-robin slice of its collection, while build sides
-// of hash/nested-loops joins are replicated per worker. Workers push full
-// TupleBatches into a bounded multi-producer single-consumer queue;
-// Next() pops one batch at a time, so the parent cannot tell an Exchange
-// from any other operator.
+// reads a disjoint *contiguous* slice of its collection (see
+// ExecEnv::partition_node), while build sides of hash/nested-loops joins
+// are replicated per worker. Workers push full TupleBatches into a bounded
+// multi-producer single-consumer queue; Next() pops one batch at a time,
+// so the parent cannot tell an Exchange from any other operator.
+//
+// Order-preserving variant (op.merge): when the worker plan sorts (or
+// top-k's) its slice locally, each worker gets a private FIFO and the
+// consumer k-way-merges the sorted stream heads, ties broken toward the
+// lower partition index — which, over contiguous slices and stable local
+// sorts, reproduces the global stable sort order exactly.
 //
 // Accounting: each worker charges CPU to a private SimClock merged into the
 // store's clock after the join (I/O is charged by the shared disk model

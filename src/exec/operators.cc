@@ -1,6 +1,7 @@
 #include "src/exec/operators.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -1206,39 +1207,189 @@ class HashSetOpExec : public ExecNode {
 };
 
 // ---------------------------------------------------------------------------
-// Sort (enforcer, extension)
+// Sort (enforcer, extension): multi-key stable sort with per-key direction.
+// A row carries its evaluated key vector so comparisons never re-chase
+// object pointers. When op.sort_prefix > 0 the child already delivers the
+// first `prefix` keys in order (a partial sort): rows are buffered one
+// equal-prefix run at a time and only the run is sorted on the remaining
+// keys, so simulated CPU scales with n*log(run) instead of n*log(n) — the
+// saving PartialSortCost anticipates. Flushed runs are counted on the
+// operator's profile (sort_runs) for EXPLAIN ANALYZE.
 // ---------------------------------------------------------------------------
 class SortExec : public ExecNode {
  public:
-  SortExec(ExecEnv env, const PhysicalOp& op, std::unique_ptr<ExecNode> child)
-      : env_(env), op_(op), child_(std::move(child)) {}
+  SortExec(ExecEnv env, const PhysicalOp& op, std::unique_ptr<ExecNode> child,
+           OpProfile* prof = nullptr)
+      : env_(env), op_(op), child_(std::move(child)), prof_(prof) {
+    for (const SortKey& k : op_.sort.keys) {
+      key_exprs_.push_back(ScalarExpr::Attr(k.binding, k.field));
+    }
+  }
 
   Status Open() override {
     OODB_RETURN_IF_ERROR(child_->Open());
     BatchReader reader(child_.get(), env_.num_bindings(), env_.batch_size);
     TupleRef t;
-    std::vector<std::pair<Value, Tuple>> keyed;
+    const size_t nkeys = key_exprs_.size();
+    const size_t prefix =
+        std::min(nkeys, static_cast<size_t>(std::max(op_.sort_prefix, 0)));
+    std::vector<Keyed> run;
     while (true) {
       OODB_ASSIGN_OR_RETURN(bool more, reader.NextRef(&t));
       if (!more) break;
-      OODB_ASSIGN_OR_RETURN(
-          Value v, EvalExpr(*ScalarExpr::Attr(op_.sort.binding, op_.sort.field),
-                            t, *env_.ctx));
+      Keyed row;
+      row.keys.reserve(nkeys);
+      for (const ScalarExprPtr& e : key_exprs_) {
+        OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, t, *env_.ctx));
+        row.keys.push_back(std::move(v));
+      }
       env_.clock().cpu_s += env_.timing().cpu_hash_probe_s;
       OODB_RETURN_IF_ERROR(env_.ChargeBuffered());
-      keyed.emplace_back(std::move(v), Tuple(t));
+      if (prefix > 0 && !run.empty() &&
+          !PrefixEqual(run.front().keys, row.keys, prefix)) {
+        FlushRun(&run, prefix);
+      }
+      row.tuple = Tuple(t);
+      run.push_back(std::move(row));
     }
     child_->Close();
-    std::stable_sort(keyed.begin(), keyed.end(),
-                     [](const auto& a, const auto& b) {
-                       return a.first.Compare(b.first) < 0;
+    FlushRun(&run, prefix);
+    return Status::OK();
+  }
+
+  Result<size_t> Next(TupleBatch* out) override {
+    OODB_RETURN_IF_ERROR(env_.Tick());
+    out->Clear();
+    while (!out->full() && pos_ < out_.size()) {
+      out->AppendRow().CopyFrom(out_[pos_++]);
+    }
+    return out->size();
+  }
+
+  void Close() override {}
+
+ private:
+  struct Keyed {
+    std::vector<Value> keys;
+    Tuple tuple;
+  };
+
+  static bool PrefixEqual(const std::vector<Value>& a,
+                          const std::vector<Value>& b, size_t prefix) {
+    for (size_t i = 0; i < prefix; ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// Stable-sorts the buffered run on keys [prefix, nkeys) and appends it
+  /// to the output. With prefix == 0 the run is the whole input.
+  void FlushRun(std::vector<Keyed>* run, size_t prefix) {
+    if (run->empty()) return;
+    const std::vector<SortKey>& keys = op_.sort.keys;
+    std::stable_sort(run->begin(), run->end(),
+                     [&](const Keyed& a, const Keyed& b) {
+                       for (size_t i = prefix; i < keys.size(); ++i) {
+                         int c = a.keys[i].Compare(b.keys[i]);
+                         if (c != 0) return keys[i].desc ? c > 0 : c < 0;
+                       }
+                       return false;
                      });
-    env_.clock().cpu_s += static_cast<double>(keyed.size()) *
+    // Comparison-count model: n*ceil(log2(run)) probes, so a partial sort's
+    // shorter runs genuinely cost less simulated time than one global sort.
+    double log_run = 1.0;
+    while ((1ull << static_cast<unsigned>(log_run)) < run->size()) {
+      log_run += 1.0;
+    }
+    env_.clock().cpu_s += static_cast<double>(run->size()) * log_run *
                           env_.timing().cpu_hash_probe_s;
-    out_.reserve(keyed.size());
-    for (auto& [v, tuple] : keyed) {
-      (void)v;
-      out_.push_back(std::move(tuple));
+    out_.reserve(out_.size() + run->size());
+    for (Keyed& row : *run) out_.push_back(std::move(row.tuple));
+    run->clear();
+    if (prefix > 0 && prof_ != nullptr) ++prof_->sort_runs;
+  }
+
+  ExecEnv env_;
+  PhysicalOp op_;
+  std::unique_ptr<ExecNode> child_;
+  OpProfile* prof_;
+  std::vector<ScalarExprPtr> key_exprs_;
+  std::vector<Tuple> out_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// TopK (enforcer, extension): ORDER BY ... LIMIT k without a full sort.
+// Three regimes, chosen by the optimizer through op.sort_prefix:
+//   - sort_prefix == nkeys (or no sort keys at all): the child already
+//     delivers the full order — stream the first k rows and stop pulling,
+//     so a limited query never drains its input.
+//   - otherwise: a bounded max-heap of k rows keyed on the sort columns;
+//     the heap root is the worst survivor, and an incoming row replaces it
+//     only when strictly better. Ties keep the earlier row (insertion
+//     sequence numbers make the result the stable top-k, matching what
+//     stable_sort + truncate produces).
+// With vectorize on, batches whose key column extracts as a typed int/real
+// vector are pre-screened against the heap root's leading key so rows that
+// cannot qualify skip Value materialization; simulated charges are
+// identical either way.
+// ---------------------------------------------------------------------------
+class TopKExec : public ExecNode {
+ public:
+  TopKExec(ExecEnv env, const PhysicalOp& op, std::unique_ptr<ExecNode> child,
+           OpProfile* prof = nullptr)
+      : env_(env), op_(op), child_(std::move(child)), prof_(prof) {
+    for (const SortKey& k : op_.sort.keys) {
+      key_exprs_.push_back(ScalarExpr::Attr(k.binding, k.field));
+    }
+  }
+
+  Status Open() override {
+    OODB_RETURN_IF_ERROR(child_->Open());
+    const size_t nkeys = key_exprs_.size();
+    const size_t k =
+        static_cast<size_t>(std::max<int64_t>(op_.limit, 0));
+    // exec.topk == false: the oracle strategy — buffer everything (the
+    // absorb cap never evicts), stable-sort, truncate below. Identical
+    // rows, naive charges.
+    const bool oracle = !env_.topk;
+    const bool streaming =
+        !oracle &&
+        (nkeys == 0 || static_cast<size_t>(op_.sort_prefix) >= nkeys);
+    const size_t cap = oracle ? std::numeric_limits<size_t>::max() : k;
+    if (k == 0) return Status::OK();  // LIMIT 0: empty result, no pulls
+    TupleBatch batch(env_.num_bindings(), env_.batch_size);
+    bool done = false;
+    while (!done) {
+      OODB_ASSIGN_OR_RETURN(size_t n, child_->Next(&batch));
+      if (n == 0) break;
+      if (streaming) {
+        for (size_t i = 0; i < batch.active() && !done; ++i) {
+          env_.clock().cpu_s += env_.timing().cpu_pred_s;
+          OODB_RETURN_IF_ERROR(env_.ChargeBuffered());
+          out_.emplace_back(batch.active_ref(i));
+          done = out_.size() >= k;
+        }
+        continue;
+      }
+      OODB_RETURN_IF_ERROR(AbsorbBatch(&batch, cap));
+    }
+    child_->Close();
+    if (!streaming) {
+      // Heap order is "worst first"; the result is ascending sort order
+      // with insertion sequence breaking ties (stability).
+      std::sort(heap_.begin(), heap_.end(),
+                [this](const Entry& a, const Entry& b) {
+                  int c = CompareKeys(a.keys, b.keys);
+                  if (c != 0) return c < 0;
+                  return a.seq < b.seq;
+                });
+      out_.reserve(std::min(heap_.size(), k));
+      for (Entry& e : heap_) {
+        if (out_.size() >= k) break;
+        out_.push_back(std::move(e.tuple));
+      }
+      heap_.clear();
     }
     return Status::OK();
   }
@@ -1255,9 +1406,101 @@ class SortExec : public ExecNode {
   void Close() override {}
 
  private:
+  struct Entry {
+    std::vector<Value> keys;
+    int64_t seq = 0;
+    Tuple tuple;
+  };
+
+  /// Lexicographic three-way comparison honoring per-key direction.
+  int CompareKeys(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    const std::vector<SortKey>& keys = op_.sort.keys;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return keys[i].desc ? -c : c;
+    }
+    return 0;
+  }
+
+  /// True when entry `a` is worse than `b` (comes later in sort order, or
+  /// equal but inserted later) — the max-heap ordering: the root is the
+  /// worst survivor, the first to be evicted.
+  bool Worse(const Entry& a, const Entry& b) const {
+    int c = CompareKeys(a.keys, b.keys);
+    if (c != 0) return c > 0;
+    return a.seq > b.seq;
+  }
+
+  Status AbsorbBatch(TupleBatch* batch, size_t k) {
+    // Columnar pre-screen: once the heap is full, a row strictly worse than
+    // the root on the *leading* key alone can never enter. One typed
+    // compare rejects it without evaluating the remaining keys or building
+    // Values. (Rows with an unloaded leading slot fall through to the row
+    // path, which raises the proper error.)
+    const ColumnView* lead = nullptr;
+    if (env_.vectorize && heap_.size() >= k && !heap_.empty() &&
+        heap_.front().keys[0].kind != Value::Kind::kString) {
+      const SortKey& k0 = op_.sort.keys[0];
+      lead = batch->ExtractFieldColumn(k0.binding, k0.field, nullptr);
+    }
+    for (size_t i = 0; i < batch->active(); ++i) {
+      env_.clock().cpu_s += env_.timing().cpu_pred_s;
+      if (lead != nullptr) {
+        size_t phys = batch->active_index(i);
+        if (lead->loaded_at(phys)) {
+          const Value& worst = heap_.front().keys[0];
+          double v = lead->is_real ? lead->reals[phys]
+                                   : static_cast<double>(lead->ints[phys]);
+          double w = worst.kind == Value::Kind::kDouble
+                         ? worst.d
+                         : static_cast<double>(worst.i);
+          bool rejected = op_.sort.keys[0].desc ? v < w : v > w;
+          if (rejected) continue;
+        }
+      }
+      TupleRef t = batch->active_ref(i);
+      Entry e;
+      e.keys.reserve(key_exprs_.size());
+      for (const ScalarExprPtr& expr : key_exprs_) {
+        OODB_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, t, *env_.ctx));
+        e.keys.push_back(std::move(v));
+      }
+      e.seq = seq_++;
+      if (heap_.size() >= k) {
+        if (!Worse(heap_.front(), e)) continue;  // not better than the worst
+      }
+      e.tuple = Tuple(t);
+      // One heap operation: ~log2(k+1) comparisons.
+      double log_k = 1.0;
+      while ((1ull << static_cast<unsigned>(log_k)) < k + 1) log_k += 1.0;
+      env_.clock().cpu_s += log_k * env_.timing().cpu_hash_probe_s;
+      auto worse = [this](const Entry& a, const Entry& b) {
+        return Worse(b, a);  // std heap: "less" puts the max at the root
+      };
+      if (heap_.size() >= k) {
+        std::pop_heap(heap_.begin(), heap_.end(), worse);
+        heap_.pop_back();
+      } else {
+        OODB_RETURN_IF_ERROR(env_.ChargeBuffered());
+      }
+      heap_.push_back(std::move(e));
+      std::push_heap(heap_.begin(), heap_.end(), worse);
+      if (prof_ != nullptr) {
+        prof_->topk_heap =
+            std::max(prof_->topk_heap, static_cast<int64_t>(heap_.size()));
+      }
+    }
+    return Status::OK();
+  }
+
   ExecEnv env_;
   PhysicalOp op_;
   std::unique_ptr<ExecNode> child_;
+  OpProfile* prof_;
+  std::vector<ScalarExprPtr> key_exprs_;
+  std::vector<Entry> heap_;
+  int64_t seq_ = 0;
   std::vector<Tuple> out_;
   size_t pos_ = 0;
 };
@@ -1539,8 +1782,15 @@ Result<std::unique_ptr<ExecNode>> BuildExecNodeImpl(const ExecEnv& env,
           env, plan.op, plan.logical.scope, std::move(children[0]),
           std::move(children[1])));
     case PhysOpKind::kSort:
-      return std::unique_ptr<ExecNode>(
-          new SortExec(env, plan.op, std::move(children[0])));
+      // The operator shares the decorator's OpProfile slot (Register is
+      // idempotent per node) to record its run/heap counters.
+      return std::unique_ptr<ExecNode>(new SortExec(
+          env, plan.op, std::move(children[0]),
+          env.profile != nullptr ? env.profile->Register(&plan) : nullptr));
+    case PhysOpKind::kTopK:
+      return std::unique_ptr<ExecNode>(new TopKExec(
+          env, plan.op, std::move(children[0]),
+          env.profile != nullptr ? env.profile->Register(&plan) : nullptr));
     case PhysOpKind::kMergeJoin:
       return std::unique_ptr<ExecNode>(new MergeJoinExec(
           env, plan.op, plan.children[0]->logical.scope, std::move(children[0]),

@@ -48,8 +48,14 @@ struct PlanCacheKeyHash {
   size_t operator()(const PlanCacheKey& k) const {
     uint64_t h = k.fp.lo ^ (k.fp.hi * 0x9e3779b97f4a7c15ull);
     h ^= k.required.in_memory.bits() * 0xff51afd7ed558ccdull;
-    h ^= (static_cast<uint64_t>(k.required.sort.binding) << 32) ^
-         static_cast<uint64_t>(static_cast<uint32_t>(k.required.sort.field));
+    for (const SortKey& sk : k.required.sort.keys) {
+      uint64_t kh = (static_cast<uint64_t>(sk.binding) << 33) ^
+                    (static_cast<uint64_t>(static_cast<uint32_t>(sk.field))
+                     << 1) ^
+                    (sk.desc ? 1u : 0u);
+      h = (h ^ kh) * 0x100000001b3ull;  // FNV-style fold per key
+    }
+    h ^= static_cast<uint64_t>(k.required.limit) * 0x2545f4914f6cdd1dull;
     h ^= k.options_hash * 0xc4ceb9fe1a85ec53ull;
     return static_cast<size_t>(h ^ (h >> 29));
   }

@@ -101,6 +101,40 @@ Cost SortCost(const CostModel& cm, double card, double bytes) {
   return c;
 }
 
+Cost PartialSortCost(const CostModel& cm, double card, double bytes,
+                     double distinct_prefix) {
+  // The input arrives sorted on a key prefix: only rows within a run of
+  // equal prefix values need ordering, so the comparison count drops from
+  // n·log2(n) to n·log2(n/runs). Runs are emitted as they complete, so the
+  // external-merge I/O term applies per run, i.e. effectively never.
+  double n = std::max(card, 2.0);
+  double runs = std::max(1.0, std::min(distinct_prefix, n));
+  double run_len = std::max(n / runs, 2.0);
+  Cost c = Cost::Cpu(n * std::log2(run_len) * cm.opts().cpu_hash_probe_s);
+  double run_bytes = run_len * bytes;
+  if (run_bytes > cm.opts().memory_bytes) {
+    c += cm.SeqRead(2.0 * (card * bytes) / cm.opts().page_size);
+  }
+  return c;
+}
+
+Cost TopKCost(const CostModel& cm, double card, int64_t k, double presorted) {
+  double n = std::max(card, 1.0);
+  double kk = std::max(1.0, std::min(static_cast<double>(k), n));
+  if (presorted > 0.0) {
+    // Input already fully sorted: a streaming cutoff after k rows.
+    return Cost::Cpu(kk * cm.opts().cpu_pred_s);
+  }
+  // Bounded heap of k entries: every row pays a key comparison against the
+  // current bound; the expected number of heap updates over a random
+  // permutation is k·(1 + ln(n/k)) (the harmonic record bound), each a
+  // log2(k) sift.
+  double updates = kk * (1.0 + std::log(std::max(1.0, n / kk)));
+  Cost c = Cost::Cpu(n * cm.opts().cpu_pred_s);
+  c += Cost::Cpu(updates * std::log2(kk + 1.0) * cm.opts().cpu_hash_probe_s);
+  return c;
+}
+
 Cost NestedLoopsCost(const CostModel& cm, double left_card, double left_bytes,
                      double right_card) {
   Cost c = Cost::Cpu(left_card * cm.opts().cpu_scan_tuple_s);
@@ -129,6 +163,15 @@ Cost ExchangeCost(const CostModel& cm, double out_card, int dop) {
   Cost c = Cost::Cpu(cm.opts().exchange_startup_s * static_cast<double>(dop) +
                      out_card * cm.opts().exchange_flow_tuple_s);
   c += BatchOverheadCpu(cm, out_card);
+  return c;
+}
+
+Cost MergeExchangeCost(const CostModel& cm, double out_card, int dop) {
+  // An order-preserving Exchange pays the plain Exchange terms plus a
+  // loser-tree comparison per delivered row (log2(dop) key comparisons).
+  Cost c = ExchangeCost(cm, out_card, dop);
+  c += Cost::Cpu(out_card * std::log2(std::max(2, dop)) *
+                 cm.opts().cpu_pred_s);
   return c;
 }
 

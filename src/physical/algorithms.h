@@ -55,6 +55,18 @@ Cost HashSetOpCost(const CostModel& cm, double left_card, double left_bytes,
 /// Sort enforcer: n log n CPU plus external-merge I/O beyond memory.
 Cost SortCost(const CostModel& cm, double card, double bytes);
 
+/// Partial sort: the input already arrives ordered by a key prefix with
+/// `distinct_prefix` estimated distinct prefix values; only rows within a
+/// run of equal prefix values are re-ordered (n log(n/runs) comparisons,
+/// streaming run-at-a-time emission).
+Cost PartialSortCost(const CostModel& cm, double card, double bytes,
+                     double distinct_prefix);
+
+/// Bounded-heap top-k over `card` input rows. `presorted` > 0 means the
+/// input already arrives in the required order and the operator degenerates
+/// to a streaming cutoff after k rows.
+Cost TopKCost(const CostModel& cm, double card, int64_t k, double presorted);
+
 /// Merge join over sorted inputs: linear CPU.
 Cost MergeJoinCost(const CostModel& cm, double left_card, double right_card);
 
@@ -71,6 +83,10 @@ Cost BatchOverheadCpu(const CostModel& cm, double card);
 /// Exchange at degree `dop`: worker startup/teardown, per-tuple queue flow,
 /// and per-batch dispatch over the consumed stream.
 Cost ExchangeCost(const CostModel& cm, double out_card, int dop);
+
+/// Order-preserving merging Exchange: the plain Exchange terms plus a
+/// loser-tree comparison per delivered row.
+Cost MergeExchangeCost(const CostModel& cm, double out_card, int dop);
 
 }  // namespace oodb
 

@@ -64,7 +64,10 @@ class AssemblyEnforcer : public Enforcer {
       }
     }
     if (enforceable.Empty()) return Status::OK();
-    if (required.sort.IsSorted()) return Status::OK();  // assembly reorders
+    // A required limit can only be delivered by a truncating operator
+    // (TopK / merging Exchange); the TopK enforcer re-requires the
+    // in-memory set of its child, where this enforcer applies instead.
+    if (required.limit > 0) return Status::OK();
 
     BindingSet below;
     std::vector<MatStep> steps =
@@ -77,6 +80,11 @@ class AssemblyEnforcer : public Enforcer {
     child_req.in_memory = LoadableBindings(
         child_req.in_memory.Intersect(ctx.memo->group(group).props.scope),
         *ctx.qctx);
+    // Assembly preserves row order: the windowed elevator reorders its
+    // *fetches* by page, never the emitted rows (AssemblyExec emits window
+    // rows in arrival order). A required sort therefore passes straight
+    // through to the child and is re-delivered above.
+    child_req.sort = required.sort;
 
     double in_card = ctx.memo->group(group).props.card;
     auto emit = [&](bool warm) {
@@ -109,34 +117,95 @@ class AssemblyEnforcer : public Enforcer {
   }
 };
 
-/// Sort as the enforcer of the sort-order property (extension).
+/// Estimated number of distinct values of the leading `prefix` sort keys:
+/// the product of per-field distinct counts from the schema, with unknown
+/// fields (distinct_values == 0) defaulting to 10% of the input, capped at
+/// the input cardinality.
+double DistinctPrefix(const QueryContext& ctx, const SortSpec& sort,
+                      size_t prefix, double card) {
+  double d = 1.0;
+  for (size_t i = 0; i < prefix && i < sort.keys.size(); ++i) {
+    const SortKey& k = sort.keys[i];
+    int64_t dv =
+        ctx.schema().type(ctx.bindings.def(k.binding).type).field(k.field)
+            .distinct_values;
+    d *= dv > 0 ? static_cast<double>(dv) : std::max(1.0, 0.1 * card);
+    if (d >= card) return std::max(card, 1.0);
+  }
+  return std::min(d, std::max(card, 1.0));
+}
+
+/// Sort / TopK as the enforcer of the sort-order and limit properties
+/// (extension). Beyond the full sort it emits prefix-aware alternatives:
+/// when the child can deliver a leading-key prefix of the required order
+/// (e.g. an ordered index scan), only runs of equal prefix values need
+/// re-ordering. A required limit is enforced by a bounded-heap TopK instead
+/// of a full sort.
 class SortEnforcer : public Enforcer {
  public:
   const char* name() const override { return kEnforcerSort; }
 
   Status Apply(OptContext& ctx, GroupId group, const PhysProps& required,
                std::vector<EnforcerAlt>* out) const override {
-    if (!required.sort.IsSorted()) return Status::OK();
-    // The sort key must be readable in this group's scope.
-    if (!ctx.memo->group(group).props.scope.Contains(required.sort.binding)) {
+    if (!required.sort.IsSorted() && required.limit <= 0) return Status::OK();
+    const LogicalProps& props = ctx.memo->group(group).props;
+    // Every sort key must be readable in this group's scope.
+    for (const SortKey& k : required.sort.keys) {
+      if (!props.scope.Contains(k.binding)) return Status::OK();
+    }
+
+    // Base child requirement: the order and limit are what this enforcer
+    // provides; sorting on an attribute requires its binding loaded.
+    PhysProps child_base = required;
+    child_base.sort = SortSpec{};
+    child_base.limit = 0;
+    for (const SortKey& k : required.sort.keys) {
+      child_base.in_memory.Add(k.binding);
+    }
+    child_base.in_memory = LoadableBindings(
+        child_base.in_memory.Intersect(props.scope), *ctx.qctx);
+
+    const size_t nkeys = required.sort.size();
+    auto emit = [&](PhysOpKind kind, size_t prefix, Cost cost) {
+      EnforcerAlt alt;
+      alt.op.kind = kind;
+      alt.op.sort = required.sort;
+      alt.op.sort_prefix = static_cast<int>(prefix);
+      alt.op.limit = required.limit;
+      alt.child_required = child_base;
+      alt.child_required.sort = required.sort.Prefix(prefix);
+      alt.delivered = alt.child_required;
+      alt.delivered.sort = required.sort;
+      alt.delivered.limit = required.limit;
+      alt.local_cost = cost;
+      out->push_back(std::move(alt));
+    };
+
+    if (required.limit > 0) {
+      // Bounded heap over an unsorted child. With no required order the
+      // heap degenerates to a streaming first-k cutoff (presorted cost).
+      emit(PhysOpKind::kTopK, 0,
+           TopKCost(*ctx.cost_model, props.card, required.limit,
+                    nkeys == 0 ? 1.0 : 0.0));
+      if (nkeys > 0) {
+        // Streaming cutoff over a child that already delivers the order.
+        emit(PhysOpKind::kTopK, nkeys,
+             TopKCost(*ctx.cost_model, props.card, required.limit, 1.0));
+      }
       return Status::OK();
     }
-    EnforcerAlt alt;
-    alt.op.kind = PhysOpKind::kSort;
-    alt.op.sort = required.sort;
-    alt.child_required = required;
-    alt.child_required.sort = SortSpec{};
-    // Sorting on an attribute requires that attribute's binding loaded.
-    alt.child_required.in_memory.Add(required.sort.binding);
-    alt.child_required.in_memory = LoadableBindings(
-        alt.child_required.in_memory.Intersect(
-            ctx.memo->group(group).props.scope),
-        *ctx.qctx);
-    alt.delivered = alt.child_required;
-    alt.delivered.sort = required.sort;
-    const LogicalProps& props = ctx.memo->group(group).props;
-    alt.local_cost = SortCost(*ctx.cost_model, props.card, props.tuple_bytes);
-    out->push_back(std::move(alt));
+
+    // Full sort from an unsorted child.
+    emit(PhysOpKind::kSort, 0,
+         SortCost(*ctx.cost_model, props.card, props.tuple_bytes));
+    // Partial sorts: require each proper leading-key prefix of the child
+    // and only re-order rows within runs of equal prefix values.
+    for (size_t j = 1; j < nkeys; ++j) {
+      double distinct = DistinctPrefix(*ctx.qctx, required.sort, j, props.card);
+      emit(PhysOpKind::kSort, j,
+           PartialSortCost(*ctx.cost_model, props.card, props.tuple_bytes,
+                           distinct));
+    }
     return Status::OK();
   }
 };

@@ -58,6 +58,9 @@ class SelectToFilter : public ImplRule {
     PhysProps child_req = required;
     child_req.in_memory = child_req.in_memory.Union(
         LoadRequirements(mexpr.op.pred, *ctx.qctx));
+    // Filter preserves order but discards rows: a required limit cannot be
+    // pushed below it (the first k input rows are not the first k outputs).
+    child_req.limit = 0;
     PhysAlternative alt;
     alt.op.kind = PhysOpKind::kFilter;
     alt.op.pred = mexpr.op.pred;
@@ -231,7 +234,11 @@ class MatToAssembly : public ImplRule {
       child_req.in_memory.Add(step.source);
     }
     child_req.in_memory = LoadableBindings(child_req.in_memory, *ctx.qctx);
-    child_req.sort = SortSpec{};  // assembly reorders its input
+    // Assembly preserves row order — the windowed elevator reorders its
+    // *fetches* by page, never the emitted rows — so a required sort passes
+    // through. It can drop dangling-reference rows, though, so a required
+    // limit cannot.
+    child_req.limit = 0;
 
     double in_card = GroupCard(ctx, child);
     auto emit = [&](bool warm) {
@@ -462,9 +469,11 @@ class ProjectToAlgProject : public ImplRule {
     GroupId child = ctx.memo->Find(mexpr.children[0]);
     PhysProps child_req;
     child_req.in_memory = LoadRequirements(mexpr.op.emit, *ctx.qctx);
-    // Alg-Project preserves input order: a required sort order flows down
-    // to the (wider-scoped) input, where it can actually be produced.
+    // Alg-Project preserves input order and is 1:1: a required sort order
+    // and limit flow down to the (wider-scoped) input, where they can
+    // actually be produced.
     child_req.sort = required.sort;
+    child_req.limit = required.limit;
     PhysAlternative alt;
     alt.op.kind = PhysOpKind::kAlgProject;
     alt.op.emit = mexpr.op.emit;
@@ -494,6 +503,9 @@ class UnnestToAlgUnnest : public ImplRule {
     child_req.in_memory =
         LoadableBindings(child_req.in_memory.Intersect(GroupScope(ctx, child)),
                          *ctx.qctx);
+    // Unnest preserves input order but is 1:many: a limit on the expanded
+    // output says nothing about how many input rows are needed.
+    child_req.limit = 0;
     PhysAlternative alt;
     alt.op.kind = PhysOpKind::kAlgUnnest;
     alt.op.source = mexpr.op.source;
@@ -535,7 +547,8 @@ class SetOpToHash : public ImplRule {
         break;
     }
     PhysProps child_req = required;
-    child_req.sort = SortSpec{};
+    child_req.sort = SortSpec{};  // hash set-matching scrambles order
+    child_req.limit = 0;
     alt.inputs = {{left, child_req}, {right, child_req}};
     alt.delivered = child_req;
     const LogicalProps& lp = ctx.memo->group(left).props;

@@ -11,10 +11,16 @@ std::string PhysProps::ToString(const QueryContext& ctx) const {
   }
   std::string out = "mem{" + Join(parts, ", ") + "}";
   if (sort.IsSorted()) {
-    const BindingDef& b = ctx.bindings.def(sort.binding);
-    out += " sorted(" + b.name + "." +
-           ctx.schema().type(b.type).field(sort.field).name + ")";
+    std::vector<std::string> rendered;
+    for (const SortKey& k : sort.keys) {
+      const BindingDef& b = ctx.bindings.def(k.binding);
+      rendered.push_back(b.name + "." +
+                         ctx.schema().type(b.type).field(k.field).name +
+                         (k.desc ? " desc" : ""));
+    }
+    out += " sorted(" + Join(rendered, ", ") + ")";
   }
+  if (limit > 0) out += " limit " + std::to_string(limit);
   return out;
 }
 

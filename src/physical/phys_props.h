@@ -7,45 +7,103 @@
 #ifndef OODB_PHYSICAL_PHYS_PROPS_H_
 #define OODB_PHYSICAL_PHYS_PROPS_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/algebra/logical_op.h"
 
 namespace oodb {
 
-/// A sort order on one attribute of one binding (ascending).
-struct SortSpec {
+/// One key of a sort order: an attribute of a binding plus a direction.
+struct SortKey {
   BindingId binding = kInvalidBinding;
   FieldId field = kInvalidField;
+  bool desc = false;
 
-  bool IsSorted() const { return binding != kInvalidBinding; }
-  bool operator==(const SortSpec& o) const {
-    return binding == o.binding && field == o.field;
+  bool operator==(const SortKey& o) const {
+    return binding == o.binding && field == o.field && desc == o.desc;
   }
-  bool operator<(const SortSpec& o) const {
-    return binding != o.binding ? binding < o.binding : field < o.field;
+  bool operator<(const SortKey& o) const {
+    if (binding != o.binding) return binding < o.binding;
+    if (field != o.field) return field < o.field;
+    return desc < o.desc;
   }
 };
 
-/// A physical property vector: which bindings are present in memory, and
-/// (optionally) a delivered sort order.
+/// A sort order: an ordered list of keys, major key first. A requirement of
+/// `(a ASC)` is satisfied by a delivery of `(a ASC, b DESC)` — prefix
+/// satisfaction — so operators that establish more order than asked never
+/// force a redundant re-sort above them.
+struct SortSpec {
+  std::vector<SortKey> keys;
+
+  SortSpec() = default;
+  /// Single ascending (or descending) key — the common case, and the
+  /// compatibility constructor for the pre-multi-key `SortSpec{b, f}` form.
+  SortSpec(BindingId binding, FieldId field, bool desc = false)
+      : keys{{binding, field, desc}} {}
+  explicit SortSpec(std::vector<SortKey> k) : keys(std::move(k)) {}
+
+  bool IsSorted() const { return !keys.empty(); }
+  size_t size() const { return keys.size(); }
+
+  /// The first `n` keys (n clamped to size).
+  SortSpec Prefix(size_t n) const {
+    SortSpec p;
+    p.keys.assign(keys.begin(),
+                  keys.begin() + static_cast<ptrdiff_t>(
+                                     n < keys.size() ? n : keys.size()));
+    return p;
+  }
+
+  /// Does a stream sorted by `*this` satisfy a requirement of `required`?
+  /// True iff `required.keys` is a (possibly equal) prefix of `keys`,
+  /// direction included. An empty requirement is always satisfied.
+  bool Satisfies(const SortSpec& required) const {
+    if (required.keys.size() > keys.size()) return false;
+    for (size_t i = 0; i < required.keys.size(); ++i) {
+      if (!(keys[i] == required.keys[i])) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const SortSpec& o) const { return keys == o.keys; }
+  bool operator<(const SortSpec& o) const { return keys < o.keys; }
+};
+
+/// A physical property vector: which bindings are present in memory, an
+/// optional delivered sort order, and an optional bounded-result limit
+/// (delivered means: the stream carries only the first `limit` rows in
+/// `sort` order — established by a TopK enforcer or a limit-pushing merge
+/// Exchange).
 struct PhysProps {
   BindingSet in_memory;
   SortSpec sort;
+  /// 0 = unbounded. A required limit k means the consumer needs exactly the
+  /// first k rows of the required order; only a delivery truncated to the
+  /// same bound satisfies it (a longer stream would make LIMIT a no-op, a
+  /// shorter one would drop rows).
+  int64_t limit = 0;
 
   /// Does a delivery of `*this` satisfy a requirement of `required`?
   bool Satisfies(const PhysProps& required) const {
     if (!in_memory.ContainsAll(required.in_memory)) return false;
-    if (required.sort.IsSorted() && !(sort == required.sort)) return false;
+    if (required.sort.IsSorted() && !sort.Satisfies(required.sort)) {
+      return false;
+    }
+    if (limit != required.limit) return false;
     return true;
   }
 
   bool operator==(const PhysProps& o) const {
-    return in_memory == o.in_memory && sort == o.sort;
+    return in_memory == o.in_memory && sort == o.sort && limit == o.limit;
   }
   bool operator<(const PhysProps& o) const {
     if (!(in_memory == o.in_memory)) return in_memory < o.in_memory;
-    return sort < o.sort;
+    if (!(sort == o.sort)) return sort < o.sort;
+    return limit < o.limit;
   }
 
   PhysProps WithMemory(BindingSet mem) const {

@@ -30,6 +30,8 @@ const char* PhysOpKindName(PhysOpKind kind) {
       return "Hash Difference";
     case PhysOpKind::kSort:
       return "Sort";
+    case PhysOpKind::kTopK:
+      return "TopK";
     case PhysOpKind::kMergeJoin:
       return "Merge Join";
     case PhysOpKind::kNestedLoops:
@@ -88,15 +90,28 @@ std::string PhysicalOp::ToString(const QueryContext& ctx) const {
     case PhysOpKind::kHashIntersect:
     case PhysOpKind::kHashDifference:
       return name;
-    case PhysOpKind::kSort: {
-      const BindingDef& sb = b.def(sort.binding);
-      return name + " " + sb.name + "." + s.type(sb.type).field(sort.field).name;
+    case PhysOpKind::kSort:
+    case PhysOpKind::kTopK: {
+      std::vector<std::string> parts;
+      for (const SortKey& k : sort.keys) {
+        const BindingDef& sb = b.def(k.binding);
+        parts.push_back(sb.name + "." + s.type(sb.type).field(k.field).name +
+                        (k.desc ? " desc" : ""));
+      }
+      std::string out = name + " " + Join(parts, ", ");
+      if (limit > 0) out += " [limit " + std::to_string(limit) + "]";
+      if (sort_prefix > 0) {
+        out += " [presorted " + std::to_string(sort_prefix) + "]";
+      }
+      return out;
     }
     case PhysOpKind::kExchange: {
       std::string out = name + " [dop " + std::to_string(dop);
       if (partition_binding != kInvalidBinding) {
         out += ", partition " + b.def(partition_binding).name;
       }
+      if (merge) out += ", merge";
+      if (limit > 0) out += ", limit " + std::to_string(limit);
       return out + "]";
     }
   }

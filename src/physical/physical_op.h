@@ -26,6 +26,7 @@ enum class PhysOpKind {
   kHashIntersect,  ///< hash-based intersection
   kHashDifference, ///< hash-based difference
   kSort,           ///< sort enforcer (extension)
+  kTopK,           ///< bounded-heap top-k: ORDER BY ... LIMIT enforcer
   kMergeJoin,      ///< merge join on sorted inputs (extension)
   kNestedLoops,    ///< nested-loops join (cartesian-capable fallback)
   kExchange,       ///< Volcano exchange: intra-query parallelism (extension)
@@ -80,8 +81,17 @@ struct PhysicalOp {
   FieldId field = kInvalidField;
   BindingId target = kInvalidBinding;
 
-  // kSort / kMergeJoin
+  // kSort / kTopK / kMergeJoin; also the merge order of an order-preserving
+  // kExchange (op.merge below).
   SortSpec sort;
+  /// kSort / kTopK: leading keys of `sort` the input already arrives sorted
+  /// by. A partial sort only orders within runs of equal prefix values; a
+  /// TopK with sort_prefix == sort.size() degenerates to a streaming cutoff.
+  int sort_prefix = 0;
+  /// kTopK / kExchange: keep only the first `limit` rows in `sort` order
+  /// (0 = unbounded). On a merging Exchange the bound is also pushed down
+  /// to each producer via the TopK in the worker template.
+  int64_t limit = 0;
 
   // kExchange: degree of parallelism (worker count) and, within the child
   // template, which descendant scan each worker partitions round-robin.
@@ -89,6 +99,10 @@ struct PhysicalOp {
   /// Binding of the partitioned driver scan (display/fingerprint only; the
   /// planner re-locates the scan node when building workers).
   BindingId partition_binding = kInvalidBinding;
+  /// Order-preserving Exchange: each worker's partition stream arrives
+  /// sorted (per-partition sorted runs) and the consumer merges them with a
+  /// loser tree instead of interleaving, preserving `sort`.
+  bool merge = false;
 
   std::string ToString(const QueryContext& ctx) const;
 };

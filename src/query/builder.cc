@@ -76,8 +76,17 @@ QueryBuilder& QueryBuilder::FromPath(std::string type_name, std::string var,
   return *this;
 }
 
-QueryBuilder& QueryBuilder::OrderBy(const std::string& dotted_path) {
-  query_.order_by = ZqlExpr::MakePathDotted(dotted_path);
+QueryBuilder& QueryBuilder::OrderBy(const std::string& dotted_path,
+                                    bool desc) {
+  ZqlOrderKey key;
+  key.path = ZqlExpr::MakePathDotted(dotted_path);
+  key.desc = desc;
+  query_.order_by.push_back(std::move(key));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Limit(int64_t n) {
+  query_.limit = n;
   return *this;
 }
 

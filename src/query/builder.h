@@ -49,8 +49,11 @@ class QueryBuilder {
                          const std::string& dotted_path);
   /// Sets (or ANDs onto) the WHERE clause.
   QueryBuilder& Where(ZqlExprPtr e);
-  /// Orders the result by a (dotted) path, ascending.
-  QueryBuilder& OrderBy(const std::string& dotted_path);
+  /// Appends a result-order key: a (dotted) path, ascending by default.
+  /// Call repeatedly for a multi-key order (major key first).
+  QueryBuilder& OrderBy(const std::string& dotted_path, bool desc = false);
+  /// Keeps only the first `n` rows in ORDER BY order (n >= 1).
+  QueryBuilder& Limit(int64_t n);
 
   ZqlQuery Build() const { return query_; }
   ZqlQueryPtr BuildPtr() const { return std::make_shared<ZqlQuery>(query_); }

@@ -348,4 +348,11 @@ ScalarExprPtr SubstituteExpr(const ScalarExprPtr& expr,
   }
 }
 
+int64_t LimitBucket(int64_t limit) {
+  if (limit <= 0) return 0;
+  int64_t width = 0;
+  for (uint64_t v = static_cast<uint64_t>(limit); v != 0; v >>= 1) ++width;
+  return width;  // bit width: floor(log2(k)) + 1
+}
+
 }  // namespace oodb

@@ -53,6 +53,14 @@ QueryFingerprint FingerprintQuery(const LogicalExpr& tree,
                                   const QueryContext& ctx,
                                   bool parameterize_literals);
 
+/// Buckets a LIMIT row count for plan-cache keying: the bit width
+/// (floor(log2(k)) + 1), so limits within a factor of two share a bucket —
+/// and a cached plan — and are rebound to the exact k on a hit (see
+/// RebindPlanLimit), mirroring comparison-literal parameterization. Plan
+/// shape (TopK vs. Sort, merge dop) is assumed stable within an octave of
+/// k. Returns 0 for no limit.
+int64_t LimitBucket(int64_t limit);
+
 /// Hash of every OptimizerOptions field that can change the chosen plan
 /// (rule set, extension toggles, cost-model constants). Part of the
 /// plan-cache key so sessions with different configurations never share

@@ -7,11 +7,18 @@ namespace oodb {
 
 namespace {
 
+/// Renders a source position for diagnostics; builder-made queries carry no
+/// offsets and get none.
+std::string AtOffset(size_t offset) {
+  return offset > 0 ? " (at offset " + std::to_string(offset) + ")" : "";
+}
+
 class Simplifier {
  public:
   explicit Simplifier(QueryContext* ctx) : ctx_(ctx) {}
 
-  Result<LogicalExprPtr> Run(const ZqlQuery& query, SortSpec* order) {
+  Result<LogicalExprPtr> Run(const ZqlQuery& query, SortSpec* order,
+                             int64_t* limit) {
     OODB_RETURN_IF_ERROR(ProcessRanges(query.from));
 
     // Convert the select list and WHERE clause; path resolution appends the
@@ -34,24 +41,43 @@ class Simplifier {
       if (IsConstTrue(pred)) pred = nullptr;  // vacuous WHERE clause
     }
 
-    // ORDER BY: resolve to an attribute of an in-scope binding — resolution
-    // may create Mats, so this precedes chain assembly. The sort
+    // ORDER BY: resolve each key to an attribute of an in-scope binding —
+    // resolution may create Mats, so this precedes chain assembly. The sort
     // requirement is physical (returned to the caller), not logical.
-    if (query.order_by) {
+    if (!query.order_by.empty()) {
       if (order == nullptr) {
         return Status::InvalidArgument(
-            "query has ORDER BY but no sort-order output was requested");
+            "query has ORDER BY but the caller requested no sort order; "
+            "pass a SortSpec out-parameter or drop the clause" +
+            AtOffset(query.order_by_offset));
       }
-      if (query.order_by->kind != ZqlExpr::Kind::kPath ||
-          query.order_by->path.size() < 2) {
-        return Status::InvalidArgument("ORDER BY must be a var.field path");
+      std::vector<SortKey> keys;
+      for (const ZqlOrderKey& k : query.order_by) {
+        if (k.path == nullptr || k.path->kind != ZqlExpr::Kind::kPath ||
+            k.path->path.size() < 2) {
+          return Status::InvalidArgument(
+              "ORDER BY key must be a var.field path" +
+              AtOffset(query.order_by_offset));
+        }
+        OODB_ASSIGN_OR_RETURN(ScalarExprPtr key, ConvertPath(k.path->path));
+        if (key->kind() != ScalarExpr::Kind::kAttr) {
+          return Status::TypeError("ORDER BY path must reach a field" +
+                                   AtOffset(query.order_by_offset));
+        }
+        keys.push_back(SortKey{key->binding(), key->field(), k.desc});
       }
-      OODB_ASSIGN_OR_RETURN(ScalarExprPtr key,
-                            ConvertPath(query.order_by->path));
-      if (key->kind() != ScalarExpr::Kind::kAttr) {
-        return Status::TypeError("ORDER BY path must reach a field");
+      *order = SortSpec{std::move(keys)};
+    }
+
+    // LIMIT: like the order, a physical property of the plan root.
+    if (query.limit > 0) {
+      if (limit == nullptr) {
+        return Status::InvalidArgument(
+            "query has LIMIT but the caller requested no row limit; pass a "
+            "limit out-parameter or drop the clause" +
+            AtOffset(query.limit_offset));
       }
-      *order = SortSpec{key->binding(), key->field()};
+      *limit = query.limit;
     }
 
     // Assemble: ranges -> mats -> select -> project (paper Figure 5 shape).
@@ -265,18 +291,19 @@ class Simplifier {
 }  // namespace
 
 Result<LogicalExprPtr> SimplifyQuery(const ZqlQuery& query, QueryContext* ctx,
-                                     SortSpec* order) {
+                                     SortSpec* order, int64_t* limit) {
   if (query.from.empty()) {
     return Status::InvalidArgument("query has no FROM ranges");
   }
   Simplifier s(ctx);
-  return s.Run(query, order);
+  return s.Run(query, order, limit);
 }
 
 Result<LogicalExprPtr> ParseAndSimplify(const std::string& text,
-                                        QueryContext* ctx, SortSpec* order) {
+                                        QueryContext* ctx, SortSpec* order,
+                                        int64_t* limit) {
   OODB_ASSIGN_OR_RETURN(ZqlQueryPtr q, ParseZql(text));
-  return SimplifyQuery(*q, ctx, order);
+  return SimplifyQuery(*q, ctx, order, limit);
 }
 
 }  // namespace oodb

@@ -23,16 +23,21 @@
 namespace oodb {
 
 /// Simplifies `query` into the optimizer's input algebra, creating bindings
-/// in `ctx` (which must be fresh for this query). An ORDER BY clause does
-/// not become a logical operator: it is returned through `order` as the
-/// sort-order physical property the plan root must deliver.
+/// in `ctx` (which must be fresh for this query). ORDER BY and LIMIT
+/// clauses do not become logical operators: they are returned through
+/// `order` / `limit` as the physical properties the plan root must deliver.
+/// A query carrying either clause fails with a positioned diagnostic when
+/// the corresponding out-parameter is null — the caller would silently drop
+/// query semantics otherwise.
 Result<LogicalExprPtr> SimplifyQuery(const ZqlQuery& query, QueryContext* ctx,
-                                     SortSpec* order = nullptr);
+                                     SortSpec* order = nullptr,
+                                     int64_t* limit = nullptr);
 
 /// Parses and simplifies a textual query.
 Result<LogicalExprPtr> ParseAndSimplify(const std::string& text,
                                         QueryContext* ctx,
-                                        SortSpec* order = nullptr);
+                                        SortSpec* order = nullptr,
+                                        int64_t* limit = nullptr);
 
 }  // namespace oodb
 

@@ -100,7 +100,14 @@ std::string ZqlQuery::ToString() const {
   for (const ZqlRange& r : from) rng.push_back(r.ToString());
   std::string out = "SELECT " + Join(sel, ", ") + " FROM " + Join(rng, ", ");
   if (where) out += " WHERE " + where->ToString();
-  if (order_by) out += " ORDER BY " + order_by->ToString();
+  if (!order_by.empty()) {
+    std::vector<std::string> keys;
+    for (const ZqlOrderKey& k : order_by) {
+      keys.push_back(k.path->ToString() + (k.desc ? " DESC" : ""));
+    }
+    out += " ORDER BY " + Join(keys, ", ");
+  }
+  if (limit > 0) out += " LIMIT " + std::to_string(limit);
   return out;
 }
 

@@ -63,14 +63,29 @@ struct ZqlRange {
   std::string ToString() const;
 };
 
-/// A select-from-where[-order-by] query.
+/// One ORDER BY key: a path plus a per-key direction.
+struct ZqlOrderKey {
+  ZqlExprPtr path;
+  bool desc = false;
+};
+
+/// A select-from-where[-order-by][-limit] query.
 struct ZqlQuery {
   std::vector<ZqlExprPtr> select;
   std::vector<ZqlRange> from;
   ZqlExprPtr where;  // may be null
-  /// Optional ORDER BY path (ascending). Becomes a required *physical*
-  /// property (sort order) of the plan root, not a logical operator.
-  ZqlExprPtr order_by;
+  /// Optional ORDER BY keys (major key first). They become a required
+  /// *physical* property (sort order) of the plan root, not a logical
+  /// operator.
+  std::vector<ZqlOrderKey> order_by;
+  /// Optional LIMIT row count (0 = none). Like the order, a required
+  /// physical property of the plan root (enforced by a bounded-heap TopK).
+  int64_t limit = 0;
+
+  /// Source offsets of the ORDER / LIMIT keywords (0 when absent or when
+  /// the query was built programmatically) for diagnostics.
+  size_t order_by_offset = 0;
+  size_t limit_offset = 0;
 
   std::string ToString() const;
 };

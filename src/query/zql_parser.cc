@@ -67,11 +67,33 @@ class Parser {
       OODB_ASSIGN_OR_RETURN(q->where, ParseExpr());
     }
     if (IsKeyword(Peek(), "ORDER")) {
+      q->order_by_offset = Peek().offset;
       Advance();
       if (!IsKeyword(Peek(), "BY")) return Error("expected BY after ORDER");
       Advance();
-      OODB_ASSIGN_OR_RETURN(std::vector<std::string> path, ParsePathSteps());
-      q->order_by = ZqlExpr::MakePath(std::move(path));
+      while (true) {
+        OODB_ASSIGN_OR_RETURN(std::vector<std::string> path, ParsePathSteps());
+        ZqlOrderKey key;
+        key.path = ZqlExpr::MakePath(std::move(path));
+        if (IsKeyword(Peek(), "ASC")) {
+          Advance();
+        } else if (IsKeyword(Peek(), "DESC")) {
+          key.desc = true;
+          Advance();
+        }
+        q->order_by.push_back(std::move(key));
+        if (Peek().kind != TokKind::kComma) break;
+        Advance();
+      }
+    }
+    if (IsKeyword(Peek(), "LIMIT")) {
+      q->limit_offset = Peek().offset;
+      Advance();
+      if (Peek().kind != TokKind::kInt) {
+        return Error("expected row count after LIMIT");
+      }
+      if (Peek().int_val < 1) return Error("LIMIT must be at least 1");
+      q->limit = Advance().int_val;
     }
     return q;
   }

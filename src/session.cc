@@ -177,7 +177,7 @@ Result<OptimizedQuery> Session::RunOptimizer(const LogicalExpr& input,
   // greedy planner cannot handle the query (explicit joins, its own error),
   // surface the original governor trip, not the fallback's complaint.
   GreedyOptimizer greedy(catalog_, options_.optimizer.cost);
-  Result<OptimizedQuery> fallback = greedy.Optimize(input, ctx);
+  Result<OptimizedQuery> fallback = greedy.Optimize(input, ctx, required);
   if (!fallback.ok()) return err;
   fallback->stats.degraded = true;
   fallback->stats.degrade_reason = err.message();
@@ -209,9 +209,13 @@ Result<SessionResult> Session::Prepare(const std::string& zql) {
   SessionResult out;
   out.ctx.catalog = catalog_;
   SortSpec order;
-  OODB_ASSIGN_OR_RETURN(out.logical, ParseAndSimplify(zql, &out.ctx, &order));
+  int64_t limit = 0;
+  OODB_ASSIGN_OR_RETURN(out.logical,
+                        ParseAndSimplify(zql, &out.ctx, &order, &limit));
   PhysProps required;
   required.sort = order;
+  required.limit = limit;
+  out.required = required;
 
   PlanCache* cache = plan_cache();
   if (cache == nullptr) {
@@ -231,12 +235,20 @@ Result<SessionResult> Session::Prepare(const std::string& zql) {
   QueryFingerprint qfp =
       FingerprintQuery(*out.logical, out.ctx,
                        options_.optimizer.plan_cache_parameterize);
-  PlanCacheKey key{qfp.fp, required,
+  // Key by the LIMIT's octave bucket, not the exact k: limits within a
+  // factor of two share a plan shape (TopK heap size is a runtime
+  // parameter), so `LIMIT 10` and `LIMIT 12` hit the same entry and the
+  // cached plan is rebound to the exact k below — mirroring how comparison
+  // literals are parameterized by selectivity bucket.
+  PhysProps cache_props = required;
+  cache_props.limit = LimitBucket(limit);
+  PlanCacheKey key{qfp.fp, cache_props,
                    HashOptimizerOptions(options_.optimizer)};
 
   if (std::optional<OptimizedQuery> hit = cache->Lookup(
           key, version, *out.logical, out.ctx.bindings, qfp.literals)) {
     out.optimized = std::move(*hit);
+    out.optimized.plan = RebindPlanLimit(out.optimized.plan, limit);
     out.optimized.stats.plan_cached = true;
   } else {
     OODB_ASSIGN_OR_RETURN(out.optimized,
@@ -315,7 +327,7 @@ Result<ExecStats> Session::ExecuteWithRetry(SessionResult* r,
         // (e.g. explicit joins) re-runs the serial rung instead.
         GreedyOptimizer greedy(catalog_, options_.optimizer.cost);
         Result<OptimizedQuery> fallback =
-            greedy.Optimize(*r->logical, &r->ctx);
+            greedy.Optimize(*r->logical, &r->ctx, r->required);
         if (fallback.ok()) {
           fallback->stats.degraded = true;
           fallback->stats.degrade_reason =

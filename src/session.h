@@ -62,6 +62,9 @@ struct ExecAttempt {
 struct SessionResult {
   QueryContext ctx;  ///< bindings (needed to render plan/exprs)
   LogicalExprPtr logical;
+  /// Physical properties the statement requires (ORDER BY sort, LIMIT row
+  /// count). Kept so the retry ladder's greedy re-plan preserves them.
+  PhysProps required;
   OptimizedQuery optimized;
   ExecStats exec;
   /// Execution attempt history (one entry per attempt; a single OK entry on

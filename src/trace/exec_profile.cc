@@ -16,6 +16,10 @@ void OpProfile::MergeFrom(const OpProfile& other) {
   pages_read += other.pages_read;
   buffer_hits += other.buffer_hits;
   buffer_misses += other.buffer_misses;
+  // Worker-private TopK heaps are the same bounded size; max, not sum.
+  topk_heap = std::max(topk_heap, other.topk_heap);
+  sort_runs += other.sort_runs;
+  merge_streams += other.merge_streams;
 }
 
 OpProfile* ExecProfile::Register(const PlanNode* node) {
@@ -93,6 +97,12 @@ void RenderRec(const PlanNode& node, const QueryContext& ctx,
     }
     os << ", batches " << p->batches << ", cpu "
        << FormatDouble(p->cpu_s, 6) << "s";
+    // Order-property counters, present only where they mean something:
+    // heap occupancy on TopK, flushed runs on a partial Sort, interleaved
+    // streams on a merging Exchange.
+    if (p->topk_heap > 0) os << ", heap " << p->topk_heap;
+    if (p->sort_runs > 0) os << ", runs " << p->sort_runs;
+    if (p->merge_streams > 0) os << ", merge " << p->merge_streams;
     if (profile.io_timed()) {
       os << ", io " << FormatDouble(p->io_s, 6) << "s, pages "
          << p->pages_read << ", buf " << p->buffer_hits << "h/"

@@ -47,6 +47,17 @@ struct OpProfile {
   int64_t buffer_hits = 0;   ///< buffer-pool hits
   int64_t buffer_misses = 0; ///< buffer-pool misses
 
+  // Order-property operators (zero elsewhere):
+  /// Peak bounded-heap occupancy of a TopK — min(k, input rows); merged
+  /// across Exchange workers by max, since each worker keeps its own heap.
+  int64_t topk_heap = 0;
+  /// Equal-prefix runs a partial Sort flushed (0 for a full sort). The
+  /// prefix-sort saving is visible as many short runs instead of one
+  /// input-sized sort.
+  int64_t sort_runs = 0;
+  /// Sorted per-partition streams a merging Exchange interleaved.
+  int64_t merge_streams = 0;
+
   void MergeFrom(const OpProfile& other);
 };
 

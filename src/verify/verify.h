@@ -63,6 +63,9 @@ inline constexpr const char* kPlanHashJoinOrientation =
 inline constexpr const char* kPlanSetOpScope = "plan-setop-scope-mismatch";
 inline constexpr const char* kPlanExchange = "plan-exchange-illegal";
 inline constexpr const char* kPlanFusion = "plan-fusion-conjunct-drift";
+/// Row-limit discipline: a delivered limit must be produced by a TopK (or
+/// merging Exchange) below and relayed only through 1:1 operators.
+inline constexpr const char* kPlanTopK = "plan-limit-not-established";
 }  // namespace invariant
 
 /// One violated invariant: where (operator path from the root, e.g.

@@ -27,6 +27,7 @@ int PhysArity(PhysOpKind kind) {
     case PhysOpKind::kAlgProject:
     case PhysOpKind::kAlgUnnest:
     case PhysOpKind::kSort:
+    case PhysOpKind::kTopK:
     case PhysOpKind::kExchange:
       return 1;
     case PhysOpKind::kHybridHashJoin:
@@ -41,14 +42,17 @@ int PhysArity(PhysOpKind kind) {
 }
 
 /// Does this operator emit its (single, driving) input's rows in input
-/// order, so a child-delivered sort survives it? Assembly and the hash
-/// operators reorder; Exchange interleaves worker output.
+/// order, so a child-delivered sort survives it? The hash operators
+/// reorder; a plain Exchange interleaves worker output (the merging
+/// variant is justified separately in CheckSort). Assembly preserves
+/// order: its windowed elevator reorders *fetches*, never emitted rows.
 bool PreservesOrder(PhysOpKind kind) {
   switch (kind) {
     case PhysOpKind::kFilter:
     case PhysOpKind::kAlgProject:
     case PhysOpKind::kAlgUnnest:
     case PhysOpKind::kPointerJoin:
+    case PhysOpKind::kAssembly:
       return true;
     default:
       return false;
@@ -88,6 +92,7 @@ class PlanChecker {
   void CheckScope(const PlanNode& node, const std::string& path,
                   const std::vector<BindingSet>& child_scopes);
   void CheckSort(const PlanNode& node, const std::string& path);
+  void CheckLimit(const PlanNode& node, const std::string& path);
   /// Per-step materialization discipline shared by Assembly / PointerJoin:
   /// sources readable when the step runs, targets consistent with the
   /// binding table's derivation records. Returns bindings added.
@@ -169,6 +174,7 @@ void PlanChecker::CheckScope(const PlanNode& node, const std::string& path,
     }
     case PhysOpKind::kFilter:
     case PhysOpKind::kSort:
+    case PhysOpKind::kTopK:
     case PhysOpKind::kExchange:
       expected = child_scopes[0];
       break;
@@ -226,16 +232,22 @@ void PlanChecker::CheckSort(const PlanNode& node, const std::string& path) {
     // Claiming less than the subtree establishes is always safe.
     return;
   }
-  if (!ValidBinding(claimed.binding, "delivered sort order", path,
-                    invariant::kPlanSort)) {
-    return;
+  for (const SortKey& k : claimed.keys) {
+    if (!ValidBinding(k.binding, "delivered sort order", path,
+                      invariant::kPlanSort)) {
+      return;
+    }
   }
   bool justified = false;
   std::string why;
   switch (node.op.kind) {
     case PhysOpKind::kSort:
-      justified = claimed == node.op.sort;
-      why = "sort operator's key differs from the order it claims";
+    case PhysOpKind::kTopK:
+      // The enforcer sorts on exactly op.sort; a shorter claim is a prefix
+      // of it (Satisfies), and the prefix it *skips* sorting must really
+      // come in sorted — checked where the operator's keys are validated.
+      justified = node.op.sort.Satisfies(claimed);
+      why = "operator's keys do not cover the order it claims";
       break;
     case PhysOpKind::kIndexScan: {
       // Only a *simple* (single-field) index scans in an order that is an
@@ -243,19 +255,29 @@ void PlanChecker::CheckSort(const PlanNode& node, const std::string& path) {
       // value. CheckIndexScan validates the key field itself.
       Result<const IndexInfo*> idx = ctx_.catalog->FindIndex(node.op.index_name);
       justified = idx.ok() && (*idx)->path.size() == 1 &&
-                  claimed.binding == node.op.binding &&
-                  claimed.field == (*idx)->path[0];
+                  SortSpec(node.op.binding, (*idx)->path[0])
+                      .Satisfies(claimed);
       why = "index scan claims an order its index does not establish";
       break;
     }
     case PhysOpKind::kMergeJoin:
-      justified = claimed == node.op.sort &&
-                  node.children[0]->delivered.sort == node.op.sort;
+      justified = node.op.sort.Satisfies(claimed) &&
+                  node.children[0]->delivered.sort.Satisfies(node.op.sort);
       why = "merge join claims an order that is not its (left-preserved) key";
+      break;
+    case PhysOpKind::kExchange:
+      // Only the merging variant carries an order through; its legality
+      // (worker plans actually deliver op.sort) is checked in
+      // CheckExchange.
+      justified = node.op.merge && node.op.sort.Satisfies(claimed);
+      why = node.op.merge
+                ? "merging exchange claims an order beyond its merge keys"
+                : "non-merging exchange interleaves workers and cannot "
+                  "deliver an order";
       break;
     default:
       if (PreservesOrder(node.op.kind)) {
-        justified = node.children[0]->delivered.sort == claimed;
+        justified = node.children[0]->delivered.sort.Satisfies(claimed);
         why = "order-preserving operator claims an order its input does not "
               "deliver";
       } else {
@@ -266,7 +288,45 @@ void PlanChecker::CheckSort(const PlanNode& node, const std::string& path) {
   }
   if (!justified) {
     Add(invariant::kPlanSort, path,
-        "claimed sort on " + Name(claimed.binding) + ": " + why);
+        "claimed sort on " + Name(claimed.keys[0].binding) + ": " + why);
+  }
+}
+
+/// Row-limit discipline: a delivered limit must be *produced* here (TopK,
+/// or a merging Exchange relaying its limited worker streams) or relayed
+/// unchanged through a 1:1 operator (Alg-Project). Anything else claiming
+/// a limit — or a producer claiming a different count than its operator
+/// argument — would let a plan promise a truncation nothing performs.
+void PlanChecker::CheckLimit(const PlanNode& node, const std::string& path) {
+  const int64_t claimed = node.delivered.limit;
+  if (claimed <= 0) return;
+  bool justified = false;
+  std::string why;
+  switch (node.op.kind) {
+    case PhysOpKind::kTopK:
+      justified = node.op.limit == claimed;
+      why = "top-k's row limit differs from the limit it claims";
+      break;
+    case PhysOpKind::kExchange:
+      justified = node.op.merge && node.op.limit == claimed &&
+                  node.children[0]->delivered.limit == claimed;
+      why = node.op.merge
+                ? "merging exchange claims a limit its worker plan does not "
+                  "deliver"
+                : "non-merging exchange cannot deliver a row limit";
+      break;
+    case PhysOpKind::kAlgProject:
+      justified = node.children[0]->delivered.limit == claimed;
+      why = "projection claims a limit its input does not deliver";
+      break;
+    default:
+      why = std::string(PhysOpKindName(node.op.kind)) +
+            " neither truncates nor relays a row limit 1:1";
+      break;
+  }
+  if (!justified) {
+    Add(invariant::kPlanTopK, path,
+        "claimed limit " + std::to_string(claimed) + ": " + why);
   }
 }
 
@@ -483,22 +543,48 @@ void PlanChecker::CheckExchange(const PlanNode& node, const std::string& path,
         "exchange with degree of parallelism " + std::to_string(node.op.dop) +
             " (want >= 2)");
   }
-  if (parent != nullptr && parent->op.kind != PhysOpKind::kSort) {
+  // Placement: at the root, under a root sort/top-k enforcer chain, or —
+  // for the merging variant only — directly under the root projection
+  // (ordered delivery flows through the 1:1 projection unharmed).
+  const bool parent_ok =
+      parent == nullptr || parent->op.kind == PhysOpKind::kSort ||
+      parent->op.kind == PhysOpKind::kTopK ||
+      (parent->op.kind == PhysOpKind::kAlgProject && node.op.merge);
+  if (!parent_ok) {
     Add(invariant::kPlanExchange, path,
         "exchange below a " + std::string(PhysOpKindName(parent->op.kind)) +
             "; it may only sit at the plan root or under a root sort "
             "enforcer chain");
   }
   const PlanNode& child = *node.children[0];
-  if (child.delivered.sort.IsSorted()) {
-    Add(invariant::kPlanExchange, path,
-        "exchange over an ordered input: worker interleaving would destroy "
-        "a delivery the plan paid for");
-  }
-  if (node.delivered.sort.IsSorted()) {
-    Add(invariant::kPlanExchange, path,
-        "exchange claims a sort order; worker interleaving cannot deliver "
-        "one");
+  if (node.op.merge) {
+    // Merging variant: each worker sorts its slice; the consumer k-way
+    // merge only reproduces the global order if the worker plan really
+    // delivers the merge keys.
+    if (!node.op.sort.IsSorted()) {
+      Add(invariant::kPlanExchange, path,
+          "merging exchange has no merge keys");
+    } else if (!child.delivered.sort.Satisfies(node.op.sort)) {
+      Add(invariant::kPlanExchange, path,
+          "merging exchange's worker plan does not deliver the merge keys "
+          "sorted");
+    }
+  } else {
+    if (child.delivered.sort.IsSorted()) {
+      Add(invariant::kPlanExchange, path,
+          "exchange over an ordered input: worker interleaving would "
+          "destroy a delivery the plan paid for");
+    }
+    if (node.delivered.sort.IsSorted()) {
+      Add(invariant::kPlanExchange, path,
+          "exchange claims a sort order; worker interleaving cannot "
+          "deliver one");
+    }
+    if (child.delivered.limit > 0 || node.delivered.limit > 0) {
+      Add(invariant::kPlanExchange, path,
+          "non-merging exchange cannot carry a row limit: interleaving "
+          "k per-worker prefixes is not the global prefix");
+    }
   }
   const PlanNode* driver = FindPartitionableScan(child);
   if (driver == nullptr) {
@@ -714,15 +800,15 @@ BindingSet PlanChecker::Check(const PlanNode& node, const std::string& path,
             "merge join predicate is not a single attribute equality "
             "across its inputs");
       } else {
-        SortSpec lkey{la->binding(), la->field()};
-        SortSpec rkey{ra->binding(), ra->field()};
+        SortSpec lkey(la->binding(), la->field());
+        SortSpec rkey(ra->binding(), ra->field());
         if (!(node.op.sort == lkey)) {
           Add(invariant::kPlanSort, path,
               "merge join's recorded key is not the left attribute of its "
               "predicate");
         }
-        if (!(node.children[0]->delivered.sort == lkey) ||
-            !(node.children[1]->delivered.sort == rkey)) {
+        if (!node.children[0]->delivered.sort.Satisfies(lkey) ||
+            !node.children[1]->delivered.sort.Satisfies(rkey)) {
           Add(invariant::kPlanSort, path,
               "merge join inputs are not delivered sorted on the join "
               "keys");
@@ -737,26 +823,50 @@ BindingSet PlanChecker::Check(const PlanNode& node, const std::string& path,
       // on *both* sides are reliably loaded in the output.
       loaded = child_loaded[0].Intersect(child_loaded[1]);
       break;
-    case PhysOpKind::kSort: {
-      if (!node.op.sort.IsSorted()) {
+    case PhysOpKind::kSort:
+    case PhysOpKind::kTopK: {
+      const bool topk = node.op.kind == PhysOpKind::kTopK;
+      // TopK with no key is a pure first-k cutoff; a keyless plain Sort is
+      // a no-op the optimizer must never emit.
+      if (!node.op.sort.IsSorted() && !topk) {
         Add(invariant::kPlanOpField, path, "sort has no key");
-      } else if (ValidBinding(node.op.sort.binding, "sort key", path,
-                              invariant::kPlanSort)) {
-        const BindingDef& def = ctx_.bindings.def(node.op.sort.binding);
+      }
+      for (const SortKey& k : node.op.sort.keys) {
+        if (!ValidBinding(k.binding, "sort key", path, invariant::kPlanSort)) {
+          continue;
+        }
+        const BindingDef& def = ctx_.bindings.def(k.binding);
         const TypeDef& type = ctx_.schema().type(def.type);
-        if (!node.logical.scope.Contains(node.op.sort.binding)) {
+        if (!node.logical.scope.Contains(k.binding)) {
           Add(invariant::kPlanSort, path,
               "sort key binding '" + def.name + "' is not in scope");
         }
-        if (!type.has_field(node.op.sort.field)) {
+        if (!type.has_field(k.field)) {
           Add(invariant::kPlanSort, path,
               "sort key field does not exist on '" + def.name + "'");
         }
-        if (!def.is_ref && !child_loaded[0].Contains(node.op.sort.binding)) {
+        if (!def.is_ref && !child_loaded[0].Contains(k.binding)) {
           Add(invariant::kPlanLoad, path,
               "sort reads the key attribute of '" + def.name +
                   "' which is not loaded below it");
         }
+      }
+      if (topk && node.op.limit <= 0) {
+        Add(invariant::kPlanTopK, path,
+            "top-k operator carries no positive row limit");
+      }
+      // A partial sort (sort_prefix > 0) only reorders within runs of equal
+      // leading keys; the leading keys themselves must arrive sorted.
+      const size_t prefix = static_cast<size_t>(node.op.sort_prefix);
+      if (prefix > node.op.sort.size()) {
+        Add(invariant::kPlanSort, path,
+            "sort prefix length exceeds the operator's key count");
+      } else if (prefix > 0 &&
+                 !node.children[0]->delivered.sort.Satisfies(
+                     node.op.sort.Prefix(prefix))) {
+        Add(invariant::kPlanSort, path,
+            "partial sort assumes a key prefix its input does not deliver "
+            "sorted");
       }
       loaded = child_loaded[0];
       break;
@@ -788,6 +898,7 @@ BindingSet PlanChecker::Check(const PlanNode& node, const std::string& path,
     }
   }
   CheckSort(node, path);
+  CheckLimit(node, path);
   return loaded;
 }
 

@@ -63,4 +63,28 @@ int CountOps(const PlanNode& plan, PhysOpKind kind) {
   return n;
 }
 
+PlanNodePtr RebindPlanLimit(PlanNodePtr plan, int64_t limit) {
+  if (plan == nullptr || limit <= 0) return plan;
+  if (plan->delivered.limit == 0 && plan->op.limit == 0) return plan;
+  if (plan->delivered.limit == limit && plan->op.limit == limit) return plan;
+  // Limit lives only on the root spine: TopK / merging Exchange produce it,
+  // Alg-Project relays it. Clone just those nodes; subtrees below the
+  // producing operator are limit-free and stay shared.
+  switch (plan->op.kind) {
+    case PhysOpKind::kAlgProject:
+    case PhysOpKind::kTopK:
+    case PhysOpKind::kExchange: {
+      auto node = std::make_shared<PlanNode>(*plan);
+      if (node->op.limit > 0) node->op.limit = limit;
+      if (node->delivered.limit > 0) node->delivered.limit = limit;
+      if (!node->children.empty()) {
+        node->children[0] = RebindPlanLimit(node->children[0], limit);
+      }
+      return node;
+    }
+    default:
+      return plan;
+  }
+}
+
 }  // namespace oodb

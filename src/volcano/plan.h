@@ -48,6 +48,15 @@ std::vector<std::string> PlanOpStrings(const PlanNode& plan,
 /// Counts operators of `kind` in the plan.
 int CountOps(const PlanNode& plan, PhysOpKind kind);
 
+/// Rebinds the row limit of a cached plan to a new query's LIMIT value:
+/// clones the root spine of limit-carrying operators (TopK, merging
+/// Exchange, Alg-Project relaying a limited delivery) with `limit`
+/// substituted into op.limit / delivered.limit wherever the old value was
+/// set. Costs are left as the cache representative's, matching literal
+/// parameterization semantics. Returns `plan` unchanged when it carries no
+/// limit or `limit` equals the cached value.
+PlanNodePtr RebindPlanLimit(PlanNodePtr plan, int64_t limit);
+
 }  // namespace oodb
 
 #endif  // OODB_VOLCANO_PLAN_H_

@@ -278,9 +278,12 @@ Result<PlanNodePtr> SearchEngine::OptimizeGroup(GroupId g, PhysProps required,
     Winner w;
     w.plan = best;
     if (!best) {
-      // Definitive only if no limit could have cut a branch.
+      // Definitive only if no limit could have cut a branch. The lower
+      // bound is meaningful (and read) only for an abandoned search; a
+      // definitive no-plan verdict keeps it finite so the memo verifier's
+      // cost invariants hold for every stored winner.
       w.complete = limit >= kNoLimit;
-      w.lower_bound = limit;
+      w.lower_bound = w.complete ? 0.0 : limit;
     }
     memo_.mutable_group(g).winners[required] = std::move(w);
   }

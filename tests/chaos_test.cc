@@ -128,7 +128,8 @@ class ChaosTest : public ::testing::TestWithParam<int> {
     Planned out;
     out.ctx.catalog = &catalog();
     SortSpec order;
-    auto logical = ParseAndSimplify(text, &out.ctx, &order);
+    int64_t limit = 0;
+    auto logical = ParseAndSimplify(text, &out.ctx, &order, &limit);
     EXPECT_TRUE(logical.ok()) << logical.status() << "\n" << text;
     out.logical = *logical;
     OptimizerOptions opts;
@@ -136,6 +137,7 @@ class ChaosTest : public ::testing::TestWithParam<int> {
     opts.verify_plans = true;
     PhysProps required;
     required.sort = order;
+    required.limit = limit;
     Optimizer opt(&catalog(), std::move(opts));
     auto planned = opt.Optimize(*out.logical, &out.ctx, required);
     EXPECT_TRUE(planned.ok()) << planned.status() << "\n" << text;
@@ -162,6 +164,21 @@ class ChaosTest : public ::testing::TestWithParam<int> {
     auto reference = EvaluateReference(*p.logical, &store(), p.ctx);
     EXPECT_TRUE(reference.ok()) << reference.status();
     return SortedRows(reference->rows);
+  }
+
+  /// Rows rendered in delivery order — the oracle for ordered queries.
+  static std::vector<std::string> RowSeq(
+      const std::vector<std::vector<Value>>& rows) {
+    std::vector<std::string> out;
+    for (const std::vector<Value>& row : rows) {
+      std::string s;
+      for (const Value& v : row) {
+        s += v.ToString();
+        s += '|';
+      }
+      out.push_back(std::move(s));
+    }
+    return out;
   }
 };
 
@@ -308,6 +325,53 @@ TEST_P(ChaosTest, SweepFaultKindsAcrossEnginesAndDop) {
     // bit for bit — no duplicated rows from re-executed partitions, no
     // missing rows from suppressed attempts.
     EXPECT_EQ(SortedRows(stats->sample_rows), expect)
+        << "plan:\n" << PrintPlan(*p.plan, p.ctx);
+  } else {
+    EXPECT_TRUE(IsCleanTypedFailure(stats.status().code()))
+        << stats.status() << "\nplan:\n" << PrintPlan(*p.plan, p.ctx);
+  }
+}
+
+TEST_P(ChaosTest, OrderedFaultSweepPreservesSequence) {
+  // Ordered (and limited) deliveries under fault injection: the contract
+  // tightens from multiset parity to *sequence* parity. Merge-Exchange
+  // recovery re-runs a worker's whole sorted stream in place, so an
+  // execution that reports OK must reproduce the fault-free row sequence
+  // exactly — a merge that resumed mid-stream or dropped a stream's tail
+  // would reorder or truncate visibly here.
+  Rng rng(0x53c1 + static_cast<uint64_t>(GetParam()) * 12007);
+  const char* fields[] = {"buildDate", "x", "y"};
+  std::string key = fields[rng.Uniform(3)];
+  bool desc = rng.Uniform(2) == 1;
+  std::string text = "SELECT a." + key +
+                     ", a.id FROM AtomicPart a IN AtomicParts "
+                     "WHERE a.x >= " +
+                     std::to_string(rng.UniformRange(0, 500)) + " ORDER BY a." +
+                     key + (desc ? " DESC" : "");
+  if (rng.Uniform(2) == 0) {
+    text += " LIMIT " + std::to_string(1 + rng.Uniform(30));
+  }
+  text += ";";
+  SCOPED_TRACE(text);
+  Planned p = Plan(text, /*max_dop=*/4);
+
+  // Fault-free baseline sequence from the very same plan.
+  ExecOptions base;
+  base.sample_limit = 1 << 22;
+  auto clean = ExecutePlan(*p.plan, &store(), &p.ctx, base);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  std::vector<std::string> expect = RowSeq(clean->sample_rows);
+
+  bool transient = rng.Uniform(2) == 0;
+  ExecOptions eo;
+  eo.sample_limit = 1 << 22;
+  eo.vectorize = static_cast<int>(rng.Uniform(2));
+  eo.exec_faults = RandomFaultPolicy(rng, /*dop=*/4, transient);
+  eo.recovery.enabled = true;
+  eo.recovery.max_partition_attempts = 3;
+  auto stats = ExecutePlan(*p.plan, &store(), &p.ctx, eo);
+  if (stats.ok()) {
+    EXPECT_EQ(RowSeq(stats->sample_rows), expect)
         << "plan:\n" << PrintPlan(*p.plan, p.ctx);
   } else {
     EXPECT_TRUE(IsCleanTypedFailure(stats.status().code()))

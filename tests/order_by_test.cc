@@ -10,18 +10,38 @@ namespace {
 
 TEST(OrderByParseTest, ParserAndBuilderAgree) {
   auto q = ParseZqlForTest("SELECT e.name FROM Employee e IN Employees "
-                           "WHERE e.age >= 30 ORDER BY e.salary;");
+                           "WHERE e.age >= 30 "
+                           "ORDER BY e.salary DESC, e.name LIMIT 5;");
   ASSERT_NE(q, nullptr);
-  ASSERT_NE(q->order_by, nullptr);
-  EXPECT_EQ(q->order_by->path, (std::vector<std::string>{"e", "salary"}));
+  ASSERT_EQ(q->order_by.size(), 2u);
+  EXPECT_EQ(q->order_by[0].path->path,
+            (std::vector<std::string>{"e", "salary"}));
+  EXPECT_TRUE(q->order_by[0].desc);
+  EXPECT_EQ(q->order_by[1].path->path, (std::vector<std::string>{"e", "name"}));
+  EXPECT_FALSE(q->order_by[1].desc);
+  EXPECT_EQ(q->limit, 5);
 
   ZqlQuery built = QueryBuilder()
                        .Select(zql::Path("e.name"))
                        .From("Employee", "e", "Employees")
                        .Where(zql::Ge(zql::Path("e.age"), zql::Lit(int64_t{30})))
-                       .OrderBy("e.salary")
+                       .OrderBy("e.salary", /*desc=*/true)
+                       .OrderBy("e.name")
+                       .Limit(5)
                        .Build();
   EXPECT_EQ(built.ToString(), q->ToString());
+}
+
+TEST(OrderByParseTest, LimitDiagnostics) {
+  EXPECT_FALSE(ParseZql("SELECT e.name FROM Employee e IN Employees "
+                        "ORDER BY e.name LIMIT 0;")
+                   .ok());
+  EXPECT_FALSE(ParseZql("SELECT e.name FROM Employee e IN Employees "
+                        "ORDER BY e.name LIMIT;")
+                   .ok());
+  EXPECT_FALSE(ParseZql("SELECT e.name FROM Employee e IN Employees "
+                        "ORDER BY;")
+                   .ok());
 }
 
 class OrderByTest : public ::testing::Test {
@@ -33,12 +53,27 @@ class OrderByTest : public ::testing::Test {
     EXPECT_TRUE(r.ok()) << r.status();
   }
 
-  /// Checks column `col` of the result rows is non-decreasing.
-  static void ExpectSorted(const SessionResult& r, size_t col) {
+  /// Checks column `col` of the result rows is non-decreasing (or
+  /// non-increasing when `desc`).
+  static void ExpectSorted(const SessionResult& r, size_t col,
+                           bool desc = false) {
     for (size_t i = 1; i < r.rows().size(); ++i) {
-      EXPECT_LE(r.rows()[i - 1][col].Compare(r.rows()[i][col]), 0)
-          << "row " << i;
+      int c = r.rows()[i - 1][col].Compare(r.rows()[i][col]);
+      if (desc) {
+        EXPECT_GE(c, 0) << "row " << i;
+      } else {
+        EXPECT_LE(c, 0) << "row " << i;
+      }
     }
+  }
+
+  /// First plan node of `kind` in preorder, or null.
+  static const PlanNode* FindOp(const PlanNode& plan, PhysOpKind kind) {
+    if (plan.op.kind == kind) return &plan;
+    for (const PlanNodePtr& c : plan.children) {
+      if (const PlanNode* f = FindOp(*c, kind)) return f;
+    }
+    return nullptr;
   }
 
   PaperDb db_;
@@ -88,6 +123,113 @@ TEST_F(OrderByTest, IndexScanDeliversOrderWithoutSort) {
   EXPECT_EQ(CountOps(*r->optimized.plan, PhysOpKind::kSort), 0)
       << r->PlanText();
   ExpectSorted(*r, 0);
+}
+
+TEST_F(OrderByTest, DescendingOrderDelivered) {
+  auto r = session_.Query(
+      "SELECT e.age, e.name FROM Employee e IN Employees "
+      "WHERE e.age >= 40 ORDER BY e.age DESC;");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_GT(r->exec.rows, 2);
+  ExpectSorted(*r, 0, /*desc=*/true);
+}
+
+TEST_F(OrderByTest, MultiKeyOrderIsLexicographic) {
+  auto r = session_.Query(
+      "SELECT e.age, e.salary FROM Employee e IN Employees "
+      "WHERE e.age >= 30 ORDER BY e.age, e.salary DESC;");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_GT(r->exec.rows, 2);
+  for (size_t i = 1; i < r->rows().size(); ++i) {
+    int major = r->rows()[i - 1][0].Compare(r->rows()[i][0]);
+    EXPECT_LE(major, 0) << "row " << i;
+    if (major == 0) {
+      EXPECT_GE(r->rows()[i - 1][1].Compare(r->rows()[i][1]), 0)
+          << "row " << i;
+    }
+  }
+}
+
+TEST_F(OrderByTest, TopKMatchesSortedPrefix) {
+  const std::string base =
+      "SELECT e.age, e.name FROM Employee e IN Employees "
+      "WHERE e.age >= 30 ORDER BY e.age, e.name";
+  auto full = session_.Query(base + ";");
+  auto topk = session_.Query(base + " LIMIT 5;");
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_TRUE(topk.ok()) << topk.status();
+  ASSERT_GT(full->exec.rows, 5);
+  EXPECT_EQ(CountOps(*topk->optimized.plan, PhysOpKind::kTopK), 1)
+      << topk->PlanText();
+  EXPECT_EQ(CountOps(*topk->optimized.plan, PhysOpKind::kSort), 0)
+      << topk->PlanText();
+  // The bounded heap must deliver exactly the stable full-sort prefix.
+  ASSERT_EQ(topk->rows().size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(full->rows()[i][c].Compare(topk->rows()[i][c]), 0)
+          << "row " << i << " col " << c;
+    }
+  }
+}
+
+TEST_F(OrderByTest, StreamingTopKOverIndexOrder) {
+  // The index already delivers t.time order: top-k degenerates to a
+  // streaming first-k cutoff (sort_prefix covers every key, heap unused).
+  auto r = session_.Query(
+      "SELECT t.time, t.name FROM Task t IN Tasks "
+      "WHERE t.time >= 29 ORDER BY t.time LIMIT 3;");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const PlanNode* tk = FindOp(*r->optimized.plan, PhysOpKind::kTopK);
+  ASSERT_NE(tk, nullptr) << r->PlanText();
+  EXPECT_EQ(static_cast<size_t>(tk->op.sort_prefix), tk->op.sort.size())
+      << r->PlanText();
+  EXPECT_EQ(CountOps(*r->optimized.plan, PhysOpKind::kSort), 0)
+      << r->PlanText();
+  EXPECT_LE(r->rows().size(), 3u);
+  ExpectSorted(*r, 0);
+}
+
+TEST_F(OrderByTest, PartialSortReusesIndexPrefix) {
+  // Leading key t.time arrives sorted from the index; only the tie-break
+  // key t.name needs sorting, per run of equal times.
+  auto r = session_.Query(
+      "SELECT t.time, t.name FROM Task t IN Tasks "
+      "WHERE t.time >= 29 ORDER BY t.time, t.name;");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_GT(r->exec.rows, 2);
+  ASSERT_EQ(CountOps(*r->optimized.plan, PhysOpKind::kIndexScan), 1)
+      << r->PlanText();
+  const PlanNode* sort = FindOp(*r->optimized.plan, PhysOpKind::kSort);
+  ASSERT_NE(sort, nullptr) << r->PlanText();
+  EXPECT_EQ(sort->op.sort_prefix, 1) << r->PlanText();
+  for (size_t i = 1; i < r->rows().size(); ++i) {
+    int major = r->rows()[i - 1][0].Compare(r->rows()[i][0]);
+    EXPECT_LE(major, 0) << "row " << i;
+    if (major == 0) {
+      EXPECT_LE(r->rows()[i - 1][1].Compare(r->rows()[i][1]), 0)
+          << "row " << i;
+    }
+  }
+}
+
+TEST_F(OrderByTest, CachedPlanReboundToNewLimit) {
+  // Same query shape, different LIMIT: the cached plan is k-parameterized
+  // (bucketed fingerprint) and must be rebound to the new row count.
+  const std::string base =
+      "SELECT e.age, e.name FROM Employee e IN Employees "
+      "WHERE e.age >= 30 ORDER BY e.age, e.name LIMIT ";
+  auto r3 = session_.Query(base + "3;");
+  auto r5 = session_.Query(base + "5;");
+  ASSERT_TRUE(r3.ok()) << r3.status();
+  ASSERT_TRUE(r5.ok()) << r5.status();
+  EXPECT_EQ(r3->rows().size(), 3u);
+  EXPECT_EQ(r5->rows().size(), 5u);
+  // The shorter result is the longer one's prefix.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(r3->rows()[i][0].Compare(r5->rows()[i][0]), 0) << "row " << i;
+    EXPECT_EQ(r3->rows()[i][1].Compare(r5->rows()[i][1]), 0) << "row " << i;
+  }
 }
 
 TEST_F(OrderByTest, SortedPlanCostsMoreThanUnsorted) {

@@ -177,12 +177,14 @@ class TraceTest : public ::testing::Test {
     Planned out;
     out.ctx.catalog = &db().catalog;
     SortSpec order;
-    auto logical = ParseAndSimplify(text, &out.ctx, &order);
+    int64_t limit = 0;
+    auto logical = ParseAndSimplify(text, &out.ctx, &order, &limit);
     EXPECT_TRUE(logical.ok()) << logical.status() << "\n" << text;
     out.logical = *logical;
     opts.verify_plans = true;
     PhysProps required;
     required.sort = order;
+    required.limit = limit;
     Optimizer opt(&db().catalog, std::move(opts));
     auto planned = opt.Optimize(*out.logical, &out.ctx, required);
     EXPECT_TRUE(planned.ok()) << planned.status() << "\n" << text;
@@ -293,6 +295,60 @@ TEST_F(TraceTest, FusedFilterChainAnnotated) {
   ASSERT_NE(stats->profile, nullptr);
   std::string render = RenderAnalyzedPlan(*p.plan, p.ctx, *stats->profile);
   EXPECT_NE(render.find("(fused)"), std::string::npos) << render;
+}
+
+TEST_F(TraceTest, OrderedOperatorCountersRenderedGolden) {
+  // The three order-as-a-property counters, each deterministic for a fixed
+  // dataset: TopK renders its max heap occupancy (bounded at k), a partial
+  // Sort renders its presorted prefix and flushed runs, and a merging
+  // Exchange renders the streams it interleaved.
+  Planned topk = Plan(
+      "SELECT a.id, a.buildDate FROM AtomicPart a IN AtomicParts "
+      "WHERE a.x >= 0 ORDER BY a.buildDate, a.id LIMIT 5;");
+  ASSERT_EQ(CountOps(*topk.plan, PhysOpKind::kTopK), 1)
+      << PrintPlan(*topk.plan, topk.ctx);
+  auto tstats = Analyze(topk);
+  ASSERT_TRUE(tstats.ok()) << tstats.status();
+  std::string render =
+      RenderAnalyzedPlan(*topk.plan, topk.ctx, *tstats->profile);
+  EXPECT_NE(render.find("[limit 5]"), std::string::npos) << render;
+  EXPECT_NE(render.find(", heap 5"), std::string::npos) << render;
+
+  // The buildDate index delivers the leading key sorted; only the id
+  // tie-break is enforced, run by run — the prefix must not be re-sorted
+  // (file-scan rule disabled so the ordered index path wins on this tiny
+  // dataset too).
+  OptimizerOptions idx;
+  idx.disabled_rules = {kImplFileScan};
+  Planned partial = Plan(
+      "SELECT b.buildDate, b.id FROM BaseAssembly b IN BaseAssemblies "
+      "WHERE b.buildDate >= 3 ORDER BY b.buildDate, b.id;",
+      idx);
+  const PlanNode* psort = nullptr;
+  for (const PlanNode* n = partial.plan.get(); n != nullptr;
+       n = n->children.empty() ? nullptr : n->children[0].get()) {
+    if (n->op.kind == PhysOpKind::kSort) psort = n;
+  }
+  ASSERT_NE(psort, nullptr) << PrintPlan(*partial.plan, partial.ctx);
+  ASSERT_EQ(psort->op.sort_prefix, 1) << PrintPlan(*partial.plan, partial.ctx);
+  auto pstats = Analyze(partial);
+  ASSERT_TRUE(pstats.ok()) << pstats.status();
+  render = RenderAnalyzedPlan(*partial.plan, partial.ctx, *pstats->profile);
+  EXPECT_NE(render.find("[presorted 1]"), std::string::npos) << render;
+  EXPECT_NE(render.find(", runs "), std::string::npos) << render;
+
+  OptimizerOptions par;
+  par.max_dop = 4;
+  Planned merged = Plan(
+      "SELECT a.buildDate, a.id FROM AtomicPart a IN AtomicParts "
+      "WHERE a.x >= 0 ORDER BY a.buildDate, a.id;",
+      par);
+  ASSERT_NE(FindExchange(*merged.plan), nullptr)
+      << PrintPlan(*merged.plan, merged.ctx);
+  auto mstats = Analyze(merged);
+  ASSERT_TRUE(mstats.ok()) << mstats.status();
+  render = RenderAnalyzedPlan(*merged.plan, merged.ctx, *mstats->profile);
+  EXPECT_NE(render.find(", merge 4"), std::string::npos) << render;
 }
 
 // Instrumentation must be observationally free: the analyzed run produces

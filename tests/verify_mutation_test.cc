@@ -473,6 +473,109 @@ TEST_F(VerifyMutationTest, ExchangeMutationsAreRejected) {
   ExpectViolation(*p4.root, invariant::kPlanExchange);
 }
 
+// --- order- and limit-property mutations ---
+
+TEST_F(VerifyMutationTest, MultiKeyOrderMutationsAreRejected) {
+  std::shared_ptr<PlanNode> chain = BuildCityChain();
+  PhysicalOp sort;
+  sort.kind = PhysOpKind::kSort;
+  sort.sort = SortSpec({SortKey{c_, db_.city_name, false},
+                        SortKey{c_, db_.city_population, true}});
+  PhysProps delivered = chain->delivered;
+  delivered.sort = sort.sort;
+  PlanNodePtr root = PlanNode::Make(sort, {chain}, chain->logical, delivered,
+                                    Cost{0.5, 0.5});
+  ExpectClean(*root);
+
+  // Direction flip: the claim promises the minor key ascending while the
+  // operator sorts it descending.
+  MutablePlan p1 = Clone(*root);
+  p1.root->delivered.sort.keys[1].desc = false;
+  ExpectViolation(*p1.root, invariant::kPlanSort);
+
+  // Non-prefix claim: the minor key alone is not established.
+  MutablePlan p2 = Clone(*root);
+  p2.root->delivered.sort = SortSpec{c_, db_.city_population, true};
+  ExpectViolation(*p2.root, invariant::kPlanSort);
+
+  // Partial sort assuming a leading-key run structure the input (a page-
+  // order file scan chain) does not deliver.
+  MutablePlan p3 = Clone(*root);
+  p3.Find(PhysOpKind::kSort)->op.sort_prefix = 1;
+  ExpectViolation(*p3.root, invariant::kPlanSort);
+}
+
+TEST_F(VerifyMutationTest, TopKMutationsAreRejected) {
+  std::shared_ptr<PlanNode> chain = BuildCityChain();
+  PhysicalOp topk;
+  topk.kind = PhysOpKind::kTopK;
+  topk.sort = SortSpec{c_, db_.city_name};
+  topk.limit = 10;
+  PhysProps delivered = chain->delivered;
+  delivered.sort = topk.sort;
+  delivered.limit = 10;
+  LogicalProps props = chain->logical;
+  props.card = 10;
+  PlanNodePtr root =
+      PlanNode::Make(topk, {chain}, props, delivered, Cost{0.1, 0.1});
+  ExpectClean(*root);
+
+  // A top-k with no positive bound is an unbounded heap.
+  MutablePlan p1 = Clone(*root);
+  p1.Find(PhysOpKind::kTopK)->op.limit = 0;
+  ExpectViolation(*p1.root, invariant::kPlanTopK);
+
+  // Claimed row limit differs from the operator's bound.
+  MutablePlan p2 = Clone(*root);
+  p2.root->delivered.limit = 5;
+  ExpectViolation(*p2.root, invariant::kPlanTopK);
+
+  // A phantom limit on an operator that neither truncates nor relays.
+  MutablePlan p3 = Clone(*root);
+  p3.Find(PhysOpKind::kFilter)->delivered.limit = 10;
+  ExpectViolation(*p3.root, invariant::kPlanTopK);
+}
+
+TEST_F(VerifyMutationTest, MergeExchangeMutationsAreRejected) {
+  std::shared_ptr<PlanNode> chain = BuildCityChain();
+  // Worker plan sorts its slice; the merging exchange interleaves the
+  // sorted streams back into one.
+  PhysicalOp sort;
+  sort.kind = PhysOpKind::kSort;
+  sort.sort = SortSpec{c_, db_.city_name};
+  PhysProps sorted = chain->delivered;
+  sorted.sort = sort.sort;
+  PlanNodePtr worker =
+      PlanNode::Make(sort, {chain}, chain->logical, sorted, Cost{0.5, 0.5});
+
+  PhysicalOp ex;
+  ex.kind = PhysOpKind::kExchange;
+  ex.dop = 4;
+  ex.partition_binding = c_;
+  ex.merge = true;
+  ex.sort = sort.sort;
+  PlanNodePtr root =
+      PlanNode::Make(ex, {worker}, worker->logical, sorted, Cost{0.0, -0.05});
+  ExpectClean(*root);
+
+  // Merge keys the worker plan does not deliver sorted.
+  MutablePlan p1 = Clone(*root);
+  p1.Find(PhysOpKind::kExchange)->op.sort =
+      SortSpec{c_, db_.city_population};
+  ExpectViolation(*p1.root, invariant::kPlanExchange);
+
+  // A merging exchange with no merge keys has nothing to merge by.
+  MutablePlan p2 = Clone(*root);
+  p2.Find(PhysOpKind::kExchange)->op.sort = SortSpec{};
+  ExpectViolation(*p2.root, invariant::kPlanExchange);
+
+  // Demoted to a plain exchange, the same plant destroys the worker-paid
+  // order (and the sort claim above it becomes phantom).
+  MutablePlan p3 = Clone(*root);
+  p3.Find(PhysOpKind::kExchange)->op.merge = false;
+  ExpectViolation(*p3.root, invariant::kPlanExchange);
+}
+
 // --- index-scan mutations (on a real optimized plan) ---
 
 TEST_F(VerifyMutationTest, IndexScanMutationsAreRejected) {
