@@ -8,12 +8,13 @@ The batch/dop grid, the selective (vectorized-vs-row) phase, and the
 ordered (sort / top-k) phase are checked point by point, keyed by their
 configuration. Grid and selective points are wall-clock rows/sec (higher is
 better); ordered points are deterministic simulated seconds (lower is
-better), so the threshold flips sign for them. Points present only in
-the fresh file (a newly added configuration) are ignored; points present
-only in the baseline fail loudly — silently dropping a measured
-configuration is itself a regression. Improvements are reported but never
-fail the gate, so the committed baseline only needs refreshing when the
-engine genuinely gets faster.
+better), so the threshold flips sign for them. A point present on only one
+side fails loudly in either direction: silently dropping a measured
+configuration is itself a regression, and a configuration the bench now
+measures but the baseline doesn't is an unguarded point — the baseline must
+be refreshed to cover it, or the gate would rubber-stamp it forever.
+Improvements are reported but never fail the gate, so the committed
+baseline only needs refreshing when the engine genuinely gets faster.
 """
 
 import argparse
@@ -74,6 +75,12 @@ def main():
                             f"({change:+.1%}, limit {args.threshold:.0%})")
         print(f"{label}: {base_rate} -> {fresh_rate} {unit} "
               f"({change:+.1%}) {status}")
+
+    for key in sorted(set(fresh) - set(base)):
+        section, config = key
+        failures.append(f"{section} {config}: present in fresh results, "
+                        "missing from baseline (refresh the baseline to "
+                        "cover the new configuration)")
 
     if failures:
         print(f"\n{len(failures)} bench regression(s) vs {args.baseline}:",

@@ -6,9 +6,11 @@
 #ifndef OODB_CATALOG_CATALOG_H_
 #define OODB_CATALOG_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/catalog/schema.h"
@@ -61,6 +63,24 @@ struct IndexInfo {
 /// The catalog: schema + collections + indexes.
 class Catalog {
  public:
+  Catalog() = default;
+  // The atomic version counter is not movable by default; moves happen only
+  // at construction time (PaperDb factories), never while sessions run.
+  Catalog(Catalog&& o) noexcept
+      : schema_(std::move(o.schema_)),
+        collections_(std::move(o.collections_)),
+        indexes_(std::move(o.indexes_)),
+        stats_version_(o.stats_version()),
+        stats_measured_(o.stats_measured_) {}
+  Catalog& operator=(Catalog&& o) noexcept {
+    schema_ = std::move(o.schema_);
+    collections_ = std::move(o.collections_);
+    indexes_ = std::move(o.indexes_);
+    stats_version_.store(o.stats_version(), std::memory_order_relaxed);
+    stats_measured_ = o.stats_measured_;
+    return *this;
+  }
+
   Schema& schema() { return schema_; }
   const Schema& schema() const { return schema_; }
 
@@ -70,9 +90,15 @@ class Catalog {
   /// statistics — bumps it; the plan cache keys entries by it so a stale
   /// plan is never served. Code that mutates the schema directly through
   /// the non-const schema() accessor must call BumpStatsVersion() itself
-  /// (AnalyzeStore does).
-  uint64_t stats_version() const { return stats_version_; }
-  void BumpStatsVersion() { ++stats_version_; }
+  /// (AnalyzeStore does). Atomic so sessions reading the version while
+  /// preparing (the plan-cache probe) never race a concurrent ANALYZE bump;
+  /// relaxed order suffices — the cache re-verifies entries structurally.
+  uint64_t stats_version() const {
+    return stats_version_.load(std::memory_order_relaxed);
+  }
+  void BumpStatsVersion() {
+    stats_version_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// True once field statistics were *measured* from stored data (ANALYZE)
   /// rather than declared with the schema. The selectivity estimator only
@@ -132,7 +158,7 @@ class Catalog {
   Schema schema_;
   std::vector<CollectionInfo> collections_;
   std::vector<IndexInfo> indexes_;
-  uint64_t stats_version_ = 0;
+  std::atomic<uint64_t> stats_version_{0};
   bool stats_measured_ = false;
 };
 

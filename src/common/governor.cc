@@ -80,7 +80,7 @@ Status QueryGovernor::CheckCancelAndDeadlineLocked(const char* where) {
 }
 
 Status QueryGovernor::CheckSearch(int64_t memo_groups, int64_t memo_mexprs) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   OODB_RETURN_IF_ERROR(CheckCancelAndDeadlineLocked("explore"));
   if (options_.max_memo_groups > 0 && memo_groups > options_.max_memo_groups) {
     return TripLocked(Status::BudgetExhausted(
@@ -96,12 +96,12 @@ Status QueryGovernor::CheckSearch(int64_t memo_groups, int64_t memo_mexprs) {
 }
 
 Status QueryGovernor::CheckOptimizeEntry() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return CheckCancelAndDeadlineLocked("optimize");
 }
 
 Status QueryGovernor::ChargeAlternative() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!trip_.ok()) return trip_;
   ++alternatives_;
   stats_.alternatives_charged = alternatives_;
@@ -116,7 +116,7 @@ Status QueryGovernor::ChargeAlternative() {
 }
 
 Status QueryGovernor::CheckExec(int64_t pages_read) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   OODB_RETURN_IF_ERROR(CheckCancelAndDeadlineLocked("execute"));
   if (pages_read > stats_.pages_charged) stats_.pages_charged = pages_read;
   if (options_.max_exec_pages > 0 && pages_read > options_.max_exec_pages) {
@@ -128,7 +128,7 @@ Status QueryGovernor::CheckExec(int64_t pages_read) {
 }
 
 Status QueryGovernor::ChargeRows(int64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!trip_.ok()) return trip_;
   rows_ += n;
   stats_.rows_charged = rows_;
@@ -141,7 +141,7 @@ Status QueryGovernor::ChargeRows(int64_t n) {
 }
 
 Status QueryGovernor::ChargeRetry() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!trip_.ok()) return trip_;
   ++retries_;
   stats_.retries_charged = retries_;
@@ -154,7 +154,7 @@ Status QueryGovernor::ChargeRetry() {
 }
 
 Status QueryGovernor::ChargeTrackedBytes(int64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!trip_.ok()) return trip_;
   tracked_bytes_ += bytes;
   if (tracked_bytes_ > stats_.tracked_bytes_peak) {

@@ -17,10 +17,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace oodb {
 
@@ -144,31 +145,31 @@ class QueryGovernor {
   const GovernorOptions& options() const { return options_; }
   /// Snapshot of the trip/charge counters (copied under the lock).
   GovernorStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
   /// Non-OK after the first trip (the sticky trip status).
   Status trip_status() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return trip_;
   }
 
  private:
   /// Returns the sticky trip, or records `status` as the trip and counts
-  /// it. Caller must hold mu_.
-  Status TripLocked(Status status);
-  Status CheckCancelAndDeadlineLocked(const char* where);
+  /// it.
+  Status TripLocked(Status status) REQUIRES(mu_);
+  Status CheckCancelAndDeadlineLocked(const char* where) REQUIRES(mu_);
 
   GovernorOptions options_;
   std::chrono::steady_clock::time_point armed_at_;
   std::chrono::steady_clock::time_point deadline_;
-  mutable std::mutex mu_;  ///< guards everything below
-  Status trip_;  // OK until the first trip, then sticky
-  int64_t rows_ = 0;
-  int64_t alternatives_ = 0;
-  int64_t tracked_bytes_ = 0;
-  int64_t retries_ = 0;
-  GovernorStats stats_;
+  mutable Mutex mu_{lock_rank::kGovernor};  ///< guards everything below
+  Status trip_ GUARDED_BY(mu_);  // OK until the first trip, then sticky
+  int64_t rows_ GUARDED_BY(mu_) = 0;
+  int64_t alternatives_ GUARDED_BY(mu_) = 0;
+  int64_t tracked_bytes_ GUARDED_BY(mu_) = 0;
+  int64_t retries_ GUARDED_BY(mu_) = 0;
+  GovernorStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace oodb

@@ -11,7 +11,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 Counter* MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<CounterEntry>& e = counters_[name];
   if (e == nullptr) {
     e = std::make_unique<CounterEntry>();
@@ -22,7 +22,7 @@ Counter* MetricsRegistry::counter(const std::string& name,
 
 Gauge* MetricsRegistry::gauge(const std::string& name,
                               const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<GaugeEntry>& e = gauges_[name];
   if (e == nullptr) {
     e = std::make_unique<GaugeEntry>();
@@ -32,7 +32,7 @@ Gauge* MetricsRegistry::gauge(const std::string& name,
 }
 
 std::string MetricsRegistry::TextSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   for (const auto& [name, e] : counters_) {
     if (!e->help.empty()) os << "# HELP " << name << " " << e->help << "\n";
@@ -48,7 +48,7 @@ std::string MetricsRegistry::TextSnapshot() const {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, e] : counters_) {
     e->counter.value_.store(0, std::memory_order_relaxed);
   }

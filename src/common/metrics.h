@@ -16,8 +16,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace oodb {
 
@@ -74,9 +76,13 @@ class MetricsRegistry {
     Gauge gauge;
   };
 
-  mutable std::mutex mu_;  ///< guards registration maps, not the values
-  std::map<std::string, std::unique_ptr<CounterEntry>> counters_;
-  std::map<std::string, std::unique_ptr<GaugeEntry>> gauges_;
+  /// Guards the registration maps, not the values (those are atomics,
+  /// updated lock-free through cached pointers). Highest rank: instrumented
+  /// call sites resolve counters while holding their own subsystem lock.
+  mutable Mutex mu_{lock_rank::kMetrics};
+  std::map<std::string, std::unique_ptr<CounterEntry>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<GaugeEntry>> gauges_ GUARDED_BY(mu_);
 };
 
 }  // namespace oodb

@@ -1,0 +1,102 @@
+#include "src/common/mutex.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace oodb {
+
+std::string LockOrderViolation::ToString() const {
+  return std::string("lock-rank violation: acquiring ") + acquired_name +
+         " (rank " + std::to_string(acquired_order) + ") while holding " +
+         held_name + " (rank " + std::to_string(held_order) + ")";
+}
+
+namespace {
+
+void DefaultLockOrderHandler(const LockOrderViolation& v) {
+  std::fprintf(stderr, "%s\n", v.ToString().c_str());
+  std::abort();
+}
+
+std::atomic<LockOrderHandler> g_handler{&DefaultLockOrderHandler};
+
+}  // namespace
+
+LockOrderHandler SetLockOrderHandler(LockOrderHandler handler) {
+  if (handler == nullptr) handler = &DefaultLockOrderHandler;
+  LockOrderHandler prev = g_handler.exchange(handler);
+  return prev == &DefaultLockOrderHandler ? nullptr : prev;
+}
+
+#if defined(OODB_LOCK_ORDER)
+
+namespace lock_order {
+
+namespace {
+
+/// The per-thread held-lock stack. Trivially constructible AND trivially
+/// destructible on purpose: ranked mutexes live in process-wide singletons
+/// (WorkerPool, BatchPool, MetricsRegistry) whose destructors run during
+/// static destruction — after the main thread's thread_local destructors.
+/// A std::vector here would be freed by then, and the singleton teardown's
+/// OnAcquire would corrupt the heap; a plain array has no destructor, so
+/// post-teardown acquisitions stay well-defined. Depth 64 is far beyond the
+/// engine's deepest real nesting (4); overflow degrades to not recording.
+struct HeldStack {
+  static constexpr int kCapacity = 64;
+  LockRank entries[kCapacity];
+  int size;
+};
+thread_local HeldStack g_held;
+
+}  // namespace
+
+void OnAcquire(const LockRank& rank) {
+  HeldStack& held = g_held;
+  // The inversion check is against the *highest* held rank: any held rank
+  // >= the one being acquired breaks the strict total order, and the
+  // highest is the tightest witness to name in the report. A total order
+  // over acquisitions admits no cross-rank cycle, so catching every
+  // inverted edge at acquire time is complete deadlock prevention — no
+  // second thread has to race the reverse edge for the bug to be seen.
+  const LockRank* worst = nullptr;
+  for (int i = 0; i < held.size; ++i) {
+    const LockRank& h = held.entries[i];
+    if (h.order >= rank.order && (worst == nullptr || h.order > worst->order)) {
+      worst = &h;
+    }
+  }
+  if (worst != nullptr) {
+    LockOrderViolation v;
+    v.acquired_order = rank.order;
+    v.acquired_name = rank.name;
+    v.held_order = worst->order;
+    v.held_name = worst->name;
+    g_handler.load()(v);
+  }
+  if (held.size < HeldStack::kCapacity) held.entries[held.size++] = rank;
+}
+
+void OnRelease(const LockRank& rank) {
+  HeldStack& held = g_held;
+  // Locks are almost always released in LIFO order; scan from the back so
+  // the common case is one comparison. (UniqueLock's out-of-order release
+  // in hand-over-hand patterns would still be found.)
+  for (int i = held.size; i > 0; --i) {
+    LockRank& h = held.entries[i - 1];
+    if (h.order == rank.order && h.name == rank.name) {
+      for (int j = i - 1; j + 1 < held.size; ++j) {
+        held.entries[j] = held.entries[j + 1];
+      }
+      --held.size;
+      return;
+    }
+  }
+}
+
+}  // namespace lock_order
+
+#endif  // OODB_LOCK_ORDER
+
+}  // namespace oodb

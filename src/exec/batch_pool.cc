@@ -42,7 +42,7 @@ BatchPool& BatchPool::Instance() {
 
 TupleBatch BatchPool::Take(int width, size_t capacity) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Newest-first: the most recently returned arena is the most likely to
     // match the running query's shape (and to still be cache-warm).
     for (size_t i = pool_.size(); i > 0; --i) {
@@ -62,7 +62,7 @@ TupleBatch BatchPool::Take(int width, size_t capacity) {
 
 void BatchPool::Return(TupleBatch&& batch) {
   if (batch.capacity() == 0) return;  // nothing worth pooling
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (pool_.size() < kMaxPooled) {
     pool_.push_back(std::move(batch));
     BatchPoolMetrics::Get().recycled->Increment();

@@ -12,9 +12,10 @@
 #ifndef OODB_EXEC_BATCH_POOL_H_
 #define OODB_EXEC_BATCH_POOL_H_
 
-#include <mutex>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/exec/tuple.h"
 
 namespace oodb {
@@ -34,8 +35,8 @@ class BatchPool {
   /// Bounds pool memory; at the default shape this is a few megabytes.
   static constexpr size_t kMaxPooled = 64;
 
-  std::mutex mu_;
-  std::vector<TupleBatch> pool_;
+  Mutex mu_{lock_rank::kBatchPool};
+  std::vector<TupleBatch> pool_ GUARDED_BY(mu_);
 };
 
 }  // namespace oodb

@@ -2,15 +2,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <limits>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/exec/batch_pool.h"
 #include "src/exec/worker_pool.h"
 #include "src/physical/parallel.h"
@@ -57,7 +57,10 @@ class BatchQueue {
   BatchQueue(size_t capacity, int producers)
       : capacity_(capacity), producers_(producers) {}
 
-  ~BatchQueue() { DrainToPoolLocked(); }
+  ~BatchQueue() {
+    MutexLock lock(mu_);
+    DrainToPoolLocked();
+  }
 
   /// False when the queue was aborted; the batch is then left untouched in
   /// the caller's hands (so the caller can pool it).
@@ -71,12 +74,11 @@ class BatchQueue {
   /// exit is flushed by ProducerDone; a full queue necessarily crossed the
   /// threshold) while letting each side run for several batches per slice.
   bool Push(TupleBatch&& batch) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [&] { return queue_.size() < capacity_ || abort_; });
+    UniqueLock lock(mu_);
+    while (queue_.size() >= capacity_ && !abort_) not_full_.Wait(lock);
     if (abort_) return false;
     queue_.push_back(std::move(batch));
-    if (queue_.size() * 2 >= capacity_) not_empty_.notify_one();
+    if (queue_.size() * 2 >= capacity_) not_empty_.NotifyOne();
     return true;
   }
 
@@ -85,9 +87,8 @@ class BatchQueue {
   /// the consumer never blocks while batches remain, so the threshold is
   /// always reached (see Push on why not per-pop).
   bool Pop(TupleBatch* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(
-        lock, [&] { return !queue_.empty() || producers_ == 0 || abort_; });
+    UniqueLock lock(mu_);
+    while (queue_.empty() && producers_ != 0 && !abort_) not_empty_.Wait(lock);
     return PopLocked(out);
   }
 
@@ -98,70 +99,78 @@ class BatchQueue {
   /// when no producer has delivered anything (a hung worker must never
   /// hang the consumer past its deadline).
   PopResult PopFor(TupleBatch* out, double timeout_ms) {
-    std::unique_lock<std::mutex> lock(mu_);
-    bool ready = not_empty_.wait_for(
-        lock, std::chrono::duration<double, std::milli>(timeout_ms),
-        [&] { return !queue_.empty() || producers_ == 0 || abort_; });
-    if (!ready) return PopResult::kTimeout;
+    UniqueLock lock(mu_);
+    // A fixed deadline (not a per-wait timeout) so spurious wakeups re-check
+    // the predicate without extending the bounded wait.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(timeout_ms));
+    while (queue_.empty() && producers_ != 0 && !abort_) {
+      if (!not_empty_.WaitUntil(lock, deadline) && queue_.empty() &&
+          producers_ != 0 && !abort_) {
+        return PopResult::kTimeout;
+      }
+    }
     return PopLocked(out) ? PopResult::kBatch : PopResult::kClosed;
   }
 
   void ProducerDone() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --producers_;
-    not_empty_.notify_all();
+    not_empty_.NotifyAll();
   }
 
   /// Recovery-mode end of stream: every partition delivered. Any batches
   /// still queued are drained by subsequent Pop calls, then Pop reports
   /// closed.
   void AllProducersDone() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     producers_ = 0;
-    not_empty_.notify_all();
+    not_empty_.NotifyAll();
   }
 
   /// Wakes the consumer regardless of the lazy-notify threshold (a small
   /// partition-atomic delivery may never half-fill the queue).
   void Kick() {
-    std::lock_guard<std::mutex> lock(mu_);
-    not_empty_.notify_all();
+    MutexLock lock(mu_);
+    not_empty_.NotifyAll();
   }
 
   void Abort() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     abort_ = true;
     DrainToPoolLocked();
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
  private:
-  bool PopLocked(TupleBatch* out) {
+  bool PopLocked(TupleBatch* out) REQUIRES(mu_) {
     if (queue_.empty()) return false;
     *out = std::move(queue_.front());
     queue_.pop_front();
-    if (queue_.size() * 2 <= capacity_) not_full_.notify_all();
+    if (queue_.size() * 2 <= capacity_) not_full_.NotifyAll();
     return true;
   }
 
-  /// Returns every queued batch to the BatchPool (caller holds mu_ or has
-  /// exclusive access). In-flight arenas must survive a mid-pipeline abort
-  /// as pooled arenas, or every cancelled/faulted query leaks its queue
-  /// depth in allocations.
-  void DrainToPoolLocked() {
+  /// Returns every queued batch to the BatchPool. In-flight arenas must
+  /// survive a mid-pipeline abort as pooled arenas, or every
+  /// cancelled/faulted query leaks its queue depth in allocations. Takes the
+  /// BatchPool lock under mu_ (batch_queue -> batch_pool, in rank order).
+  void DrainToPoolLocked() REQUIRES(mu_) {
     while (!queue_.empty()) {
       BatchPool::Instance().Return(std::move(queue_.front()));
       queue_.pop_front();
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable not_full_, not_empty_;
-  std::deque<TupleBatch> queue_;
+  Mutex mu_{lock_rank::kBatchQueue};
+  CondVar not_full_, not_empty_;
+  std::deque<TupleBatch> queue_ GUARDED_BY(mu_);
   size_t capacity_;
-  int producers_;
-  bool abort_ = false;
+  int producers_ GUARDED_BY(mu_);
+  bool abort_ GUARDED_BY(mu_) = false;
 };
 
 class ExchangeExec : public ExecNode {
@@ -211,8 +220,8 @@ class ExchangeExec : public ExecNode {
     for (int w = 0; w < dop_; ++w) {
       WorkerPool::Instance().Submit([this, w] {
         WorkerMain(w);
-        std::lock_guard<std::mutex> lock(pending_mu_);
-        if (--pending_ == 0) pending_cv_.notify_all();
+        MutexLock lock(pending_mu_);
+        if (--pending_ == 0) pending_cv_.NotifyAll();
       });
     }
     return Status::OK();
@@ -285,7 +294,7 @@ class ExchangeExec : public ExecNode {
     Status status = RunWorker(wenv, w);
     if (!status.ok()) {
       {
-        std::lock_guard<std::mutex> lock(error_mu_);
+        MutexLock lock(error_mu_);
         if (first_error_.ok()) first_error_ = status;
       }
       // Wake a consumer blocked on an emptying queue and stop siblings
@@ -390,8 +399,8 @@ class ExchangeExec : public ExecNode {
     for (int w = 0; w < dop_; ++w) {
       WorkerPool::Instance().Submit([this, w] {
         MergeWorkerMain(w);
-        std::lock_guard<std::mutex> lock(pending_mu_);
-        if (--pending_ == 0) pending_cv_.notify_all();
+        MutexLock lock(pending_mu_);
+        if (--pending_ == 0) pending_cv_.NotifyAll();
       });
     }
     return Status::OK();
@@ -428,7 +437,7 @@ class ExchangeExec : public ExecNode {
         continue;
       }
       {
-        std::lock_guard<std::mutex> lock(error_mu_);
+        MutexLock lock(error_mu_);
         if (first_error_.ok()) first_error_ = status;
       }
       AbortAllQueues();
@@ -638,13 +647,13 @@ class ExchangeExec : public ExecNode {
   };
 
   void OpenRecovery() {
+    MutexLock lock(part_mu_);
     parts_.assign(static_cast<size_t>(dop_), PartitionState{});
-    std::lock_guard<std::mutex> lock(part_mu_);
     for (int p = 0; p < dop_; ++p) DispatchLocked(p, /*speculative=*/false);
   }
 
-  /// Launches the next attempt of partition `p`. Caller holds part_mu_.
-  void DispatchLocked(int p, bool speculative) {
+  /// Launches the next attempt of partition `p`.
+  void DispatchLocked(int p, bool speculative) REQUIRES(part_mu_) {
     PartitionState& ps = parts_[static_cast<size_t>(p)];
     int attempt = ps.attempts_started++;
     ps.dispatched_at = std::chrono::steady_clock::now();
@@ -665,13 +674,13 @@ class ExchangeExec : public ExecNode {
       RecoveryMetrics::Get().partitions_speculated->Increment();
     }
     {
-      std::lock_guard<std::mutex> plock(pending_mu_);
+      MutexLock plock(pending_mu_);
       ++pending_;
     }
     WorkerPool::Instance().Submit([this, at] {
       RunAttempt(*at);
-      std::lock_guard<std::mutex> plock(pending_mu_);
-      if (--pending_ == 0) pending_cv_.notify_all();
+      MutexLock plock(pending_mu_);
+      if (--pending_ == 0) pending_cv_.NotifyAll();
     });
   }
 
@@ -683,7 +692,7 @@ class ExchangeExec : public ExecNode {
 
     bool deliver = false;
     if (status.ok()) {
-      std::lock_guard<std::mutex> lock(part_mu_);
+      MutexLock lock(part_mu_);
       PartitionState& ps = parts_[static_cast<size_t>(at.partition)];
       // The winner claim is the exactly-once gate: the first successful
       // attempt of a partition delivers, every other one (a speculative
@@ -703,24 +712,35 @@ class ExchangeExec : public ExecNode {
         BatchPool::Instance().Return(std::move(b));
       }
       staged.clear();
-      std::lock_guard<std::mutex> lock(part_mu_);
-      PartitionState& ps = parts_[static_cast<size_t>(at.partition)];
-      // Delivery invariant (duplicate suppression): a partition is
-      // delivered at most once. A second delivery would mean duplicated
-      // rows downstream — surface it as a hard internal error rather than
-      // silently corrupt results.
-      if (ps.delivered) {
-        std::lock_guard<std::mutex> elock(error_mu_);
-        if (first_error_.ok()) {
-          first_error_ = Status::Internal(
-              "exchange recovery: partition " +
-              std::to_string(at.partition) + " delivered twice");
+      bool duplicate = false;
+      {
+        MutexLock lock(part_mu_);
+        PartitionState& ps = parts_[static_cast<size_t>(at.partition)];
+        // Delivery invariant (duplicate suppression): a partition is
+        // delivered at most once. A second delivery would mean duplicated
+        // rows downstream — surface it as a hard internal error rather than
+        // silently corrupt results.
+        if (ps.delivered) {
+          duplicate = true;
+        } else {
+          ps.delivered = true;
+          ++delivered_count_;
+        }
+      }
+      if (duplicate) {
+        // Record the error and abort with no lock held across the queue /
+        // pool acquisitions the abort makes.
+        {
+          MutexLock elock(error_mu_);
+          if (first_error_.ok()) {
+            first_error_ = Status::Internal(
+                "exchange recovery: partition " +
+                std::to_string(at.partition) + " delivered twice");
+          }
         }
         queue_->Abort();
         return;
       }
-      ps.delivered = true;
-      ++delivered_count_;
       queue_->Kick();
       return;
     }
@@ -733,7 +753,7 @@ class ExchangeExec : public ExecNode {
     staged.clear();
     if (status.ok()) return;  // lost the race; the winner delivered
 
-    std::lock_guard<std::mutex> lock(part_mu_);
+    MutexLock lock(part_mu_);
     PartitionState& ps = parts_[static_cast<size_t>(at.partition)];
     ps.last_error = status;
     if (ps.winner_claimed || shutdown_) return;
@@ -751,7 +771,7 @@ class ExchangeExec : public ExecNode {
     // Terminal: no recovery path left for this partition. Surface the
     // first error and drain the pipeline.
     {
-      std::lock_guard<std::mutex> elock(error_mu_);
+      MutexLock elock(error_mu_);
       if (first_error_.ok()) first_error_ = status;
     }
     queue_->Abort();
@@ -772,7 +792,7 @@ class ExchangeExec : public ExecNode {
       // shutting down: stop early and discard. Keeps a superseded
       // straggler from burning a pool thread for the rest of its chunk.
       {
-        std::lock_guard<std::mutex> lock(part_mu_);
+        MutexLock lock(part_mu_);
         const PartitionState& ps = parts_[static_cast<size_t>(at.partition)];
         if (shutdown_ || ps.winner_claimed) {
           status = Status::Cancelled("partition attempt superseded");
@@ -833,7 +853,7 @@ class ExchangeExec : public ExecNode {
       OODB_RETURN_IF_ERROR(env_.Tick());
       bool all_delivered = false;
       {
-        std::lock_guard<std::mutex> lock(part_mu_);
+        MutexLock lock(part_mu_);
         all_delivered = delivered_count_ == dop_;
         if (!all_delivered) CheckStragglersLocked();
       }
@@ -849,8 +869,7 @@ class ExchangeExec : public ExecNode {
   /// Speculative re-dispatch of straggling partitions: a partition not
   /// delivered within straggler_threshold * governor-deadline of its last
   /// dispatch gets one rival attempt of the same chunk (first result wins).
-  /// Caller holds part_mu_.
-  void CheckStragglersLocked() {
+  void CheckStragglersLocked() REQUIRES(part_mu_) {
     if (env_.recovery->straggler_threshold <= 0.0 ||
         env_.governor == nullptr) {
       return;
@@ -880,7 +899,7 @@ class ExchangeExec : public ExecNode {
   /// the first worker error — or a clean end of stream.
   Result<size_t> Finish() {
     JoinWorkers();
-    std::lock_guard<std::mutex> lock(error_mu_);
+    MutexLock lock(error_mu_);
     if (!first_error_.ok()) return first_error_;
     return static_cast<size_t>(0);
   }
@@ -889,8 +908,8 @@ class ExchangeExec : public ExecNode {
     if (joined_) return;
     joined_ = true;
     {
-      std::unique_lock<std::mutex> lock(pending_mu_);
-      pending_cv_.wait(lock, [&] { return pending_ == 0; });
+      UniqueLock lock(pending_mu_);
+      while (pending_ != 0) pending_cv_.Wait(lock);
     }
     if (recover_ && !merge_) {
       JoinRecovery();
@@ -919,10 +938,13 @@ class ExchangeExec : public ExecNode {
 
   void JoinRecovery() {
     // All attempts joined (pending_ == 0): attempts_ and parts_ are
-    // quiescent. Every attempt's clock merges — work done by losing
-    // speculative rivals and failed attempts was really done — while only
-    // winning attempts contribute profiles, so ANALYZE row counts reflect
-    // delivered results, not suppressed duplicates.
+    // quiescent. The lock is uncontended here and keeps the reads visible
+    // to the analysis instead of relying on the quiescence argument alone.
+    // Every attempt's clock merges — work done by losing speculative rivals
+    // and failed attempts was really done — while only winning attempts
+    // contribute profiles, so ANALYZE row counts reflect delivered results,
+    // not suppressed duplicates.
+    MutexLock lock(part_mu_);
     const PlanNode* child = plan_->children[0].get();
     for (const Attempt& at : attempts_) {
       env_.store->clock().MergeFrom(at.clock);
@@ -947,7 +969,7 @@ class ExchangeExec : public ExecNode {
 
   void Shutdown() {
     if (recover_ && !merge_) {
-      std::lock_guard<std::mutex> lock(part_mu_);
+      MutexLock lock(part_mu_);
       shutdown_ = true;  // running attempts exit at their next boundary
     }
     if (!joined_) {
@@ -970,20 +992,20 @@ class ExchangeExec : public ExecNode {
   std::vector<ScalarExprPtr> key_exprs_;
   bool merge_primed_ = false;
   int64_t merge_emitted_ = 0;
-  std::mutex pending_mu_;
-  std::condition_variable pending_cv_;
-  int pending_ = 0;
+  Mutex pending_mu_{lock_rank::kExchangePending};
+  CondVar pending_cv_;
+  int pending_ GUARDED_BY(pending_mu_) = 0;
   std::vector<SimClock> worker_clocks_;
   std::vector<std::unique_ptr<ExecProfile>> worker_profiles_;
-  std::mutex part_mu_;  ///< guards parts_, attempts_, delivered_count_,
-                        ///< shutdown_ (lock order: part_mu_ before
-                        ///< pending_mu_ / error_mu_)
-  std::vector<PartitionState> parts_;
-  std::deque<Attempt> attempts_;
-  int delivered_count_ = 0;
-  bool shutdown_ = false;
-  std::mutex error_mu_;
-  Status first_error_;
+  /// Acquired before error_mu_ / pending_mu_ / the queue's lock (rank
+  /// kExchangePartition is the outermost of the exchange's three).
+  Mutex part_mu_{lock_rank::kExchangePartition};
+  std::vector<PartitionState> parts_ GUARDED_BY(part_mu_);
+  std::deque<Attempt> attempts_ GUARDED_BY(part_mu_);
+  int delivered_count_ GUARDED_BY(part_mu_) = 0;
+  bool shutdown_ GUARDED_BY(part_mu_) = false;
+  Mutex error_mu_{lock_rank::kExchangeError};
+  Status first_error_ GUARDED_BY(error_mu_);
   bool done_ = false;
   bool joined_ = false;
 };

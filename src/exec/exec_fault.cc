@@ -93,7 +93,7 @@ ExecFaultInjector::Action ExecFaultInjector::OnBatchBoundary(int worker,
                                                              int attempt) {
   Action act;
   if (!policy_.enabled()) return act;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   WorkerState& s = StateLocked(worker, attempt);
   ++s.batches;
   if (policy_.slow_worker == worker && attempt < policy_.slow_attempts) {
@@ -116,7 +116,7 @@ ExecFaultInjector::Action ExecFaultInjector::OnBatchBoundary(int worker,
 
 Status ExecFaultInjector::OnTick(int worker, int attempt) {
   if (policy_.fail_probability <= 0.0) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   WorkerState& s = StateLocked(worker, attempt);
   ++s.ticks;
   if (attempt < policy_.fail_attempts &&
@@ -135,7 +135,7 @@ ExecFaultInjector::Action ExecFaultInjector::OnPush(int worker, int attempt) {
   (void)worker;
   (void)attempt;
   if (policy_.stall_pushes <= 0) return act;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (pushes_ < policy_.stall_pushes) {
     ++pushes_;
     act.sleep_ms = policy_.stall_ms;

@@ -24,12 +24,13 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace oodb {
 
@@ -163,13 +164,13 @@ class ExecFaultInjector {
   /// re-execution of a partition (or of the whole query) restarts its batch
   /// and tick counters, so deterministic faults fire at the same point of
   /// *every* attempt the policy arms — not just the first.
-  WorkerState& StateLocked(int worker, int attempt);
+  WorkerState& StateLocked(int worker, int attempt) REQUIRES(mu_);
   void CountInjected();
 
   ExecFaultPolicy policy_;
-  std::mutex mu_;  ///< guards workers_ and pushes_
-  std::map<std::pair<int, int>, WorkerState> workers_;
-  int64_t pushes_ = 0;
+  Mutex mu_{lock_rank::kExecFault};  ///< guards workers_ and pushes_
+  std::map<std::pair<int, int>, WorkerState> workers_ GUARDED_BY(mu_);
+  int64_t pushes_ GUARDED_BY(mu_) = 0;
   std::atomic<int64_t> injected_{0};
 };
 

@@ -36,39 +36,45 @@ WorkerPool& WorkerPool::Instance() {
 }
 
 WorkerPool::~WorkerPool() {
+  // Claim the threads under the lock, then join them unlocked: a joining
+  // worker must reacquire mu_ to observe stop_, so joining while holding it
+  // would deadlock (and the analysis would rightly reject the unguarded
+  // threads_ walk the old code did).
+  std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
+    threads.swap(threads_);
   }
-  cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
+  cv_.NotifyAll();
+  for (std::thread& t : threads) t.join();
 }
 
 void WorkerPool::Submit(std::function<void()> fn) {
   PoolMetrics::Get().tasks->Increment();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push_back(std::move(fn));
     if (idle_ == 0) {
       threads_.emplace_back(&WorkerPool::Loop, this);
       PoolMetrics::Get().threads->Set(static_cast<double>(threads_.size()));
     }
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void WorkerPool::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   while (true) {
     ++idle_;
-    cv_.wait(lock, [&] { return !tasks_.empty() || stop_; });
+    while (tasks_.empty() && !stop_) cv_.Wait(lock);
     --idle_;
     if (stop_) return;
     std::function<void()> task = std::move(tasks_.front());
     tasks_.pop_front();
-    lock.unlock();
+    lock.Unlock();
     task();
-    lock.lock();
+    lock.Lock();
   }
 }
 

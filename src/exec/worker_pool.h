@@ -15,12 +15,13 @@
 #ifndef OODB_EXEC_WORKER_POOL_H_
 #define OODB_EXEC_WORKER_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace oodb {
 
@@ -40,12 +41,12 @@ class WorkerPool {
   WorkerPool() = default;
   void Loop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  std::vector<std::thread> threads_;
-  size_t idle_ = 0;
-  bool stop_ = false;
+  Mutex mu_{lock_rank::kWorkerPool};
+  CondVar cv_;
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  std::vector<std::thread> threads_ GUARDED_BY(mu_);
+  size_t idle_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace oodb

@@ -88,7 +88,7 @@ std::optional<OptimizedQuery> PlanCache::Lookup(
   std::shared_ptr<const CachedPlan> entry;
   bool stale = false;
   {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    ReaderMutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -105,7 +105,7 @@ std::optional<OptimizedQuery> PlanCache::Lookup(
     // Stale statistics: reclaim the slot under the exclusive lock (re-check
     // after the upgrade — a concurrent session may have replaced it); the
     // caller re-optimizes and re-inserts under the current version.
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    WriterMutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end() &&
         it->second->second->stats_version != stats_version) {
@@ -122,7 +122,7 @@ std::optional<OptimizedQuery> PlanCache::Lookup(
   // exclusive lock, and paying it on every hit would serialize concurrent
   // sessions on the zipfian-hot entry.
   if ((shard.tick.fetch_add(1, std::memory_order_relaxed) & 15) == 0) {
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    WriterMutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end() && it->second != shard.lru.begin()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -151,7 +151,7 @@ std::optional<OptimizedQuery> PlanCache::Lookup(
 void PlanCache::Insert(const PlanCacheKey& key,
                        std::shared_ptr<const CachedPlan> entry) {
   Shard& shard = ShardFor(key);
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  WriterMutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // A concurrent session optimized the same query; keep the newer result.
@@ -176,7 +176,7 @@ PlanCacheStats PlanCache::stats() const {
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    ReaderMutexLock lock(shard.mu);
     s.entries += static_cast<int64_t>(shard.lru.size());
   }
   return s;
@@ -184,7 +184,7 @@ PlanCacheStats PlanCache::stats() const {
 
 void PlanCache::Clear() {
   for (Shard& shard : shards_) {
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    WriterMutexLock lock(shard.mu);
     shard.lru.clear();
     shard.index.clear();
   }

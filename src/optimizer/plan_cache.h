@@ -18,12 +18,12 @@
 #include <atomic>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/optimizer.h"
 #include "src/query/fingerprint.h"
 
@@ -114,15 +114,17 @@ class PlanCache {
     /// Hits read under a shared lock (shared_ptr copy only); inserts,
     /// evictions, invalidations, and sampled LRU-recency refreshes take it
     /// exclusively. Without this, a zipfian workload serializes every
-    /// thread on the hot entry's recency splice.
-    mutable std::shared_mutex mu;
+    /// thread on the hot entry's recency splice. Shards are never nested, so
+    /// they share one rank.
+    mutable SharedMutex mu{lock_rank::kPlanCacheShard};
     /// Samples which hits pay for an exclusive recency refresh.
     std::atomic<uint64_t> tick{0};
     /// Front = most recently used (approximately: see `tick`).
-    std::list<std::pair<PlanCacheKey, std::shared_ptr<const CachedPlan>>> lru;
+    std::list<std::pair<PlanCacheKey, std::shared_ptr<const CachedPlan>>> lru
+        GUARDED_BY(mu);
     std::unordered_map<PlanCacheKey,
                        decltype(lru)::iterator, PlanCacheKeyHash>
-        index;
+        index GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const PlanCacheKey& key) {

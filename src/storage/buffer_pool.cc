@@ -56,7 +56,7 @@ bool BufferPool::AccessLocked(PageId page) {
 
 Status BufferPool::Access(PageId page) {
   if (faults_ != nullptr) OODB_RETURN_IF_ERROR(faults_->OnPageAccess(page));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (AccessLocked(page)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     BufferMetrics::Get().hits->Increment();
@@ -72,7 +72,7 @@ Status BufferPool::AccessMany(const PageId* pages, size_t n) {
   int64_t hits = 0, misses = 0;
   Status status = Status::OK();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t i = 0; i < n; ++i) {
       // Per-page fault check in sequence, as n Access() calls would do:
       // pages before the faulting one are already touched and charged.
@@ -95,7 +95,7 @@ Status BufferPool::AccessMany(const PageId* pages, size_t n) {
 }
 
 void BufferPool::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   hits_.store(0, std::memory_order_relaxed);

@@ -4,9 +4,10 @@
 
 #include <atomic>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/storage/disk_model.h"
 #include "src/storage/fault.h"
 
@@ -41,7 +42,7 @@ class BufferPool {
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   int64_t resident() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return static_cast<int64_t>(lru_.size());
   }
   int64_t capacity() const { return capacity_; }
@@ -49,14 +50,16 @@ class BufferPool {
   void Reset();
 
  private:
-  bool AccessLocked(PageId page);
+  bool AccessLocked(PageId page) REQUIRES(mu_);
 
   DiskModel* disk_;
   int64_t capacity_;
   FaultInjector* faults_;
-  mutable std::mutex mu_;  ///< guards lru_ / index_ (and the miss disk read)
-  std::list<PageId> lru_;  // front = most recent
-  std::unordered_map<PageId, std::list<PageId>::iterator> index_;
+  mutable Mutex mu_{
+      lock_rank::kBufferPool};  ///< guards lru_ / index_ (and the miss read)
+  std::list<PageId> lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<PageId, std::list<PageId>::iterator> index_
+      GUARDED_BY(mu_);
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
 };

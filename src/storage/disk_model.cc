@@ -6,7 +6,7 @@
 namespace oodb {
 
 void DiskModel::Read(PageId page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   bool sequential = position_ != kInvalidPage &&
                     (page == position_ || page == position_ + 1);
   if (sequential) {

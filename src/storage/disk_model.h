@@ -7,8 +7,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/cost/cost_model.h"
 
 namespace oodb {
@@ -58,12 +59,12 @@ class DiskModel {
     return random_reads_.load(std::memory_order_relaxed);
   }
   PageId position() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return position_;
   }
 
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     seq_reads_.store(0, std::memory_order_relaxed);
     random_reads_.store(0, std::memory_order_relaxed);
     position_ = kInvalidPage;
@@ -71,9 +72,11 @@ class DiskModel {
 
  private:
   const CostModelOptions* timing_;
-  SimClock* clock_;
-  mutable std::mutex mu_;  ///< guards position_ and clock_->io_s
-  PageId position_ = kInvalidPage;
+  /// The store clock. Its io_s is only ever written under mu_ (there is one
+  /// disk arm; the charge and the arm movement are one atomic event).
+  SimClock* clock_ PT_GUARDED_BY(mu_);
+  mutable Mutex mu_{lock_rank::kDiskModel};
+  PageId position_ GUARDED_BY(mu_) = kInvalidPage;
   std::atomic<int64_t> seq_reads_{0};
   std::atomic<int64_t> random_reads_{0};
 };

@@ -5,7 +5,7 @@
 namespace oodb {
 
 Status FaultInjector::OnPageAccess(PageId page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++accesses_;
   if (policy_.fail_every_nth_read > 0 &&
       accesses_ % policy_.fail_every_nth_read == 0) {

@@ -11,10 +11,11 @@
 #define OODB_STORAGE_FAULT_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/rng.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/status.h"
 #include "src/storage/disk_model.h"
 #include "src/storage/object.h"
@@ -63,7 +64,7 @@ class FaultInjector {
   Status OnObjectRead(Oid oid);
 
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     accesses_ = 0;
     rng_ = Rng(policy_.seed ^ 0x5eedfa017ull);
   }
@@ -72,7 +73,7 @@ class FaultInjector {
   /// the injector non-assignable; this is the runtime-reconfiguration
   /// entry point). Must not race with in-flight accesses.
   void SetPolicy(const FaultPolicy& policy) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     policy_ = policy;
     accesses_ = 0;
     rng_ = Rng(policy_.seed ^ 0x5eedfa017ull);
@@ -81,10 +82,14 @@ class FaultInjector {
   const FaultPolicy& policy() const { return policy_; }
 
  private:
+  /// Written only by the configuration entry points (SetPolicy, which must
+  /// not race in-flight accesses); read without the lock by policy() and
+  /// OnObjectRead. Deliberately not GUARDED_BY — the guard is the
+  /// configuration-time contract, not the mutex.
   FaultPolicy policy_;
-  std::mutex mu_;  ///< guards accesses_ and rng_
-  Rng rng_;
-  int64_t accesses_ = 0;
+  Mutex mu_{lock_rank::kStorageFault};  ///< guards accesses_ and rng_
+  Rng rng_ GUARDED_BY(mu_);
+  int64_t accesses_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace oodb

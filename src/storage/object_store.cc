@@ -17,7 +17,7 @@ ObjectStore::ObjectStore(const Catalog* catalog, StoreOptions options)
 }
 
 void ObjectStore::InvalidateColumns() {
-  std::lock_guard<std::mutex> lock(columns_mu_);
+  MutexLock lock(columns_mu_);
   columns_.clear();
 }
 
@@ -30,7 +30,7 @@ const ColumnProjection* ObjectStore::Projection(TypeId type, FieldId field) {
   FieldKind kind = td.field(field).kind;
   if (kind == FieldKind::kString || kind == FieldKind::kRefSet) return nullptr;
 
-  std::lock_guard<std::mutex> lock(columns_mu_);
+  MutexLock lock(columns_mu_);
   auto key = std::make_pair(type, field);
   auto it = columns_.find(key);
   if (it != columns_.end()) return it->second.get();

@@ -8,12 +8,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/catalog/catalog.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/storage/buffer_pool.h"
 #include "src/storage/fault.h"
 #include "src/storage/index.h"
@@ -174,9 +175,9 @@ class ObjectStore {
 
   /// Lazily built column projections, keyed by (type, field). Population
   /// writes clear the cache (projections are rebuilt on next use).
-  std::mutex columns_mu_;
+  Mutex columns_mu_{lock_rank::kStoreColumns};
   std::map<std::pair<TypeId, FieldId>, std::unique_ptr<ColumnProjection>>
-      columns_;
+      columns_ GUARDED_BY(columns_mu_);
 
   void InvalidateColumns();
 };

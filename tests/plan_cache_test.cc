@@ -265,6 +265,74 @@ TEST_F(PlanCacheTest, ConcurrentSessionsShareCacheSafely) {
             static_cast<int64_t>(kThreads) * kIters);
 }
 
+// The heavy concurrency stress: 16 threads hammer one shared cache with a
+// mixed workload — warm repeats, cold keys, and concurrent ANALYZE-style
+// stats_version bumps that invalidate entries mid-flight — so every shard
+// transition (shared-lock hit, exclusive recency refresh, stale-entry
+// reclamation, insert, LRU eviction) races every other. CI repeats exactly
+// this binary under ThreadSanitizer; in Debug the lock-rank registry checks
+// every acquisition the workload makes. Correctness bar: no failed Prepare,
+// accounting that adds up, the bump storm forced stale-entry reclamation,
+// and after a final bump no survivor entry is served stale.
+TEST_F(PlanCacheTest, StressManyThreadsWithInvalidationStorm) {
+  const std::vector<std::string> mix = {
+      std::string(kQuery1Text),
+      std::string(kQuery2Text),
+      "SELECT t.name FROM Task t IN Tasks WHERE t.time == 3;",
+      "SELECT t.name FROM Task t IN Tasks WHERE t.time == 5;",
+      "SELECT e.name FROM Employee e IN Employees WHERE e.age >= 40;",
+      "SELECT e.name FROM Employee e IN Employees WHERE e.age >= 45;",
+      "SELECT e.name FROM Employee e IN Employees WHERE e.age >= 50;",
+      "SELECT t.name FROM Task t IN Tasks WHERE t.time >= 7;",
+  };
+  constexpr int kThreads = 16;
+  constexpr int kIters = 60;
+  constexpr int kBumpEvery = 16;  // ~3-4 bumps per thread per run
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Session local(&db_.catalog, WithCache(cache_));
+      for (int i = 0; i < kIters; ++i) {
+        if ((i + t) % kBumpEvery == 0) {
+          // The ANALYZE shape: catalog statistics move while other threads
+          // are mid-Prepare. Every cached entry optimized under the old
+          // version must be invalidated on its next contact (Lookup serves
+          // only exact version matches, so a stale serve is structurally
+          // impossible — TSan's job here is the counter and map races).
+          db_.catalog.BumpStatsVersion();
+        }
+        const std::string& q = mix[(i * 7 + t) % mix.size()];
+        auto r = local.Prepare(q);
+        if (!r.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  PlanCacheStats s = cache_->stats();
+  EXPECT_EQ(s.hits + s.misses, static_cast<int64_t>(kThreads) * kIters);
+  // The bump storm must actually have forced stale-entry reclamation, and
+  // warm repeats between bumps must still have been served.
+  EXPECT_GE(s.invalidations, 1);
+  EXPECT_GE(s.hits, 1);
+
+  // After one final bump every surviving entry is stale: the next touch
+  // must re-optimize (never serve the pre-bump plan), and only then is the
+  // query warm again under the new version. One query suffices —
+  // parameterization makes several mix entries share a cache key, so a
+  // per-query sweep would see legitimate warm hits from its own earlier
+  // iterations.
+  db_.catalog.BumpStatsVersion();
+  auto cold = session_.Prepare(mix[0]);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_FALSE(cold->optimized.stats.plan_cached);
+  auto warm = session_.Prepare(mix[0]);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_TRUE(warm->optimized.stats.plan_cached);
+}
+
 // Regression for the selectivity-bucket boundary: the bucket used to come
 // from llround(log2(sel) * 2), whose libm last-ulp jitter made literals
 // sitting exactly on a half-octave edge (powers of two and their sqrt(1/2)
