@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
-"""Bench regression gate: compare a fresh BENCH_exec.json to the committed
-baseline and fail on a >10% rows/sec regression at any grid point.
+"""Bench regression gate: compare a fresh bench JSON (BENCH_exec.json or
+BENCH_adaptive.json) to the committed baseline and fail on a >10%
+regression at any point.
 
 Usage: check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.10]
 
-The batch/dop grid, the selective (vectorized-vs-row) phase, and the
-ordered (sort / top-k) phase are checked point by point, keyed by their
-configuration. Grid and selective points are wall-clock rows/sec (higher is
-better); ordered points are deterministic simulated seconds (lower is
-better), so the threshold flips sign for them. A point present on only one
+The batch/dop grid, the selective (vectorized-vs-row) phase, the ordered
+(sort / top-k) phase, and the adaptive (static-vs-adaptive stale-stats)
+phase are checked point by point, keyed by their configuration. Grid and
+selective points are wall-clock rows/sec (higher is better); ordered and
+adaptive points are deterministic simulated seconds (lower is better), so
+the threshold flips sign for them. A point present on only one
 side fails loudly in either direction: silently dropping a measured
 configuration is itself a regression, and a configuration the bench now
 measures but the baseline doesn't is an unguarded point — the baseline must
@@ -40,6 +42,14 @@ def keyed_points(doc):
     for entry in doc.get("ordered", []):
         key = f"phase={entry['phase']} dop={entry['dop']}"
         points[("ordered", key)] = (entry["sim_s"], "sim sec", False)
+    for entry in doc.get("adaptive", []):
+        # Simulated seconds are deterministic, but the static arm's value
+        # shifts whenever the cost model or the OO7 generator changes; the
+        # point that must not regress is the adaptive arm (and the bench
+        # itself hard-gates the 2x static/adaptive ratio).
+        points[("adaptive", f"mode={entry['mode']}")] = (
+            entry["sim_s"], "sim sec", False
+        )
     return points
 
 

@@ -15,11 +15,20 @@
 
 namespace oodb {
 
+class CardFeedback;
+
 /// Per-query state shared by every algebra expression of the query: the
 /// catalog it is compiled against and the binding table.
 struct QueryContext {
   const Catalog* catalog = nullptr;
   BindingTable bindings;
+  /// Measured cardinality feedback from a prior (possibly drift-aborted)
+  /// execution of this query (see trace/card_feedback.h). Null in ordinary
+  /// optimization; set by the session's adaptive re-plan path, where
+  /// DeriveLogicalProps and SelectivityEstimator prefer observed values
+  /// over catalog statistics. Plans costed with feedback are query-local:
+  /// the session never admits them to the plan cache.
+  const CardFeedback* feedback = nullptr;
 
   const Schema& schema() const { return catalog->schema(); }
 };

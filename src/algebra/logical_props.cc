@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/cost/selectivity.h"
+#include "src/trace/card_feedback.h"
 
 namespace oodb {
 
@@ -22,6 +23,13 @@ Result<LogicalProps> DeriveLogicalProps(
       OODB_ASSIGN_OR_RETURN(const CollectionInfo* info,
                             ctx.catalog->FindCollection(op.coll));
       out.card = static_cast<double>(info->cardinality);
+      // An adaptive re-plan has the store's measured member count — exact,
+      // where the catalog entry may predate arbitrary growth.
+      if (ctx.feedback != nullptr) {
+        if (std::optional<double> c = ctx.feedback->ScanCard(op.coll)) {
+          out.card = *c;
+        }
+      }
       out.tuple_bytes = ctx.schema().type(info->id.type).object_size();
       return out;
     }
@@ -54,6 +62,12 @@ Result<LogicalProps> DeriveLogicalProps(
       const BindingDef& src = ctx.bindings.def(op.source);
       const FieldDef& f = ctx.schema().type(src.type).field(op.field);
       double fanout = f.avg_set_card > 0 ? f.avg_set_card : 1.0;
+      if (ctx.feedback != nullptr) {
+        if (std::optional<double> measured =
+                ctx.feedback->UnnestFanout(src.type, op.field)) {
+          fanout = *measured;
+        }
+      }
       out.card = child_props[0].card * fanout;
       out.tuple_bytes = child_props[0].tuple_bytes + 8.0;
       return out;

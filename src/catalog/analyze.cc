@@ -4,6 +4,8 @@
 #include <set>
 #include <vector>
 
+#include "src/common/governor.h"
+
 namespace oodb {
 
 namespace {
@@ -22,6 +24,25 @@ struct FieldStats {
 Status AnalyzeStore(const ObjectStore& store, Catalog* catalog,
                     AnalyzeOptions options) {
   const Schema& schema = catalog->schema();
+
+  if (options.governor != nullptr) {
+    // Charge the statistics scan before mutating anything: one row per
+    // stored object. A governed query that triggers auto-ANALYZE pays for
+    // the refresh; if the budget cannot cover it, the catalog is left
+    // untouched and the caller sees the trip.
+    OODB_RETURN_IF_ERROR(
+        options.governor->ChargeRows(store.num_objects()));
+  }
+
+  // Bump *before* the first mutation, not only after the last one. The
+  // field/index sections below write through the non-bumping schema()
+  // accessor; with only the trailing bump, a concurrent Session::Prepare
+  // that snapshotted the pre-ANALYZE version could cost a plan against
+  // partially-updated statistics, cache it under that old version, and have
+  // it served to every same-version lookup until the trailing bump finally
+  // lands. Bumping first makes any such entry stale the instant ANALYZE
+  // begins: it is dead on insertion and invalidated at first contact.
+  catalog->BumpStatsVersion();
 
   if (options.cardinalities) {
     // Collection cardinalities are exact counts of the stored members.
@@ -110,8 +131,10 @@ Status AnalyzeStore(const ObjectStore& store, Catalog* catalog,
     }
   }
   // Field and index statistics above mutate the catalog directly (not
-  // through a bumping mutator); one final bump covers them so cached plans
-  // keyed on the old statistics can never be served again.
+  // through a bumping mutator); together with the leading bump this
+  // brackets the whole mutation window, so a version snapshotted at any
+  // point before or during ANALYZE differs from the final version and any
+  // plan costed against in-flight statistics can never be served again.
   catalog->BumpStatsVersion();
   catalog->MarkStatsMeasured();
   return Status::OK();

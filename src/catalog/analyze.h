@@ -11,6 +11,8 @@
 
 namespace oodb {
 
+class QueryGovernor;
+
 struct AnalyzeOptions {
   /// Update per-field distinct counts / ranges / fanouts.
   bool field_statistics = true;
@@ -18,6 +20,11 @@ struct AnalyzeOptions {
   bool cardinalities = true;
   /// Update index distinct-key counts from the built indexes.
   bool index_statistics = true;
+  /// When set, the full-store statistics scan is charged against this
+  /// governor's row budget before any catalog mutation happens. Used by the
+  /// session's drift-triggered auto-ANALYZE so background refresh work runs
+  /// on the triggering query's budget instead of for free.
+  QueryGovernor* governor = nullptr;
 };
 
 /// Scans `store` (without simulation accounting) and updates `catalog`'s

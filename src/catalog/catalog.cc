@@ -5,6 +5,14 @@
 
 namespace oodb {
 
+uint64_t Catalog::NextStatsEpoch() {
+  // Stride of 2^32 between instances: each catalog's bump range is disjoint
+  // from every other's for the life of the process, which is what lets the
+  // plan cache trust "same version" to mean "same statistics".
+  static std::atomic<uint64_t> epoch{0};
+  return epoch.fetch_add(uint64_t{1} << 32, std::memory_order_relaxed);
+}
+
 std::string CollectionId::Display(const Schema& schema) const {
   if (kind == Kind::kNamedSet) return name;
   return "extent(" + schema.type(type).name() + ")";

@@ -63,20 +63,41 @@ struct IndexInfo {
 /// The catalog: schema + collections + indexes.
 class Catalog {
  public:
-  Catalog() = default;
-  // The atomic version counter is not movable by default; moves happen only
-  // at construction time (PaperDb factories), never while sessions run.
+  Catalog() : stats_version_(NextStatsEpoch()) {}
+  // Copies and moves reseed `stats_version_` from a process-global epoch
+  // counter instead of carrying the source's value. Two catalogs that start
+  // as copies and then diverge through separate ANALYZE runs would otherwise
+  // count bumps independently and can reach the *same* version number with
+  // *different* statistics — a plan cached against one would falsely hit
+  // against the other (the cache keys entries by version, not by content).
+  // Epochs stride far apart (see NextStatsEpoch), so no two catalogs ever
+  // share a version, no matter how many bumps each accumulates.
   Catalog(Catalog&& o) noexcept
       : schema_(std::move(o.schema_)),
         collections_(std::move(o.collections_)),
         indexes_(std::move(o.indexes_)),
-        stats_version_(o.stats_version()),
+        stats_version_(NextStatsEpoch()),
         stats_measured_(o.stats_measured_) {}
   Catalog& operator=(Catalog&& o) noexcept {
     schema_ = std::move(o.schema_);
     collections_ = std::move(o.collections_);
     indexes_ = std::move(o.indexes_);
-    stats_version_.store(o.stats_version(), std::memory_order_relaxed);
+    stats_version_.store(NextStatsEpoch(), std::memory_order_relaxed);
+    stats_measured_ = o.stats_measured_;
+    return *this;
+  }
+  Catalog(const Catalog& o)
+      : schema_(o.schema_),
+        collections_(o.collections_),
+        indexes_(o.indexes_),
+        stats_version_(NextStatsEpoch()),
+        stats_measured_(o.stats_measured_) {}
+  Catalog& operator=(const Catalog& o) {
+    if (this == &o) return *this;
+    schema_ = o.schema_;
+    collections_ = o.collections_;
+    indexes_ = o.indexes_;
+    stats_version_.store(NextStatsEpoch(), std::memory_order_relaxed);
     stats_measured_ = o.stats_measured_;
     return *this;
   }
@@ -155,6 +176,11 @@ class Catalog {
   std::string ToTableString() const;
 
  private:
+  /// Issues a fresh, process-unique starting version for a catalog instance.
+  /// Consecutive epochs are 2^32 apart, so a catalog would need four billion
+  /// ANALYZE bumps before its version range could touch the next epoch's.
+  static uint64_t NextStatsEpoch();
+
   Schema schema_;
   std::vector<CollectionInfo> collections_;
   std::vector<IndexInfo> indexes_;

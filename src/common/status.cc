@@ -34,6 +34,8 @@ const char* StatusCodeName(StatusCode code) {
       return "StorageFault";
     case StatusCode::kWorkerFault:
       return "WorkerFault";
+    case StatusCode::kPlanDrift:
+      return "PlanDrift";
   }
   return "Unknown";
 }

@@ -36,6 +36,13 @@ enum class StatusCode {
   // retryable class the Exchange recovery path and Session retry ladder
   // re-execute.
   kWorkerFault,
+  // Adaptive re-optimization (see session.h AdaptiveOptions): a drift check
+  // at a pipeline breaker observed actual cardinality off from the estimate
+  // by more than the configured factor and aborted the unexecuted suffix.
+  // Deliberately NOT in IsRetryableExecFault — re-running the same plan
+  // would hit the same drift; the Session replan path catches this code,
+  // re-enters the memo with measured cardinalities, and restarts.
+  kPlanDrift,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -93,6 +100,9 @@ class [[nodiscard]] Status {
   }
   static Status WorkerFault(std::string msg) {
     return Status(StatusCode::kWorkerFault, std::move(msg));
+  }
+  static Status PlanDrift(std::string msg) {
+    return Status(StatusCode::kPlanDrift, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

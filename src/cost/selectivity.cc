@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/trace/card_feedback.h"
+
 namespace oodb {
 
 double SelectivityEstimator::Estimate(const ScalarExprPtr& pred) const {
@@ -26,6 +28,15 @@ double SelectivityEstimator::Estimate(const ScalarExprPtr& pred) const {
 }
 
 double SelectivityEstimator::EstimateConjunct(const ScalarExprPtr& e) const {
+  // Measured feedback from a prior execution of this query wins over any
+  // statistic: the structural hash includes literal values, so an observed
+  // selectivity for `x == 7` is consulted only for that exact conjunct —
+  // which is precisely what statistics-free skew detection needs.
+  if (ctx_->feedback != nullptr) {
+    if (std::optional<double> sel = ctx_->feedback->Selectivity(e->Hash())) {
+      return *sel;
+    }
+  }
   if (e->kind() != ScalarExpr::Kind::kCmp) return kDefaultSelectivity;
   const ScalarExprPtr& l = e->children()[0];
   const ScalarExprPtr& r = e->children()[1];
@@ -96,6 +107,12 @@ double SelectivityEstimator::JoinSelectivity(const ScalarExprPtr& pred,
                                              double left_card,
                                              double right_card) const {
   if (!pred) return 1.0;
+  if (ctx_->feedback != nullptr) {
+    if (std::optional<double> sel =
+            ctx_->feedback->JoinSelectivity(pred->Hash())) {
+      return *sel;
+    }
+  }
   std::vector<ScalarExprPtr> conjuncts = ScalarExpr::SplitConjuncts(pred);
   double sel = 1.0;
   for (const ScalarExprPtr& c : conjuncts) {

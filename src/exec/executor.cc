@@ -87,6 +87,7 @@ Result<ExecStats> ExecutePlan(const PlanNode& plan, ObjectStore* store,
   env.topk = options.topk;
   env.no_exchange = options.no_exchange;
   env.fault_attempt = options.fault_attempt;
+  env.replan_drift_threshold = options.replan_drift_threshold;
   // Injector and recovery state live on this frame: the root is destroyed
   // (joining every Exchange worker) before they go out of scope.
   const ExecFaultPolicy& fault_policy =

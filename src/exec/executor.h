@@ -96,6 +96,11 @@ struct ExecOptions {
   /// Degradation-ladder "serial" step: skip every Exchange in the plan and
   /// run its child unpartitioned on the calling thread.
   bool no_exchange = false;
+  /// Mid-query re-planning trigger (0 = off): pipeline-breaker inputs fail
+  /// with kPlanDrift when actual rows drift past the estimate by this
+  /// factor (see ExecEnv::replan_drift_threshold). Armed by the Session's
+  /// adaptive path; callers that arm it must handle kPlanDrift.
+  double replan_drift_threshold = 0.0;
 };
 
 /// Executes `plan` to completion.

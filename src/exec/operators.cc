@@ -1686,6 +1686,88 @@ class StatsExec : public ExecNode {
   OpProfile* prof_;
 };
 
+// ---------------------------------------------------------------------------
+// Drift-check decorator (adaptive re-optimization): wraps the input of a
+// pipeline breaker and compares the running actual row count against the
+// optimizer's estimate for that input. Underestimates fire the moment the
+// count crosses est * threshold — before the breaker buffers yet more rows
+// and before the plan's unexecuted suffix runs. Overestimates fire at end
+// of stream (for a hash-join build or sort, that is build completion, the
+// last point where switching strategy upstream is still free). Either way
+// the query fails with kPlanDrift, which is deliberately not in
+// IsRetryableExecFault: re-running the same plan would hit the same drift,
+// so the Session replan path — not the retry ladder's same-plan rungs —
+// must handle it by re-optimizing with measured cardinality feedback.
+// ---------------------------------------------------------------------------
+class DriftCheckExec : public ExecNode {
+ public:
+  /// Both-sides row floor: a drift check never fires unless the larger of
+  /// estimate and actual is at least this many rows. Re-planning a query
+  /// whose worst absolute error is a handful of rows cannot pay for the
+  /// second optimizer pass.
+  static constexpr int64_t kMinDriftRows = 32;
+
+  DriftCheckExec(const ExecEnv& env, const PlanNode* input,
+                 const char* breaker, std::unique_ptr<ExecNode> inner)
+      : env_(env), input_(input), breaker_(breaker), inner_(std::move(inner)) {}
+
+  Status Open() override { return inner_->Open(); }
+
+  Result<size_t> Next(TupleBatch* out) override {
+    OODB_ASSIGN_OR_RETURN(size_t n, inner_->Next(out));
+    const double est = std::max(1.0, input_->logical.card);
+    const double threshold = env_.replan_drift_threshold;
+    if (n == 0) {
+      double act = std::max<double>(1.0, static_cast<double>(rows_));
+      if (est / act > threshold &&
+          est >= static_cast<double>(kMinDriftRows)) {
+        return Drift(est, "over");
+      }
+      return n;
+    }
+    rows_ += static_cast<int64_t>(n);
+    if (static_cast<double>(rows_) > est * threshold &&
+        rows_ >= kMinDriftRows) {
+      return Drift(est, "under");
+    }
+    return n;
+  }
+
+  void Close() override { inner_->Close(); }
+
+ private:
+  Status Drift(double est, const char* direction) const {
+    std::string msg = breaker_;
+    msg += " input ";
+    msg += direction;
+    msg += "-estimated: est ";
+    msg += std::to_string(static_cast<int64_t>(est + 0.5));
+    msg += " rows, saw ";
+    msg += std::to_string(rows_);
+    return Status::PlanDrift(std::move(msg));
+  }
+
+  ExecEnv env_;
+  const PlanNode* input_;
+  const char* breaker_;
+  std::unique_ptr<ExecNode> inner_;
+  int64_t rows_ = 0;
+};
+
+/// Wraps a pipeline breaker's input in a drift check when mid-query
+/// re-planning is armed. Suppressed inside Exchange workers: a partition's
+/// row count cannot be compared against the whole-input estimate.
+std::unique_ptr<ExecNode> MaybeDriftCheck(const ExecEnv& env,
+                                          const PlanNode* input,
+                                          const char* breaker,
+                                          std::unique_ptr<ExecNode> inner) {
+  if (env.replan_drift_threshold <= 0.0 || env.partition_count > 1) {
+    return inner;
+  }
+  return std::make_unique<DriftCheckExec>(env, input, breaker,
+                                          std::move(inner));
+}
+
 /// The real operator factory. Recursive construction goes through
 /// BuildExecNode so children get their own stats decorators when profiling.
 Result<std::unique_ptr<ExecNode>> BuildExecNodeImpl(const ExecEnv& env,
@@ -1761,7 +1843,9 @@ Result<std::unique_ptr<ExecNode>> BuildExecNodeImpl(const ExecEnv& env,
           new FilterExec(env, plan.op, std::move(children[0])));
     case PhysOpKind::kHybridHashJoin:
       return std::unique_ptr<ExecNode>(new HashJoinExec(
-          env, plan.op, plan.children[0]->logical.scope, std::move(children[0]),
+          env, plan.op, plan.children[0]->logical.scope,
+          MaybeDriftCheck(env, plan.children[0].get(), "hash-join build",
+                          std::move(children[0])),
           std::move(children[1])));
     case PhysOpKind::kPointerJoin:
       return std::unique_ptr<ExecNode>(
@@ -1785,11 +1869,15 @@ Result<std::unique_ptr<ExecNode>> BuildExecNodeImpl(const ExecEnv& env,
       // The operator shares the decorator's OpProfile slot (Register is
       // idempotent per node) to record its run/heap counters.
       return std::unique_ptr<ExecNode>(new SortExec(
-          env, plan.op, std::move(children[0]),
+          env, plan.op,
+          MaybeDriftCheck(env, plan.children[0].get(), "sort",
+                          std::move(children[0])),
           env.profile != nullptr ? env.profile->Register(&plan) : nullptr));
     case PhysOpKind::kTopK:
       return std::unique_ptr<ExecNode>(new TopKExec(
-          env, plan.op, std::move(children[0]),
+          env, plan.op,
+          MaybeDriftCheck(env, plan.children[0].get(), "top-k",
+                          std::move(children[0])),
           env.profile != nullptr ? env.profile->Register(&plan) : nullptr));
     case PhysOpKind::kMergeJoin:
       return std::unique_ptr<ExecNode>(new MergeJoinExec(

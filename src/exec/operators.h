@@ -115,6 +115,19 @@ struct ExecEnv {
   /// keeps faulting can run serially without re-optimization.
   bool no_exchange = false;
 
+  /// Mid-query re-planning trigger (0 = off). When positive, the input of
+  /// every pipeline breaker (hash-join build, Sort/TopK input — including
+  /// an Exchange feeding one) is wrapped in a drift check that fails with
+  /// kPlanDrift once the actual row count exceeds the optimizer's estimate
+  /// by this factor (fired as soon as the count crosses the line, before
+  /// the suffix runs) or undershoots it by the same factor at end of
+  /// stream (fired at build completion). kPlanDrift is deliberately not
+  /// retryable: the Session catches it, re-optimizes with measured
+  /// cardinality feedback, and restarts. Checks are suppressed inside
+  /// Exchange workers (partition_count > 1), where per-partition counts
+  /// cannot be compared against whole-input estimates.
+  double replan_drift_threshold = 0.0;
+
   SimClock& clock() const {
     return cpu_clock != nullptr ? *cpu_clock : store->clock();
   }

@@ -1,6 +1,7 @@
 #include "src/optimizer/plan_cache.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/common/metrics.h"
 
@@ -16,6 +17,7 @@ struct CacheMetrics {
   Counter* misses;
   Counter* evictions;
   Counter* invalidations;
+  Counter* drift_evictions;
 
   static const CacheMetrics& Get() {
     static const CacheMetrics m = [] {
@@ -30,6 +32,9 @@ struct CacheMetrics {
       m.invalidations =
           r.counter("oodb_plan_cache_invalidations_total",
                     "Entries dropped for stale catalog statistics.");
+      m.drift_evictions =
+          r.counter("oodb_plan_cache_drift_evictions_total",
+                    "Entries evicted for observed execution drift.");
       return m;
     }();
     return m;
@@ -73,6 +78,25 @@ PlanNodePtr RebindPlan(const PlanNodePtr& node,
 }
 
 }  // namespace
+
+double CachedPlan::observed_drift() const {
+  uint64_t bits = observed_drift_bits.load(std::memory_order_relaxed);
+  return bits == 0 ? 1.0 : std::bit_cast<double>(bits);
+}
+
+void CachedPlan::UpdateObservedDrift(double drift) const {
+  uint64_t bits = observed_drift_bits.load(std::memory_order_relaxed);
+  // Keep the worst drift ever observed; racing executions both try, the
+  // larger wins (drifts are >= 1.0, so positive-double bit patterns order
+  // the same as the values and the CAS loop terminates).
+  while (drift > (bits == 0 ? 1.0 : std::bit_cast<double>(bits))) {
+    if (observed_drift_bits.compare_exchange_weak(
+            bits, std::bit_cast<uint64_t>(drift),
+            std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
 
 PlanCache::PlanCache(size_t capacity)
     : capacity_(std::max<size_t>(1, capacity)),
@@ -169,12 +193,42 @@ void PlanCache::Insert(const PlanCacheKey& key,
   }
 }
 
+bool PlanCache::RecordDrift(const PlanCacheKey& key, double drift,
+                            double evict_threshold) {
+  Shard& shard = ShardFor(key);
+  bool over = evict_threshold > 0.0 && drift > evict_threshold;
+  {
+    ReaderMutexLock lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    it->second->second->UpdateObservedDrift(drift);
+  }
+  if (!over) return false;
+  WriterMutexLock lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return false;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  drift_evictions_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::Get().drift_evictions->Increment();
+  return true;
+}
+
+double PlanCache::ObservedDrift(const PlanCacheKey& key) {
+  Shard& shard = ShardFor(key);
+  ReaderMutexLock lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return 1.0;
+  return it->second->second->observed_drift();
+}
+
 PlanCacheStats PlanCache::stats() const {
   PlanCacheStats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.drift_evictions = drift_evictions_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     ReaderMutexLock lock(shard.mu);
     s.entries += static_cast<int64_t>(shard.lru.size());

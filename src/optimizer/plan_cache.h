@@ -67,6 +67,7 @@ struct PlanCacheStats {
   int64_t misses = 0;
   int64_t evictions = 0;      ///< LRU capacity evictions
   int64_t invalidations = 0;  ///< entries dropped on stats_version mismatch
+  int64_t drift_evictions = 0;  ///< entries dropped for observed exec drift
   int64_t entries = 0;        ///< currently resident
 };
 
@@ -80,6 +81,16 @@ struct CachedPlan {
   LogicalExprPtr tree;         ///< the simplified tree that was optimized
   BindingTable bindings;       ///< its binding signatures (hit verification)
   std::vector<Value> literals; ///< parameterized-out literals, canonical order
+
+  /// Worst MaxDriftRatio observed across executions served from this entry
+  /// (bits of a double; 0 bits = never executed with ANALYZE on). Runtime
+  /// bookkeeping, not part of the immutable optimization result — mutable
+  /// + atomic so RecordDrift can write through the shared const entry
+  /// without a shard lock upgrade.
+  mutable std::atomic<uint64_t> observed_drift_bits{0};
+
+  double observed_drift() const;
+  void UpdateObservedDrift(double drift) const;
 };
 
 class PlanCache {
@@ -104,6 +115,19 @@ class PlanCache {
   /// recently used entry beyond capacity.
   void Insert(const PlanCacheKey& key,
               std::shared_ptr<const CachedPlan> entry);
+
+  /// Records an execution's observed MaxDriftRatio on `key`'s entry (kept
+  /// as the per-entry worst) and, when `evict_threshold` > 0 and the drift
+  /// exceeds it, evicts the entry so the next Prepare re-optimizes — the
+  /// drift-feedback path that retires misestimated plans even when no
+  /// ANALYZE ever bumps the stats version. Returns true when the entry was
+  /// evicted. No-op when the key is no longer resident.
+  bool RecordDrift(const PlanCacheKey& key, double drift,
+                   double evict_threshold);
+
+  /// The per-entry worst observed drift for `key` (1.0 when absent or
+  /// never recorded) — test/observability hook.
+  double ObservedDrift(const PlanCacheKey& key);
 
   PlanCacheStats stats() const;
   size_t capacity() const { return capacity_; }
@@ -139,6 +163,7 @@ class PlanCache {
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
   std::atomic<int64_t> invalidations_{0};
+  std::atomic<int64_t> drift_evictions_{0};
 };
 
 }  // namespace oodb

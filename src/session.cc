@@ -27,6 +27,11 @@ struct SessionMetrics {
   Counter* ladder_row;
   Counter* ladder_serial;
   Counter* ladder_greedy;
+  // Drift-adaptation observability: mid-query re-optimizations and
+  // drift-triggered automatic ANALYZE runs (drift-based cache evictions are
+  // counted by the plan cache itself).
+  Counter* replans;
+  Counter* auto_analyzes;
   // Per-StatusCode terminal failures of executed statements
   // (Query/ExplainAnalyze after retry): the typed-error budget the chaos
   // suite audits.
@@ -63,6 +68,12 @@ struct SessionMetrics {
       m.ladder_greedy = r.counter(
           "oodb_session_ladder_greedy_total",
           "Degradation-ladder attempts executed on a greedy re-plan.");
+      m.replans = r.counter(
+          "oodb_session_replans_total",
+          "Mid-query re-optimizations from observed cardinality drift.");
+      m.auto_analyzes = r.counter(
+          "oodb_session_auto_analyze_total",
+          "Drift-triggered automatic ANALYZE runs.");
       m.err_storage_fault =
           r.counter("oodb_session_error_storage_fault_total",
                     "Statements failed with kStorageFault after retry.");
@@ -120,8 +131,9 @@ std::string RenderRetryTrail(const std::vector<ExecAttempt>& attempts) {
   }
   std::string out;
   for (const ExecAttempt& a : attempts) {
-    out += "retry: attempt " + std::to_string(a.attempt) + " step=" + a.step +
-           " status=" + (a.status.ok() ? "OK" : a.status.ToString());
+    out += "retry: attempt " + std::to_string(a.attempt) + " step=" + a.step;
+    if (a.replanned) out += " replan=feedback";
+    out += " status=" + (a.status.ok() ? "OK" : a.status.ToString());
     if (a.faults_injected > 0) {
       out += " faults=" + std::to_string(a.faults_injected);
     }
@@ -244,6 +256,10 @@ Result<SessionResult> Session::Prepare(const std::string& zql) {
   cache_props.limit = LimitBucket(limit);
   PlanCacheKey key{qfp.fp, cache_props,
                    HashOptimizerOptions(options_.optimizer)};
+  // Remember the key: Query records post-execution drift against the entry
+  // (drift-based eviction needs to find it again).
+  out.cache_key = key;
+  out.cache_keyed = true;
 
   if (std::optional<OptimizedQuery> hit = cache->Lookup(
           key, version, *out.logical, out.ctx.bindings, qfp.literals)) {
@@ -291,15 +307,31 @@ Result<ExecStats> Session::ExecuteWithRetry(SessionResult* r,
   const int max_attempts = std::max(1, retry.max_attempts);
   double total_backoff = 0.0;
   Status last = Status::OK();
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+  // Mid-query re-planning shares this loop with the fault-retry ladder but
+  // keeps separate books: `attempt` indexes ladder rungs (fault retries
+  // only), `attempt_no` numbers the rendered trail, and a re-plan consumes
+  // a replan-budget slot instead of a ladder rung — a drift abort on
+  // attempt 0 re-executes at step 0, still vectorized.
+  bool replan_armed = options_.adaptive.replan_enabled();
+  bool next_replanned = false;
+  int attempt_no = 0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt_no) {
     ExecOptions opts = options_.exec;
     opts.governor = governor_.get();  // same governor: deadline spans both
     opts.fault_attempt = attempt;
+    if (replan_armed && r->replans < options_.adaptive.max_replans) {
+      opts.replan_drift_threshold = options_.adaptive.replan_drift_threshold;
+    } else {
+      // Budget spent (or re-plan machinery failed): the plan must run to
+      // completion, so the breaker checks are disarmed.
+      opts.replan_drift_threshold = 0.0;
+    }
     // Ladder step for this attempt. Step 0 is the configured engine; each
     // retry steps down one rung (row -> serial -> greedy), never back up.
     const int step = retry.degrade ? std::min(attempt, 3) : 0;
     ExecAttempt rec;
-    rec.attempt = attempt;
+    rec.attempt = attempt_no;
+    rec.replanned = next_replanned;
     const PlanNode* plan = r->optimized.plan.get();
     switch (step) {
       case 0:
@@ -343,10 +375,50 @@ Result<ExecStats> Session::ExecuteWithRetry(SessionResult* r,
         break;
       }
     }
+    next_replanned = false;
     ExecProfile attempt_profile;
-    if (profile != nullptr) opts.profile = &attempt_profile;
+    // The attempt profile also feeds mid-query re-planning: when the
+    // breaker checks are armed, feedback extraction needs actuals even if
+    // the caller asked for no profile.
+    if (profile != nullptr || opts.replan_drift_threshold > 0.0) {
+      opts.profile = &attempt_profile;
+    }
 
     Result<ExecStats> stats = ExecutePlan(*plan, &store_, &r->ctx, opts);
+    if (!stats.ok() && stats.status().code() == StatusCode::kPlanDrift) {
+      // A pipeline breaker saw its input drift past the threshold and
+      // aborted the unexecuted suffix. Extract observed cardinalities from
+      // the partial profile and re-enter the memo; the corrected plan
+      // re-executes at the *same* ladder step (drift is a planning problem,
+      // not an engine fault). The aborted attempt's profile is dropped
+      // after extraction, so operator accounting stays exactly-once.
+      rec.status = stats.status();
+      rec.sim_s = store_.clock().io_s + store_.clock().cpu_s;
+      rec.partitions_retried = attempt_profile.partitions_retried();
+      rec.partitions_speculated = attempt_profile.partitions_speculated();
+      Status replanned = ReplanWithFeedback(r, attempt_profile);
+      next_replanned = replanned.ok();
+      if (replanned.ok()) {
+        SessionMetrics::Get().replans->Increment();
+      } else {
+        // No usable feedback (or the re-optimization itself failed): disarm
+        // the breaker checks and re-run the current plan to completion
+        // rather than failing a healthy query.
+        replan_armed = false;
+      }
+      // The re-dispatch is a governed resource, same as a fault retry.
+      if (governor_ != nullptr) {
+        Status charged = governor_->ChargeRetry();
+        if (!charged.ok()) {
+          r->attempts.push_back(std::move(rec));
+          r->retry_backoff_s = total_backoff;
+          if (profile != nullptr) profile->MergeFrom(attempt_profile);
+          return charged;
+        }
+      }
+      r->attempts.push_back(std::move(rec));
+      continue;
+    }
     const bool terminal = stats.ok() ||
                           !IsRetryableExecFault(stats.status().code()) ||
                           attempt + 1 >= max_attempts;
@@ -355,11 +427,13 @@ Result<ExecStats> Session::ExecuteWithRetry(SessionResult* r,
       rec.faults_injected = stats->faults_injected;
       rec.partitions_retried = stats->partitions_retried;
       rec.partitions_speculated = stats->partitions_speculated;
+      rec.sim_s = stats->sim_total_s();
     } else {
       // ExecutePlan returns only a Status on failure; the attempt profile
       // still carries what the Exchange recovery path observed.
       rec.partitions_retried = attempt_profile.partitions_retried();
       rec.partitions_speculated = attempt_profile.partitions_speculated();
+      rec.sim_s = store_.clock().io_s + store_.clock().cpu_s;
     }
     if (terminal) {
       r->attempts.push_back(std::move(rec));
@@ -390,8 +464,60 @@ Result<ExecStats> Session::ExecuteWithRetry(SessionResult* r,
     total_backoff += backoff;
     r->attempts.push_back(std::move(rec));
     SessionMetrics::Get().exec_retries->Increment();
+    ++attempt;  // fault retries consume ladder rungs; re-plans do not
   }
   return last;  // unreachable: the loop exits through `terminal`
+}
+
+Status Session::ReplanWithFeedback(SessionResult* r,
+                                   const ExecProfile& profile) {
+  auto fb = std::make_shared<CardFeedback>(
+      ExtractCardFeedback(*r->optimized.plan, profile, r->ctx, store_));
+  if (fb->empty()) {
+    return Status::Internal("replan: no usable cardinality feedback");
+  }
+  // The feedback must outlive the re-optimized plan (the estimator reads it
+  // through ctx.feedback during the search only, but a later replan of the
+  // same statement extends it), so the result owns it.
+  r->feedback = fb;
+  r->ctx.feedback = fb.get();
+  Result<OptimizedQuery> re =
+      RunOptimizer(*r->logical, &r->ctx, r->required);
+  if (!re.ok()) return re.status();
+  // Feedback-costed plans are query-local: RunOptimizer never touches the
+  // plan cache, so the corrected plan cannot leak to other statements.
+  r->optimized = std::move(*re);
+  r->optimized.stats.replanned = true;
+  ++r->replans;
+  return Status::OK();
+}
+
+void Session::MaybeAdapt(SessionResult* r, const ExecProfile& profile) {
+  const AdaptiveOptions& a = options_.adaptive;
+  if (!a.feedback_enabled()) return;
+  const double drift = MaxDriftRatio(*r->optimized.plan, profile);
+  r->observed_drift = drift;
+  ++executed_since_analyze_;
+  if (PlanCache* cache = plan_cache();
+      cache != nullptr && r->cache_keyed) {
+    r->drift_evicted =
+        cache->RecordDrift(r->cache_key, drift, a.evict_drift_threshold);
+  }
+  if (a.analyze_drift_threshold > 0.0 && drift > a.analyze_drift_threshold &&
+      executed_since_analyze_ >= std::max(1, a.analyze_cooldown)) {
+    // Statistics are provably stale enough to mis-plan; refresh them now,
+    // on the triggering statement's budget. The version bump invalidates
+    // every cached plan costed under the stale statistics on next contact.
+    AnalyzeOptions opts = a.analyze;
+    opts.governor = governor_.get();
+    if (AnalyzeStore(store_, catalog_, opts).ok()) {
+      executed_since_analyze_ = 0;
+      r->auto_analyzed = true;
+      SessionMetrics::Get().auto_analyzes->Increment();
+    }
+    // A governor-tripped ANALYZE simply skips: the refresh retries on a
+    // later statement once the cooldown re-opens.
+  }
 }
 
 Result<SessionResult> Session::Query(const std::string& zql) {
@@ -402,12 +528,18 @@ Result<SessionResult> Session::Query(const std::string& zql) {
   }
   SessionResult out = std::move(*prepared);
   SessionMetrics::Get().queries->Increment();
-  Result<ExecStats> stats = ExecuteWithRetry(&out, nullptr);
+  // Post-execution drift recording / auto-ANALYZE needs per-operator
+  // actuals; collect them only when that adaptive layer is armed so the
+  // plain path stays uninstrumented.
+  ExecProfile profile;
+  const bool adapt = options_.adaptive.feedback_enabled();
+  Result<ExecStats> stats = ExecuteWithRetry(&out, adapt ? &profile : nullptr);
   if (!stats.ok()) {
     CountError(stats.status().code());
     return stats.status();
   }
   out.exec = std::move(*stats);
+  if (adapt) MaybeAdapt(&out, profile);
   return out;
 }
 
@@ -417,6 +549,7 @@ std::string Session::ExplainHeader(const SessionResult& r) {
   if (st.degraded) {
     out += "plan: degraded(greedy, reason=" + st.degrade_reason + ")\n";
   }
+  if (st.replanned) out += "plan: replanned(feedback)\n";
   if (st.plan_cached) out += "plan: cached\n";
   if (!st.verify_error.empty()) {
     out += "verify: FAILED\n" + st.verify_error + "\n";
@@ -465,9 +598,19 @@ Result<std::string> Session::ExplainAnalyze(const std::string& zql) {
   ExecProfile profile;
   Result<ExecStats> stats = ExecuteWithRetry(&r, &profile);
   if (!stats.ok()) CountError(stats.status().code());
+  if (stats.ok()) MaybeAdapt(&r, profile);
 
   std::string out = ExplainHeader(r);
   out += RenderRetryTrail(r.attempts);
+  if (r.replans > 0 && r.feedback != nullptr) {
+    out += "replan: " + r.feedback->Summary() + "\n";
+  }
+  if (r.drift_evicted || r.auto_analyzed) {
+    out += "adaptive: drift=" + FormatDouble(r.observed_drift, 2) + "x";
+    if (r.drift_evicted) out += " cache=evicted";
+    if (r.auto_analyzed) out += " analyze=triggered";
+    out += "\n";
+  }
   if (!stats.ok()) {
     out += "exec: FAILED(" + stats.status().ToString() + ")";
     if (governor_ != nullptr) {

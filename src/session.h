@@ -14,6 +14,7 @@
 #include "src/optimizer.h"
 #include "src/optimizer/plan_cache.h"
 #include "src/query/simplify.h"
+#include "src/trace/card_feedback.h"
 
 namespace oodb {
 
@@ -42,6 +43,57 @@ struct RetryPolicy {
   bool enabled() const { return max_attempts > 1; }
 };
 
+/// Drift-driven adaptation (Session::Options::adaptive). Inert by default:
+/// every threshold 0 means no drift checks, no drift-based cache eviction,
+/// and no auto-ANALYZE — exactly the seed behavior. Three layers, armed
+/// independently:
+///   - replan_drift_threshold: mid-query re-optimization. Pipeline-breaker
+///     inputs (hash-join build, Sort/TopK input) abort with kPlanDrift when
+///     actual rows drift past the estimate by this factor; the session
+///     extracts CardFeedback from the partial profile, re-enters the memo
+///     with observed cardinalities, and re-executes the corrected plan. The
+///     re-plan rides the retry trail (SessionResult::attempts) and is
+///     charged to the governor's retry budget.
+///   - evict_drift_threshold: post-execution, the observed MaxDriftRatio is
+///     recorded on the plan-cache entry; past the threshold the entry is
+///     evicted so the next Prepare re-optimizes — retiring misestimated
+///     plans even when no ANALYZE ever bumps the stats version.
+///   - analyze_drift_threshold: past this drift, the session triggers a
+///     rate-limited ANALYZE of the store (charged to the statement's
+///     governor), bumping the stats version and invalidating *all* plans
+///     costed under the stale statistics.
+struct AdaptiveOptions {
+  /// Mid-query re-plan trigger factor (0 = off). A pipeline-breaker input
+  /// whose actual rows exceed the estimate by this factor (or undershoot it
+  /// at EOS) aborts the suffix and re-plans with observed cardinalities.
+  double replan_drift_threshold = 0.0;
+  /// Mid-query re-plans allowed per statement. The re-executed plan runs
+  /// with drift checks disarmed once the budget is spent, so a statement
+  /// always terminates.
+  int max_replans = 1;
+  /// Post-execution drift past which the served plan-cache entry is evicted
+  /// (0 = off).
+  double evict_drift_threshold = 0.0;
+  /// Post-execution drift past which an automatic ANALYZE refreshes catalog
+  /// statistics (0 = off).
+  double analyze_drift_threshold = 0.0;
+  /// Rate limit for auto-ANALYZE: at least this many executed statements
+  /// between runs (counted, not timed, for determinism).
+  int analyze_cooldown = 8;
+  /// Options for the triggered ANALYZE (its governor field is overwritten
+  /// with the statement's governor).
+  AnalyzeOptions analyze;
+
+  /// Any post-execution layer armed (requires a profile even on Query).
+  bool feedback_enabled() const {
+    return evict_drift_threshold > 0.0 || analyze_drift_threshold > 0.0;
+  }
+  bool replan_enabled() const {
+    return replan_drift_threshold > 0.0 && max_replans > 0;
+  }
+  bool enabled() const { return feedback_enabled() || replan_enabled(); }
+};
+
 /// One execution attempt's outcome in the Session retry trail: the ladder
 /// step it ran at, its terminal status (OK on success), the fault/recovery
 /// counters it observed, and the simulated backoff charged before the
@@ -55,6 +107,12 @@ struct ExecAttempt {
   int64_t partitions_retried = 0;
   int64_t partitions_speculated = 0;
   double backoff_s = 0.0;
+  /// This attempt ran a plan re-optimized from the previous attempt's
+  /// observed cardinalities (mid-query re-planning).
+  bool replanned = false;
+  /// Simulated seconds this attempt consumed (partial on an aborted
+  /// attempt) — the honest total-work accounting across re-plans.
+  double sim_s = 0.0;
 };
 
 /// The result of Session::Query: the plan, its anticipated cost, and the
@@ -72,6 +130,20 @@ struct SessionResult {
   std::vector<ExecAttempt> attempts;
   /// Total simulated backoff charged across retries.
   double retry_backoff_s = 0.0;
+  /// Cardinality feedback the final plan was optimized with (null unless a
+  /// mid-query re-plan happened). Owns the object ctx.feedback points at.
+  std::shared_ptr<const CardFeedback> feedback;
+  /// Mid-query re-optimizations performed for this statement.
+  int replans = 0;
+  /// Plan-cache key the statement was keyed under (valid when cache_keyed);
+  /// Query records post-execution drift against it.
+  PlanCacheKey cache_key;
+  bool cache_keyed = false;
+  /// Post-execution adaptation outcome (meaningful after Query /
+  /// ExplainAnalyze when Options::adaptive is armed).
+  double observed_drift = 1.0;
+  bool drift_evicted = false;
+  bool auto_analyzed = false;
 
   std::string PlanText(bool with_costs = false) const {
     return PrintPlan(*optimized.plan, ctx, with_costs);
@@ -99,6 +171,9 @@ class Session {
     /// Query-level execution retry and degradation ladder. Inert by
     /// default (single attempt).
     RetryPolicy retry;
+    /// Drift-driven adaptation: mid-query re-planning, drift-based plan
+    /// cache eviction, and auto-ANALYZE. Inert by default.
+    AdaptiveOptions adaptive;
     /// A plan cache shared with other sessions over the *same catalog*
     /// (the throughput path for concurrent multi-session traffic). When
     /// null and optimizer.plan_cache_capacity > 0, the session creates a
@@ -168,6 +243,20 @@ class Session {
   /// that actually produced the rows.
   Result<ExecStats> ExecuteWithRetry(SessionResult* r, ExecProfile* profile);
 
+  /// Mid-query re-plan: extracts CardFeedback from the aborted attempt's
+  /// partial profile and re-optimizes under it, replacing r->optimized.
+  /// Feedback plans never enter the plan cache (RunOptimizer does not
+  /// insert; only Prepare does). Fails when the profile yielded no usable
+  /// feedback or the re-optimization itself failed; the caller then disarms
+  /// drift checks and re-executes the original plan.
+  Status ReplanWithFeedback(SessionResult* r, const ExecProfile& profile);
+
+  /// Post-execution adaptation: records the observed MaxDriftRatio on the
+  /// plan-cache entry (evicting past Options::adaptive.evict_drift_threshold)
+  /// and triggers the rate-limited auto-ANALYZE past
+  /// analyze_drift_threshold.
+  void MaybeAdapt(SessionResult* r, const ExecProfile& profile);
+
   Catalog* catalog_;
   Options options_;
   ObjectStore store_;
@@ -175,6 +264,10 @@ class Session {
   /// Governor for the query currently being prepared/executed; rebuilt at
   /// each Prepare when options_.governor is enabled, null otherwise.
   std::unique_ptr<QueryGovernor> governor_;
+  /// Statements executed since the last auto-ANALYZE (the deterministic
+  /// cooldown clock). Seeded to the cooldown so the first trigger is
+  /// immediate.
+  int64_t executed_since_analyze_ = 1 << 20;
 };
 
 }  // namespace oodb

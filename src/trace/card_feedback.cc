@@ -1,0 +1,223 @@
+#include "src/trace/card_feedback.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace oodb {
+
+namespace {
+
+// Ratio clamps: feedback must never produce a zero cardinality (downstream
+// costing divides by cards), and a partial profile's "no rows seen yet" is
+// reported as half a row rather than a hard zero.
+constexpr double kMinSelectivity = 1e-9;
+constexpr double kMinFanout = 0.01;
+
+double ClampSel(double sel) {
+  return std::clamp(sel, kMinSelectivity, 1.0);
+}
+
+}  // namespace
+
+void CardFeedback::RecordScanCard(const CollectionId& id, double card) {
+  scan_cards_[CollectionKey(id)] = std::max(card, 0.0);
+}
+
+void CardFeedback::RecordSelectivity(size_t conjunct_hash, double sel) {
+  selectivities_[conjunct_hash] = ClampSel(sel);
+}
+
+void CardFeedback::RecordJoinSelectivity(size_t pred_hash, double sel) {
+  join_selectivities_[pred_hash] = ClampSel(sel);
+}
+
+void CardFeedback::RecordUnnestFanout(TypeId type, FieldId field,
+                                      double fanout) {
+  unnest_fanouts_[FieldKey(type, field)] = std::max(fanout, kMinFanout);
+}
+
+std::optional<double> CardFeedback::ScanCard(const CollectionId& id) const {
+  auto it = scan_cards_.find(CollectionKey(id));
+  if (it == scan_cards_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> CardFeedback::Selectivity(size_t conjunct_hash) const {
+  auto it = selectivities_.find(conjunct_hash);
+  if (it == selectivities_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> CardFeedback::JoinSelectivity(size_t pred_hash) const {
+  auto it = join_selectivities_.find(pred_hash);
+  if (it == join_selectivities_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> CardFeedback::UnnestFanout(TypeId type,
+                                                FieldId field) const {
+  auto it = unnest_fanouts_.find(FieldKey(type, field));
+  if (it == unnest_fanouts_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CardFeedback::Summary() const {
+  std::string s = "feedback: ";
+  s += std::to_string(scan_cards_.size()) + " scans, ";
+  s += std::to_string(selectivities_.size()) + " conjuncts, ";
+  s += std::to_string(join_selectivities_.size()) + " joins, ";
+  s += std::to_string(unnest_fanouts_.size()) + " unnests";
+  return s;
+}
+
+std::string CardFeedback::CollectionKey(const CollectionId& id) {
+  std::string key = id.kind == CollectionId::Kind::kNamedSet ? "s:" : "e:";
+  key += id.name;
+  key += '#';
+  key += std::to_string(id.type);
+  return key;
+}
+
+namespace {
+
+class Extractor {
+ public:
+  Extractor(const ExecProfile& profile, const QueryContext& ctx,
+            const ObjectStore& store, CardFeedback* out)
+      : profile_(profile), ctx_(ctx), store_(store), out_(out) {}
+
+  void Visit(const PlanNode& node) {
+    switch (node.op.kind) {
+      case PhysOpKind::kFileScan:
+      case PhysOpKind::kIndexScan:
+        RecordScan(node);
+        break;
+      case PhysOpKind::kFilter:
+        RecordFilterChain(node);
+        break;
+      case PhysOpKind::kAlgUnnest:
+        RecordUnnest(node);
+        break;
+      case PhysOpKind::kHybridHashJoin:
+      case PhysOpKind::kMergeJoin:
+      case PhysOpKind::kNestedLoops:
+        RecordJoin(node);
+        break;
+      default:
+        break;
+    }
+    for (const PlanNodePtr& c : node.children) Visit(*c);
+  }
+
+ private:
+  /// Actual rows the node emitted, or -1 when the node has no profile of
+  /// its own (a filter absorbed into a fused chain).
+  double ActualRows(const PlanNode& node) const {
+    const OpProfile* p = profile_.Find(&node);
+    return p != nullptr ? static_cast<double>(p->rows) : -1.0;
+  }
+
+  /// The store's current member count for a scanned collection, or -1.
+  double MemberCount(const CollectionId& id) const {
+    Result<const std::vector<Oid>*> members = store_.CollectionMembers(id);
+    if (!members.ok()) return -1.0;
+    return static_cast<double>((*members)->size());
+  }
+
+  /// Splits a combined observed selectivity geometrically across conjuncts:
+  /// each conjunct gets sel^(1/k), so the product — and with it the chain's
+  /// output cardinality — is preserved no matter where the re-plan places
+  /// each conjunct.
+  void RecordConjuncts(const std::vector<ScalarExprPtr>& conjuncts,
+                       double sel) {
+    if (conjuncts.empty()) return;
+    double per =
+        std::pow(ClampSel(sel), 1.0 / static_cast<double>(conjuncts.size()));
+    for (const ScalarExprPtr& c : conjuncts) {
+      if (c != nullptr) out_->RecordSelectivity(c->Hash(), per);
+    }
+  }
+
+  void RecordScan(const PlanNode& node) {
+    double members = MemberCount(node.op.coll);
+    if (members >= 0.0) out_->RecordScanCard(node.op.coll, members);
+    // An index scan's output already reflects its key predicate (and any
+    // residual): actual-out over the population is the combined selectivity.
+    if (node.op.kind != PhysOpKind::kIndexScan) return;
+    double out_rows = ActualRows(node);
+    if (members <= 0.0 || out_rows < 0.0) return;
+    std::vector<ScalarExprPtr> conjuncts;
+    if (node.op.index_pred != nullptr) {
+      std::vector<ScalarExprPtr> cs =
+          ScalarExpr::SplitConjuncts(node.op.index_pred);
+      conjuncts.insert(conjuncts.end(), cs.begin(), cs.end());
+    }
+    if (node.op.pred != nullptr) {
+      std::vector<ScalarExprPtr> cs = ScalarExpr::SplitConjuncts(node.op.pred);
+      conjuncts.insert(conjuncts.end(), cs.begin(), cs.end());
+    }
+    RecordConjuncts(conjuncts, std::max(out_rows, 0.5) / members);
+  }
+
+  void RecordFilterChain(const PlanNode& node) {
+    // Only chain tops have a profile; absorbed inner filters are handled
+    // from their top when the chain was collapsed at exec-build time.
+    double out_rows = ActualRows(node);
+    if (out_rows < 0.0 || node.op.pred == nullptr) return;
+    std::vector<ScalarExprPtr> conjuncts;
+    const PlanNode* base = &node;
+    while (base->op.kind == PhysOpKind::kFilter && base->op.pred != nullptr) {
+      std::vector<ScalarExprPtr> cs = ScalarExpr::SplitConjuncts(base->op.pred);
+      conjuncts.insert(conjuncts.end(), cs.begin(), cs.end());
+      base = base->children[0].get();
+    }
+    double in_rows = ActualRows(*base);
+    if (in_rows < 0.0 && base->op.kind == PhysOpKind::kFileScan) {
+      // Scan-fused chain: the scan below has no profile of its own, but its
+      // input is by definition the whole collection — ask the store.
+      in_rows = MemberCount(base->op.coll);
+    }
+    if (in_rows <= 0.0) return;
+    RecordConjuncts(conjuncts, std::max(out_rows, 0.5) / in_rows);
+  }
+
+  void RecordUnnest(const PlanNode& node) {
+    double out_rows = ActualRows(node);
+    double in_rows = ActualRows(*node.children[0]);
+    if (out_rows <= 0.0 || in_rows <= 0.0) return;
+    TypeId src_type = ctx_.bindings.def(node.op.source).type;
+    out_->RecordUnnestFanout(src_type, node.op.field, out_rows / in_rows);
+  }
+
+  void RecordJoin(const PlanNode& node) {
+    if (node.op.pred == nullptr) return;
+    double out_rows = ActualRows(node);
+    double left = ActualRows(*node.children[0]);
+    double right = ActualRows(*node.children[1]);
+    // Both inputs must have produced rows: after a build-side drift abort
+    // the probe side never opened, and a 0-row input says nothing about the
+    // predicate.
+    if (out_rows < 0.0 || left <= 0.0 || right <= 0.0) return;
+    out_->RecordJoinSelectivity(node.op.pred->Hash(),
+                                std::max(out_rows, 0.5) / (left * right));
+  }
+
+  const ExecProfile& profile_;
+  const QueryContext& ctx_;
+  const ObjectStore& store_;
+  CardFeedback* out_;
+};
+
+}  // namespace
+
+CardFeedback ExtractCardFeedback(const PlanNode& plan,
+                                 const ExecProfile& profile,
+                                 const QueryContext& ctx,
+                                 const ObjectStore& store) {
+  CardFeedback out;
+  Extractor(profile, ctx, store, &out).Visit(plan);
+  return out;
+}
+
+}  // namespace oodb

@@ -49,6 +49,10 @@ struct SearchStats {
   int64_t cache_evictions = 0;
   int64_t cache_invalidations = 0;
 
+  /// True when this plan came from a mid-query re-optimization under
+  /// observed-cardinality feedback (see Session's adaptive path). Such
+  /// plans are query-local and never cached.
+  bool replanned = false;
   /// True when the cost-based search tripped the resource governor and the
   /// plan is the greedy baseline's instead (see Session); `degrade_reason`
   /// carries the trip message. Degraded plans are never cached.

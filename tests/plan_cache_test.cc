@@ -333,6 +333,178 @@ TEST_F(PlanCacheTest, StressManyThreadsWithInvalidationStorm) {
   EXPECT_TRUE(warm->optimized.stats.plan_cached);
 }
 
+// Regression: the catalog copy/move operations used to copy stats_version_
+// verbatim, so a session over a copied catalog could collide with the
+// original's version numbers and be served the original's cached plans as
+// false hits. Copies must start a fresh, disjoint version space — and stay
+// disjoint under equal numbers of subsequent bumps.
+TEST(CatalogVersionSpaceTest, CopyAndMoveReseedStatsVersion) {
+  PaperDb db = MakePaperCatalog(0.02);
+  Catalog copy(db.catalog);
+  EXPECT_NE(copy.stats_version(), db.catalog.stats_version());
+  for (int i = 0; i < 4; ++i) {
+    copy.BumpStatsVersion();
+    db.catalog.BumpStatsVersion();
+    EXPECT_NE(copy.stats_version(), db.catalog.stats_version());
+  }
+  Catalog assigned;
+  assigned = db.catalog;
+  EXPECT_NE(assigned.stats_version(), db.catalog.stats_version());
+  EXPECT_NE(assigned.stats_version(), copy.stats_version());
+  Catalog moved(std::move(assigned));
+  EXPECT_NE(moved.stats_version(), db.catalog.stats_version());
+  EXPECT_NE(moved.stats_version(), copy.stats_version());
+}
+
+// End-to-end shape of the same regression: two sessions sharing one cache
+// but backed by *different* catalog instances (original and copy) must
+// never serve each other's entries, even though fingerprints agree.
+TEST_F(PlanCacheTest, CatalogCopyNeverHitsOriginalsEntries) {
+  const std::string q =
+      "SELECT e.name FROM Employee e IN Employees WHERE e.age >= 40;";
+  ASSERT_TRUE(session_.Prepare(q).ok());
+  ASSERT_TRUE(session_.Prepare(q)->optimized.stats.plan_cached);
+
+  Catalog copy(db_.catalog);
+  Session twin(&copy, WithCache(cache_));
+  auto cold = twin.Prepare(q);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_FALSE(cold->optimized.stats.plan_cached);
+  // The copy caches under its own version space and warms up normally.
+  EXPECT_TRUE(twin.Prepare(q)->optimized.stats.plan_cached);
+  // The original's entry is untouched by the twin's traffic.
+  EXPECT_TRUE(session_.Prepare(q)->optimized.stats.plan_cached);
+}
+
+// Regression: ANALYZE used to defer its single version bump to the end of
+// the statistics refresh, leaving a window where a concurrent Prepare could
+// cache a plan costed against partially-updated statistics under the
+// pre-ANALYZE version — and have it served until the trailing bump landed.
+// The fix brackets the mutation window with a leading and a trailing bump,
+// so one ANALYZE moves the version by at least two.
+TEST_F(PlanCacheTest, AnalyzeBracketsMutationWindow) {
+  const uint64_t before = db_.catalog.stats_version();
+  ASSERT_TRUE(session_.Analyze().ok());
+  EXPECT_GE(db_.catalog.stats_version(), before + 2);
+}
+
+// The concurrent shape of the bracket discipline, TSan-clean by design: a
+// mutator thread continuously applies bumping statistics writes to Cities
+// (SetCardinality bumps the version before any reader can observe the new
+// value through a cache key) while preparer threads hammer the shared cache
+// with Tasks/Employees queries. The catalog has no internal lock around
+// collection statistics, so the races under test are exactly the version
+// atomics and the cache's shard transitions — after the storm, no entry may
+// be served stale.
+TEST_F(PlanCacheTest, ThreadedBumpingMutatorsNeverYieldStaleServes) {
+  const std::vector<std::string> mix = {
+      "SELECT t.name FROM Task t IN Tasks WHERE t.time == 3;",
+      "SELECT e.name FROM Employee e IN Employees WHERE e.age >= 40;",
+      "SELECT e.name FROM Employee e IN Employees WHERE e.age >= 45;",
+      "SELECT t.name FROM Task t IN Tasks WHERE t.time >= 7;",
+  };
+  constexpr int kPreparers = 6;
+  constexpr int kIters = 50;
+  std::atomic<int> failures{0};
+  std::atomic<bool> done{false};
+  CollectionId cities = CollectionId::Set("Cities", db_.city);
+  const int64_t base = (*db_.catalog.FindCollection(cities))->cardinality;
+  std::thread mutator([&] {
+    int64_t v = base;
+    while (!done.load(std::memory_order_relaxed)) {
+      ++v;
+      if (!db_.catalog.SetCardinality(cities, v).ok()) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  std::vector<std::thread> threads;
+  threads.reserve(kPreparers);
+  for (int t = 0; t < kPreparers; ++t) {
+    threads.emplace_back([&, t] {
+      Session local(&db_.catalog, WithCache(cache_));
+      for (int i = 0; i < kIters; ++i) {
+        auto r = local.Prepare(mix[(i + t) % mix.size()]);
+        if (!r.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  done.store(true);
+  mutator.join();
+  EXPECT_EQ(failures.load(), 0);
+  PlanCacheStats s = cache_->stats();
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<int64_t>(kPreparers) * kIters);
+  // With the mutator quiet, the usual freshness discipline holds: one more
+  // bump makes every survivor stale, then the re-optimized entry is warm.
+  db_.catalog.BumpStatsVersion();
+  auto cold = session_.Prepare(mix[0]);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_FALSE(cold->optimized.stats.plan_cached);
+  EXPECT_TRUE(session_.Prepare(mix[0])->optimized.stats.plan_cached);
+  ASSERT_TRUE(db_.catalog.SetCardinality(cities, base).ok());
+}
+
+// Drift-based eviction: a cached plan whose execution shows cardinality
+// drift past adaptive.evict_drift_threshold is retired from the cache even
+// though no ANALYZE ever bumped the version — the next Prepare re-optimizes.
+TEST_F(PlanCacheTest, DriftEvictionRetiresMisestimatedPlan) {
+  Session::Options opts = WithCache(cache_);
+  opts.adaptive.evict_drift_threshold = 8.0;
+  Session s(&db_.catalog, opts);
+  GenOptions gen;
+  gen.num_plants = 20;
+  ASSERT_TRUE(GeneratePaperData(db_, &s.store(), gen).ok());
+
+  CollectionId employees = CollectionId::Set("Employees", db_.employee);
+  const int64_t truth =
+      (*db_.catalog.FindCollection(employees))->cardinality;
+  ASSERT_TRUE(db_.catalog.SetCardinality(employees, 1).ok());
+
+  const std::string q = "SELECT e.name FROM Employee e IN Employees;";
+  auto r = s.Query(q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r->observed_drift, 8.0);
+  EXPECT_TRUE(r->drift_evicted);
+  EXPECT_GE(cache_->stats().drift_evictions, 1);
+  auto again = s.Prepare(q);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_FALSE(again->optimized.stats.plan_cached);
+
+  ASSERT_TRUE(db_.catalog.SetCardinality(employees, truth).ok());
+}
+
+// Below the eviction threshold the drift is still recorded on the entry
+// (the observability hook sees it) but the plan keeps being served.
+TEST_F(PlanCacheTest, DriftBelowThresholdIsRecordedNotEvicted) {
+  Session::Options opts = WithCache(cache_);
+  opts.adaptive.evict_drift_threshold = 1e6;
+  Session s(&db_.catalog, opts);
+  GenOptions gen;
+  gen.num_plants = 20;
+  ASSERT_TRUE(GeneratePaperData(db_, &s.store(), gen).ok());
+
+  CollectionId employees = CollectionId::Set("Employees", db_.employee);
+  const int64_t truth =
+      (*db_.catalog.FindCollection(employees))->cardinality;
+  ASSERT_TRUE(db_.catalog.SetCardinality(employees, 1).ok());
+
+  const std::string q = "SELECT e.name FROM Employee e IN Employees;";
+  auto r = s.Query(q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r->observed_drift, 8.0);
+  EXPECT_FALSE(r->drift_evicted);
+  ASSERT_TRUE(r->cache_keyed);
+  EXPECT_GE(cache_->ObservedDrift(r->cache_key), r->observed_drift);
+  EXPECT_EQ(cache_->stats().drift_evictions, 0);
+  auto again = s.Prepare(q);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_TRUE(again->optimized.stats.plan_cached);
+
+  ASSERT_TRUE(db_.catalog.SetCardinality(employees, truth).ok());
+}
+
 // Regression for the selectivity-bucket boundary: the bucket used to come
 // from llround(log2(sel) * 2), whose libm last-ulp jitter made literals
 // sitting exactly on a half-octave edge (powers of two and their sqrt(1/2)

@@ -116,6 +116,37 @@ TEST_F(AnalyzeTest, EstimatesMatchRealityAfterAnalyze) {
               estimated * 0.25 + 1);
 }
 
+// A governed ANALYZE charges the statistics scan (one row per stored
+// object) *before* mutating anything: when the budget cannot cover it, the
+// catalog is left entirely untouched — no bump, no cardinality change.
+TEST_F(AnalyzeTest, GovernedAnalyzeChargesBeforeMutating) {
+  CollectionId cities = CollectionId::Set("Cities", db_.city);
+  int64_t truth = (*db_.catalog.FindCollection(cities))->cardinality;
+  ASSERT_TRUE(db_.catalog.SetCardinality(cities, 7).ok());
+  const uint64_t version = db_.catalog.stats_version();
+
+  GovernorOptions tight;
+  tight.max_exec_rows = session_.store().num_objects() - 1;
+  QueryGovernor governor(tight);
+  AnalyzeOptions opts;
+  opts.governor = &governor;
+  Status st = AnalyzeStore(session_.store(), &db_.catalog, opts);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(db_.catalog.stats_version(), version);
+  EXPECT_EQ((*db_.catalog.FindCollection(cities))->cardinality, 7);
+
+  // With an ample budget the refresh goes through and the scan was charged.
+  GovernorOptions ample;
+  ample.max_exec_rows = session_.store().num_objects() * 2;
+  QueryGovernor ok_governor(ample);
+  opts.governor = &ok_governor;
+  ASSERT_TRUE(AnalyzeStore(session_.store(), &db_.catalog, opts).ok());
+  EXPECT_GE(db_.catalog.stats_version(), version + 2);
+  EXPECT_EQ((*db_.catalog.FindCollection(cities))->cardinality, truth);
+  EXPECT_EQ(ok_governor.stats().rows_charged,
+            session_.store().num_objects());
+}
+
 TEST_F(AnalyzeTest, SelectiveOptions) {
   CollectionId cities = CollectionId::Set("Cities", db_.city);
   ASSERT_TRUE(db_.catalog.SetCardinality(cities, 7).ok());

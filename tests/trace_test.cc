@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -140,6 +141,18 @@ TEST(DriftRatioTest, SymmetricAndClampedAtOneRow) {
   EXPECT_DOUBLE_EQ(DriftRatio(0.0, 0), 1.0);
 }
 
+TEST(DriftRatioTest, ZeroEstimatesAndSymmetry) {
+  // A hard-zero estimate against real rows clamps to one row, not infinity.
+  EXPECT_DOUBLE_EQ(DriftRatio(0.0, 1000), 1000.0);
+  EXPECT_DOUBLE_EQ(DriftRatio(0.25, 50), 50.0);
+  // Fractional estimates at or above one row divide normally.
+  EXPECT_DOUBLE_EQ(DriftRatio(2.5, 5), 2.0);
+  // k-fold over and k-fold under read as the same factor.
+  EXPECT_DOUBLE_EQ(DriftRatio(7.0, 49), DriftRatio(49.0, 7));
+  // A sub-row estimate against one actual row is no drift at all.
+  EXPECT_DOUBLE_EQ(DriftRatio(0.01, 1), 1.0);
+}
+
 // ---------------------------------------------------------------------------
 // Optimizer search trace integration over OO7.
 
@@ -232,6 +245,58 @@ TEST_F(TraceTest, SearchTraceRecordsRuleAndWinnerEvents) {
   }
   EXPECT_TRUE(saw_ok_verdict) << trace.ToText();
   EXPECT_NE(trace.ToJson().find("\"counts\""), std::string::npos);
+}
+
+// MaxDriftRatio over partial profiles — the FAILED/governor-tripped run
+// shape, where only a subset of operators recorded actuals before the
+// abort. Unprofiled nodes contribute nothing; the worst profiled node wins.
+TEST_F(TraceTest, MaxDriftRatioOverPartialProfiles) {
+  Planned p = Plan(kOo7QueryTraversal);
+  ExecProfile empty;
+  EXPECT_DOUBLE_EQ(MaxDriftRatio(*p.plan, empty), 1.0);
+
+  ExecProfile partial;
+  const int64_t seen = llround(p.plan->logical.card) * 8 + 8;
+  partial.Register(p.plan.get())->rows = seen;
+  const double root_drift = DriftRatio(p.plan->logical.card, seen);
+  ASSERT_GT(root_drift, 1.0);
+  EXPECT_DOUBLE_EQ(MaxDriftRatio(*p.plan, partial), root_drift);
+
+  // Profiling a second, near-exact node must not mask the drifted root.
+  ASSERT_FALSE(p.plan->children.empty());
+  const PlanNode* child = p.plan->children[0].get();
+  const int64_t child_seen =
+      std::max<int64_t>(1, llround(child->logical.card));
+  partial.Register(child)->rows = child_seen;
+  const double expected =
+      std::max(root_drift, DriftRatio(child->logical.card, child_seen));
+  EXPECT_DOUBLE_EQ(MaxDriftRatio(*p.plan, partial), expected);
+}
+
+// The Exchange worker-merge discipline: each worker records into a private
+// profile, merged into the consumer's at join. Per-node rows sum across
+// workers, so drift is judged against the query's *total* actuals — and
+// recovery events accumulate rather than overwrite.
+TEST_F(TraceTest, WorkerMergeAggregatesRowsBeforeDriftJudgment) {
+  Planned p = Plan(kOo7QueryTraversal);
+  const PlanNode* root = p.plan.get();
+  ExecProfile consumer;
+  ExecProfile worker1;
+  ExecProfile worker2;
+  worker1.Register(root)->rows = 30;
+  worker1.AddRecovery(/*retried=*/1, /*speculated=*/0);
+  worker2.Register(root)->rows = 70;
+  worker2.AddRecovery(/*retried=*/0, /*speculated=*/2);
+  consumer.MergeFrom(worker1);
+  consumer.MergeFrom(worker2);
+  ASSERT_NE(consumer.Find(root), nullptr);
+  EXPECT_EQ(consumer.Find(root)->rows, 100);
+  EXPECT_EQ(consumer.partitions_retried(), 1);
+  EXPECT_EQ(consumer.partitions_speculated(), 2);
+  // Judged per worker, 30 or 70 rows could under- or over-state drift;
+  // the merged judgment sees the full 100.
+  EXPECT_DOUBLE_EQ(MaxDriftRatio(*p.plan, consumer),
+                   DriftRatio(root->logical.card, 100));
 }
 
 TEST_F(TraceTest, PruningEmitsBranchPrunedEvents) {
